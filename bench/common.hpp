@@ -1,0 +1,68 @@
+// Shared helpers for the figure/table reproduction binaries. Every
+// binary accepts:
+//   --samples N   pre-sampled CV count / search iterations (default 1000)
+//   --seed S      top-level seed (default 42)
+//   --csv         additionally emit CSV rows for plotting
+// and prints the same rows/series the paper's figure reports.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/funcy_tuner.hpp"
+#include "machine/architecture.hpp"
+#include "programs/benchmarks.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace ft::bench {
+
+struct BenchConfig {
+  std::size_t samples = 1000;
+  std::uint64_t seed = 42;
+  bool csv = false;
+
+  static BenchConfig parse(int argc, char** argv) {
+    const support::CliArgs args(argc, argv);
+    BenchConfig config;
+    config.samples =
+        static_cast<std::size_t>(args.get_int("samples", 1000));
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    config.csv = args.get_bool("csv", false);
+    return config;
+  }
+
+  [[nodiscard]] core::FuncyTunerOptions tuner_options(
+      std::uint64_t salt = 0) const {
+    core::FuncyTunerOptions options;
+    options.samples = samples;
+    options.seed = seed + salt;
+    return options;
+  }
+};
+
+/// The paper's benchmark order (Fig 5/6/7 x-axis).
+inline const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names = {
+      "LULESH", "CL", "AMG", "Optewe", "bwaves", "fma3d", "swim"};
+  return names;
+}
+
+/// Appends the geometric-mean column the paper's figures end with.
+inline void add_gm_row(support::Table& table, const std::string& label,
+                       const std::vector<double>& speedups) {
+  std::vector<std::string> row = {label};
+  for (const double s : speedups) row.push_back(support::Table::num(s));
+  row.push_back(support::Table::num(support::geomean(speedups)));
+  table.add_row(row);
+}
+
+inline void print_table(const support::Table& table,
+                        const BenchConfig& config) {
+  table.print(std::cout);
+  if (config.csv) table.print_csv(std::cout);
+}
+
+}  // namespace ft::bench

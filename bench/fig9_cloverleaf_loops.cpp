@@ -1,0 +1,87 @@
+// Fig 9 reproduction: per-loop speedups of the top-5 Cloverleaf hot
+// loops (dt, cell3, cell7, mom9, acc) on Intel Broadwell for Random,
+// G.realized, CFR and G.Independent (per-loop best over the collected
+// samples), all normalized to the per-loop O3 time.
+//
+// Expected shape (paper): the best per-loop variants are often NOT what
+// the greedy assembly realizes (G.realized re-vectorizes mom9);
+// vectorization is unprofitable for cell3/cell7; acc gains most from
+// forced 256-bit SIMD; COBAYN/OpenTuner/Random share one code variant.
+
+#include <algorithm>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ft;
+  const bench::BenchConfig config = bench::BenchConfig::parse(argc, argv);
+
+  core::FuncyTuner tuner(programs::cloverleaf(), machine::broadwell(),
+                         config.tuner_options());
+  const std::vector<std::string> kernels = {"dt", "cell3", "cell7",
+                                            "mom9", "acc"};
+  auto loop_index = [&](const std::string& name) {
+    const auto& loops = tuner.program().loops();
+    for (std::size_t j = 0; j < loops.size(); ++j) {
+      if (loops[j].name == name) return j;
+    }
+    throw std::logic_error("missing kernel " + name);
+  };
+
+  const auto random = tuner.run_random();
+  const auto greedy = tuner.run_greedy();
+  const auto cfr = tuner.run_cfr();
+
+  support::Table table(
+      "Fig 9: per-loop speedup over O3, top-5 Cloverleaf kernels "
+      "(Intel Broadwell)");
+  table.set_header({"Algorithm", "dt", "cell3", "cell7", "mom9", "acc"});
+
+  auto add_row = [&](const std::string& label,
+                     const compiler::ModuleAssignment& assignment) {
+    const std::vector<double> speedups =
+        tuner.per_loop_speedups(assignment);
+    std::vector<std::string> row = {label};
+    for (const auto& kernel : kernels) {
+      row.push_back(support::Table::num(speedups[loop_index(kernel)]));
+    }
+    table.add_row(row);
+  };
+  add_row("Random", random.best_assignment);
+  add_row("G.realized", greedy.realized.best_assignment);
+  add_row("CFR", cfr.best_assignment);
+
+  // G.Independent per loop: the best collected per-loop time (never
+  // assembled into one executable).
+  {
+    const core::Collection& collection = tuner.collection();
+    const core::Outline& outline = tuner.outline();
+    const auto base = tuner.per_loop_speedups(
+        compiler::ModuleAssignment::uniform(
+            tuner.space().default_cv(), tuner.program().loops().size()));
+    (void)base;
+    const auto baseline_truth =
+        tuner.engine().true_module_seconds(tuner.engine().baseline(),
+                                           tuner.tuning_input());
+    std::vector<std::string> row = {"G.Independent"};
+    for (const auto& kernel : kernels) {
+      const std::size_t j = loop_index(kernel);
+      // Find the kernel's position among the outlined hot loops.
+      std::size_t hot_pos = 0;
+      for (std::size_t i = 0; i < outline.hot.size(); ++i) {
+        if (outline.hot[i] == j) hot_pos = i;
+      }
+      const auto& times = collection.loop_times[hot_pos];
+      const double best = *std::min_element(times.begin(), times.end());
+      row.push_back(support::Table::num(baseline_truth[j] / best));
+    }
+    table.add_row(row);
+  }
+
+  bench::print_table(table, config);
+  std::cout << "\nPaper reference: Random's single CV forces 256-bit "
+               "SIMD everywhere (34.8% gain on dt but slowdowns of "
+               "27.7%/13.6% on cell3/cell7); CFR picks scalar code for "
+               "dt/cell3/cell7/mom9 and 256-bit for acc.\n";
+  return 0;
+}

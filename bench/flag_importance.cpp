@@ -1,0 +1,61 @@
+// Extension bench: statistical per-flag importance from the collection
+// data. Complements the §4.4.1 greedy elimination (which explains one
+// tuned CV) with main-effect estimates over all 1000 samples: which
+// flags move which loops, and in which direction. The per-loop
+// divergence of "best option" across modules is the quantitative
+// version of the paper's thesis that one CV cannot fit all loops.
+
+#include "bench/common.hpp"
+#include "core/flag_importance.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ft;
+  const bench::BenchConfig config = bench::BenchConfig::parse(argc, argv);
+
+  for (const std::string name : {"CL", "AMG"}) {
+    core::FuncyTuner tuner(programs::by_name(name), machine::broadwell(),
+                           config.tuner_options());
+    const auto importance = core::analyze_flag_importance(
+        tuner.space(), tuner.outline(), tuner.collection());
+
+    support::Table table("Top-3 flags by main effect per module (" +
+                         name + ", Intel Broadwell)");
+    table.set_header({"Module", "#1", "#2", "#3"});
+    for (const auto& module : importance) {
+      std::vector<std::string> row = {module.module_name};
+      for (const auto& effect : core::top_flags(module, 3)) {
+        row.push_back(effect.flag_name + " (" +
+                      support::Table::num(effect.spread * 100.0, 1) +
+                      "% spread, best opt " +
+                      std::to_string(effect.best_option) + ")");
+      }
+      table.add_row(row);
+    }
+    bench::print_table(table, config);
+
+    // Disagreement measure: for how many flags do modules disagree on
+    // the best option? (The conflict a per-program CV cannot resolve.)
+    std::size_t contested = 0;
+    const auto& space = tuner.space();
+    for (std::size_t flag = 0; flag < space.flag_count(); ++flag) {
+      std::size_t first_best = 0;
+      bool seen = false, disagree = false;
+      for (const auto& module : importance) {
+        for (const auto& effect : module.effects) {
+          if (effect.flag_index != flag || effect.spread < 0.01) continue;
+          if (!seen) {
+            first_best = effect.best_option;
+            seen = true;
+          } else if (effect.best_option != first_best) {
+            disagree = true;
+          }
+        }
+      }
+      if (disagree) ++contested;
+    }
+    std::cout << "Flags with >=1% effect where modules disagree on the "
+                 "best option: "
+              << contested << " of " << space.flag_count() << "\n\n";
+  }
+  return 0;
+}

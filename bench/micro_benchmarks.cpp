@@ -1,0 +1,123 @@
+// Google-benchmark microbenchmarks of the framework itself: CV
+// sampling, the compile pipeline, whole-program build+link, an engine
+// run, one CFR-style assembled evaluation, and the Caliper annotation
+// path. These guard the tuner's own throughput (a 1000-variant search
+// must stay interactive).
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.hpp"
+#include "core/evaluator.hpp"
+#include "flags/spaces.hpp"
+#include "machine/execution_engine.hpp"
+#include "programs/benchmarks.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ft;
+
+void BM_CvSampling(benchmark::State& state) {
+  const flags::FlagSpace space = flags::icc_space();
+  support::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.sample(rng));
+  }
+}
+BENCHMARK(BM_CvSampling);
+
+void BM_CvDecode(benchmark::State& state) {
+  const flags::FlagSpace space = flags::icc_space();
+  support::Rng rng(2);
+  const flags::CompilationVector cv = space.sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.decode(cv));
+  }
+}
+BENCHMARK(BM_CvDecode);
+
+void BM_CompileModule(benchmark::State& state) {
+  const flags::FlagSpace space = flags::icc_space();
+  const ir::Program program = programs::cloverleaf();
+  support::Rng rng(3);
+  const flags::CompilationVector cv = space.sample(rng);
+  const auto settings = space.decode(cv);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compiler::compile_module(program.loops()[0], cv, settings,
+                                 machine::broadwell(),
+                                 compiler::Personality::kIcc));
+  }
+}
+BENCHMARK(BM_CompileModule);
+
+void BM_BuildUniform(benchmark::State& state) {
+  const flags::FlagSpace space = flags::icc_space();
+  const ir::Program program = programs::cloverleaf();
+  compiler::Compiler compiler(space, machine::broadwell());
+  support::Rng rng(4);
+  for (auto _ : state) {
+    // Fresh CV each iteration so the compile cache does not trivialize
+    // the measurement.
+    benchmark::DoNotOptimize(
+        compiler.build_uniform(program, space.sample(rng)));
+  }
+}
+BENCHMARK(BM_BuildUniform);
+
+void BM_EngineRun(benchmark::State& state) {
+  const flags::FlagSpace space = flags::icc_space();
+  const ir::Program program = programs::cloverleaf();
+  compiler::Compiler compiler(space, machine::broadwell());
+  machine::ExecutionEngine engine(program, compiler);
+  const compiler::Executable exe = engine.baseline();
+  machine::RunOptions options;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    options.rep_base = ++rep;
+    benchmark::DoNotOptimize(
+        engine.run(exe, program.tuning_input(), options));
+  }
+}
+BENCHMARK(BM_EngineRun);
+
+void BM_InstrumentedRun(benchmark::State& state) {
+  const flags::FlagSpace space = flags::icc_space();
+  const ir::Program program = programs::cloverleaf();
+  compiler::Compiler compiler(space, machine::broadwell());
+  machine::ExecutionEngine engine(program, compiler);
+  const compiler::Executable exe = engine.baseline();
+  machine::RunOptions options;
+  options.instrumented = true;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    options.rep_base = ++rep;
+    benchmark::DoNotOptimize(
+        engine.run(exe, program.tuning_input(), options));
+  }
+}
+BENCHMARK(BM_InstrumentedRun);
+
+void BM_AssembledEvaluation(benchmark::State& state) {
+  // One CFR-style evaluation: per-module CVs, build, link, run.
+  const flags::FlagSpace space = flags::icc_space();
+  const ir::Program program = programs::cloverleaf();
+  compiler::Compiler compiler(space, machine::broadwell());
+  machine::ExecutionEngine engine(program, compiler);
+  core::Evaluator evaluator(engine, program.tuning_input());
+  support::Rng rng(6);
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    compiler::ModuleAssignment assignment;
+    for (std::size_t j = 0; j < program.loops().size(); ++j) {
+      assignment.loop_cvs.push_back(space.sample(rng));
+    }
+    assignment.nonloop_cv = space.sample(rng);
+    benchmark::DoNotOptimize(evaluator.evaluate(assignment, ++rep));
+  }
+}
+BENCHMARK(BM_AssembledEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

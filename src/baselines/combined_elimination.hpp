@@ -1,0 +1,36 @@
+// Combined Elimination (Pan & Eigenmann, PEAK [21]) - the per-program
+// flag-pruning baseline of the paper's Fig 1. Starting from the
+// all-optimizations-on configuration, CE measures each flag's Relative
+// Improvement Percentage (RIP) when switched off, then greedily removes
+// the flag with the most negative impact together with any other flag
+// that still helps once it is gone, iterating to a fixed point. The
+// paper observes CE stalls in local minima on these codes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "flags/flag_space.hpp"
+
+namespace ft::baselines {
+
+struct CeResult {
+  flags::CompilationVector best_cv;  ///< in the binarized space
+  double tuned_seconds = 0.0;
+  double baseline_seconds = 0.0;
+  double speedup = 0.0;
+  std::size_t evaluations = 0;
+  /// Names of flags CE left enabled (non-default).
+  std::vector<std::string> enabled_flags;
+};
+
+/// Runs CE on the binarized view of `space` (CE reasons about on/off
+/// decisions only). Evaluation is uniform per-program compilation.
+[[nodiscard]] CeResult combined_elimination(core::Evaluator& evaluator,
+                                            const flags::FlagSpace& space,
+                                            double baseline_seconds,
+                                            std::uint64_t seed = 42);
+
+}  // namespace ft::baselines

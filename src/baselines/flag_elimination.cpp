@@ -1,0 +1,59 @@
+#include "baselines/flag_elimination.hpp"
+
+#include <limits>
+
+namespace ft::baselines {
+
+CriticalFlags eliminate_noncritical_flags(
+    core::Evaluator& evaluator, const flags::FlagSpace& space,
+    const compiler::ModuleAssignment& assignment,
+    std::size_t focus_loop_index, double tolerance, int repetitions) {
+  CriticalFlags result;
+  compiler::ModuleAssignment working = assignment;
+
+  auto focused_cv = [&]() -> flags::CompilationVector& {
+    if (focus_loop_index == std::numeric_limits<std::size_t>::max()) {
+      return working.nonloop_cv;
+    }
+    return working.loop_cvs[focus_loop_index];
+  };
+
+  std::uint64_t rep = 7000;  // separate noise stream from the searches
+  auto measure = [&]() {
+    machine::RunOptions options;
+    options.repetitions = repetitions;
+    options.rep_base = (rep += 97);
+    return evaluator.run(working, options).end_to_end;
+  };
+  double current_seconds = measure();
+  ++result.evaluations;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < space.flag_count(); ++i) {
+      if (focused_cv()[i] == 0) continue;  // already default
+      const std::uint8_t saved = focused_cv()[i];
+      focused_cv().set(i, 0);
+      const double seconds = measure();
+      ++result.evaluations;
+      if (seconds <= current_seconds * (1.0 + tolerance)) {
+        current_seconds = std::min(seconds, current_seconds);
+        changed = true;  // flag removed; rescan remaining flags
+      } else {
+        focused_cv().set(i, saved);  // critical: keep it
+      }
+    }
+  }
+
+  result.reduced_cv = focused_cv();
+  for (std::size_t i = 0; i < space.flag_count(); ++i) {
+    if (result.reduced_cv[i] != 0) {
+      result.critical.push_back(
+          space.specs()[i].options[result.reduced_cv[i]].text);
+    }
+  }
+  return result;
+}
+
+}  // namespace ft::baselines

@@ -1,0 +1,33 @@
+// Iterative greedy flag elimination (paper §4.4.1): identifies the
+// performance-critical flags of a tuned CV. Each iteration tries to
+// reset one flag of the focused CV to its default while keeping every
+// other module's CV intact; if program performance does not degrade,
+// the flag is removed. Repeats until no flag can be eliminated. The
+// surviving non-default flags are the "critical" ones reported in the
+// Cloverleaf case study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+
+namespace ft::baselines {
+
+struct CriticalFlags {
+  flags::CompilationVector reduced_cv;
+  std::vector<std::string> critical;  ///< surviving non-default flags
+  std::size_t evaluations = 0;
+};
+
+/// Reduces the CV of module `focus_loop_index` (index into the
+/// program's loops; pass SIZE_MAX for the non-loop module) within
+/// `assignment`. `tolerance` is the allowed relative slowdown before a
+/// flag is considered performance-critical.
+[[nodiscard]] CriticalFlags eliminate_noncritical_flags(
+    core::Evaluator& evaluator, const flags::FlagSpace& space,
+    const compiler::ModuleAssignment& assignment,
+    std::size_t focus_loop_index, double tolerance = 0.004,
+    int repetitions = 3);
+
+}  // namespace ft::baselines

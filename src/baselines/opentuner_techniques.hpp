@@ -1,0 +1,290 @@
+// The individual search techniques of the OpenTuner-style ensemble,
+// exposed for unit testing and for users composing their own
+// ensembles. Each implements SearchTechnique: propose one CV per turn,
+// observe the measured result of its own proposal.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "baselines/opentuner.hpp"
+
+namespace ft::baselines::techniques {
+
+/// Uniform random sampling - the ensemble's exploration floor.
+class RandomTechnique final : public SearchTechnique {
+ public:
+  const char* name() const noexcept override { return "Random"; }
+  flags::CompilationVector propose(
+      const flags::FlagSpace& space, support::Rng& rng,
+      const flags::CompilationVector& /*global_best*/) override {
+    return space.sample(rng);
+  }
+  void feedback(const flags::CompilationVector&, double, bool) override {}
+};
+
+/// Differential evolution over option indices.
+class DifferentialEvolution final : public SearchTechnique {
+ public:
+  explicit DifferentialEvolution(std::size_t population = 20,
+                                 double crossover = 0.5)
+      : population_size_(population), crossover_(crossover) {}
+
+  const char* name() const noexcept override { return "DE"; }
+
+  flags::CompilationVector propose(
+      const flags::FlagSpace& space, support::Rng& rng,
+      const flags::CompilationVector& global_best) override {
+    if (population_.size() < population_size_) {
+      pending_ = space.sample(rng);
+      pending_slot_ = population_.size();
+      return pending_;
+    }
+    // Classic DE/best/1: best + F * (a - b), per-flag on indices.
+    const std::size_t a = rng.next_below(population_.size());
+    const std::size_t b = rng.next_below(population_.size());
+    pending_slot_ = rng.next_below(population_.size());
+    flags::CompilationVector trial = global_best;
+    for (std::size_t i = 0; i < space.flag_count(); ++i) {
+      if (!rng.bernoulli(crossover_)) {
+        trial.set(i, population_[pending_slot_].cv[i]);
+        continue;
+      }
+      const int option_count =
+          static_cast<int>(space.specs()[i].options.size());
+      const int diff = static_cast<int>(population_[a].cv[i]) -
+                       static_cast<int>(population_[b].cv[i]);
+      int value = static_cast<int>(global_best[i]) + diff;
+      value = std::clamp(value, 0, option_count - 1);
+      trial.set(i, static_cast<std::uint8_t>(value));
+    }
+    pending_ = trial;
+    return trial;
+  }
+
+  void feedback(const flags::CompilationVector& cv, double seconds,
+                bool) override {
+    if (population_.size() < population_size_) {
+      population_.push_back({cv, seconds});
+      return;
+    }
+    if (seconds < population_[pending_slot_].seconds) {
+      population_[pending_slot_] = {cv, seconds};
+    }
+  }
+
+ private:
+  struct Member {
+    flags::CompilationVector cv;
+    double seconds;
+  };
+  std::size_t population_size_;
+  double crossover_;
+  std::vector<Member> population_;
+  flags::CompilationVector pending_;
+  std::size_t pending_slot_ = 0;
+};
+
+/// Torczon-style pattern search: mutate the incumbent; expand the
+/// number of simultaneous flag moves on success, contract on failure.
+class TorczonHillClimber final : public SearchTechnique {
+ public:
+  const char* name() const noexcept override { return "Torczon"; }
+
+  flags::CompilationVector propose(
+      const flags::FlagSpace& space, support::Rng& rng,
+      const flags::CompilationVector& global_best) override {
+    if (incumbent_.empty()) incumbent_ = global_best;
+    flags::CompilationVector candidate = incumbent_;
+    for (std::size_t m = 0; m < step_; ++m) {
+      candidate = space.mutate(candidate, rng);
+    }
+    pending_ = candidate;
+    return candidate;
+  }
+
+  void feedback(const flags::CompilationVector& cv, double seconds,
+                bool) override {
+    if (incumbent_seconds_ == std::numeric_limits<double>::infinity() ||
+        seconds < incumbent_seconds_) {
+      incumbent_ = cv;
+      incumbent_seconds_ = seconds;
+      step_ = std::min<std::size_t>(step_ * 2, 8);  // expand
+    } else {
+      step_ = std::max<std::size_t>(step_ / 2, 1);  // contract
+    }
+  }
+
+ private:
+  flags::CompilationVector incumbent_;
+  double incumbent_seconds_ = std::numeric_limits<double>::infinity();
+  flags::CompilationVector pending_;
+  std::size_t step_ = 2;
+};
+
+/// Discrete Nelder-Mead flavour: keeps a small simplex of
+/// configurations and reflects the worst vertex through the centroid
+/// (per-flag rounded), shrinking toward the best on failure.
+class NelderMeadDiscrete final : public SearchTechnique {
+ public:
+  explicit NelderMeadDiscrete(std::size_t vertices = 8)
+      : vertex_count_(vertices) {}
+
+  const char* name() const noexcept override { return "NelderMead"; }
+
+  flags::CompilationVector propose(
+      const flags::FlagSpace& space, support::Rng& rng,
+      const flags::CompilationVector& global_best) override {
+    if (simplex_.size() < vertex_count_) {
+      pending_is_init_ = true;
+      return space.sample(rng);
+    }
+    pending_is_init_ = false;
+    // Worst vertex and the centroid of the rest.
+    worst_ = 0;
+    for (std::size_t v = 1; v < simplex_.size(); ++v) {
+      if (simplex_[v].seconds > simplex_[worst_].seconds) worst_ = v;
+    }
+    flags::CompilationVector reflected = global_best;
+    for (std::size_t i = 0; i < space.flag_count(); ++i) {
+      double centroid = 0.0;
+      for (std::size_t v = 0; v < simplex_.size(); ++v) {
+        if (v == worst_) continue;
+        centroid += simplex_[v].cv[i];
+      }
+      centroid /= static_cast<double>(simplex_.size() - 1);
+      const int option_count =
+          static_cast<int>(space.specs()[i].options.size());
+      // Reflection: c + (c - worst), rounded and clamped.
+      int value = static_cast<int>(
+          std::lround(2.0 * centroid -
+                      static_cast<double>(simplex_[worst_].cv[i])));
+      value = std::clamp(value, 0, option_count - 1);
+      reflected.set(i, static_cast<std::uint8_t>(value));
+    }
+    if (reflected == simplex_[worst_].cv) {
+      reflected = space.mutate(reflected, rng);
+    }
+    return reflected;
+  }
+
+  void feedback(const flags::CompilationVector& cv, double seconds,
+                bool) override {
+    if (pending_is_init_ || simplex_.size() < vertex_count_) {
+      simplex_.push_back({cv, seconds});
+      return;
+    }
+    if (seconds < simplex_[worst_].seconds) {
+      simplex_[worst_] = {cv, seconds};
+    }
+  }
+
+ private:
+  struct Vertex {
+    flags::CompilationVector cv;
+    double seconds;
+  };
+  std::size_t vertex_count_;
+  std::vector<Vertex> simplex_;
+  std::size_t worst_ = 0;
+  bool pending_is_init_ = true;
+};
+
+/// Steady-state genetic algorithm: tournament-selected parents, uniform
+/// crossover, light mutation; the child replaces the tournament loser.
+class GeneticAlgorithm final : public SearchTechnique {
+ public:
+  explicit GeneticAlgorithm(std::size_t population = 24)
+      : population_size_(population) {}
+
+  const char* name() const noexcept override { return "GA"; }
+
+  flags::CompilationVector propose(
+      const flags::FlagSpace& space, support::Rng& rng,
+      const flags::CompilationVector& /*global_best*/) override {
+    if (population_.size() < population_size_) {
+      replace_slot_ = population_.size();
+      return space.sample(rng);
+    }
+    const std::size_t a = tournament(rng);
+    const std::size_t b = tournament(rng);
+    replace_slot_ = population_[a].seconds > population_[b].seconds ? a : b;
+    flags::CompilationVector child = population_[a].cv;
+    for (std::size_t i = 0; i < space.flag_count(); ++i) {
+      if (rng.bernoulli(0.5)) child.set(i, population_[b].cv[i]);
+    }
+    if (rng.bernoulli(0.3)) child = space.mutate(child, rng);
+    return child;
+  }
+
+  void feedback(const flags::CompilationVector& cv, double seconds,
+                bool) override {
+    if (population_.size() < population_size_) {
+      population_.push_back({cv, seconds});
+      return;
+    }
+    if (seconds < population_[replace_slot_].seconds) {
+      population_[replace_slot_] = {cv, seconds};
+    }
+  }
+
+ private:
+  struct Member {
+    flags::CompilationVector cv;
+    double seconds;
+  };
+
+  std::size_t tournament(support::Rng& rng) const {
+    const std::size_t a = rng.next_below(population_.size());
+    const std::size_t b = rng.next_below(population_.size());
+    return population_[a].seconds < population_[b].seconds ? a : b;
+  }
+
+  std::size_t population_size_;
+  std::vector<Member> population_;
+  std::size_t replace_slot_ = 0;
+};
+
+/// Simulated annealing around an incumbent with a geometric cooling
+/// schedule; worse moves are accepted with Boltzmann probability.
+class SimulatedAnnealing final : public SearchTechnique {
+ public:
+  const char* name() const noexcept override { return "Annealing"; }
+
+  flags::CompilationVector propose(
+      const flags::FlagSpace& space, support::Rng& rng,
+      const flags::CompilationVector& global_best) override {
+    if (incumbent_.empty()) incumbent_ = global_best;
+    flags::CompilationVector candidate = space.mutate(incumbent_, rng);
+    if (temperature_ > 0.02) candidate = space.mutate(candidate, rng);
+    accept_draw_ = rng.uniform();
+    return candidate;
+  }
+
+  void feedback(const flags::CompilationVector& cv, double seconds,
+                bool) override {
+    if (incumbent_seconds_ == std::numeric_limits<double>::infinity()) {
+      incumbent_ = cv;
+      incumbent_seconds_ = seconds;
+      return;
+    }
+    const double delta =
+        (seconds - incumbent_seconds_) / incumbent_seconds_;
+    if (delta < 0.0 ||
+        accept_draw_ < std::exp(-delta / std::max(temperature_, 1e-6))) {
+      incumbent_ = cv;
+      incumbent_seconds_ = seconds;
+    }
+    temperature_ *= 0.995;  // cool
+  }
+
+ private:
+  flags::CompilationVector incumbent_;
+  double incumbent_seconds_ = std::numeric_limits<double>::infinity();
+  double temperature_ = 0.05;
+  double accept_draw_ = 0.0;
+};
+
+
+}  // namespace ft::baselines::techniques

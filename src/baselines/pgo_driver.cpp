@@ -1,0 +1,47 @@
+#include "baselines/pgo_driver.hpp"
+
+namespace ft::baselines {
+
+PgoResult pgo_tune(core::Evaluator& evaluator, double baseline_seconds) {
+  PgoResult result;
+  machine::ExecutionEngine& engine = evaluator.engine();
+  const ir::Program& program = engine.program();
+  result.tuning.algorithm = "PGO";
+  result.tuning.baseline_seconds = baseline_seconds;
+
+  if (program.pgo_instrumentation_fails()) {
+    // -prof-gen build crashes (as the paper observed for LULESH and
+    // Optewe): fall back to the O3 binary.
+    result.instrumentation_failed = true;
+    result.tuning.tuned_seconds = baseline_seconds;
+    result.tuning.speedup = 1.0;
+    result.tuning.evaluations = 0;
+    return result;
+  }
+
+  // Instrumented run on the tuning input (counts as one evaluation of
+  // tuning overhead)...
+  compiler::Compiler& compiler = engine.compiler();
+  const flags::CompilationVector o3 = compiler.space().default_cv();
+  const compiler::Executable instrumented =
+      compiler.build_uniform(program, o3);
+  machine::RunOptions profile_run;
+  profile_run.instrumented = true;
+  (void)engine.run(instrumented, evaluator.input(), profile_run);
+
+  // ...then recompile with the profile feeding the heuristics.
+  compiler::PgoProfile profile;
+  profile.valid = true;
+  const compiler::Executable optimized =
+      compiler.build_uniform(program, o3, &profile);
+  machine::RunOptions final_run;
+  final_run.repetitions = 10;
+  final_run.rep_base = 1u << 20;
+  result.tuning.tuned_seconds =
+      engine.run(optimized, evaluator.input(), final_run).end_to_end;
+  result.tuning.speedup = baseline_seconds / result.tuning.tuned_seconds;
+  result.tuning.evaluations = 1;
+  return result;
+}
+
+}  // namespace ft::baselines

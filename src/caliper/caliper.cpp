@@ -1,0 +1,125 @@
+#include "caliper/caliper.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ft::caliper {
+
+Caliper::Caliper(Clock* clock, double overhead_per_event)
+    : clock_(clock ? clock : &internal_clock_),
+      overhead_per_event_(overhead_per_event) {}
+
+void Caliper::charge_overhead() {
+  ++events_;
+  if (overhead_per_event_ <= 0.0) return;
+  if (auto* virtual_clock = dynamic_cast<VirtualClock*>(clock_)) {
+    virtual_clock->advance(overhead_per_event_);
+  }
+}
+
+void Caliper::begin(std::string_view region) {
+  charge_overhead();
+  Frame frame;
+  frame.path = stack_.empty()
+                   ? std::string(region)
+                   : stack_.back().path + "/" + std::string(region);
+  frame.entry_time = clock_->now();
+  stack_.push_back(std::move(frame));
+}
+
+void Caliper::end(std::string_view region) {
+  if (stack_.empty()) {
+    throw std::logic_error("caliper: end('" + std::string(region) +
+                           "') with no open region");
+  }
+  Frame frame = std::move(stack_.back());
+  stack_.pop_back();
+  const std::size_t slash = frame.path.rfind('/');
+  const std::string_view leaf = slash == std::string::npos
+                                    ? std::string_view(frame.path)
+                                    : std::string_view(frame.path).substr(
+                                          slash + 1);
+  if (leaf != region) {
+    stack_.push_back(std::move(frame));  // restore for debuggability
+    throw std::logic_error("caliper: mismatched end('" +
+                           std::string(region) + "'), open region is '" +
+                           std::string(leaf) + "'");
+  }
+  charge_overhead();
+  const double elapsed = clock_->now() - frame.entry_time;
+  RegionStats& entry = stats_[frame.path];
+  if (entry.count == 0) {
+    entry.min_inclusive = elapsed;
+    entry.max_inclusive = elapsed;
+  } else {
+    entry.min_inclusive = std::min(entry.min_inclusive, elapsed);
+    entry.max_inclusive = std::max(entry.max_inclusive, elapsed);
+  }
+  ++entry.count;
+  entry.inclusive += elapsed;
+  entry.exclusive += elapsed - frame.child_time;
+  if (!stack_.empty()) stack_.back().child_time += elapsed;
+}
+
+double Caliper::inclusive(std::string_view path) const {
+  const auto it = stats_.find(std::string(path));
+  return it == stats_.end() ? 0.0 : it->second.inclusive;
+}
+
+std::uint64_t Caliper::count(std::string_view path) const {
+  const auto it = stats_.find(std::string(path));
+  return it == stats_.end() ? 0 : it->second.count;
+}
+
+double Caliper::top_level_inclusive_total() const {
+  double total = 0.0;
+  for (const auto& [path, entry] : stats_) {
+    if (path.find('/') == std::string::npos) total += entry.inclusive;
+  }
+  return total;
+}
+
+std::string Caliper::report() const {
+  std::vector<std::pair<std::string, RegionStats>> rows(stats_.begin(),
+                                                        stats_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.inclusive != b.second.inclusive)
+      return a.second.inclusive > b.second.inclusive;
+    return a.first < b.first;
+  });
+  std::ostringstream oss;
+  oss << "path count inclusive exclusive\n";
+  for (const auto& [path, entry] : rows) {
+    oss << path << ' ' << entry.count << ' ' << entry.inclusive << ' '
+        << entry.exclusive << '\n';
+  }
+  return oss.str();
+}
+
+std::string Caliper::to_json() const {
+  std::ostringstream oss;
+  oss << "[";
+  bool first = true;
+  for (const auto& [path, entry] : stats_) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "{\"path\":\"" << path << "\",\"count\":" << entry.count
+        << ",\"inclusive\":" << entry.inclusive
+        << ",\"exclusive\":" << entry.exclusive
+        << ",\"min\":" << entry.min_inclusive
+        << ",\"max\":" << entry.max_inclusive << "}";
+  }
+  oss << "]";
+  return oss.str();
+}
+
+void Caliper::reset() {
+  if (!stack_.empty()) {
+    throw std::logic_error("caliper: reset() while regions are open");
+  }
+  stats_.clear();
+  events_ = 0;
+}
+
+}  // namespace ft::caliper

@@ -1,0 +1,120 @@
+// A Caliper-like performance-introspection library (Boehme et al.,
+// SC'16): nested region annotations, per-region aggregation, inclusive
+// and exclusive times, and a printable report.
+//
+// FuncyTuner uses exactly this surface (paper §3.3): per-loop inclusive
+// runtimes of instrumented code variants, with <3% annotation overhead.
+// The overhead is modeled explicitly: every begin/end event costs
+// `overhead_per_event` seconds on the attached clock when the clock is
+// virtual (the execution engine advances it), mirroring the cost real
+// annotations add to a run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "caliper/clock.hpp"
+
+namespace ft::caliper {
+
+/// Aggregated statistics of one region path ("a/b/c").
+struct RegionStats {
+  std::uint64_t count = 0;   ///< times the region was entered
+  double inclusive = 0.0;    ///< total time inside, children included
+  double exclusive = 0.0;    ///< total time minus child-region time
+  double min_inclusive = 0.0;  ///< fastest single entry
+  double max_inclusive = 0.0;  ///< slowest single entry
+
+  [[nodiscard]] double mean_inclusive() const noexcept {
+    return count == 0 ? 0.0 : inclusive / static_cast<double>(count);
+  }
+};
+
+/// Annotation collector. Single writer; cheap queries.
+class Caliper {
+ public:
+  /// `overhead_per_event` is added to the virtual clock on every
+  /// begin/end when `clock` is a VirtualClock (pass nullptr clock to
+  /// default to an internal virtual clock).
+  explicit Caliper(Clock* clock = nullptr, double overhead_per_event = 0.0);
+
+  /// Enters a region. Regions nest; the full path keys aggregation.
+  void begin(std::string_view region);
+
+  /// Leaves the innermost region. `region` must match it (checked).
+  void end(std::string_view region);
+
+  /// True while at least one region is open.
+  [[nodiscard]] bool in_region() const noexcept { return !stack_.empty(); }
+  [[nodiscard]] std::size_t depth() const noexcept { return stack_.size(); }
+
+  /// All aggregated regions, keyed by slash-joined path.
+  [[nodiscard]] const std::map<std::string, RegionStats>& stats()
+      const noexcept {
+    return stats_;
+  }
+
+  /// Inclusive time of a path; 0 if never entered.
+  [[nodiscard]] double inclusive(std::string_view path) const;
+  /// Entry count of a path; 0 if never entered.
+  [[nodiscard]] std::uint64_t count(std::string_view path) const;
+
+  /// Sum of inclusive times over top-level regions whose path has no
+  /// slash (used to derive non-loop time as end-to-end minus loops).
+  [[nodiscard]] double top_level_inclusive_total() const;
+
+  /// Number of begin+end events processed (overhead accounting).
+  [[nodiscard]] std::uint64_t event_count() const noexcept {
+    return events_;
+  }
+
+  /// Flat report, longest inclusive first (like cali-query's table).
+  [[nodiscard]] std::string report() const;
+
+  /// JSON rendering of the aggregation (cali-query -j style): an array
+  /// of {path, count, inclusive, exclusive, min, max} objects.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Clears all aggregation (open regions must be closed first).
+  void reset();
+
+  /// The attached clock (internal one if none was supplied).
+  [[nodiscard]] Clock& clock() noexcept { return *clock_; }
+
+ private:
+  struct Frame {
+    std::string path;
+    double entry_time = 0.0;
+    double child_time = 0.0;
+  };
+
+  void charge_overhead();
+
+  VirtualClock internal_clock_;
+  Clock* clock_;
+  double overhead_per_event_;
+  std::vector<Frame> stack_;
+  std::map<std::string, RegionStats> stats_;
+  std::uint64_t events_ = 0;
+};
+
+/// RAII region guard, mirroring Caliper's CALI_CXX_MARK_SCOPE.
+class ScopedRegion {
+ public:
+  ScopedRegion(Caliper& caliper, std::string region)
+      : caliper_(caliper), region_(std::move(region)) {
+    caliper_.begin(region_);
+  }
+  ~ScopedRegion() { caliper_.end(region_); }
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+ private:
+  Caliper& caliper_;
+  std::string region_;
+};
+
+}  // namespace ft::caliper

@@ -1,0 +1,10 @@
+#include "caliper/clock.hpp"
+
+namespace ft::caliper {
+
+double WallClock::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - origin_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+}  // namespace ft::caliper

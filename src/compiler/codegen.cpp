@@ -1,0 +1,45 @@
+#include "compiler/codegen.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "support/string_utils.hpp"
+
+namespace ft::compiler {
+
+std::string LoopCodeGen::summary() const {
+  std::vector<std::string> parts;
+  parts.push_back(vector_width > 0 ? std::to_string(vector_width)
+                                   : std::string("S"));
+  if (unroll > 1) parts.push_back("unroll" + std::to_string(unroll));
+  if (aggressive_isel) parts.push_back("IS");
+  if (sched_reordered) parts.push_back("IO");
+  if (spills()) parts.push_back("RS");
+  return support::join(parts, ", ");
+}
+
+std::uint64_t LoopCodeGen::hash() const noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(vector_width));
+  mix(static_cast<std::uint64_t>(unroll));
+  mix(aggressive_isel ? 1u : 0u);
+  mix(sched_reordered ? 2u : 0u);
+  mix(static_cast<std::uint64_t>(spill_severity * 1e6));
+  mix(streaming_stores ? 4u : 0u);
+  mix(static_cast<std::uint64_t>(prefetch));
+  mix(static_cast<std::uint64_t>(tile));
+  mix(fma ? 8u : 0u);
+  mix(sw_pipelined ? 16u : 0u);
+  mix(multi_versioned ? 32u : 0u);
+  mix(static_cast<std::uint64_t>(opt_level));
+  mix(static_cast<std::uint64_t>(compute_mult * 1e9));
+  mix(static_cast<std::uint64_t>(mem_mult * 1e9));
+  mix(static_cast<std::uint64_t>(overhead_mult * 1e9));
+  mix(static_cast<std::uint64_t>(code_size * 1e3));
+  return h;
+}
+
+}  // namespace ft::compiler

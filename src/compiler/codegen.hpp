@@ -1,0 +1,49 @@
+// LoopCodeGen: the optimization decisions the simulated compiler made
+// for one loop. This is the record Table 3 of the paper reports
+// (S / 128 / 256, unroll factors, IS = instruction selection,
+// IO = instruction reordering, RS = register spilling) plus the minor
+// quality multipliers accumulated by the smaller passes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ft::compiler {
+
+struct LoopCodeGen {
+  // --- headline decisions (Table 3 vocabulary) ----------------------------
+  int vector_width = 0;    ///< 0 = scalar (S), else 128 / 256 bits
+  int unroll = 1;          ///< effective unroll factor (1 = none)
+  bool aggressive_isel = false;   ///< IS: non-default instruction selection
+  bool sched_reordered = false;   ///< IO: non-default instruction reordering
+  double spill_severity = 0.0;    ///< RS: register spilling, 0 = none
+
+  // --- other major knobs consumed by the cost model ------------------------
+  bool streaming_stores = false;
+  int prefetch = 1;       ///< 0..4
+  int tile = 0;           ///< cache-blocking factor, 0 = none
+  bool fma = false;
+  bool sw_pipelined = false;
+  bool multi_versioned = false;
+  int opt_level = 3;
+
+  // --- minor passes folded into quality multipliers (< 1 is faster) --------
+  double compute_mult = 1.0;   ///< applies to the compute component
+  double mem_mult = 1.0;       ///< applies to the memory component
+  double overhead_mult = 1.0;  ///< applies to loop/call overhead
+
+  // --- bookkeeping ---------------------------------------------------------
+  double code_size = 0.0;      ///< post-transformation code size (IR ops)
+  double inline_growth = 1.0;  ///< code growth from inlining
+
+  [[nodiscard]] bool vectorized() const noexcept { return vector_width > 0; }
+  [[nodiscard]] bool spills() const noexcept { return spill_severity > 0.0; }
+
+  /// Table 3 style summary, e.g. "256, unroll2, IS" or "S".
+  [[nodiscard]] std::string summary() const;
+
+  /// Stable content hash (used in executable fingerprints).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+};
+
+}  // namespace ft::compiler

@@ -1,0 +1,87 @@
+#include "compiler/compiler.hpp"
+
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace ft::compiler {
+
+ModuleAssignment ModuleAssignment::uniform(const flags::CompilationVector& cv,
+                                           std::size_t loop_count) {
+  ModuleAssignment assignment;
+  assignment.loop_cvs.assign(loop_count, cv);
+  assignment.nonloop_cv = cv;
+  return assignment;
+}
+
+Compiler::Compiler(const flags::FlagSpace& space, machine::Architecture arch,
+                   Personality personality)
+    : space_(&space), arch_(std::move(arch)), personality_(personality) {}
+
+CompiledModule Compiler::compile(const ir::LoopModule& module,
+                                 const flags::CompilationVector& cv,
+                                 const PgoProfile* pgo) {
+  const bool pgo_valid = pgo != nullptr && pgo->valid;
+  std::uint64_t key = cv.hash();
+  key ^= support::fnv1a64(module.name);
+  if (pgo_valid) key ^= 0xa5a5a5a5a5a5a5a5ULL;
+
+  {
+    std::lock_guard lock(cache_mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+    ++cache_misses_;
+  }
+
+  CompiledModule object = compile_module(module, cv, space_->decode(cv),
+                                         arch_, personality_, pgo);
+  {
+    std::lock_guard lock(cache_mutex_);
+    cache_.emplace(key, object);
+  }
+  return object;
+}
+
+Executable Compiler::build(const ir::Program& program,
+                           const ModuleAssignment& assignment,
+                           const PgoProfile* pgo) {
+  if (assignment.loop_cvs.size() != program.loops().size()) {
+    throw std::invalid_argument(
+        "build: assignment has " + std::to_string(assignment.loop_cvs.size()) +
+        " loop CVs but program has " +
+        std::to_string(program.loops().size()) + " loops");
+  }
+  std::vector<CompiledModule> loop_objects;
+  loop_objects.reserve(program.loops().size());
+  for (std::size_t j = 0; j < program.loops().size(); ++j) {
+    loop_objects.push_back(
+        compile(program.loops()[j], assignment.loop_cvs[j], pgo));
+  }
+  const CompiledModule nonloop_object =
+      compile(program.nonloop(), assignment.nonloop_cv, pgo);
+  return link(program, loop_objects, nonloop_object, arch_, personality_,
+              pgo, link_options_);
+}
+
+Executable Compiler::build_uniform(const ir::Program& program,
+                                   const flags::CompilationVector& cv,
+                                   const PgoProfile* pgo) {
+  return build(program,
+               ModuleAssignment::uniform(cv, program.loops().size()), pgo);
+}
+
+Executable Compiler::build_baseline(const ir::Program& program) {
+  return build_uniform(program, space_->default_cv());
+}
+
+void Compiler::clear_cache() {
+  std::lock_guard lock(cache_mutex_);
+  cache_.clear();
+  cache_hits_ = 0;
+  cache_misses_ = 0;
+}
+
+}  // namespace ft::compiler

@@ -1,0 +1,77 @@
+#include "core/campaign.hpp"
+
+#include <stdexcept>
+
+#include "support/stats.hpp"
+
+namespace ft::core {
+
+Campaign::Campaign(std::vector<ir::Program> programs,
+                   std::vector<machine::Architecture> architectures,
+                   CampaignOptions options)
+    : programs_(std::move(programs)),
+      architectures_(std::move(architectures)),
+      options_(std::move(options)) {
+  if (programs_.empty() || architectures_.empty()) {
+    throw std::invalid_argument("campaign needs >=1 program and arch");
+  }
+}
+
+void Campaign::run() {
+  cells_.clear();
+  cells_.reserve(programs_.size() * architectures_.size());
+  for (std::size_t a = 0; a < architectures_.size(); ++a) {
+    FuncyTunerOptions tuner_options = options_.tuner;
+    if (options_.salt_seed_per_arch) tuner_options.seed += a;
+    for (const ir::Program& program : programs_) {
+      FuncyTuner tuner(program, architectures_[a], tuner_options);
+      const FuncyTuner::AllResults results = tuner.run_all();
+      CampaignCell cell;
+      cell.program = program.name();
+      cell.architecture = architectures_[a].name;
+      cell.baseline_seconds = results.baseline_seconds;
+      cell.random = results.random;
+      cell.fr = results.fr;
+      cell.greedy = results.greedy;
+      cell.cfr = results.cfr;
+      cells_.push_back(std::move(cell));
+      if (options_.progress) {
+        options_.progress(program.name(), architectures_[a].name);
+      }
+    }
+  }
+  finished_ = true;
+}
+
+const CampaignCell& Campaign::cell(const std::string& program,
+                                   const std::string& arch) const {
+  for (const CampaignCell& c : cells_) {
+    if (c.program == program && c.architecture == arch) return c;
+  }
+  throw std::invalid_argument("unknown campaign cell: " + program + " / " +
+                              arch);
+}
+
+double Campaign::geomean_speedup(const std::string& algorithm,
+                                 const std::string& arch) const {
+  std::vector<double> speedups;
+  for (const CampaignCell& c : cells_) {
+    if (c.architecture != arch) continue;
+    if (algorithm == "Random") {
+      speedups.push_back(c.random.speedup);
+    } else if (algorithm == "FR") {
+      speedups.push_back(c.fr.speedup);
+    } else if (algorithm == "CFR") {
+      speedups.push_back(c.cfr.speedup);
+    } else if (algorithm == "G.realized") {
+      speedups.push_back(c.greedy.realized.speedup);
+    } else if (algorithm == "G.Independent") {
+      speedups.push_back(c.greedy.independent_speedup);
+    } else {
+      throw std::invalid_argument("unknown algorithm: " + algorithm);
+    }
+  }
+  return support::geomean(speedups);
+}
+
+}  // namespace ft::core

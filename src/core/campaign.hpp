@@ -1,0 +1,71 @@
+// Campaign driver: the (benchmarks x architectures x algorithms)
+// experiment grid of the paper's Fig 5, as a reusable API. A facility
+// running FuncyTuner tunes a whole application catalog per machine
+// generation; this module structures that sweep, parallelizes it and
+// returns a queryable result grid.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/funcy_tuner.hpp"
+#include "ir/program.hpp"
+#include "machine/architecture.hpp"
+
+namespace ft::core {
+
+/// One cell of the campaign grid.
+struct CampaignCell {
+  std::string program;
+  std::string architecture;
+  double baseline_seconds = 0.0;
+  TuningResult random;
+  TuningResult fr;
+  GreedyResult greedy;
+  TuningResult cfr;
+};
+
+struct CampaignOptions {
+  FuncyTunerOptions tuner;
+  /// Salt added to the seed per architecture index, so different
+  /// platforms draw different pre-samples (the paper tunes each
+  /// machine independently).
+  bool salt_seed_per_arch = true;
+  /// Optional progress callback: (program, architecture) just finished.
+  std::function<void(const std::string&, const std::string&)> progress;
+};
+
+class Campaign {
+ public:
+  Campaign(std::vector<ir::Program> programs,
+           std::vector<machine::Architecture> architectures,
+           CampaignOptions options = {});
+
+  /// Runs every cell (sequentially per cell; each cell parallelizes
+  /// its own 1000-variant evaluations internally).
+  void run();
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  [[nodiscard]] const std::vector<CampaignCell>& cells() const noexcept {
+    return cells_;
+  }
+  /// Lookup by (program, architecture) names; throws on unknown cell.
+  [[nodiscard]] const CampaignCell& cell(const std::string& program,
+                                         const std::string& arch) const;
+
+  /// Geometric mean of one algorithm's speedups on one architecture.
+  /// `algorithm` is one of "Random", "G.realized", "FR", "CFR",
+  /// "G.Independent".
+  [[nodiscard]] double geomean_speedup(const std::string& algorithm,
+                                       const std::string& arch) const;
+
+ private:
+  std::vector<ir::Program> programs_;
+  std::vector<machine::Architecture> architectures_;
+  CampaignOptions options_;
+  std::vector<CampaignCell> cells_;
+  bool finished_ = false;
+};
+
+}  // namespace ft::core

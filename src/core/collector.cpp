@@ -1,0 +1,42 @@
+#include "core/collector.hpp"
+
+#include "support/thread_pool.hpp"
+
+namespace ft::core {
+
+Collection collect_per_loop_runtimes(
+    Evaluator& evaluator, const Outline& outline,
+    std::span<const flags::CompilationVector> cvs) {
+  Collection collection;
+  collection.cvs.assign(cvs.begin(), cvs.end());
+  const std::size_t k_count = cvs.size();
+  const std::size_t hot_count = outline.hot.size();
+
+  collection.loop_times.assign(hot_count, std::vector<double>(k_count, 0.0));
+  collection.rest_times.assign(k_count, 0.0);
+  collection.end_to_end.assign(k_count, 0.0);
+
+  support::parallel_for(k_count, [&](std::size_t k) {
+    const compiler::ModuleAssignment assignment =
+        compiler::ModuleAssignment::uniform(
+            collection.cvs[k], outline.program->loops().size());
+    machine::RunOptions options;
+    options.repetitions = 1;
+    options.instrumented = true;  // Caliper measures the hot loops
+    options.rep_base = k;
+    const machine::RunResult result = evaluator.run(assignment, options);
+
+    collection.end_to_end[k] = result.end_to_end;
+    double hot_sum = 0.0;
+    for (std::size_t i = 0; i < hot_count; ++i) {
+      const double t = result.loop_seconds[outline.hot[i]];
+      collection.loop_times[i][k] = t;
+      hot_sum += t;
+    }
+    collection.rest_times[k] = result.end_to_end - hot_sum;
+  });
+
+  return collection;
+}
+
+}  // namespace ft::core

@@ -1,0 +1,37 @@
+// The FuncyTuner per-loop runtime collection framework (paper Fig 4):
+// compile the whole program uniformly with each of the K pre-sampled
+// CVs, run the Caliper-instrumented variant, and record per-loop
+// runtimes T[j][k]. Non-loop time cannot be measured directly (§3.3);
+// it is derived as end-to-end minus the sum of hot-loop times.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/outline.hpp"
+#include "flags/compilation_vector.hpp"
+
+namespace ft::core {
+
+struct Collection {
+  /// The K pre-sampled CVs (shared by FR, G and CFR).
+  std::vector<flags::CompilationVector> cvs;
+  /// loop_times[j][k]: runtime of hot loop j under uniform CV k.
+  std::vector<std::vector<double>> loop_times;
+  /// Derived non-loop (rest) time per CV.
+  std::vector<double> rest_times;
+  /// End-to-end time per CV.
+  std::vector<double> end_to_end;
+
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return cvs.size();
+  }
+};
+
+/// Runs the collection phase (parallel across CVs, deterministic).
+[[nodiscard]] Collection collect_per_loop_runtimes(
+    Evaluator& evaluator, const Outline& outline,
+    std::span<const flags::CompilationVector> cvs);
+
+}  // namespace ft::core

@@ -1,0 +1,86 @@
+// Evaluator: compile + link + run one candidate configuration, with a
+// parallel batch path for the 1000-variant sweeps. Evaluation is the
+// unit the paper counts when reporting tuning overhead, so the
+// evaluator tracks both the count and the modeled wall-clock cost
+// (compile time + run time) each evaluation would have taken on the
+// paper's testbed.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "ir/program.hpp"
+#include "machine/execution_engine.hpp"
+
+namespace ft::core {
+
+/// Modeled real-world cost of tuning actions, for the §4.3
+/// tuning-overhead comparison (seconds of testbed time).
+struct OverheadModel {
+  double seconds_per_module_compile = 8.0;  ///< ICC object compile (parallel make)
+  double link_seconds = 40.0;                ///< xild whole-program link
+};
+
+class Evaluator {
+ public:
+  /// Borrows engine (and through it the compiler); must outlive this.
+  Evaluator(machine::ExecutionEngine& engine, const ir::InputSpec& input);
+
+  [[nodiscard]] const ir::InputSpec& input() const noexcept {
+    return *input_;
+  }
+  [[nodiscard]] machine::ExecutionEngine& engine() noexcept {
+    return *engine_;
+  }
+
+  /// End-to-end seconds of one run of the given assignment (1 rep,
+  /// noise on). `rep_base` decorrelates repeated measurements.
+  [[nodiscard]] double evaluate(const compiler::ModuleAssignment& assignment,
+                                std::uint64_t rep_base = 0,
+                                bool instrumented = false);
+
+  /// Full run result (used by the collection phase).
+  [[nodiscard]] machine::RunResult run(
+      const compiler::ModuleAssignment& assignment,
+      const machine::RunOptions& options);
+
+  /// Evaluates `count` variants concurrently; result[i] is produced by
+  /// `make(i)` evaluated at rep_base = i. Deterministic.
+  [[nodiscard]] std::vector<double> evaluate_batch(
+      std::size_t count,
+      const std::function<compiler::ModuleAssignment(std::size_t)>& make,
+      bool instrumented = false);
+
+  /// Re-measures an assignment with fresh noise, averaged over `reps`
+  /// (the paper's 10-experiment reporting protocol, §4.1).
+  [[nodiscard]] double final_seconds(
+      const compiler::ModuleAssignment& assignment, int reps = 10);
+
+  /// Total single-run evaluations so far.
+  [[nodiscard]] std::size_t evaluations() const noexcept {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  /// Modeled testbed seconds spent compiling + running so far (§4.3).
+  [[nodiscard]] double modeled_overhead_seconds() const noexcept {
+    return modeled_overhead_.load(std::memory_order_relaxed);
+  }
+
+  void set_overhead_model(const OverheadModel& model) noexcept {
+    overhead_model_ = model;
+  }
+
+ private:
+  void account(std::size_t modules_compiled, double run_seconds,
+               int reps);
+
+  machine::ExecutionEngine* engine_;
+  const ir::InputSpec* input_;
+  OverheadModel overhead_model_;
+  std::atomic<std::size_t> evaluations_{0};
+  std::atomic<double> modeled_overhead_{0.0};
+};
+
+}  // namespace ft::core

@@ -1,0 +1,87 @@
+#include "core/flag_importance.hpp"
+
+#include <algorithm>
+
+namespace ft::core {
+
+namespace {
+
+ModuleImportance analyze_module(const flags::FlagSpace& space,
+                                const std::string& module_name,
+                                const std::vector<double>& times,
+                                const Collection& collection) {
+  ModuleImportance importance;
+  importance.module_name = module_name;
+
+  double overall_mean = 0.0;
+  for (const double t : times) overall_mean += t;
+  overall_mean /= static_cast<double>(times.size());
+  if (overall_mean <= 0.0) return importance;
+
+  for (std::size_t flag = 0; flag < space.flag_count(); ++flag) {
+    const std::size_t option_count = space.specs()[flag].options.size();
+    FlagEffect effect;
+    effect.flag_index = flag;
+    effect.flag_name = space.specs()[flag].name;
+    effect.option_means.assign(option_count, 0.0);
+    std::vector<std::size_t> counts(option_count, 0);
+    for (std::size_t k = 0; k < times.size(); ++k) {
+      const std::uint8_t option = collection.cvs[k][flag];
+      if (option < option_count) {
+        effect.option_means[option] += times[k];
+        ++counts[option];
+      }
+    }
+    double lo = 1e300, hi = -1e300;
+    for (std::size_t option = 0; option < option_count; ++option) {
+      if (counts[option] == 0) {
+        effect.option_means[option] = 1.0;  // unobserved: assume neutral
+      } else {
+        effect.option_means[option] /=
+            static_cast<double>(counts[option]) * overall_mean;
+      }
+      if (effect.option_means[option] < lo) {
+        lo = effect.option_means[option];
+        effect.best_option = option;
+      }
+      hi = std::max(hi, effect.option_means[option]);
+    }
+    effect.spread = hi - lo;
+    importance.effects.push_back(std::move(effect));
+  }
+
+  std::sort(importance.effects.begin(), importance.effects.end(),
+            [](const FlagEffect& a, const FlagEffect& b) {
+              if (a.spread != b.spread) return a.spread > b.spread;
+              return a.flag_index < b.flag_index;
+            });
+  return importance;
+}
+
+}  // namespace
+
+std::vector<ModuleImportance> analyze_flag_importance(
+    const flags::FlagSpace& space, const Outline& outline,
+    const Collection& collection) {
+  std::vector<ModuleImportance> result;
+  result.reserve(outline.hot.size() + 1);
+  for (std::size_t i = 0; i < outline.hot.size(); ++i) {
+    result.push_back(analyze_module(
+        space, outline.program->loops()[outline.hot[i]].name,
+        collection.loop_times[i], collection));
+  }
+  result.push_back(analyze_module(space, "rest", collection.rest_times,
+                                  collection));
+  return result;
+}
+
+std::vector<FlagEffect> top_flags(const ModuleImportance& importance,
+                                  std::size_t k) {
+  std::vector<FlagEffect> top(
+      importance.effects.begin(),
+      importance.effects.begin() +
+          static_cast<long>(std::min(k, importance.effects.size())));
+  return top;
+}
+
+}  // namespace ft::core

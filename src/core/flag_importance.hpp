@@ -1,0 +1,53 @@
+// Per-flag importance analysis from the collection phase.
+//
+// The paper identifies performance-critical flags with greedy
+// elimination on a single tuned CV (§4.4.1). The collection data
+// (per-loop runtimes of 1000 uniformly-compiled random CVs, Fig 4)
+// supports a cheaper, global view: for every flag and every module,
+// compare the mean measured runtime across the samples that chose each
+// option ("main effect"). The resulting per-(module, flag) effect table
+// explains WHY the pruned spaces of Algorithm 1 look like they do, and
+// which knobs a per-loop tuner actually exercises.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/collector.hpp"
+#include "core/outline.hpp"
+#include "flags/flag_space.hpp"
+
+namespace ft::core {
+
+/// Main effect of one flag on one module.
+struct FlagEffect {
+  std::size_t flag_index = 0;
+  std::string flag_name;
+  /// Mean runtime per option, normalized by the module's overall mean
+  /// (1.0 = neutral; < 1 = that option is faster on average).
+  std::vector<double> option_means;
+  /// max(option_means) - min(option_means): the flag's leverage.
+  double spread = 0.0;
+  /// Index of the fastest option.
+  std::size_t best_option = 0;
+};
+
+/// Effects of every flag on one module, sorted by descending spread.
+struct ModuleImportance {
+  std::string module_name;
+  std::vector<FlagEffect> effects;
+};
+
+/// Computes main effects for all outlined modules (the last entry is
+/// the rest module). Requires collection.cvs drawn uniformly (true for
+/// the standard pipeline); effect estimates degrade gracefully with
+/// fewer samples.
+[[nodiscard]] std::vector<ModuleImportance> analyze_flag_importance(
+    const flags::FlagSpace& space, const Outline& outline,
+    const Collection& collection);
+
+/// Convenience: the top-k flags by spread for one module.
+[[nodiscard]] std::vector<FlagEffect> top_flags(
+    const ModuleImportance& importance, std::size_t k);
+
+}  // namespace ft::core

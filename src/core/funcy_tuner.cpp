@@ -1,0 +1,134 @@
+#include "core/funcy_tuner.hpp"
+
+#include "support/rng.hpp"
+
+namespace ft::core {
+
+FuncyTuner::FuncyTuner(ir::Program program, machine::Architecture arch,
+                       FuncyTunerOptions options,
+                       compiler::Personality personality)
+    : options_(options),
+      program_(std::move(program)),
+      space_(personality == compiler::Personality::kIcc
+                 ? flags::icc_space()
+                 : flags::gcc_space()),
+      compiler_(space_, std::move(arch), personality),
+      engine_(std::make_unique<machine::ExecutionEngine>(
+          program_, compiler_,
+          machine::NoiseModel(options.seed, options.noise_sigma_rel),
+          /*caliper_overhead_per_event=*/2e-4,
+          options.attribution_sigma)),
+      tuning_input_(program_.tuning_input()),
+      evaluator_(std::make_unique<Evaluator>(*engine_, tuning_input_)) {}
+
+const std::vector<flags::CompilationVector>& FuncyTuner::presampled() {
+  if (presampled_.empty()) {
+    support::Rng rng = support::Rng(options_.seed).fork("presample");
+    presampled_ = space_.sample_many(rng, options_.samples);
+  }
+  return presampled_;
+}
+
+const Outline& FuncyTuner::outline() {
+  if (!outline_) {
+    outline_ = profile_and_outline(*engine_, tuning_input_,
+                                   options_.hot_threshold);
+  }
+  return *outline_;
+}
+
+const Collection& FuncyTuner::collection() {
+  if (!collection_) {
+    collection_ =
+        collect_per_loop_runtimes(*evaluator_, outline(), presampled());
+  }
+  return *collection_;
+}
+
+double FuncyTuner::baseline_seconds() {
+  if (!baseline_seconds_) {
+    const compiler::ModuleAssignment o3 = compiler::ModuleAssignment::uniform(
+        space_.default_cv(), program_.loops().size());
+    baseline_seconds_ = evaluator_->final_seconds(o3, options_.final_reps);
+  }
+  return *baseline_seconds_;
+}
+
+TuningResult FuncyTuner::run_random() {
+  return random_search(*evaluator_, presampled(), baseline_seconds());
+}
+
+TuningResult FuncyTuner::run_fr() {
+  return function_random_search(
+      *evaluator_, outline(), presampled(), options_.samples,
+      support::Rng(options_.seed).fork("fr").next(), baseline_seconds());
+}
+
+GreedyResult FuncyTuner::run_greedy() {
+  return greedy_combination(*evaluator_, outline(), collection(),
+                            baseline_seconds());
+}
+
+TuningResult FuncyTuner::run_cfr() {
+  CfrOptions cfr_options;
+  cfr_options.top_x = options_.top_x;
+  cfr_options.iterations = options_.samples;
+  cfr_options.seed = support::Rng(options_.seed).fork("cfr").next();
+  return cfr_search(*evaluator_, outline(), collection(), cfr_options,
+                    baseline_seconds());
+}
+
+FuncyTuner::AllResults FuncyTuner::run_all() {
+  AllResults results;
+  results.baseline_seconds = baseline_seconds();
+  results.random = run_random();
+  results.fr = run_fr();
+  results.greedy = run_greedy();
+  results.cfr = run_cfr();
+  return results;
+}
+
+std::vector<double> FuncyTuner::per_loop_speedups(
+    const compiler::ModuleAssignment& assignment) {
+  const compiler::Executable tuned = compiler_.build(program_, assignment);
+  const std::vector<double> tuned_truth =
+      engine_->true_module_seconds(tuned, tuning_input_);
+  const std::vector<double> base_truth =
+      engine_->true_module_seconds(engine_->baseline(), tuning_input_);
+  std::vector<double> speedups(program_.loops().size());
+  for (std::size_t j = 0; j < speedups.size(); ++j) {
+    speedups[j] = base_truth[j] / tuned_truth[j];
+  }
+  return speedups;
+}
+
+std::vector<std::string> FuncyTuner::per_loop_decisions(
+    const compiler::ModuleAssignment& assignment) {
+  const compiler::Executable tuned = compiler_.build(program_, assignment);
+  std::vector<std::string> summaries;
+  summaries.reserve(tuned.loops.size());
+  for (const compiler::LinkedLoop& loop : tuned.loops) {
+    summaries.push_back(loop.codegen.summary());
+  }
+  return summaries;
+}
+
+double FuncyTuner::seconds_on(const ir::InputSpec& input,
+                              const compiler::ModuleAssignment& assignment,
+                              int reps) {
+  const compiler::Executable exe = compiler_.build(program_, assignment);
+  machine::RunOptions options;
+  options.repetitions = reps;
+  options.rep_base = 1u << 21;
+  return engine_->run(exe, input, options).end_to_end;
+}
+
+double FuncyTuner::baseline_seconds_on(const ir::InputSpec& input,
+                                       int reps) {
+  machine::RunOptions options;
+  options.repetitions = reps;
+  options.rep_base = 1u << 21;
+  return engine_->run(engine_->baseline(), input, options).end_to_end;
+}
+
+}  // namespace ft::core

@@ -1,0 +1,120 @@
+// FuncyTuner façade: owns the whole per-loop compilation stack for one
+// (program, architecture) pair - flag space, compiler, execution
+// engine, profiler, collection phase and the four search algorithms -
+// and exposes the introspection the paper's figures need (per-loop
+// speedups for Fig 9, codegen decision summaries for Table 3, and
+// cross-input evaluation for Figs 7 and 8).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/collector.hpp"
+#include "core/evaluator.hpp"
+#include "core/outline.hpp"
+#include "core/search.hpp"
+#include "flags/spaces.hpp"
+#include "machine/execution_engine.hpp"
+
+namespace ft::core {
+
+struct FuncyTunerOptions {
+  std::size_t samples = 1000;   ///< pre-sampled CVs (paper: 1000)
+  std::size_t top_x = 10;       ///< CFR pruned-space size
+  std::uint64_t seed = 42;
+  double hot_threshold = 0.01;  ///< outline loops >= 1% of runtime
+  int final_reps = 10;          ///< reporting protocol (§4.1)
+  double noise_sigma_rel = 0.008;
+  /// Extra error on per-region Caliper readings (§3.3 noise-tolerance
+  /// claim; see ExecutionEngine). The noise ablation sweeps this.
+  double attribution_sigma = 0.03;
+};
+
+class FuncyTuner {
+ public:
+  FuncyTuner(ir::Program program, machine::Architecture arch,
+             FuncyTunerOptions options = {},
+             compiler::Personality personality = compiler::Personality::kIcc);
+
+  // Non-movable: the internal engine/evaluator hold stable pointers.
+  FuncyTuner(const FuncyTuner&) = delete;
+  FuncyTuner& operator=(const FuncyTuner&) = delete;
+
+  [[nodiscard]] const ir::Program& program() const noexcept {
+    return program_;
+  }
+  [[nodiscard]] const flags::FlagSpace& space() const noexcept {
+    return space_;
+  }
+  [[nodiscard]] Evaluator& evaluator() noexcept { return *evaluator_; }
+  [[nodiscard]] machine::ExecutionEngine& engine() noexcept {
+    return *engine_;
+  }
+  [[nodiscard]] const FuncyTunerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const ir::InputSpec& tuning_input() const noexcept {
+    return tuning_input_;
+  }
+
+  /// The K pre-sampled CVs shared by all per-loop algorithms.
+  [[nodiscard]] const std::vector<flags::CompilationVector>& presampled();
+
+  /// Lazy phases (each runs at most once).
+  [[nodiscard]] const Outline& outline();
+  [[nodiscard]] const Collection& collection();
+  [[nodiscard]] double baseline_seconds();
+
+  /// The four algorithms of §2.2.
+  [[nodiscard]] TuningResult run_random();
+  [[nodiscard]] TuningResult run_fr();
+  [[nodiscard]] GreedyResult run_greedy();
+  [[nodiscard]] TuningResult run_cfr();
+
+  struct AllResults {
+    TuningResult random;
+    TuningResult fr;
+    GreedyResult greedy;
+    TuningResult cfr;
+    double baseline_seconds = 0.0;
+  };
+  [[nodiscard]] AllResults run_all();
+
+  // --- introspection ------------------------------------------------------
+
+  /// Noise-free per-loop speedups vs. the O3 baseline (program loop
+  /// order) of an assignment on the tuning input (Fig 9).
+  [[nodiscard]] std::vector<double> per_loop_speedups(
+      const compiler::ModuleAssignment& assignment);
+
+  /// Table 3 style decision summaries per loop (program loop order).
+  [[nodiscard]] std::vector<std::string> per_loop_decisions(
+      const compiler::ModuleAssignment& assignment);
+
+  /// End-to-end seconds of an assignment on an arbitrary input
+  /// (Figs 7/8 evaluate tuned executables on unseen inputs).
+  [[nodiscard]] double seconds_on(const ir::InputSpec& input,
+                                  const compiler::ModuleAssignment&,
+                                  int reps = 10);
+  /// O3 seconds on an arbitrary input, same protocol.
+  [[nodiscard]] double baseline_seconds_on(const ir::InputSpec& input,
+                                           int reps = 10);
+
+ private:
+  FuncyTunerOptions options_;
+  ir::Program program_;
+  flags::FlagSpace space_;
+  compiler::Compiler compiler_;
+  std::unique_ptr<machine::ExecutionEngine> engine_;
+  ir::InputSpec tuning_input_;
+  std::unique_ptr<Evaluator> evaluator_;
+
+  std::vector<flags::CompilationVector> presampled_;
+  std::optional<Outline> outline_;
+  std::optional<Collection> collection_;
+  std::optional<double> baseline_seconds_;
+};
+
+}  // namespace ft::core

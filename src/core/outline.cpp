@@ -1,0 +1,49 @@
+#include "core/outline.hpp"
+
+#include <stdexcept>
+
+namespace ft::core {
+
+compiler::ModuleAssignment Outline::make_assignment(
+    std::span<const flags::CompilationVector> hot_cvs,
+    const flags::CompilationVector& rest_cv) const {
+  if (hot_cvs.size() != hot.size()) {
+    throw std::invalid_argument("make_assignment: expected " +
+                                std::to_string(hot.size()) + " CVs, got " +
+                                std::to_string(hot_cvs.size()));
+  }
+  compiler::ModuleAssignment assignment;
+  assignment.loop_cvs.assign(program->loops().size(), rest_cv);
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    assignment.loop_cvs[hot[i]] = hot_cvs[i];
+  }
+  assignment.nonloop_cv = rest_cv;
+  return assignment;
+}
+
+Outline profile_and_outline(machine::ExecutionEngine& engine,
+                            const ir::InputSpec& input, double threshold) {
+  machine::RunOptions options;
+  options.instrumented = true;
+  options.repetitions = 1;
+  const machine::RunResult profile =
+      engine.run(engine.baseline(), input, options);
+
+  Outline outline;
+  outline.program = &engine.program();
+  outline.threshold = threshold;
+  outline.profile_seconds = profile.end_to_end;
+  outline.measured_share.reserve(profile.loop_seconds.size());
+  for (std::size_t j = 0; j < profile.loop_seconds.size(); ++j) {
+    const double share = profile.loop_seconds[j] / profile.end_to_end;
+    outline.measured_share.push_back(share);
+    if (share >= threshold) outline.hot.push_back(j);
+  }
+  if (outline.hot.empty()) {
+    throw std::runtime_error("profile found no hot loops in program '" +
+                             engine.program().name() + "'");
+  }
+  return outline;
+}
+
+}  // namespace ft::core

@@ -1,0 +1,48 @@
+// Hot-loop identification and outlining (paper §3.3).
+//
+// FuncyTuner profiles the O3 baseline with Caliper annotations and
+// outlines every loop whose runtime is at least 1% of the end-to-end
+// runtime into its own compilation module. Loops below the threshold
+// stay in their original source files and are compiled together with
+// the non-loop remainder ("rest" module).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "ir/program.hpp"
+#include "machine/execution_engine.hpp"
+
+namespace ft::core {
+
+/// The outlined view of a program: which loops became modules.
+struct Outline {
+  const ir::Program* program = nullptr;
+  /// Indices into program->loops() of the outlined hot loops.
+  std::vector<std::size_t> hot;
+  /// Measured runtime share of every loop at profiling time.
+  std::vector<double> measured_share;
+  /// End-to-end time of the instrumented profiling run.
+  double profile_seconds = 0.0;
+  double threshold = 0.01;
+
+  /// Outlined modules plus the rest module (the J of §2.1).
+  [[nodiscard]] std::size_t module_count() const noexcept {
+    return hot.size() + 1;
+  }
+
+  /// Builds a compiler assignment: hot_cvs[i] compiles the i-th hot
+  /// loop; every cold loop and the non-loop code get `rest_cv`.
+  [[nodiscard]] compiler::ModuleAssignment make_assignment(
+      std::span<const flags::CompilationVector> hot_cvs,
+      const flags::CompilationVector& rest_cv) const;
+};
+
+/// Runs the Caliper-instrumented O3 profile and outlines hot loops.
+[[nodiscard]] Outline profile_and_outline(machine::ExecutionEngine& engine,
+                                          const ir::InputSpec& input,
+                                          double threshold = 0.01);
+
+}  // namespace ft::core

@@ -1,0 +1,193 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace ft::core {
+
+namespace {
+
+/// Best-so-far curve and winner from a vector of evaluation results.
+void finish_from_history(TuningResult& result,
+                         const std::vector<double>& seconds) {
+  result.history.clear();
+  result.history.reserve(seconds.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const double s : seconds) {
+    best = std::min(best, s);
+    result.history.push_back(best);
+  }
+  result.search_best_seconds = best;
+  result.evaluations = seconds.size();
+}
+
+void measure_final(TuningResult& result, Evaluator& evaluator,
+                   double baseline_seconds) {
+  result.tuned_seconds = evaluator.final_seconds(result.best_assignment);
+  result.baseline_seconds = baseline_seconds;
+  result.speedup = baseline_seconds / result.tuned_seconds;
+}
+
+}  // namespace
+
+TuningResult random_search(Evaluator& evaluator,
+                           std::span<const flags::CompilationVector> cvs,
+                           double baseline_seconds) {
+  TuningResult result;
+  result.algorithm = "Random";
+  const std::size_t loop_count =
+      evaluator.engine().program().loops().size();
+
+  const std::vector<double> seconds = evaluator.evaluate_batch(
+      cvs.size(), [&](std::size_t k) {
+        return compiler::ModuleAssignment::uniform(cvs[k], loop_count);
+      });
+
+  finish_from_history(result, seconds);
+  const std::size_t winner = support::argmin(seconds);
+  result.best_assignment =
+      compiler::ModuleAssignment::uniform(cvs[winner], loop_count);
+  measure_final(result, evaluator, baseline_seconds);
+  return result;
+}
+
+TuningResult function_random_search(
+    Evaluator& evaluator, const Outline& outline,
+    std::span<const flags::CompilationVector> presampled,
+    std::size_t iterations, std::uint64_t seed, double baseline_seconds) {
+  TuningResult result;
+  result.algorithm = "FR";
+  const std::size_t module_count = outline.module_count();
+
+  // Pre-draw all module CV indices so evaluation order cannot perturb
+  // the random stream (deterministic under parallel evaluation).
+  support::Rng rng(seed);
+  std::vector<std::vector<std::size_t>> picks(
+      iterations, std::vector<std::size_t>(module_count));
+  for (auto& row : picks) {
+    for (auto& pick : row) pick = rng.next_below(presampled.size());
+  }
+
+  auto make = [&](std::size_t k) {
+    std::vector<flags::CompilationVector> hot_cvs;
+    hot_cvs.reserve(outline.hot.size());
+    for (std::size_t i = 0; i < outline.hot.size(); ++i) {
+      hot_cvs.push_back(presampled[picks[k][i]]);
+    }
+    return outline.make_assignment(hot_cvs,
+                                   presampled[picks[k].back()]);
+  };
+
+  const std::vector<double> seconds =
+      evaluator.evaluate_batch(iterations, make);
+  finish_from_history(result, seconds);
+  result.best_assignment = make(support::argmin(seconds));
+  measure_final(result, evaluator, baseline_seconds);
+  return result;
+}
+
+GreedyResult greedy_combination(Evaluator& evaluator, const Outline& outline,
+                                const Collection& collection,
+                                double baseline_seconds) {
+  GreedyResult result;
+  result.realized.algorithm = "G.realized";
+
+  // Per-module winners: i = argmin_k T[j][k] (paper §2.2.3).
+  std::vector<flags::CompilationVector> hot_cvs;
+  hot_cvs.reserve(outline.hot.size());
+  double independent_sum = 0.0;
+  for (std::size_t j = 0; j < outline.hot.size(); ++j) {
+    const std::size_t winner = support::argmin(collection.loop_times[j]);
+    hot_cvs.push_back(collection.cvs[winner]);
+    independent_sum += collection.loop_times[j][winner];
+  }
+  const std::size_t rest_winner = support::argmin(collection.rest_times);
+  independent_sum += collection.rest_times[rest_winner];
+
+  result.realized.best_assignment =
+      outline.make_assignment(hot_cvs, collection.cvs[rest_winner]);
+  result.realized.evaluations = 1;
+  measure_final(result.realized, evaluator, baseline_seconds);
+  result.realized.search_best_seconds = result.realized.tuned_seconds;
+  result.realized.history = {result.realized.tuned_seconds};
+
+  // G.Independent: the pairwise-independence hypothetical (§3.4) -
+  // sums the best per-module times without assembling an executable.
+  result.independent_seconds = independent_sum;
+  result.independent_speedup = baseline_seconds / independent_sum;
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> prune_top_x(
+    const Collection& collection, std::size_t top_x) {
+  std::vector<std::vector<std::size_t>> pruned;
+  pruned.reserve(collection.loop_times.size() + 1);
+  for (const std::vector<double>& times : collection.loop_times) {
+    pruned.push_back(support::smallest_k(times, top_x));
+  }
+  pruned.push_back(support::smallest_k(collection.rest_times, top_x));
+  return pruned;
+}
+
+TuningResult cfr_search(Evaluator& evaluator, const Outline& outline,
+                        const Collection& collection,
+                        const CfrOptions& options, double baseline_seconds) {
+  TuningResult result;
+  result.algorithm = "CFR";
+
+  // Step 2 of Algorithm 1: prune the pre-sampled space per module.
+  const std::vector<std::vector<std::size_t>> pruned =
+      prune_top_x(collection, options.top_x);
+  const std::size_t module_count = outline.module_count();
+
+  // Step 3: re-sample per-module CVs within the pruned spaces.
+  support::Rng rng(options.seed);
+  std::vector<std::vector<std::size_t>> picks(
+      options.iterations, std::vector<std::size_t>(module_count));
+  for (auto& row : picks) {
+    for (std::size_t m = 0; m < module_count; ++m) {
+      const auto& candidates = pruned[m];
+      row[m] = candidates[rng.next_below(candidates.size())];
+    }
+  }
+
+  auto make = [&](std::size_t k) {
+    std::vector<flags::CompilationVector> hot_cvs;
+    hot_cvs.reserve(outline.hot.size());
+    for (std::size_t i = 0; i < outline.hot.size(); ++i) {
+      hot_cvs.push_back(collection.cvs[picks[k][i]]);
+    }
+    return outline.make_assignment(hot_cvs,
+                                   collection.cvs[picks[k].back()]);
+  };
+
+  std::vector<double> seconds;
+  if (options.patience == 0) {
+    seconds = evaluator.evaluate_batch(options.iterations, make);
+  } else {
+    // Sequential with convergence-based early stop: identical results
+    // for the evaluations it does run (same per-index noise keys).
+    seconds.reserve(options.iterations);
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t since_improvement = 0;
+    for (std::size_t k = 0; k < options.iterations; ++k) {
+      const double s = evaluator.evaluate(make(k), k);
+      seconds.push_back(s);
+      if (s < best) {
+        best = s;
+        since_improvement = 0;
+      } else if (++since_improvement >= options.patience) {
+        break;
+      }
+    }
+  }
+  finish_from_history(result, seconds);
+  result.best_assignment = make(support::argmin(seconds));
+  measure_final(result, evaluator, baseline_seconds);
+  return result;
+}
+
+}  // namespace ft::core

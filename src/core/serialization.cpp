@@ -1,0 +1,71 @@
+#include "core/serialization.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace ft::core {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_collection_csv(std::ostream& os, const Outline& outline,
+                          const Collection& collection) {
+  os << "cv_index,cv_hash,end_to_end,rest";
+  for (const std::size_t j : outline.hot) {
+    os << ',' << outline.program->loops()[j].name;
+  }
+  os << '\n';
+  for (std::size_t k = 0; k < collection.sample_count(); ++k) {
+    os << k << ',' << collection.cvs[k].hash() << ','
+       << collection.end_to_end[k] << ',' << collection.rest_times[k];
+    for (std::size_t i = 0; i < outline.hot.size(); ++i) {
+      os << ',' << collection.loop_times[i][k];
+    }
+    os << '\n';
+  }
+}
+
+void write_history_csv(std::ostream& os, const TuningResult& result) {
+  os << "evaluation,best_so_far_seconds\n";
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    os << (i + 1) << ',' << result.history[i] << '\n';
+  }
+}
+
+std::string tuning_result_json(const TuningResult& result,
+                               const flags::FlagSpace& space,
+                               const ir::Program& program) {
+  std::ostringstream oss;
+  oss << "{\"algorithm\":\"" << json_escape(result.algorithm) << "\""
+      << ",\"speedup\":" << result.speedup
+      << ",\"tuned_seconds\":" << result.tuned_seconds
+      << ",\"baseline_seconds\":" << result.baseline_seconds
+      << ",\"evaluations\":" << result.evaluations << ",\"modules\":{";
+  bool first = true;
+  for (std::size_t j = 0; j < result.best_assignment.loop_cvs.size();
+       ++j) {
+    if (!first) oss << ',';
+    first = false;
+    oss << "\"" << json_escape(program.loops()[j].name) << "\":\""
+        << json_escape(space.render(result.best_assignment.loop_cvs[j]))
+        << "\"";
+  }
+  if (!first) oss << ',';
+  oss << "\"nonloop\":\""
+      << json_escape(space.render(result.best_assignment.nonloop_cv))
+      << "\"}}";
+  return oss.str();
+}
+
+}  // namespace ft::core

@@ -1,0 +1,32 @@
+// Serialization of tuning artifacts for offline analysis: the
+// collection matrix (Fig 4's T[j][k]) as CSV, tuning results as JSON
+// (algorithm, speedup, rendered per-module command lines, convergence
+// history). These are the files a tuning campaign archives next to the
+// produced executables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/collector.hpp"
+#include "core/outline.hpp"
+#include "core/search.hpp"
+#include "flags/flag_space.hpp"
+
+namespace ft::core {
+
+/// CSV with one row per sampled CV: index, CV hash, end-to-end time,
+/// derived rest time, then one column per outlined hot loop.
+void write_collection_csv(std::ostream& os, const Outline& outline,
+                          const Collection& collection);
+
+/// CSV of a search's best-so-far convergence curve.
+void write_history_csv(std::ostream& os, const TuningResult& result);
+
+/// JSON object describing a tuning result, including the rendered
+/// command line of every module of the winning assignment.
+[[nodiscard]] std::string tuning_result_json(
+    const TuningResult& result, const flags::FlagSpace& space,
+    const ir::Program& program);
+
+}  // namespace ft::core

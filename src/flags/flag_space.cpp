@@ -1,0 +1,140 @@
+#include "flags/flag_space.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/string_utils.hpp"
+
+namespace ft::flags {
+
+FlagSpace::FlagSpace(std::string compiler_name, std::vector<FlagSpec> specs)
+    : compiler_name_(std::move(compiler_name)), specs_(std::move(specs)) {}
+
+long double FlagSpace::size() const noexcept {
+  long double product = 1.0L;
+  for (const FlagSpec& spec : specs_) {
+    product *= static_cast<long double>(spec.options.size());
+  }
+  return product;
+}
+
+CompilationVector FlagSpace::default_cv() const {
+  return CompilationVector(std::vector<std::uint8_t>(specs_.size(), 0));
+}
+
+CompilationVector FlagSpace::sample(support::Rng& rng) const {
+  std::vector<std::uint8_t> choices(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    choices[i] =
+        static_cast<std::uint8_t>(rng.next_below(specs_[i].options.size()));
+  }
+  return CompilationVector(std::move(choices));
+}
+
+std::vector<CompilationVector> FlagSpace::sample_many(
+    support::Rng& rng, std::size_t count) const {
+  std::vector<CompilationVector> cvs;
+  cvs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) cvs.push_back(sample(rng));
+  return cvs;
+}
+
+CompilationVector FlagSpace::mutate(const CompilationVector& cv,
+                                    support::Rng& rng) const {
+  CompilationVector result = cv;
+  if (specs_.empty()) return result;
+  const std::size_t flag = rng.next_below(specs_.size());
+  const std::size_t option_count = specs_[flag].options.size();
+  if (option_count < 2) return result;
+  // Choose a different option uniformly.
+  std::uint8_t option =
+      static_cast<std::uint8_t>(rng.next_below(option_count - 1));
+  if (option >= cv[flag]) ++option;
+  result.set(flag, option);
+  return result;
+}
+
+std::vector<CompilationVector> FlagSpace::neighbors(
+    const CompilationVector& cv) const {
+  std::vector<CompilationVector> result;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    for (std::size_t option = 0; option < specs_[i].options.size();
+         ++option) {
+      if (option == cv[i]) continue;
+      CompilationVector neighbor = cv;
+      neighbor.set(i, static_cast<std::uint8_t>(option));
+      result.push_back(std::move(neighbor));
+    }
+  }
+  return result;
+}
+
+SemanticSettings FlagSpace::decode(const CompilationVector& cv) const {
+  SemanticSettings settings = SemanticSettings::o3_defaults();
+  for (std::size_t i = 0; i < specs_.size() && i < cv.size(); ++i) {
+    const FlagSpec& spec = specs_[i];
+    const std::uint8_t choice = cv[i];
+    if (choice < spec.options.size()) {
+      settings.set(spec.semantic, spec.options[choice].value);
+    }
+  }
+  return settings;
+}
+
+std::string FlagSpace::render(const CompilationVector& cv) const {
+  std::vector<std::string> parts;
+  for (std::size_t i = 0; i < specs_.size() && i < cv.size(); ++i) {
+    const std::string& text = specs_[i].options[cv[i]].text;
+    if (!text.empty()) parts.push_back(text);
+  }
+  if (parts.empty()) return "-O3";
+  return support::join(parts, " ");
+}
+
+std::optional<CompilationVector> FlagSpace::parse(
+    const std::string& text) const {
+  // Build a token -> (flag index, option index) lookup.
+  std::map<std::string, std::pair<std::size_t, std::uint8_t>> lookup;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    for (std::size_t option = 0; option < specs_[i].options.size();
+         ++option) {
+      const std::string& token = specs_[i].options[option].text;
+      if (!token.empty()) {
+        lookup[token] = {i, static_cast<std::uint8_t>(option)};
+      }
+    }
+  }
+  CompilationVector cv = default_cv();
+  for (const std::string& raw : support::split(text, ' ')) {
+    const std::string token = support::trim(raw);
+    if (token.empty() || token == "-O3") continue;
+    const auto it = lookup.find(token);
+    if (it == lookup.end()) return std::nullopt;
+    cv.set(it->second.first, it->second.second);
+  }
+  return cv;
+}
+
+bool FlagSpace::contains(const CompilationVector& cv) const noexcept {
+  if (cv.size() != specs_.size()) return false;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (cv[i] >= specs_[i].options.size()) return false;
+  }
+  return true;
+}
+
+FlagSpace FlagSpace::binarized() const {
+  std::vector<FlagSpec> reduced;
+  reduced.reserve(specs_.size());
+  for (const FlagSpec& spec : specs_) {
+    FlagSpec binary;
+    binary.name = spec.name;
+    binary.semantic = spec.semantic;
+    binary.options.push_back(spec.options[0]);
+    if (spec.options.size() > 1) binary.options.push_back(spec.options[1]);
+    reduced.push_back(std::move(binary));
+  }
+  return FlagSpace(compiler_name_ + "-binary", std::move(reduced));
+}
+
+}  // namespace ft::flags

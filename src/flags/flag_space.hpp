@@ -1,0 +1,100 @@
+// FlagSpace: the compiler optimization space (COS) of one compiler
+// personality. Owns the flag specs, renders CVs as command lines,
+// decodes CVs into SemanticSettings, and provides sampling and
+// neighborhood operations for the search algorithms.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flags/compilation_vector.hpp"
+#include "flags/semantics.hpp"
+#include "support/rng.hpp"
+
+namespace ft::flags {
+
+/// One selectable option of a flag: its command-line rendering (empty
+/// string for "omitted/default") and the integer fed to the semantic
+/// knob when chosen.
+struct FlagOption {
+  std::string text;
+  int value = 0;
+};
+
+/// One command-line flag: name (for reports), semantic identity, and
+/// the option list. options[0] is the default.
+struct FlagSpec {
+  std::string name;
+  SemanticFlag semantic = SemanticFlag::kCount;
+  std::vector<FlagOption> options;
+
+  [[nodiscard]] bool is_binary() const noexcept {
+    return options.size() == 2;
+  }
+};
+
+class FlagSpace {
+ public:
+  FlagSpace() = default;
+  FlagSpace(std::string compiler_name, std::vector<FlagSpec> specs);
+
+  [[nodiscard]] const std::string& compiler_name() const noexcept {
+    return compiler_name_;
+  }
+  [[nodiscard]] const std::vector<FlagSpec>& specs() const noexcept {
+    return specs_;
+  }
+  [[nodiscard]] std::size_t flag_count() const noexcept {
+    return specs_.size();
+  }
+
+  /// Product of option counts: |COS| (~2.3e13 for the ICC-like space).
+  [[nodiscard]] long double size() const noexcept;
+
+  /// The all-default CV (plain -O3).
+  [[nodiscard]] CompilationVector default_cv() const;
+
+  /// Uniform sample: independently uniform option per flag (paper §3.2:
+  /// "FuncyTuner selects a value ... with equal probability").
+  [[nodiscard]] CompilationVector sample(support::Rng& rng) const;
+
+  /// K independent uniform samples.
+  [[nodiscard]] std::vector<CompilationVector> sample_many(
+      support::Rng& rng, std::size_t count) const;
+
+  /// Random one-flag mutation (used by local search baselines).
+  [[nodiscard]] CompilationVector mutate(const CompilationVector& cv,
+                                         support::Rng& rng) const;
+
+  /// All CVs at Hamming distance 1 from `cv`.
+  [[nodiscard]] std::vector<CompilationVector> neighbors(
+      const CompilationVector& cv) const;
+
+  /// Decode a CV into the semantic settings consumed by the compiler.
+  /// Knobs not covered by this space keep their -O3 defaults.
+  [[nodiscard]] SemanticSettings decode(const CompilationVector& cv) const;
+
+  /// Command-line rendering, e.g. "-O3 -no-vec -unroll4". The baseline
+  /// CV renders as the personality's baseline string.
+  [[nodiscard]] std::string render(const CompilationVector& cv) const;
+
+  /// Parse a rendering produced by render() back into a CV. Returns
+  /// nullopt on unknown tokens.
+  [[nodiscard]] std::optional<CompilationVector> parse(
+      const std::string& text) const;
+
+  /// True if every choice index is within its flag's option count.
+  [[nodiscard]] bool contains(const CompilationVector& cv) const noexcept;
+
+  /// A reduced space where every flag keeps only its default and first
+  /// non-default option (COBAYN can only infer binary flags, §4.2.1;
+  /// Combined Elimination also operates on on/off decisions).
+  [[nodiscard]] FlagSpace binarized() const;
+
+ private:
+  std::string compiler_name_;
+  std::vector<FlagSpec> specs_;
+};
+
+}  // namespace ft::flags

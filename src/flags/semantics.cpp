@@ -1,0 +1,83 @@
+#include "flags/semantics.hpp"
+
+namespace ft::flags {
+
+SemanticSettings SemanticSettings::o3_defaults() noexcept {
+  SemanticSettings s;
+  s.set(SemanticFlag::kOptLevel, 3);
+  s.set(SemanticFlag::kUnroll, -1);  // auto
+  s.set(SemanticFlag::kVectorize, 1);
+  s.set(SemanticFlag::kSimdWidthPref, 0);  // auto
+  s.set(SemanticFlag::kStreamingStores, 0);
+  s.set(SemanticFlag::kIpo, 0);
+  s.set(SemanticFlag::kAnsiAlias, 1);
+  s.set(SemanticFlag::kPrefetch, 1);
+  s.set(SemanticFlag::kInlineFactor, 100);
+  s.set(SemanticFlag::kOmitFramePointer, 1);
+  s.set(SemanticFlag::kAlignLoops, 1);
+  s.set(SemanticFlag::kBlockFactor, 0);  // auto
+  s.set(SemanticFlag::kScalarRep, 1);
+  s.set(SemanticFlag::kMultiVersion, 0);
+  s.set(SemanticFlag::kUnrollAggressive, 0);
+  s.set(SemanticFlag::kRegAllocStrategy, 0);
+  s.set(SemanticFlag::kScheduling, 0);
+  s.set(SemanticFlag::kInstrSelection, 0);
+  s.set(SemanticFlag::kFma, 1);
+  s.set(SemanticFlag::kSafePadding, 0);
+  s.set(SemanticFlag::kDynamicAlign, 1);
+  s.set(SemanticFlag::kAlignFunctions, 16);
+  s.set(SemanticFlag::kJumpTables, 1);
+  s.set(SemanticFlag::kMatMul, 0);
+  s.set(SemanticFlag::kOverrideLimits, 0);
+  s.set(SemanticFlag::kMemLayoutTrans, 1);
+  s.set(SemanticFlag::kLoopFusion, 1);
+  s.set(SemanticFlag::kLoopInterchange, 1);
+  s.set(SemanticFlag::kLoopDistribution, 0);
+  s.set(SemanticFlag::kSwPipelining, 1);
+  s.set(SemanticFlag::kStructPad, 0);
+  s.set(SemanticFlag::kOptCalloc, 0);
+  s.set(SemanticFlag::kRerolling, 1);
+  return s;
+}
+
+const char* semantic_flag_name(SemanticFlag flag) noexcept {
+  switch (flag) {
+    case SemanticFlag::kOptLevel: return "opt-level";
+    case SemanticFlag::kUnroll: return "unroll";
+    case SemanticFlag::kVectorize: return "vectorize";
+    case SemanticFlag::kSimdWidthPref: return "simd-width";
+    case SemanticFlag::kStreamingStores: return "streaming-stores";
+    case SemanticFlag::kIpo: return "ipo";
+    case SemanticFlag::kAnsiAlias: return "ansi-alias";
+    case SemanticFlag::kPrefetch: return "prefetch";
+    case SemanticFlag::kInlineFactor: return "inline-factor";
+    case SemanticFlag::kOmitFramePointer: return "omit-frame-pointer";
+    case SemanticFlag::kAlignLoops: return "align-loops";
+    case SemanticFlag::kBlockFactor: return "block-factor";
+    case SemanticFlag::kScalarRep: return "scalar-rep";
+    case SemanticFlag::kMultiVersion: return "multi-version";
+    case SemanticFlag::kUnrollAggressive: return "unroll-aggressive";
+    case SemanticFlag::kRegAllocStrategy: return "ra-strategy";
+    case SemanticFlag::kScheduling: return "scheduling";
+    case SemanticFlag::kInstrSelection: return "instr-selection";
+    case SemanticFlag::kFma: return "fma";
+    case SemanticFlag::kSafePadding: return "safe-padding";
+    case SemanticFlag::kDynamicAlign: return "dynamic-align";
+    case SemanticFlag::kAlignFunctions: return "align-functions";
+    case SemanticFlag::kJumpTables: return "jump-tables";
+    case SemanticFlag::kMatMul: return "matmul";
+    case SemanticFlag::kOverrideLimits: return "override-limits";
+    case SemanticFlag::kMemLayoutTrans: return "mem-layout-trans";
+    case SemanticFlag::kLoopFusion: return "loop-fusion";
+    case SemanticFlag::kLoopInterchange: return "loop-interchange";
+    case SemanticFlag::kLoopDistribution: return "loop-distribution";
+    case SemanticFlag::kSwPipelining: return "sw-pipelining";
+    case SemanticFlag::kStructPad: return "struct-pad";
+    case SemanticFlag::kOptCalloc: return "opt-calloc";
+    case SemanticFlag::kRerolling: return "rerolling";
+    case SemanticFlag::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace ft::flags

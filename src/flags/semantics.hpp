@@ -1,0 +1,77 @@
+// Semantic identities of compiler flags.
+//
+// A FlagSpace describes command-line flags of a particular compiler
+// personality (ICC-like or GCC-like); each flag carries a SemanticFlag
+// identity plus per-option integer values. The compiler simulator only
+// consumes decoded SemanticSettings, so the same pass pipeline serves
+// both personalities and the tuners remain compiler-agnostic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ft::flags {
+
+/// Identity of an optimization knob. Values double as indices into
+/// SemanticSettings::values.
+enum class SemanticFlag : std::uint8_t {
+  kOptLevel = 0,       // 0..3
+  kUnroll,             // -1 auto, 0 off, n = factor
+  kVectorize,          // 0 off (-no-vec), 1 on
+  kSimdWidthPref,      // 0 auto, 128, 256 (clamped by the architecture)
+  kStreamingStores,    // 0 auto, 1 always, 2 never
+  kIpo,                // 0 off, 1 on
+  kAnsiAlias,          // 1 strict-alias opts allowed, 0 -no-ansi-alias
+  kPrefetch,           // 0..4 aggressiveness
+  kInlineFactor,       // percent of default budget: 100 default
+  kOmitFramePointer,   // 0/1
+  kAlignLoops,         // 0/1
+  kBlockFactor,        // 0 auto, n = tile factor
+  kScalarRep,          // scalar replacement 0/1
+  kMultiVersion,       // aggressive multi-versioning 0/1
+  kUnrollAggressive,   // 0/1
+  kRegAllocStrategy,   // 0 default, 1 block, 2 trace, 3 region
+  kScheduling,         // 0 default, 1 list, 2 trace, 3 aggressive
+  kInstrSelection,     // 0 default, 1 aggressive
+  kFma,                // fused multiply-add 0/1 (1 default where supported)
+  kSafePadding,        // assume-safe-padding 0/1
+  kDynamicAlign,       // 0/1
+  kAlignFunctions,     // 16 or 32
+  kJumpTables,         // 0/1
+  kMatMul,             // library matmul recognition 0/1
+  kOverrideLimits,     // lift internal optimization limits 0/1
+  kMemLayoutTrans,     // 0..3
+  kLoopFusion,         // 0/1
+  kLoopInterchange,    // 0/1
+  kLoopDistribution,   // 0/1
+  kSwPipelining,       // software pipelining 0/1
+  kStructPad,          // field padding/packing of shared structs 0/1
+  kOptCalloc,          // 0/1
+  kRerolling,          // 0/1
+  kCount,
+};
+
+inline constexpr std::size_t kSemanticFlagCount =
+    static_cast<std::size_t>(SemanticFlag::kCount);
+
+/// Decoded flag settings: one integer per semantic knob. Knobs absent
+/// from a personality's space keep that personality's default value.
+struct SemanticSettings {
+  std::array<int, kSemanticFlagCount> values{};
+
+  [[nodiscard]] int get(SemanticFlag flag) const noexcept {
+    return values[static_cast<std::size_t>(flag)];
+  }
+  void set(SemanticFlag flag, int value) noexcept {
+    values[static_cast<std::size_t>(flag)] = value;
+  }
+
+  /// Settings corresponding to a plain `-O3` build (every knob at its
+  /// personality-neutral default).
+  [[nodiscard]] static SemanticSettings o3_defaults() noexcept;
+};
+
+/// Short human-readable name of a semantic knob (for reports/tests).
+[[nodiscard]] const char* semantic_flag_name(SemanticFlag flag) noexcept;
+
+}  // namespace ft::flags

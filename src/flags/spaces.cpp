@@ -1,0 +1,209 @@
+#include "flags/spaces.hpp"
+
+namespace ft::flags {
+
+namespace {
+
+FlagSpec binary(std::string name, SemanticFlag semantic,
+                std::string default_text, int default_value,
+                std::string alt_text, int alt_value) {
+  FlagSpec spec;
+  spec.name = std::move(name);
+  spec.semantic = semantic;
+  spec.options.push_back({std::move(default_text), default_value});
+  spec.options.push_back({std::move(alt_text), alt_value});
+  return spec;
+}
+
+FlagSpec multi(std::string name, SemanticFlag semantic,
+               std::vector<FlagOption> options) {
+  FlagSpec spec;
+  spec.name = std::move(name);
+  spec.semantic = semantic;
+  spec.options = std::move(options);
+  return spec;
+}
+
+}  // namespace
+
+FlagSpace icc_space() {
+  std::vector<FlagSpec> specs;
+  specs.reserve(33);
+
+  // --- multi-valued parametric options -------------------------------
+  specs.push_back(multi("-O", SemanticFlag::kOptLevel,
+                        {{"", 3}, {"-O2", 2}, {"-O1", 1}}));
+  specs.push_back(multi("-unroll", SemanticFlag::kUnroll,
+                        {{"", -1},
+                         {"-unroll0", 0},
+                         {"-unroll1", 1},
+                         {"-unroll2", 2},
+                         {"-unroll4", 4},
+                         {"-unroll8", 8},
+                         {"-unroll16", 16}}));
+  specs.push_back(multi("-simd-width", SemanticFlag::kSimdWidthPref,
+                        {{"", 0},
+                         {"-qopt-simd-width=128", 128},
+                         {"-qopt-simd-width=256", 256}}));
+  specs.push_back(multi("-qopt-streaming-stores",
+                        SemanticFlag::kStreamingStores,
+                        {{"", 0},
+                         {"-qopt-streaming-stores=always", 1},
+                         {"-qopt-streaming-stores=never", 2}}));
+  specs.push_back(multi("-qopt-prefetch", SemanticFlag::kPrefetch,
+                        {{"", 1},
+                         {"-qopt-prefetch=0", 0},
+                         {"-qopt-prefetch=2", 2},
+                         {"-qopt-prefetch=3", 3},
+                         {"-qopt-prefetch=4", 4}}));
+  specs.push_back(multi("-inline-factor", SemanticFlag::kInlineFactor,
+                        {{"", 100},
+                         {"-inline-factor=0", 0},
+                         {"-inline-factor=50", 50},
+                         {"-inline-factor=200", 200},
+                         {"-inline-factor=400", 400},
+                         {"-inline-factor=800", 800}}));
+  specs.push_back(multi("-opt-block-factor", SemanticFlag::kBlockFactor,
+                        {{"", 0},
+                         {"-opt-block-factor=2", 2},
+                         {"-opt-block-factor=4", 4},
+                         {"-opt-block-factor=8", 8},
+                         {"-opt-block-factor=16", 16},
+                         {"-opt-block-factor=32", 32}}));
+  specs.push_back(multi("-qopt-ra-region-strategy",
+                        SemanticFlag::kRegAllocStrategy,
+                        {{"", 0},
+                         {"-qopt-ra-region-strategy=block", 1},
+                         {"-qopt-ra-region-strategy=trace", 2},
+                         {"-qopt-ra-region-strategy=region", 3}}));
+  specs.push_back(multi("-qsched", SemanticFlag::kScheduling,
+                        {{"", 0},
+                         {"-qsched=list", 1},
+                         {"-qsched=trace", 2},
+                         {"-qsched=aggressive", 3}}));
+  specs.push_back(multi("-qopt-mem-layout-trans",
+                        SemanticFlag::kMemLayoutTrans,
+                        {{"", 1},
+                         {"-qopt-mem-layout-trans=0", 0},
+                         {"-qopt-mem-layout-trans=2", 2},
+                         {"-qopt-mem-layout-trans=3", 3}}));
+
+  // --- binary switches ------------------------------------------------
+  specs.push_back(binary("-vec", SemanticFlag::kVectorize, "", 1,
+                         "-no-vec", 0));
+  specs.push_back(binary("-ipo", SemanticFlag::kIpo, "", 0, "-ipo", 1));
+  specs.push_back(binary("-ansi-alias", SemanticFlag::kAnsiAlias, "", 1,
+                         "-no-ansi-alias", 0));
+  specs.push_back(binary("-fomit-frame-pointer",
+                         SemanticFlag::kOmitFramePointer, "", 1,
+                         "-fno-omit-frame-pointer", 0));
+  specs.push_back(binary("-align-loops", SemanticFlag::kAlignLoops, "", 1,
+                         "-no-align-loops", 0));
+  specs.push_back(binary("-scalar-rep", SemanticFlag::kScalarRep, "", 1,
+                         "-no-scalar-rep", 0));
+  specs.push_back(binary("-qopt-multi-version-aggressive",
+                         SemanticFlag::kMultiVersion, "", 0,
+                         "-qopt-multi-version-aggressive", 1));
+  specs.push_back(binary("-unroll-aggressive",
+                         SemanticFlag::kUnrollAggressive, "", 0,
+                         "-unroll-aggressive", 1));
+  specs.push_back(binary("-isel", SemanticFlag::kInstrSelection, "", 0,
+                         "-qisel-aggressive", 1));
+  specs.push_back(binary("-fma", SemanticFlag::kFma, "", 1, "-no-fma", 0));
+  specs.push_back(binary("-qopt-assume-safe-padding",
+                         SemanticFlag::kSafePadding, "", 0,
+                         "-qopt-assume-safe-padding", 1));
+  specs.push_back(binary("-qopt-dynamic-align",
+                         SemanticFlag::kDynamicAlign, "", 1,
+                         "-qno-opt-dynamic-align", 0));
+  specs.push_back(binary("-falign-functions",
+                         SemanticFlag::kAlignFunctions, "", 16,
+                         "-falign-functions=32", 32));
+  specs.push_back(binary("-qopt-jump-tables", SemanticFlag::kJumpTables,
+                         "", 1, "-qno-opt-jump-tables", 0));
+  specs.push_back(binary("-qopt-matmul", SemanticFlag::kMatMul, "", 0,
+                         "-qopt-matmul", 1));
+  specs.push_back(binary("-qoverride-limits",
+                         SemanticFlag::kOverrideLimits, "", 0,
+                         "-qoverride-limits", 1));
+  specs.push_back(binary("-loop-fusion", SemanticFlag::kLoopFusion, "", 1,
+                         "-qno-loop-fusion", 0));
+  specs.push_back(binary("-loop-interchange",
+                         SemanticFlag::kLoopInterchange, "", 1,
+                         "-qno-loop-interchange", 0));
+  specs.push_back(binary("-loop-distribution",
+                         SemanticFlag::kLoopDistribution, "", 0,
+                         "-qloop-distribution", 1));
+  specs.push_back(binary("-sw-pipelining", SemanticFlag::kSwPipelining,
+                         "", 1, "-qno-sw-pipelining", 0));
+  specs.push_back(binary("-pad", SemanticFlag::kStructPad, "", 0,
+                         "-pad", 1));
+  specs.push_back(binary("-qopt-calloc", SemanticFlag::kOptCalloc, "", 0,
+                         "-qopt-calloc", 1));
+  specs.push_back(binary("-rerolling", SemanticFlag::kRerolling, "", 1,
+                         "-qno-rerolling", 0));
+
+  return FlagSpace("icc", std::move(specs));
+}
+
+FlagSpace gcc_space() {
+  std::vector<FlagSpec> specs;
+  specs.reserve(22);
+
+  specs.push_back(multi("-O", SemanticFlag::kOptLevel,
+                        {{"", 3}, {"-O2", 2}, {"-O1", 1}}));
+  specs.push_back(multi("--param max-unroll-times", SemanticFlag::kUnroll,
+                        {{"", -1},
+                         {"-fno-unroll-loops", 0},
+                         {"--param max-unroll-times=2", 2},
+                         {"--param max-unroll-times=4", 4},
+                         {"--param max-unroll-times=8", 8}}));
+  specs.push_back(multi("-fprefetch-loop-arrays", SemanticFlag::kPrefetch,
+                        {{"", 1},
+                         {"-fno-prefetch-loop-arrays", 0},
+                         {"-fprefetch-loop-arrays", 2}}));
+  specs.push_back(multi("-finline-limit", SemanticFlag::kInlineFactor,
+                        {{"", 100},
+                         {"-finline-limit=50", 50},
+                         {"-finline-limit=400", 400}}));
+
+  specs.push_back(binary("-ftree-vectorize", SemanticFlag::kVectorize, "",
+                         1, "-fno-tree-vectorize", 0));
+  specs.push_back(binary("-flto", SemanticFlag::kIpo, "", 0, "-flto", 1));
+  specs.push_back(binary("-fstrict-aliasing", SemanticFlag::kAnsiAlias,
+                         "", 1, "-fno-strict-aliasing", 0));
+  specs.push_back(binary("-fomit-frame-pointer",
+                         SemanticFlag::kOmitFramePointer, "", 1,
+                         "-fno-omit-frame-pointer", 0));
+  specs.push_back(binary("-falign-loops", SemanticFlag::kAlignLoops, "",
+                         1, "-fno-align-loops", 0));
+  specs.push_back(binary("-fsched-pressure", SemanticFlag::kScheduling,
+                         "", 0, "-fsched-pressure", 1));
+  specs.push_back(binary("-fira-region", SemanticFlag::kRegAllocStrategy,
+                         "", 0, "-fira-region=all", 1));
+  specs.push_back(binary("-ffma", SemanticFlag::kFma, "", 1,
+                         "-ffp-contract=off", 0));
+  specs.push_back(binary("-fjump-tables", SemanticFlag::kJumpTables, "",
+                         1, "-fno-jump-tables", 0));
+  specs.push_back(binary("-ftree-loop-distribution",
+                         SemanticFlag::kLoopDistribution, "", 0,
+                         "-ftree-loop-distribution", 1));
+  specs.push_back(binary("-floop-interchange",
+                         SemanticFlag::kLoopInterchange, "", 1,
+                         "-fno-loop-interchange", 0));
+  specs.push_back(binary("-fmodulo-sched", SemanticFlag::kSwPipelining,
+                         "", 1, "-fno-modulo-sched", 0));
+  specs.push_back(binary("-fpack-struct", SemanticFlag::kStructPad, "", 0,
+                         "-fpack-struct=8", 1));
+  specs.push_back(binary("-fgcse-after-reload",
+                         SemanticFlag::kScalarRep, "", 1,
+                         "-fno-gcse-after-reload", 0));
+  specs.push_back(binary("-ftree-loop-im", SemanticFlag::kMemLayoutTrans,
+                         "", 1, "-fno-tree-loop-im", 0));
+  specs.push_back(binary("-fpeel-loops", SemanticFlag::kMultiVersion, "",
+                         0, "-fpeel-loops", 1));
+
+  return FlagSpace("gcc", std::move(specs));
+}
+
+}  // namespace ft::flags

@@ -1,0 +1,21 @@
+// Factory functions for the concrete optimization spaces used in the
+// paper: the 33-flag ICC-like space (|COS| ~ 2.3e13, §2.1/§3.2) and a
+// GCC-like space used by the Combined Elimination experiment (Fig 1).
+//
+// Floating-point model flags are deliberately absent: the paper enforces
+// strict FP reproducibility and always compiles with -fp-model source.
+#pragma once
+
+#include "flags/flag_space.hpp"
+
+namespace ft::flags {
+
+/// The Intel-compiler-like space: 33 optimization flags, a mix of
+/// binary switches and multi-valued parametric options.
+[[nodiscard]] FlagSpace icc_space();
+
+/// A GCC-like space (fewer, differently named knobs mapping onto the
+/// same semantics). Used for the Fig 1 Combined Elimination study.
+[[nodiscard]] FlagSpace gcc_space();
+
+}  // namespace ft::flags

@@ -1,0 +1,54 @@
+#include "ir/loop_features.hpp"
+
+#include <algorithm>
+
+namespace ft::ir {
+
+namespace {
+void clamp01(double& value) noexcept { value = std::clamp(value, 0.0, 1.0); }
+}  // namespace
+
+LoopFeatures& LoopFeatures::sanitize() noexcept {
+  trip_count = std::max(trip_count, 1.0);
+  invocations = std::max(invocations, 1.0);
+  flops_per_iter = std::max(flops_per_iter, 0.0);
+  memops_per_iter = std::max(memops_per_iter, 0.0);
+  body_size = std::max(body_size, 1.0);
+  working_set_mb = std::max(working_set_mb, 1.0 / 1024.0);
+  clamp01(store_frac);
+  clamp01(unit_stride_frac);
+  clamp01(shared_data);
+  clamp01(divergence);
+  clamp01(static_branchiness);
+  clamp01(branch_mispredict);
+  clamp01(dependence);
+  clamp01(alias_uncertainty);
+  clamp01(register_pressure);
+  clamp01(parallel_frac);
+  clamp01(call_density);
+  clamp01(fp_intensity);
+  return *this;
+}
+
+LoopFeatures LoopFeatures::scaled(double work, double ws) const noexcept {
+  LoopFeatures f = *this;
+  f.trip_count *= std::max(work, 1e-6);
+  f.working_set_mb *= std::max(ws, 1e-6);
+  return f.sanitize();
+}
+
+bool features_valid(const LoopFeatures& f) noexcept {
+  auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+  return f.trip_count >= 1.0 && f.invocations >= 1.0 &&
+         f.flops_per_iter >= 0.0 && f.memops_per_iter >= 0.0 &&
+         f.body_size >= 1.0 && f.working_set_mb > 0.0 &&
+         in01(f.store_frac) && in01(f.unit_stride_frac) &&
+         in01(f.shared_data) && in01(f.divergence) &&
+         in01(f.static_branchiness) && in01(f.branch_mispredict) &&
+         in01(f.dependence) && in01(f.alias_uncertainty) &&
+         in01(f.register_pressure) &&
+         in01(f.parallel_frac) && in01(f.call_density) &&
+         in01(f.fp_intensity);
+}
+
+}  // namespace ft::ir

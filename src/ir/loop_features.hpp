@@ -1,0 +1,59 @@
+// Code-structure features of one loop nest.
+//
+// The paper's substrate is real source code compiled by ICC; ours is a
+// workload model. Each outlined loop is described by the features that
+// drive both (a) the compiler simulator's heuristic decisions (static
+// features - what a compiler can see) and (b) the machine model's true
+// cost (dynamic features - what only execution reveals). The gap
+// between the two is precisely the headroom that flag autotuning
+// exploits, which is how the paper's phenomena arise mechanistically
+// instead of being hard-coded (see DESIGN.md §4).
+#pragma once
+
+#include <string>
+
+namespace ft::ir {
+
+struct LoopFeatures {
+  // --- shape / work (reference input, per time-step) -------------------
+  double trip_count = 1024;      ///< iterations per invocation
+  double invocations = 1;        ///< invocations per time-step
+  double flops_per_iter = 8;     ///< floating-point ops per iteration
+  double memops_per_iter = 4;    ///< loads+stores per iteration
+  double store_frac = 0.3;       ///< stores / memops
+  double body_size = 40;         ///< abstract IR ops in the body
+
+  // --- memory behaviour -------------------------------------------------
+  double unit_stride_frac = 1.0;  ///< contiguous fraction of accesses
+  double working_set_mb = 8.0;    ///< bytes touched per invocation (MB)
+  double shared_data = 0.0;       ///< coupling to globally shared arrays
+
+  // --- control flow ------------------------------------------------------
+  double divergence = 0.0;         ///< dynamic lane divergence [0,1]
+  double static_branchiness = 0.0; ///< branches visible statically [0,1]
+  double branch_mispredict = 0.0;  ///< scalar mispredict intensity [0,1]
+
+  // --- dependences / pressure --------------------------------------------
+  double dependence = 0.0;        ///< loop-carried dependence [0,1]
+  double alias_uncertainty = 0.0; ///< unprovable pointer aliasing [0,1]
+  double register_pressure = 0.3; ///< regfile use at scalar/no-unroll [0,1]
+
+  // --- parallelism / inter-module structure --------------------------------
+  double parallel_frac = 0.95;  ///< OpenMP-covered fraction [0,1]
+  double call_density = 0.0;    ///< cross-module calls per iteration [0,1]
+  double fp_intensity = 0.8;    ///< fp share of compute [0,1]
+
+  /// Clamps every [0,1]-ranged field into range and enforces positive
+  /// work terms; returns a reference for chaining.
+  LoopFeatures& sanitize() noexcept;
+
+  /// Features scaled to a different input: `work` scales trip counts,
+  /// `ws` scales working-set size (problem-size scaling rule of the
+  /// owning program).
+  [[nodiscard]] LoopFeatures scaled(double work, double ws) const noexcept;
+};
+
+/// Validation helper used by tests and the Program constructor.
+[[nodiscard]] bool features_valid(const LoopFeatures& f) noexcept;
+
+}  // namespace ft::ir

@@ -1,0 +1,92 @@
+// Program model: a scientific application as seen by the tuner.
+//
+// A Program is a sequence of loop modules executed in order within an
+// outer time-step loop (the "time-step execution pattern" of §3.1),
+// plus non-loop code scattered across the rest of the sources. Each
+// loop carries a feature vector and its O3 runtime share; inputs define
+// problem-size/time-step scaling and the O3 end-to-end target runtime
+// the machine model calibrates against.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/loop_features.hpp"
+
+namespace ft::ir {
+
+/// Problem input: named configuration with scaling relative to the
+/// tuning input (work = per-time-step work multiplier, ws = working-set
+/// multiplier) and the O3 end-to-end runtime the paper's setup would
+/// observe (inputs were sized so every run is < 40 s, §3.1).
+struct InputSpec {
+  std::string name;       ///< "tuning", "small", "large", ...
+  double size_param = 0;  ///< the paper's size column (documentation only)
+  int timesteps = 10;
+  double work_scale = 1.0;  ///< per-time-step work vs tuning input
+  double ws_scale = 1.0;    ///< working-set size vs tuning input
+  double o3_seconds = 20.0; ///< end-to-end O3 runtime for this input
+};
+
+/// One outlined compilation module: either a hot loop or the merged
+/// non-loop remainder.
+struct LoopModule {
+  std::string name;
+  LoopFeatures features;
+  /// Share of O3 end-to-end runtime on the tuning input. Shares of all
+  /// loop modules plus the non-loop share sum to 1.
+  double o3_ratio = 0.05;
+  bool is_loop = true;
+};
+
+class Program {
+ public:
+  Program(std::string name, std::string language, double loc_k,
+          std::vector<LoopModule> loops, LoopModule nonloop,
+          std::vector<InputSpec> inputs);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& language() const noexcept {
+    return language_;
+  }
+  [[nodiscard]] double loc_k() const noexcept { return loc_k_; }
+
+  /// Hot-loop modules, in execution order within a time-step.
+  [[nodiscard]] const std::vector<LoopModule>& loops() const noexcept {
+    return loops_;
+  }
+  /// The merged non-loop code module.
+  [[nodiscard]] const LoopModule& nonloop() const noexcept {
+    return nonloop_;
+  }
+  /// loops() followed by nonloop() - the J compilation modules.
+  [[nodiscard]] std::vector<LoopModule> all_modules() const;
+
+  [[nodiscard]] const std::vector<InputSpec>& inputs() const noexcept {
+    return inputs_;
+  }
+  /// Input lookup by name; tuning_input() is the one named "tuning".
+  [[nodiscard]] std::optional<InputSpec> input(const std::string& name) const;
+  [[nodiscard]] const InputSpec& tuning_input() const;
+
+  /// Paper observation (§4.2.2): Intel PGO instrumentation runs fail for
+  /// LULESH and Optewe; the corresponding workload models carry this.
+  [[nodiscard]] bool pgo_instrumentation_fails() const noexcept {
+    return pgo_fails_;
+  }
+  void set_pgo_instrumentation_fails(bool fails) noexcept {
+    pgo_fails_ = fails;
+  }
+
+ private:
+  std::string name_;
+  std::string language_;
+  double loc_k_;
+  std::vector<LoopModule> loops_;
+  LoopModule nonloop_;
+  std::vector<InputSpec> inputs_;
+  bool pgo_fails_ = false;
+};
+
+}  // namespace ft::ir

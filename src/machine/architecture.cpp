@@ -1,0 +1,95 @@
+#include "machine/architecture.hpp"
+
+namespace ft::machine {
+
+Architecture opteron() {
+  Architecture a;
+  a.name = "AMD Opteron";
+  a.processor = "Opteron 6128";
+  a.proc_flag = "";  // default codegen (Table 2)
+  a.max_simd_bits = 128;
+  a.has_fma = false;
+  a.split_256 = false;
+  a.sockets = 2;
+  a.numa_nodes = 4;
+  a.cores_per_socket = 4;
+  a.threads_per_core = 2;
+  a.omp_threads = 16;
+  a.freq_ghz = 2.0;
+  a.ipc_flop = 1.6;
+  a.mispredict_cycles = 12.0;
+  a.l1_kb = 64;
+  a.l2_kb = 512;
+  a.llc_mb = 6;
+  a.icache_kb = 64;
+  a.mem_bw_gbs = 28;
+  a.l2_bw_gbs = 160;
+  a.l1_bw_gbs = 480;
+  a.mem_gb = 32;
+  a.numa_penalty = 0.2;
+  a.streaming_efficiency = 0.45;
+  return a;
+}
+
+Architecture sandy_bridge() {
+  Architecture a;
+  a.name = "Intel Sandy Bridge";
+  a.processor = "Xeon E5-2650 0";
+  a.proc_flag = "-xAVX";
+  a.max_simd_bits = 256;
+  a.has_fma = false;
+  a.split_256 = true;  // 256-bit loads split into two 128-bit ops
+  a.sockets = 2;
+  a.numa_nodes = 2;
+  a.cores_per_socket = 8;
+  a.threads_per_core = 2;
+  a.omp_threads = 16;
+  a.freq_ghz = 2.0;
+  a.ipc_flop = 2.0;
+  a.mispredict_cycles = 15.0;
+  a.l1_kb = 32;
+  a.l2_kb = 256;
+  a.llc_mb = 20;
+  a.icache_kb = 32;
+  a.mem_bw_gbs = 64;
+  a.l2_bw_gbs = 320;
+  a.l1_bw_gbs = 960;
+  a.mem_gb = 16;
+  a.numa_penalty = 0.1;
+  a.streaming_efficiency = 0.85;
+  return a;
+}
+
+Architecture broadwell() {
+  Architecture a;
+  a.name = "Intel Broadwell";
+  a.processor = "Xeon E5-2620 v4";
+  a.proc_flag = "-xCORE-AVX2";
+  a.max_simd_bits = 256;
+  a.has_fma = true;
+  a.split_256 = false;
+  a.sockets = 2;
+  a.numa_nodes = 2;
+  a.cores_per_socket = 8;
+  a.threads_per_core = 2;
+  a.omp_threads = 16;
+  a.freq_ghz = 2.1;
+  a.ipc_flop = 2.0;
+  a.mispredict_cycles = 16.0;
+  a.l1_kb = 32;
+  a.l2_kb = 256;
+  a.llc_mb = 20;
+  a.icache_kb = 32;
+  a.mem_bw_gbs = 130;
+  a.l2_bw_gbs = 420;
+  a.l1_bw_gbs = 1300;
+  a.mem_gb = 64;
+  a.numa_penalty = 0.1;
+  return a;
+}
+
+std::vector<Architecture> all_architectures() {
+  return {opteron(), sandy_bridge(), broadwell()};
+}
+
+}  // namespace ft::machine

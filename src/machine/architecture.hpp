@@ -1,0 +1,74 @@
+// Models of the paper's three evaluation platforms (Table 2):
+// AMD Opteron 6128, Intel Sandy Bridge Xeon E5-2650, and Intel Broadwell
+// Xeon E5-2620 v4. The fields cover exactly what the compiler simulator
+// (ISA capabilities, cache geometry) and the machine cost model
+// (bandwidths, frequencies, topology) consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ft::machine {
+
+struct Architecture {
+  std::string name;       ///< display name ("Intel Broadwell")
+  std::string processor;  ///< e.g. "Xeon E5-2620 v4"
+  std::string proc_flag;  ///< processor-specific flag (Table 2)
+
+  // --- ISA ---------------------------------------------------------------
+  int max_simd_bits = 128;  ///< widest usable SIMD for FP64 loops
+  bool has_fma = false;     ///< fused multiply-add available
+  bool split_256 = false;   ///< 256-bit ops split into two 128-bit uops
+
+  // --- topology (Table 2) -------------------------------------------------
+  int sockets = 2;
+  int numa_nodes = 2;
+  int cores_per_socket = 8;
+  int threads_per_core = 2;
+  int omp_threads = 16;  ///< paper pins 16 threads on every platform
+
+  // --- clocks / throughput -------------------------------------------------
+  double freq_ghz = 2.0;
+  double ipc_flop = 2.0;  ///< scalar FP64 ops per cycle per core
+  double mispredict_cycles = 14.0;
+
+  // --- memory hierarchy ----------------------------------------------------
+  double l1_kb = 32;
+  double l2_kb = 256;
+  double llc_mb = 20;      ///< shared last-level cache per socket
+  double icache_kb = 32;   ///< instruction cache per core
+  double mem_bw_gbs = 60;  ///< aggregate DRAM bandwidth (all sockets)
+  double l2_bw_gbs = 300;  ///< aggregate L2-level bandwidth
+  double l1_bw_gbs = 900;  ///< aggregate L1-level bandwidth
+  double mem_gb = 64;
+  double numa_penalty = 0.12;  ///< remote-access slowdown share
+  /// Fraction of the read-for-ownership surcharge that non-temporal
+  /// stores actually recover (write-combining buffer quality; older
+  /// memory controllers benefit far less).
+  double streaming_efficiency = 1.0;
+
+  /// Total hardware threads (sockets * cores * SMT).
+  [[nodiscard]] int hw_threads() const noexcept {
+    return sockets * cores_per_socket * threads_per_core;
+  }
+  /// Total LLC capacity across sockets, in MB.
+  [[nodiscard]] double total_llc_mb() const noexcept {
+    return llc_mb * sockets;
+  }
+};
+
+/// AMD Opteron 6128 ("Magny-Cours" class): SSE-only 128-bit SIMD,
+/// 4 NUMA nodes, low per-core throughput.
+[[nodiscard]] Architecture opteron();
+
+/// Intel Xeon E5-2650 (Sandy Bridge): AVX 256-bit, no FMA, 256-bit
+/// loads split, -xAVX.
+[[nodiscard]] Architecture sandy_bridge();
+
+/// Intel Xeon E5-2620 v4 (Broadwell): AVX2 + FMA, -xCORE-AVX2.
+[[nodiscard]] Architecture broadwell();
+
+/// The three platforms in the paper's order.
+[[nodiscard]] std::vector<Architecture> all_architectures();
+
+}  // namespace ft::machine

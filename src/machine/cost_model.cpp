@@ -1,0 +1,245 @@
+#include "machine/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ft::machine {
+
+namespace {
+
+/// Effective memory bandwidth (GB/s) for a working set of `ws_mb`,
+/// interpolated in log-space between cache levels.
+double effective_bandwidth(const Architecture& arch, double ws_mb) {
+  const double l2_total = arch.l2_kb / 1024.0 *
+                          static_cast<double>(arch.sockets *
+                                              arch.cores_per_socket);
+  const double llc_total = arch.total_llc_mb();
+  const double llc_bw = 0.5 * (arch.l2_bw_gbs + arch.mem_bw_gbs);
+  if (ws_mb <= l2_total) return arch.l2_bw_gbs;
+  if (ws_mb >= 4.0 * llc_total) return arch.mem_bw_gbs;
+  if (ws_mb <= llc_total) {
+    const double t = std::log(ws_mb / l2_total) /
+                     std::log(llc_total / l2_total);
+    return arch.l2_bw_gbs * std::pow(llc_bw / arch.l2_bw_gbs, t);
+  }
+  const double t =
+      std::log(ws_mb / llc_total) / std::log(4.0);  // llc..4*llc
+  return llc_bw * std::pow(arch.mem_bw_gbs / llc_bw, t);
+}
+
+}  // namespace
+
+double parallel_speedup(double parallel_frac, const Architecture& arch) {
+  const double threads_eff =
+      static_cast<double>(arch.omp_threads) * (1.0 - 0.5 * arch.numa_penalty);
+  const double serial_frac = 1.0 - parallel_frac;
+  return 1.0 / (serial_frac + parallel_frac / threads_eff);
+}
+
+LoopCost raw_loop_cost(const ir::LoopFeatures& f,
+                       const compiler::LinkedLoop& linked,
+                       const Architecture& arch, int timesteps) {
+  const compiler::LoopCodeGen& g = linked.codegen;
+  const double iters =
+      f.trip_count * f.invocations * static_cast<double>(timesteps);
+  const double lanes =
+      g.vector_width > 0 ? static_cast<double>(g.vector_width) / 64.0 : 1.0;
+
+  // ---- compute component (cycles per iteration, one core) -----------------
+  const double scalar_cycles = f.flops_per_iter / arch.ipc_flop;
+  double compute_cycles;
+  if (lanes > 1.0) {
+    // True vector cost per element: the contiguous share runs masked
+    // (both sides of divergent control flow execute, data permutations
+    // and blends on top - the effect inspected in the paper's assembly,
+    // §4.4.2), while the non-contiguous share pays per-element
+    // gather/scatter costs that grow with vector width.
+    const double masked = 1.0 + f.divergence * 3.0;
+    const double pipeline_eff = std::max(1.0 - 0.75 * f.dependence, 0.1);
+    const double contiguous_cost =
+        f.unit_stride_frac * masked / (lanes * pipeline_eff);
+    const double gather_cost =
+        (1.0 - f.unit_stride_frac) * (0.8 + 0.25 * lanes);
+    double per_element = contiguous_cost + gather_cost;
+    if (arch.split_256 && g.vector_width == 256) per_element *= 1.15;
+    compute_cycles = scalar_cycles * per_element;
+    if (g.fma) compute_cycles *= 1.0 - 0.25 * f.fp_intensity;
+  } else {
+    compute_cycles =
+        scalar_cycles *
+        (1.0 + f.branch_mispredict * arch.mispredict_cycles / 40.0);
+    if (g.fma) compute_cycles *= 1.0 - 0.15 * f.fp_intensity;
+  }
+
+  // Unrolling exposes ILP, limited by loop-carried dependences.
+  const double ilp =
+      1.0 + std::min(0.35, 0.12 * std::log2(static_cast<double>(g.unroll))) *
+                (1.0 - f.dependence);
+  compute_cycles /= ilp;
+
+  // Register spills serialize the pipeline and add memory traffic.
+  double spill_mem_extra = 1.0;
+  if (g.spill_severity > 0.0) {
+    compute_cycles *= 1.0 + 2.0 * g.spill_severity;
+    spill_mem_extra = 1.0 + 0.8 * g.spill_severity;
+  }
+  compute_cycles *= g.compute_mult;
+
+  // ---- memory component -----------------------------------------------------
+  const double ws_mb = f.working_set_mb;
+  const double llc_total = arch.total_llc_mb();
+  double bw = effective_bandwidth(arch, ws_mb);
+
+  const double load_frac = 1.0 - f.store_frac;
+  // Regular stores pay the read-for-ownership surcharge (2x traffic);
+  // streaming stores avoid it when the data would miss LLC anyway, but
+  // force cache-resident data all the way to DRAM otherwise.
+  double traffic_factor;
+  if (g.streaming_stores) {
+    if (ws_mb > llc_total) {
+      // RFO surcharge recovered to the extent the WC buffers allow.
+      traffic_factor =
+          load_frac + f.store_frac * (2.0 - arch.streaming_efficiency);
+    } else {
+      // Stores bypass the cache hierarchy they would have hit.
+      const double store_bw_ratio = bw / arch.mem_bw_gbs;
+      traffic_factor = load_frac + f.store_frac * 1.0 * store_bw_ratio * 2.0;
+    }
+  } else {
+    traffic_factor = load_frac + 2.0 * f.store_frac;
+  }
+
+  // Latency-bound behaviour of irregular accesses. The profitable
+  // prefetch distance is loop-specific (access irregularity, working
+  // set vs. LLC): hitting the sweet spot hides a large share of the
+  // latency; overshooting pollutes the caches. This is a per-loop
+  // optimum a single program-wide flag cannot satisfy.
+  const double irregular = 1.0 - f.unit_stride_frac;
+  int sweet = 1;
+  if (irregular > 0.3) {
+    sweet += 2;
+  } else if (irregular > 0.1) {
+    sweet += 1;
+  }
+  if (ws_mb > llc_total) sweet += 1;  // sweet spot in 1..4
+  const double max_benefit =
+      0.30 * irregular + (ws_mb > llc_total ? 0.08 : 0.0);
+  const int miss = std::abs(g.prefetch - sweet);
+  double profile = miss == 0 ? 1.0 : miss == 1 ? 0.55 : miss == 2 ? 0.2 : 0.0;
+  if (g.prefetch == 0) profile = 0.0;
+  const double prefetch_mult = 1.0 - max_benefit * profile;
+  double latency_mult = (1.0 + irregular * 2.2) * prefetch_mult;
+  latency_mult = std::max(latency_mult, 0.4);
+  double pollution = 1.0;
+  if (g.prefetch > sweet) {
+    pollution = 1.0 + 0.05 * static_cast<double>(g.prefetch - sweet) *
+                          (ws_mb < llc_total ? 1.0 : 0.3);
+  }
+
+  // Cache blocking keeps hot tiles resident for out-of-cache sets.
+  double tile_mult = 1.0;
+  if (g.tile > 0) {
+    if (ws_mb > llc_total && f.unit_stride_frac > 0.5) {
+      tile_mult = (g.tile == 8 || g.tile == 16) ? 0.93 : 0.96;
+    } else {
+      tile_mult = 1.02;
+    }
+  }
+
+  const double bytes_per_iter =
+      f.memops_per_iter * 8.0 * traffic_factor * spill_mem_extra;
+  const double mem_seconds =
+      iters * bytes_per_iter * latency_mult * pollution * tile_mult *
+      g.mem_mult / (bw * 1e9);
+
+  // ---- compute seconds with threading -----------------------------------------
+  const double speedup = parallel_speedup(f.parallel_frac, arch);
+  const double compute_seconds =
+      iters * compute_cycles / (arch.freq_ghz * 1e9) / speedup;
+
+  // ---- loop/call overhead ----------------------------------------------------------
+  const double branch_cycles = 2.0 / static_cast<double>(g.unroll);
+  const double call_cycles =
+      200.0 * f.invocations * static_cast<double>(timesteps) /
+      std::max(iters, 1.0);
+  const double overhead_seconds =
+      iters * (branch_cycles + call_cycles + f.call_density * 40.0) *
+      g.overhead_mult / (arch.freq_ghz * 1e9) / speedup;
+
+  // Compute and memory overlap; the shorter one is partially hidden.
+  LoopCost cost;
+  cost.compute = compute_seconds;
+  cost.memory = mem_seconds;
+  cost.overhead = overhead_seconds;
+  cost.total = std::max(compute_seconds, mem_seconds) +
+               0.25 * std::min(compute_seconds, mem_seconds) +
+               overhead_seconds;
+  return cost;
+}
+
+std::vector<LoopCost> program_raw_costs(const ir::Program& program,
+                                        const compiler::Executable& exe,
+                                        const Architecture& arch,
+                                        const ir::InputSpec& input) {
+  const std::size_t loop_count = program.loops().size();
+  std::vector<LoopCost> costs;
+  costs.reserve(loop_count + 1);
+
+  for (std::size_t j = 0; j < loop_count; ++j) {
+    const ir::LoopFeatures scaled =
+        program.loops()[j].features.scaled(input.work_scale, input.ws_scale);
+    costs.push_back(
+        raw_loop_cost(scaled, exe.loops[j], arch, input.timesteps));
+  }
+  {
+    const ir::LoopFeatures scaled =
+        program.nonloop().features.scaled(input.work_scale, input.ws_scale);
+    costs.push_back(
+        raw_loop_cost(scaled, exe.nonloop, arch, input.timesteps));
+  }
+
+  // ---- streaming-store producer -> consumer chain ---------------------------
+  // A loop that streams its stores evicts data the next loop(s) in the
+  // time-step would have found in cache. Wrap-around models the cyclic
+  // time-step structure. This is a *context* effect: a loop's measured
+  // time depends on its neighbours' codegen, the root cause of greedy
+  // mis-combination.
+  const double llc_total = arch.total_llc_mb();
+  if (loop_count > 1) {
+    std::vector<double> chain(loop_count, 1.0);
+    for (std::size_t j = 0; j < loop_count; ++j) {
+      const auto& producer_cg = exe.loops[j].codegen;
+      const double producer_stores = program.loops()[j].features.store_frac;
+      if (!producer_cg.streaming_stores || producer_stores < 0.2) continue;
+      for (int d = 1; d <= 2; ++d) {
+        const std::size_t c = (j + static_cast<std::size_t>(d)) % loop_count;
+        if (c == j) break;
+        const ir::LoopFeatures consumer =
+            program.loops()[c].features.scaled(input.work_scale,
+                                               input.ws_scale);
+        if (consumer.shared_data < 0.2 || consumer.working_set_mb > llc_total)
+          continue;
+        const double weight = d == 1 ? 1.0 : 0.4;
+        chain[c] *=
+            1.0 + 0.25 * producer_stores * consumer.shared_data * weight;
+      }
+    }
+    for (std::size_t j = 0; j < loop_count; ++j) {
+      costs[j].memory *= chain[j];
+      costs[j].total = std::max(costs[j].compute, costs[j].memory) +
+                       0.25 * std::min(costs[j].compute, costs[j].memory) +
+                       costs[j].overhead;
+    }
+  }
+
+  // ---- link-level penalties ---------------------------------------------------
+  for (std::size_t j = 0; j < loop_count; ++j) {
+    costs[j].total *= exe.loops[j].interference_mult * exe.global_mult;
+  }
+  costs[loop_count].total *=
+      exe.nonloop.interference_mult * exe.global_mult;
+
+  return costs;
+}
+
+}  // namespace ft::machine

@@ -1,0 +1,46 @@
+// Analytic cost model: maps (loop features, linked codegen,
+// architecture, input) to true runtime. This is the "ground truth" the
+// compiler's static heuristics only approximate - vectorization of
+// divergent or gathering loops, register-spill costs, streaming-store
+// and prefetch behaviour, cache-level bandwidths, and OpenMP/NUMA
+// scaling (the dynamics behind the paper's Table 3 observations).
+#pragma once
+
+#include "compiler/linker.hpp"
+#include "ir/loop_features.hpp"
+#include "ir/program.hpp"
+#include "machine/architecture.hpp"
+
+namespace ft::machine {
+
+/// Decomposed per-run cost of one loop, in seconds.
+struct LoopCost {
+  double compute = 0.0;
+  double memory = 0.0;
+  double overhead = 0.0;
+  double total = 0.0;
+};
+
+/// True (raw, uncalibrated) runtime of one linked loop over a whole run.
+/// `features` must already be scaled to the input (work/ws scaling);
+/// `timesteps` multiplies per-time-step work. Chain effects between
+/// loops (streaming-store eviction) are applied by program_raw_costs.
+[[nodiscard]] LoopCost raw_loop_cost(const ir::LoopFeatures& features,
+                                     const compiler::LinkedLoop& linked,
+                                     const Architecture& arch,
+                                     int timesteps);
+
+/// Raw per-module costs for a whole executable on a given input,
+/// including the cross-loop streaming-store consumer penalties and the
+/// executable's link-level interference/global multipliers. Order:
+/// program loop order, then the non-loop module last.
+[[nodiscard]] std::vector<LoopCost> program_raw_costs(
+    const ir::Program& program, const compiler::Executable& exe,
+    const Architecture& arch, const ir::InputSpec& input);
+
+/// Effective parallel speedup of a loop (Amdahl + NUMA), exposed for
+/// tests.
+[[nodiscard]] double parallel_speedup(double parallel_frac,
+                                      const Architecture& arch);
+
+}  // namespace ft::machine

@@ -1,0 +1,152 @@
+#include "machine/execution_engine.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "support/stats.hpp"
+
+namespace ft::machine {
+
+ExecutionEngine::ExecutionEngine(const ir::Program& program,
+                                 compiler::Compiler& compiler,
+                                 NoiseModel noise,
+                                 double caliper_overhead_per_event,
+                                 double attribution_sigma)
+    : program_(&program),
+      compiler_(&compiler),
+      noise_(noise),
+      attribution_noise_(noise.seed() ^ 0x5bd1e995u, attribution_sigma,
+                         0.0),
+      caliper_overhead_(caliper_overhead_per_event),
+      baseline_(compiler.build_baseline(program)) {}
+
+const std::vector<double>& ExecutionEngine::calibration(
+    const ir::InputSpec& input) {
+  std::lock_guard lock(calibration_mutex_);
+  auto it = calibration_cache_.find(input.name);
+  if (it != calibration_cache_.end()) return it->second;
+
+  const std::vector<LoopCost> raw =
+      program_raw_costs(*program_, baseline_, compiler_->arch(), input);
+  std::vector<double> factors(raw.size(), 1.0);
+  const std::size_t loop_count = program_->loops().size();
+  for (std::size_t j = 0; j < loop_count; ++j) {
+    const double target = input.o3_seconds * program_->loops()[j].o3_ratio;
+    factors[j] = target / std::max(raw[j].total, 1e-12);
+  }
+  const double nonloop_target =
+      input.o3_seconds * program_->nonloop().o3_ratio;
+  factors[loop_count] = nonloop_target / std::max(raw[loop_count].total,
+                                                  1e-12);
+  auto [inserted, ok] =
+      calibration_cache_.emplace(input.name, std::move(factors));
+  (void)ok;
+  return inserted->second;
+}
+
+std::vector<double> ExecutionEngine::true_module_seconds(
+    const compiler::Executable& exe, const ir::InputSpec& input) {
+  const std::vector<double>& factors = calibration(input);
+  const std::vector<LoopCost> raw =
+      program_raw_costs(*program_, exe, compiler_->arch(), input);
+  std::vector<double> seconds(raw.size());
+  for (std::size_t j = 0; j < raw.size(); ++j) {
+    seconds[j] = raw[j].total * factors[j];
+  }
+  return seconds;
+}
+
+RunResult ExecutionEngine::run(const compiler::Executable& exe,
+                               const ir::InputSpec& input,
+                               const RunOptions& options) {
+  const std::vector<double> truth = true_module_seconds(exe, input);
+  const std::size_t loop_count = program_->loops().size();
+  const std::string& arch_name = compiler_->arch().name;
+  const int reps = std::max(options.repetitions, 1);
+
+  RunResult result;
+  result.loop_seconds.assign(loop_count, 0.0);
+  std::vector<double> end_samples;
+  end_samples.reserve(static_cast<std::size_t>(reps));
+
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::uint64_t rep_index =
+        options.rep_base + static_cast<std::uint64_t>(rep);
+
+    // Measured per-module times for this repetition.
+    std::vector<double> measured(loop_count + 1);
+    for (std::size_t j = 0; j <= loop_count; ++j) {
+      const std::string& module_name = j < loop_count
+                                           ? program_->loops()[j].name
+                                           : program_->nonloop().name;
+      measured[j] =
+          options.noise
+              ? noise_.perturb(truth[j],
+                               NoiseModel::make_key(exe.fingerprint,
+                                                    module_name, input.name,
+                                                    arch_name, rep_index))
+              : truth[j];
+    }
+
+    double end_to_end;
+    if (options.instrumented) {
+      // Drive the Caliper library over a virtual clock: per-loop times
+      // are whatever Caliper aggregates, annotation overhead included.
+      caliper::VirtualClock clock;
+      caliper::Caliper caliper(&clock, caliper_overhead_);
+      const int steps = std::max(input.timesteps, 1);
+      for (int step = 0; step < steps; ++step) {
+        for (std::size_t j = 0; j < loop_count; ++j) {
+          caliper.begin(program_->loops()[j].name);
+          clock.advance(measured[j] / static_cast<double>(steps));
+          caliper.end(program_->loops()[j].name);
+        }
+        // Non-loop code is scattered and unannotated: it advances the
+        // clock without a region (paper §3.3).
+        clock.advance(measured[loop_count] / static_cast<double>(steps));
+      }
+      end_to_end = clock.now();
+      for (std::size_t j = 0; j < loop_count; ++j) {
+        // Per-region readings carry attribution error on top of the
+        // run's physical time (which stayed in end_to_end).
+        const std::string& loop_name = program_->loops()[j].name;
+        double reading = caliper.inclusive(loop_name);
+        if (options.noise) {
+          reading = attribution_noise_.perturb(
+              reading, NoiseModel::make_key(exe.fingerprint, loop_name,
+                                            input.name, arch_name,
+                                            rep_index ^ 0xa7c15ULL));
+        }
+        result.loop_seconds[j] += reading;
+      }
+      if (rep == reps - 1) result.caliper_report = caliper.report();
+    } else {
+      end_to_end =
+          std::accumulate(measured.begin(), measured.end(), 0.0);
+      for (std::size_t j = 0; j < loop_count; ++j) {
+        result.loop_seconds[j] += measured[j];
+      }
+    }
+    end_samples.push_back(end_to_end);
+  }
+
+  for (double& loop_second : result.loop_seconds) {
+    loop_second /= static_cast<double>(reps);
+  }
+  result.end_to_end = support::mean(end_samples);
+  result.stddev = support::stddev(end_samples);
+  result.derived_nonloop_seconds =
+      result.end_to_end -
+      std::accumulate(result.loop_seconds.begin(), result.loop_seconds.end(),
+                      0.0);
+  return result;
+}
+
+double ExecutionEngine::baseline_seconds(const ir::InputSpec& input,
+                                         int reps) {
+  RunOptions options;
+  options.repetitions = reps;
+  return run(baseline_, input, options).end_to_end;
+}
+
+}  // namespace ft::machine

@@ -1,0 +1,685 @@
+#include "programs/benchmarks.hpp"
+
+#include <stdexcept>
+
+namespace ft::programs {
+
+namespace {
+
+/// Fluent builder keeping the per-loop tables below readable.
+class Loop {
+ public:
+  Loop(std::string name, double o3_percent) {
+    module_.name = std::move(name);
+    module_.o3_ratio = o3_percent / 100.0;
+  }
+  /// flops & memops per iteration, body size (IR ops), trips/invocation.
+  Loop& work(double flops, double memops, double body, double trip,
+             double invocations = 1) {
+    module_.features.flops_per_iter = flops;
+    module_.features.memops_per_iter = memops;
+    module_.features.body_size = body;
+    module_.features.trip_count = trip;
+    module_.features.invocations = invocations;
+    return *this;
+  }
+  /// unit-stride fraction, working set (MB), store share, shared-data.
+  Loop& memory(double unit_stride, double ws_mb, double store_frac,
+               double shared = 0.0) {
+    module_.features.unit_stride_frac = unit_stride;
+    module_.features.working_set_mb = ws_mb;
+    module_.features.store_frac = store_frac;
+    module_.features.shared_data = shared;
+    return *this;
+  }
+  /// dynamic divergence, statically visible branchiness, mispredicts.
+  Loop& control(double divergence, double static_branchiness,
+                double mispredict = 0.0) {
+    module_.features.divergence = divergence;
+    module_.features.static_branchiness = static_branchiness;
+    module_.features.branch_mispredict = mispredict;
+    return *this;
+  }
+  /// loop-carried dependence, alias uncertainty, register pressure.
+  Loop& deps(double dependence, double alias_uncertainty,
+             double register_pressure) {
+    module_.features.dependence = dependence;
+    module_.features.alias_uncertainty = alias_uncertainty;
+    module_.features.register_pressure = register_pressure;
+    return *this;
+  }
+  /// OpenMP coverage, cross-module call density, fp share.
+  Loop& par(double parallel_frac, double call_density = 0.0,
+            double fp_intensity = 0.85) {
+    module_.features.parallel_frac = parallel_frac;
+    module_.features.call_density = call_density;
+    module_.features.fp_intensity = fp_intensity;
+    return *this;
+  }
+  operator ir::LoopModule() const { return module_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  ir::LoopModule module_;
+};
+
+ir::LoopModule nonloop_module(double o3_percent, double call_density,
+                              double shared = 0.4) {
+  ir::LoopModule m;
+  m.name = "nonloop";
+  m.is_loop = false;
+  m.o3_ratio = o3_percent / 100.0;
+  // Scattered glue code: short trip counts, cache-resident data,
+  // dependence-bound and branchy - largely insensitive to loop
+  // optimizations (the realistic reason per-loop tuning targets loops).
+  m.features.flops_per_iter = 6;
+  m.features.memops_per_iter = 5;
+  m.features.body_size = 400;  // scattered; never inlinable by IPO
+  m.features.trip_count = 2000;
+  m.features.invocations = 4;
+  m.features.unit_stride_frac = 0.75;
+  m.features.working_set_mb = 3;
+  m.features.store_frac = 0.3;
+  m.features.shared_data = shared;
+  m.features.divergence = 0.4;
+  m.features.static_branchiness = 0.5;
+  m.features.branch_mispredict = 0.35;
+  m.features.dependence = 0.7;
+  m.features.alias_uncertainty = 0.6;
+  m.features.register_pressure = 0.4;
+  m.features.parallel_frac = 0.35;
+  m.features.call_density = call_density;
+  m.features.fp_intensity = 0.5;
+  return m;
+}
+
+ir::InputSpec input(std::string name, double size, int steps, double work,
+                    double ws, double o3_seconds) {
+  ir::InputSpec spec;
+  spec.name = std::move(name);
+  spec.size_param = size;
+  spec.timesteps = steps;
+  spec.work_scale = work;
+  spec.ws_scale = ws;
+  spec.o3_seconds = o3_seconds;
+  return spec;
+}
+
+}  // namespace
+
+ir::Program lulesh() {
+  std::vector<ir::LoopModule> loops = {
+      Loop("CalcKinematics", 5.5)
+          .work(42, 10, 52, 6000)
+          .memory(0.9, 440, 0.35, 0.3)
+          .control(0.08, 0.70, 0.05)
+          .deps(0.05, 0.7, 0.5)
+          .par(0.95, 0.05, 0.9),
+      Loop("CalcForce", 7.0)
+          .work(48, 12, 58, 8000)
+          .memory(0.88, 560, 0.3, 0.4)
+          .control(0.1, 0.68, 0.08)
+          .deps(0.05, 0.68, 0.45)
+          .par(0.96, 0.1, 0.92),
+      Loop("CalcVolumeForce", 6.0)
+          .work(22, 6, 18, 8000)
+          .memory(0.92, 360, 0.35, 0.3)
+          .control(0.05, 0.08, 0.05)
+          .deps(0.04, 0.3, 0.82)
+          .par(0.95, 0.0, 0.9),
+      Loop("IntegrateStress", 6.0)
+          .work(18, 14, 44, 7000)
+          .memory(0.45, 600, 0.3, 0.5)
+          .control(0.15, 0.2, 0.2)
+          .deps(0.1, 0.4, 0.4)
+          .par(0.94, 0.05, 0.75),
+      Loop("CalcLagrange", 5.0)
+          .work(12, 12, 36, 2500)
+          .memory(0.95, 520, 0.55, 0.5)
+          .control(0.05, 0.05, 0.03)
+          .deps(0.03, 0.3, 0.35)
+          .par(0.96, 0.0, 0.8),
+      Loop("CalcQ", 6.5)
+          .work(30, 8, 46, 6000)
+          .memory(0.55, 320, 0.25, 0.45)
+          .control(0.5, 0.55, 0.35)
+          .deps(0.1, 0.35, 0.5)
+          .par(0.93, 0.0, 0.85),
+      Loop("EvalEOS", 3.5)
+          .work(36, 7, 95, 4000)
+          .memory(0.85, 160, 0.25, 0.3)
+          .control(0.3, 0.4, 0.25)
+          .deps(0.12, 0.4, 0.55)
+          .par(0.92, 0.35, 0.9),
+      Loop("CalcEnergy", 4.0)
+          .work(26, 9, 50, 5000)
+          .memory(0.8, 240, 0.3, 0.65)
+          .control(0.25, 0.3, 0.2)
+          .deps(0.15, 0.45, 0.45)
+          .par(0.93, 0.1, 0.88),
+      Loop("CalcSound", 2.5)
+          .work(20, 4, 26, 5000)
+          .memory(0.95, 35.0, 0.2, 0.2)
+          .control(0.05, 0.06, 0.04)
+          .deps(0.05, 0.25, 0.4)
+          .par(0.95, 0.0, 0.95),
+      Loop("ApplyMaterial", 4.5)
+          .work(10, 6, 40, 3000)
+          .memory(0.6, 25.0, 0.25, 0.3)
+          .control(0.45, 0.5, 0.5)
+          .deps(0.1, 0.3, 0.35)
+          .par(0.9, 0.15, 0.6),
+      Loop("CalcMonotonic", 4.0)
+          .work(16, 10, 42, 4000)
+          .memory(0.42, 280, 0.3, 0.4)
+          .control(0.35, 0.4, 0.3)
+          .deps(0.1, 0.4, 0.45)
+          .par(0.92, 0.0, 0.8),
+  };
+  // Loop shares: 54.5% -> non-loop 45.5%.
+  std::vector<ir::InputSpec> inputs = {
+      input("tuning", 200, 10, 1.0, 1.0, 25.0),
+      input("small", 180, 10, 0.73, 0.73, 18.0),
+      input("large", 250, 10, 1.95, 1.95, 35.0),
+  };
+  ir::Program p("LULESH", "C++", 7.2, std::move(loops),
+                nonloop_module(45.5, 0.45), std::move(inputs));
+  p.set_pgo_instrumentation_fails(true);  // §4.2.2
+  return p;
+}
+
+ir::Program cloverleaf() {
+  // Execution order within a time-step; the five Table 3 kernels keep
+  // their published O3 runtime shares (6.3 / 2.9 / 3.5 / 3.5 / 4.2 %).
+  std::vector<ir::LoopModule> loops = {
+      Loop("dt", 6.3)  // calc_dt reduction: divergent min-reduction
+          .work(34, 5, 40, 8000)
+          .memory(0.95, 180, 0.1, 0.3)
+          .control(0.55, 0.75, 0.45)
+          .deps(0.68, 0.2, 0.93)
+          .par(0.92, 0.0, 0.9),
+      Loop("ideal_gas", 3.0)  // tiny body: O3 over-unrolls into spills
+          .work(18, 5, 16, 8000)
+          .memory(0.95, 9.0, 0.3, 0.5)
+          .control(0.05, 0.08, 0.05)
+          .deps(0.03, 0.25, 0.78)
+          .par(0.95, 0.0, 0.95),
+      Loop("viscosity", 5.2)
+          .work(34, 9, 56, 8000)
+          .memory(0.55, 280, 0.25, 0.6)
+          .control(0.4, 0.45, 0.3)
+          .deps(0.1, 0.4, 0.5)
+          .par(0.94, 0.0, 0.9),
+      Loop("pdv", 7.0)  // alias-blocked but cleanly vectorizable
+          .work(45, 12, 50, 8000)
+          .memory(0.93, 480, 0.35, 0.4)
+          .control(0.08, 0.66, 0.06)
+          .deps(0.04, 0.65, 0.45)
+          .par(0.95, 0.05, 0.92),
+      Loop("acc", 4.2)  // accelerate: Table 3 (O3: S, unroll3)
+          .work(30, 8, 28, 8000)
+          .memory(0.97, 280, 0.45, 0.4)
+          .control(0.03, 0.70, 0.03)
+          .deps(0.02, 0.75, 0.35)
+          .par(0.96, 0.0, 0.95),
+      Loop("flux_calc", 3.8)  // store-stream; O3's static check misses it
+          .work(10, 10, 30, 2000)
+          .memory(0.95, 400, 0.6, 0.5)
+          .control(0.05, 0.06, 0.04)
+          .deps(0.03, 0.3, 0.3)
+          .par(0.95, 0.0, 0.75),
+      Loop("advec_cell1", 5.5)  // gather-heavy, prefetch-sensitive
+          .work(20, 14, 60, 8000)
+          .memory(0.45, 320, 0.3, 0.5)
+          .control(0.3, 0.35, 0.25)
+          .deps(0.08, 0.4, 0.45)
+          .par(0.93, 0.0, 0.8),
+      Loop("cell3", 2.9)  // Table 3: forced 256-bit hurts badly
+          .work(24, 8, 48, 8000)
+          .memory(0.40, 12.0, 0.25, 0.5)
+          .control(0.55, 0.30, 0.15)
+          .deps(0.05, 0.35, 0.4)
+          .par(0.93, 0.0, 0.85),
+      Loop("cell7", 3.5)  // Table 3: milder 256-bit slowdown
+          .work(26, 8, 50, 8000)
+          .memory(0.55, 14.0, 0.25, 0.5)
+          .control(0.45, 0.28, 0.12)
+          .deps(0.05, 0.35, 0.4)
+          .par(0.93, 0.0, 0.85),
+      Loop("advec_mom1", 4.8)  // store-stream producer
+          .work(14, 12, 38, 3000)
+          .memory(0.95, 480, 0.55, 0.5)
+          .control(0.08, 0.1, 0.05)
+          .deps(0.05, 0.3, 0.35)
+          .par(0.94, 0.0, 0.8),
+      Loop("mom9", 3.5)  // Table 3: O3 picks 128-bit; best is S, IS
+          .work(28, 9, 46, 8000)
+          .memory(0.58, 16.0, 0.3, 0.5)
+          .control(0.36, 0.36, 0.1)
+          .deps(0.02, 0.3, 0.8)
+          .par(0.93, 0.0, 0.85),
+      Loop("update_halo", 2.2)  // latency-bound halo exchange
+          .work(4, 8, 34, 1500)
+          .memory(0.3, 5.0, 0.45, 0.6)
+          .control(0.3, 0.35, 0.3)
+          .deps(0.05, 0.3, 0.3)
+          .par(0.7, 0.1, 0.4),
+  };
+  // Loop shares: 51.9% -> non-loop 48.1%.
+  std::vector<ir::InputSpec> inputs = {
+      input("tuning", 2000, 60, 1.0, 1.0, 30.0),
+      input("small", 1000, 60, 0.25, 0.25, 8.0),
+      input("large", 4000, 60, 4.0, 4.0, 36.0),
+  };
+  return ir::Program("CL", "C, Fortran", 14.5, std::move(loops),
+                     nonloop_module(48.1, 0.5), std::move(inputs));
+}
+
+ir::Program amg() {
+  // Algebraic multigrid: dominated by irregular, memory-bound sweeps
+  // over CSR matrices - deep tuning headroom in prefetch distance,
+  // streaming stores and layout transforms (the paper's best case:
+  // up to 22% over O3 on the large input).
+  std::vector<ir::LoopModule> loops = {
+      Loop("relax1", 6.0)
+          .work(10, 16, 55, 9000)
+          .memory(0.5, 880, 0.25, 0.65)
+          .control(0.2, 0.25, 0.3)
+          .deps(0.1, 0.5, 0.4)
+          .par(0.94, 0.0, 0.7),
+      Loop("relax2", 5.0)
+          .work(10, 15, 52, 8000)
+          .memory(0.48, 760, 0.25, 0.65)
+          .control(0.2, 0.25, 0.3)
+          .deps(0.1, 0.5, 0.4)
+          .par(0.94, 0.0, 0.7),
+      Loop("spmv1", 5.5)
+          .work(8, 14, 40, 9000)
+          .memory(0.45, 720, 0.15, 0.4)
+          .control(0.15, 0.2, 0.35)
+          .deps(0.08, 0.55, 0.35)
+          .par(0.95, 0.0, 0.65),
+      Loop("spmv2", 4.0)
+          .work(8, 13, 40, 7000)
+          .memory(0.45, 600, 0.15, 0.4)
+          .control(0.15, 0.2, 0.35)
+          .deps(0.08, 0.55, 0.35)
+          .par(0.95, 0.0, 0.65),
+      Loop("restrict1", 4.0)
+          .work(9, 12, 34, 2600)
+          .memory(0.9, 28.0, 0.5, 0.5)
+          .control(0.08, 0.1, 0.08)
+          .deps(0.05, 0.35, 0.3)
+          .par(0.94, 0.0, 0.7),
+      Loop("interp", 4.0)
+          .work(9, 12, 36, 2800)
+          .memory(0.88, 30.0, 0.55, 0.5)
+          .control(0.1, 0.12, 0.1)
+          .deps(0.05, 0.35, 0.3)
+          .par(0.94, 0.0, 0.7),
+      Loop("axpy1", 3.0)
+          .work(6, 9, 20, 3000)
+          .memory(0.98, 800, 0.5, 0.4)
+          .control(0.02, 0.03, 0.02)
+          .deps(0.02, 0.2, 0.25)
+          .par(0.97, 0.0, 0.8),
+      Loop("axpy2", 2.5)
+          .work(6, 9, 20, 2800)
+          .memory(0.98, 680, 0.5, 0.4)
+          .control(0.02, 0.03, 0.02)
+          .deps(0.02, 0.2, 0.25)
+          .par(0.97, 0.0, 0.8),
+      Loop("dot1", 3.0)
+          .work(8, 8, 22, 9000)
+          .memory(1.0, 640, 0.02, 0.3)
+          .control(0.02, 0.03, 0.02)
+          .deps(0.6, 0.2, 0.45)
+          .par(0.96, 0.0, 0.9),
+      Loop("setup1", 2.0)
+          .work(8, 7, 70, 4000)
+          .memory(0.5, 240, 0.3, 0.4)
+          .control(0.5, 0.55, 0.5)
+          .deps(0.2, 0.45, 0.35)
+          .par(0.85, 0.2, 0.4),
+      Loop("setup2", 2.0)
+          .work(7, 6, 80, 3000)
+          .memory(0.5, 200, 0.3, 0.4)
+          .control(0.45, 0.5, 0.45)
+          .deps(0.2, 0.45, 0.35)
+          .par(0.85, 0.4, 0.4),
+      Loop("coarsen", 2.0)
+          .work(9, 9, 58, 4000)
+          .memory(0.35, 360, 0.3, 0.5)
+          .control(0.55, 0.6, 0.45)
+          .deps(0.15, 0.5, 0.4)
+          .par(0.88, 0.1, 0.5),
+      Loop("norm", 3.0)
+          .work(6, 7, 18, 6000)
+          .memory(1.0, 480, 0.02, 0.2)
+          .control(0.02, 0.03, 0.02)
+          .deps(0.7, 0.2, 0.4)
+          .par(0.96, 0.0, 0.9),
+      Loop("smooth_bdry", 4.5)
+          .work(7, 9, 44, 1500)
+          .memory(0.3, 15.0, 0.3, 0.5)
+          .control(0.35, 0.4, 0.35)
+          .deps(0.1, 0.4, 0.3)
+          .par(0.6, 0.1, 0.5),
+      Loop("pack", 4.0)
+          .work(2, 8, 14, 1200)
+          .memory(1.0, 6.0, 0.5, 0.6)
+          .control(0.03, 0.04, 0.03)
+          .deps(0.02, 0.2, 0.2)
+          .par(0.8, 0.0, 0.2),
+      Loop("unpack", 4.0)
+          .work(2, 8, 14, 1200)
+          .memory(1.0, 6.0, 0.5, 0.6)
+          .control(0.03, 0.04, 0.03)
+          .deps(0.02, 0.2, 0.2)
+          .par(0.8, 0.0, 0.2),
+  };
+  // Loop shares: 58.5% -> non-loop 41.5%. The communication and
+  // boundary loops (pack/unpack/smooth_bdry) are cache-resident: the
+  // streaming/prefetch settings that help the big sweeps wreck them,
+  // so no single program-wide CV wins (Random ~ O3 on AMG, Fig 5).
+  std::vector<ir::InputSpec> inputs = {
+      input("tuning", 25, 25, 1.0, 1.0, 28.0),
+      input("small", 20, 25, 0.51, 0.51, 15.0),
+      input("large", 30, 25, 1.73, 1.73, 36.0),
+  };
+  return ir::Program("AMG", "C", 113, std::move(loops),
+                     nonloop_module(41.5, 0.5), std::move(inputs));
+}
+
+ir::Program optewe() {
+  // Seismic FDTD stencils: small register-hungry bodies (inlinable by
+  // IPO) over shared wavefield arrays - the configuration where greedy
+  // per-module combination collapses (G.realized 0.34 on Sandy Bridge,
+  // Fig 5b).
+  std::vector<ir::LoopModule> loops = {
+      Loop("stress_x", 6.5)
+          .work(52, 14, 42, 9000)
+          .memory(0.9, 960, 0.35, 0.7)
+          .control(0.06, 0.1, 0.05)
+          .deps(0.05, 0.55, 0.85)
+          .par(0.95, 0.1, 0.95),
+      Loop("stress_y", 5.5)
+          .work(50, 14, 42, 8500)
+          .memory(0.88, 920, 0.35, 0.7)
+          .control(0.06, 0.1, 0.05)
+          .deps(0.05, 0.55, 0.85)
+          .par(0.95, 0.1, 0.95),
+      Loop("vel_x", 6.5)
+          .work(48, 13, 40, 9000)
+          .memory(0.9, 960, 0.4, 0.7)
+          .control(0.05, 0.08, 0.04)
+          .deps(0.05, 0.55, 0.82)
+          .par(0.95, 0.1, 0.95),
+      Loop("vel_y", 5.5)
+          .work(46, 13, 40, 8500)
+          .memory(0.88, 920, 0.4, 0.7)
+          .control(0.05, 0.08, 0.04)
+          .deps(0.05, 0.55, 0.82)
+          .par(0.95, 0.1, 0.95),
+      Loop("absorb", 7.0)
+          .work(24, 8, 48, 3000)
+          .memory(0.6, 160, 0.3, 0.6)
+          .control(0.45, 0.5, 0.35)
+          .deps(0.1, 0.4, 0.25)
+          .par(0.9, 0.05, 0.85),
+      Loop("free_surface", 5.5)
+          .work(20, 9, 36, 2000)
+          .memory(0.7, 18.0, 0.35, 0.7)
+          .control(0.25, 0.3, 0.2)
+          .deps(0.08, 0.4, 0.45)
+          .par(0.85, 0.05, 0.85),
+      Loop("source", 1.5)
+          .work(14, 5, 24, 500)
+          .memory(0.8, 2.0, 0.4, 0.6)
+          .control(0.15, 0.2, 0.15)
+          .deps(0.05, 0.3, 0.35)
+          .par(0.5, 0.1, 0.9),
+      Loop("energy", 2.0)
+          .work(12, 7, 22, 6000)
+          .memory(1.0, 600, 0.02, 0.4)
+          .control(0.02, 0.03, 0.02)
+          .deps(0.65, 0.2, 0.4)
+          .par(0.95, 0.0, 0.9),
+  };
+  // Loop shares: 40.0% -> non-loop 60.0%.
+  std::vector<ir::InputSpec> inputs = {
+      input("tuning", 512, 5, 1.0, 1.0, 24.0),
+      input("small", 384, 5, 0.42, 0.42, 10.0),
+      input("large", 768, 5, 3.38, 3.38, 35.0),
+  };
+  ir::Program p("Optewe", "C++", 2.7, std::move(loops),
+                nonloop_module(60.0, 0.55, 0.6), std::move(inputs));
+  p.set_pgo_instrumentation_fails(true);  // §4.2.2
+  return p;
+}
+
+ir::Program bwaves() {
+  std::vector<ir::LoopModule> loops = {
+      Loop("jacobian", 11.5)
+          .work(60, 12, 70, 8000)
+          .memory(0.9, 600, 0.3, 0.4)
+          .control(0.06, 0.08, 0.05)
+          .deps(0.05, 0.3, 0.6)
+          .par(0.95, 0.0, 0.95),
+      // Block-tridiagonal solves reuse their blocks across inner
+      // sub-iterations: cache-resident, so the streaming/prefetch
+      // settings that help the sweeps above hurt them.
+      Loop("solve1", 10.0)
+          .work(40, 14, 64, 7000)
+          .memory(0.8, 25.0, 0.3, 0.5)
+          .control(0.1, 0.12, 0.08)
+          .deps(0.5, 0.35, 0.55)
+          .par(0.93, 0.0, 0.9),
+      Loop("solve2", 8.5)
+          .work(38, 14, 62, 7000)
+          .memory(0.8, 22.0, 0.3, 0.5)
+          .control(0.1, 0.12, 0.08)
+          .deps(0.5, 0.35, 0.55)
+          .par(0.93, 0.0, 0.9),
+      Loop("rhs", 8.0)
+          .work(18, 13, 44, 3500)
+          .memory(0.92, 720, 0.5, 0.5)
+          .control(0.08, 0.1, 0.06)
+          .deps(0.05, 0.3, 0.4)
+          .par(0.95, 0.0, 0.85),
+      Loop("flux", 6.5)
+          .work(26, 11, 52, 6000)
+          .memory(0.7, 480, 0.3, 0.5)
+          .control(0.2, 0.25, 0.15)
+          .deps(0.08, 0.4, 0.5)
+          .par(0.94, 0.0, 0.9),
+      Loop("shock", 5.5)  // shock detection: divergent, forced SIMD loses
+          .work(24, 8, 48, 6000)
+          .memory(0.45, 240, 0.25, 0.5)
+          .control(0.6, 0.65, 0.45)
+          .deps(0.1, 0.4, 0.45)
+          .par(0.92, 0.0, 0.9),
+      Loop("bc", 4.5)
+          .work(10, 7, 40, 1000)
+          .memory(0.5, 10.0, 0.35, 0.5)
+          .control(0.4, 0.45, 0.35)
+          .deps(0.1, 0.35, 0.35)
+          .par(0.7, 0.1, 0.7),
+  };
+  // Loop shares: 54.5% -> non-loop 45.5%.
+  std::vector<ir::InputSpec> inputs = {
+      input("tuning", 0, 50, 1.0, 1.0, 30.0),
+      input("small", 0, 15, 0.6, 0.15, 2.5),
+      input("large", 0, 50, 1.4, 2.5, 36.0),
+  };
+  return ir::Program("bwaves", "Fortran", 1.2, std::move(loops),
+                     nonloop_module(45.5, 0.35), std::move(inputs));
+}
+
+ir::Program fma3d() {
+  std::vector<ir::LoopModule> loops = {
+      Loop("elem1", 6.5)
+          .work(50, 12, 120, 5000)
+          .memory(0.75, 360, 0.3, 0.4)
+          .control(0.2, 0.25, 0.2)
+          .deps(0.1, 0.45, 0.5)
+          .par(0.92, 0.4, 0.9),
+      Loop("elem2", 5.5)
+          .work(46, 11, 110, 4500)
+          .memory(0.75, 320, 0.3, 0.4)
+          .control(0.2, 0.25, 0.2)
+          .deps(0.1, 0.45, 0.5)
+          .par(0.92, 0.4, 0.9),
+      Loop("stress", 5.0)
+          .work(40, 10, 48, 6000)
+          .memory(0.9, 400, 0.35, 0.4)
+          .control(0.08, 0.66, 0.06)
+          .deps(0.05, 0.62, 0.5)
+          .par(0.94, 0.1, 0.92),
+      Loop("strain", 4.5)
+          .work(24, 7, 19, 6000)
+          .memory(0.92, 280, 0.3, 0.35)
+          .control(0.06, 0.08, 0.05)
+          .deps(0.04, 0.3, 0.8)
+          .par(0.94, 0.0, 0.9),
+      Loop("mat1", 4.5)
+          .work(30, 8, 85, 4000)
+          .memory(0.6, 160, 0.25, 0.35)
+          .control(0.55, 0.6, 0.5)
+          .deps(0.12, 0.4, 0.45)
+          .par(0.9, 0.3, 0.85),
+      Loop("mat2", 3.5)
+          .work(28, 8, 80, 3500)
+          .memory(0.6, 35.0, 0.25, 0.35)
+          .control(0.5, 0.55, 0.45)
+          .deps(0.12, 0.4, 0.45)
+          .par(0.9, 0.3, 0.85),
+      Loop("contact", 4.0)
+          .work(16, 12, 66, 3000)
+          .memory(0.35, 240, 0.3, 0.5)
+          .control(0.5, 0.55, 0.45)
+          .deps(0.15, 0.5, 0.4)
+          .par(0.85, 0.2, 0.6),
+      Loop("assemble", 3.5)
+          .work(10, 12, 40, 5000)
+          .memory(0.55, 440, 0.45, 0.75)
+          .control(0.2, 0.25, 0.25)
+          .deps(0.2, 0.55, 0.35)
+          .par(0.9, 0.1, 0.6),
+      Loop("hourglass", 3.5)
+          .work(44, 9, 46, 4500)
+          .memory(0.9, 240, 0.3, 0.3)
+          .control(0.05, 0.07, 0.04)
+          .deps(0.05, 0.35, 0.55)
+          .par(0.94, 0.0, 0.95),
+      Loop("vel_update", 3.0)
+          .work(8, 9, 22, 3000)
+          .memory(0.97, 360, 0.5, 0.4)
+          .control(0.03, 0.04, 0.02)
+          .deps(0.02, 0.2, 0.3)
+          .par(0.96, 0.0, 0.85),
+      Loop("acc_update", 2.5)
+          .work(8, 9, 22, 2800)
+          .memory(0.97, 320, 0.5, 0.4)
+          .control(0.03, 0.04, 0.02)
+          .deps(0.02, 0.2, 0.3)
+          .par(0.96, 0.0, 0.85),
+      Loop("energy", 2.0)
+          .work(10, 8, 24, 6000)
+          .memory(1.0, 280, 0.02, 0.3)
+          .control(0.02, 0.03, 0.02)
+          .deps(0.65, 0.2, 0.4)
+          .par(0.95, 0.0, 0.9),
+      Loop("mass", 1.5)
+          .work(8, 7, 26, 2000)
+          .memory(0.9, 30.0, 0.3, 0.3)
+          .control(0.05, 0.08, 0.05)
+          .deps(0.05, 0.3, 0.35)
+          .par(0.9, 0.0, 0.8),
+      Loop("bc", 1.5)
+          .work(8, 6, 38, 1200)
+          .memory(0.5, 8.0, 0.3, 0.5)
+          .control(0.45, 0.5, 0.4)
+          .deps(0.1, 0.35, 0.3)
+          .par(0.7, 0.1, 0.6),
+  };
+  // Loop shares: 51% -> non-loop 49%.
+  std::vector<ir::InputSpec> inputs = {
+      input("tuning", 0, 20, 1.0, 1.0, 25.0),
+      input("small", 0, 10, 0.5, 0.3, 5.0),
+      input("large", 0, 20, 1.6, 2.0, 34.0),
+  };
+  return ir::Program("fma3d", "Fortran", 62, std::move(loops),
+                     nonloop_module(49.0, 0.4), std::move(inputs));
+}
+
+ir::Program swim() {
+  // Shallow-water stencils: three big memory-bound sweeps. The "test"
+  // input is so small (time-step < 0.01 s) that its working sets fit in
+  // cache and the CV tuned on the training input backfires (§4.3).
+  std::vector<ir::LoopModule> loops = {
+      Loop("calc1", 18.0)
+          .work(25, 16, 46, 9000)
+          .memory(0.97, 120, 0.45, 0.5)
+          .control(0.03, 0.04, 0.02)
+          .deps(0.03, 0.25, 0.45)
+          .par(0.96, 0.0, 0.9),
+      Loop("calc2", 16.0)
+          .work(24, 16, 48, 9000)
+          .memory(0.97, 140, 0.45, 0.5)
+          .control(0.03, 0.04, 0.02)
+          .deps(0.03, 0.25, 0.45)
+          .par(0.96, 0.0, 0.9),
+      Loop("calc3", 12.0)
+          .work(20, 14, 44, 8000)
+          .memory(0.95, 130, 0.4, 0.6)
+          .control(0.05, 0.06, 0.03)
+          .deps(0.4, 0.3, 0.45)
+          .par(0.95, 0.0, 0.9),
+      Loop("calc3z", 5.0)
+          .work(12, 9, 36, 2000)
+          .memory(0.6, 20, 0.35, 0.6)
+          .control(0.2, 0.25, 0.15)
+          .deps(0.1, 0.3, 0.35)
+          .par(0.85, 0.0, 0.85),
+      Loop("diag", 3.0)
+          .work(10, 8, 24, 7000)
+          .memory(1.0, 100, 0.02, 0.3)
+          .control(0.02, 0.03, 0.02)
+          .deps(0.7, 0.2, 0.4)
+          .par(0.95, 0.0, 0.9),
+  };
+  // Loop shares: 54% -> non-loop 46%.
+  std::vector<ir::InputSpec> inputs = {
+      input("tuning", 0, 90, 1.0, 1.0, 18.0),
+      input("small", 0, 120, 0.08, 0.04, 0.9),
+      input("large", 0, 90, 1.7, 2.2, 30.0),
+  };
+  return ir::Program("swim", "Fortran", 0.5, std::move(loops),
+                     nonloop_module(46.0, 0.3), std::move(inputs));
+}
+
+std::vector<ir::Program> suite() {
+  return {lulesh(), cloverleaf(), amg(),   optewe(),
+          bwaves(), fma3d(),      swim()};
+}
+
+ir::Program by_name(const std::string& name) {
+  for (ir::Program& program : suite()) {
+    if (program.name() == name) return program;
+  }
+  throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+ir::InputSpec with_timesteps(const ir::InputSpec& base, int timesteps,
+                             double startup_seconds) {
+  ir::InputSpec spec = base;
+  spec.name = base.name + "-steps" + std::to_string(timesteps);
+  spec.timesteps = timesteps;
+  const double per_step =
+      (base.o3_seconds - startup_seconds) / std::max(base.timesteps, 1);
+  spec.o3_seconds =
+      startup_seconds + per_step * static_cast<double>(timesteps);
+  return spec;
+}
+
+}  // namespace ft::programs

@@ -1,0 +1,82 @@
+#include "programs/corpus.hpp"
+
+#include <string>
+
+namespace ft::programs {
+
+std::vector<ir::Program> generate_corpus(support::Rng& rng,
+                                         std::size_t count) {
+  std::vector<ir::Program> corpus;
+  corpus.reserve(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t loop_count = 1 + rng.next_below(3);
+    std::vector<ir::LoopModule> loops;
+    loops.reserve(loop_count);
+
+    // Split 55-75% of runtime across the loops.
+    const double loop_share = rng.uniform(0.55, 0.75);
+    std::vector<double> weights;
+    double weight_sum = 0.0;
+    for (std::size_t j = 0; j < loop_count; ++j) {
+      weights.push_back(rng.uniform(0.5, 2.0));
+      weight_sum += weights.back();
+    }
+
+    for (std::size_t j = 0; j < loop_count; ++j) {
+      ir::LoopModule loop;
+      loop.name = "kernel" + std::to_string(j);
+      loop.o3_ratio = loop_share * weights[j] / weight_sum;
+      ir::LoopFeatures& f = loop.features;
+      f.flops_per_iter = rng.uniform(4.0, 60.0);
+      f.memops_per_iter = rng.uniform(2.0, 18.0);
+      f.body_size = rng.uniform(12.0, 120.0);
+      f.trip_count = rng.uniform(200.0, 20000.0);
+      f.invocations = rng.uniform(1.0, 8.0);
+      f.unit_stride_frac = rng.uniform(0.2, 1.0);
+      f.working_set_mb = rng.uniform(0.5, 200.0);
+      f.store_frac = rng.uniform(0.05, 0.6);
+      f.shared_data = rng.uniform(0.0, 0.7);
+      f.divergence = rng.uniform(0.0, 0.6);
+      f.static_branchiness = f.divergence * rng.uniform(0.6, 1.4);
+      f.branch_mispredict = rng.uniform(0.0, 0.5);
+      f.dependence = rng.bernoulli(0.25) ? rng.uniform(0.3, 0.75)
+                                         : rng.uniform(0.0, 0.15);
+      f.alias_uncertainty = rng.uniform(0.0, 0.8);
+      f.register_pressure = rng.uniform(0.2, 0.9);
+      f.parallel_frac = 0.0;  // cBench kernels are serial (MICA works)
+      f.call_density = rng.uniform(0.0, 0.3);
+      f.fp_intensity = rng.uniform(0.3, 1.0);
+      f.sanitize();
+      loops.push_back(std::move(loop));
+    }
+
+    ir::LoopModule nonloop;
+    nonloop.name = "nonloop";
+    nonloop.is_loop = false;
+    nonloop.o3_ratio = 1.0 - loop_share;
+    nonloop.features.body_size = 300;
+    nonloop.features.trip_count = 500;
+    nonloop.features.unit_stride_frac = 0.5;
+    nonloop.features.working_set_mb = 10;
+    nonloop.features.divergence = 0.4;
+    nonloop.features.static_branchiness = 0.45;
+    nonloop.features.parallel_frac = 0.0;
+    nonloop.features.call_density = rng.uniform(0.1, 0.5);
+    nonloop.features.sanitize();
+
+    std::vector<ir::InputSpec> inputs;
+    ir::InputSpec tuning;
+    tuning.name = "tuning";
+    tuning.timesteps = 5;
+    tuning.o3_seconds = rng.uniform(2.0, 10.0);
+    inputs.push_back(tuning);
+
+    corpus.emplace_back("cbench" + std::to_string(i), "C", 0.3,
+                        std::move(loops), std::move(nonloop),
+                        std::move(inputs));
+  }
+  return corpus;
+}
+
+}  // namespace ft::programs

@@ -1,0 +1,23 @@
+// Synthetic training corpus for the COBAYN baseline.
+//
+// The paper trains COBAYN on cBench (§4.2.1): a few dozen small,
+// *serial* kernels. We generate an equivalent corpus of single- to
+// three-loop serial programs with randomized-but-plausible feature
+// vectors; COBAYN extracts Milepost-like static and MICA-like dynamic
+// features from them and learns flag distributions from each program's
+// top-100 CVs.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.hpp"
+#include "support/rng.hpp"
+
+namespace ft::programs {
+
+/// Generates `count` small serial benchmark programs. Deterministic in
+/// the RNG state.
+[[nodiscard]] std::vector<ir::Program> generate_corpus(support::Rng& rng,
+                                                       std::size_t count);
+
+}  // namespace ft::programs

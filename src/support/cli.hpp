@@ -1,0 +1,42 @@
+// Minimal command-line parser shared by the benchmark harness and the
+// example programs. Supports "--name value" and "--name=value" forms
+// plus boolean switches, with typed accessors and defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ft::support {
+
+class CliArgs {
+ public:
+  /// Parses argv; unrecognized bare words are kept as positionals.
+  CliArgs(int argc, const char* const* argv);
+
+  /// Construct from pre-split tokens (used by tests).
+  explicit CliArgs(const std::vector<std::string>& tokens);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace ft::support

@@ -1,0 +1,50 @@
+// Leveled logging with a process-wide threshold. Benchmark binaries run
+// at Info; tests silence everything below Warn to keep ctest output
+// readable; --verbose switches to Debug.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ft::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted (thread-safe).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits a single line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug() {
+  return detail::LogStream(LogLevel::kDebug);
+}
+inline detail::LogStream log_info() {
+  return detail::LogStream(LogLevel::kInfo);
+}
+inline detail::LogStream log_warn() {
+  return detail::LogStream(LogLevel::kWarn);
+}
+inline detail::LogStream log_error() {
+  return detail::LogStream(LogLevel::kError);
+}
+
+}  // namespace ft::support

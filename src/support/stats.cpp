@@ -1,0 +1,100 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ft::support {
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  return sum / static_cast<double>(values.size());
+}
+
+double geomean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double stddev(std::span<const double> values) noexcept {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double m = mean(values);
+  double accum = 0.0;
+  for (const double v : values) accum += (v - m) * (v - m);
+  return std::sqrt(accum / static_cast<double>(n - 1));
+}
+
+double variance(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  const double m = mean(values);
+  double accum = 0.0;
+  for (const double v : values) accum += (v - m) * (v - m);
+  return accum / static_cast<double>(values.size());
+}
+
+double median(std::span<const double> values) {
+  return percentile(values, 50.0);
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::size_t argmin(std::span<const double> values) noexcept {
+  return static_cast<std::size_t>(
+      std::min_element(values.begin(), values.end()) - values.begin());
+}
+
+std::size_t argmax(std::span<const double> values) noexcept {
+  return static_cast<std::size_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+std::vector<std::size_t> smallest_k(std::span<const double> values,
+                                    std::size_t k) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  k = std::min(k, values.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (values[a] != values[b]) return values[a] < values[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+double pearson(std::span<const double> xs,
+               std::span<const double> ys) noexcept {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace ft::support

@@ -1,0 +1,47 @@
+// Small statistics toolkit used by the tuner and the benchmark harness:
+// means, geometric means (the paper reports GM speedups), dispersion,
+// percentiles and argmin/argmax helpers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ft::support {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> values) noexcept;
+
+/// Geometric mean of strictly positive values. Returns 0 if the span is
+/// empty or contains a non-positive value.
+[[nodiscard]] double geomean(std::span<const double> values) noexcept;
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for n < 2.
+[[nodiscard]] double stddev(std::span<const double> values) noexcept;
+
+/// Population variance helper used by the noise-model tests.
+[[nodiscard]] double variance(std::span<const double> values) noexcept;
+
+/// Median (copies and sorts). Returns 0 for an empty span.
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Index of the smallest element. Requires a non-empty span.
+[[nodiscard]] std::size_t argmin(std::span<const double> values) noexcept;
+
+/// Index of the largest element. Requires a non-empty span.
+[[nodiscard]] std::size_t argmax(std::span<const double> values) noexcept;
+
+/// Indices of the k smallest elements, ordered ascending by value.
+/// Ties are broken by the lower index, so results are deterministic.
+[[nodiscard]] std::vector<std::size_t> smallest_k(
+    std::span<const double> values, std::size_t k);
+
+/// Pearson correlation coefficient. Returns 0 when either side has zero
+/// variance or the spans differ in length.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys) noexcept;
+
+}  // namespace ft::support

@@ -1,0 +1,47 @@
+#include "support/string_utils.hpp"
+
+#include <cctype>
+
+namespace ft::support {
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string result;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) result.append(sep);
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace ft::support

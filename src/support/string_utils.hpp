@@ -1,0 +1,26 @@
+// String helpers used across the library: join/split/trim and a tiny
+// printf-free formatter for building flag strings and report labels.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ft::support {
+
+/// Joins `parts` with `sep` between elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delim);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+}  // namespace ft::support

@@ -1,0 +1,43 @@
+// ASCII table and CSV rendering for the benchmark harness. Every figure
+// and table binary prints the same rows/series the paper reports via
+// this formatter, and can optionally emit CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ft::support {
+
+/// Column-aligned ASCII table with an optional title.
+///
+/// Usage:
+///   Table t("Fig 5a: speedups on AMD Opteron");
+///   t.set_header({"Benchmark", "Random", "CFR"});
+///   t.add_row({"LULESH", "1.031", "1.094"});
+///   t.print(std::cout);
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Number formatting helper: fixed-point with `digits` decimals.
+  [[nodiscard]] static std::string num(double value, int digits = 3);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (header first), for machine consumption.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ft::support

@@ -1,0 +1,65 @@
+// Work-sharing thread pool with a deterministic parallel_for.
+//
+// Variant evaluation in the tuner fans 1000 independent
+// compile+run jobs across cores. Each index's work is a pure function
+// of the index (all randomness is index-derived), so results are
+// bit-identical regardless of thread count or scheduling order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ft::support {
+
+/// Fixed-size thread pool. Tasks are void() callables; exceptions thrown
+/// by tasks propagate out of wait_idle()/parallel_for (first one wins).
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished. Rethrows the first
+  /// captured task exception, if any.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Shared process-wide pool (lazily constructed).
+ThreadPool& global_pool();
+
+/// Runs body(i) for i in [0, count) across the pool. Deterministic as
+/// long as body(i) depends only on i. Blocks until all iterations are
+/// done; rethrows the first exception thrown by any iteration.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  ThreadPool* pool = nullptr);
+
+}  // namespace ft::support

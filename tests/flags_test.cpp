@@ -1,0 +1,269 @@
+// Tests for the flag-space model: the ICC-like and GCC-like COS
+// factories, CV sampling/rendering/parsing, semantic decoding,
+// neighborhoods and binarization.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flags/compilation_vector.hpp"
+#include "flags/flag_space.hpp"
+#include "flags/semantics.hpp"
+#include "flags/spaces.hpp"
+#include "support/rng.hpp"
+
+namespace ft::flags {
+namespace {
+
+// ---------------------------------------------------------- factories ----
+
+TEST(IccSpace, Has33Flags) {
+  EXPECT_EQ(icc_space().flag_count(), 33u);  // paper §2.1
+}
+
+TEST(IccSpace, SizeIsRoughly2e13) {
+  // The paper reports |COS| ~ 2.3e13; ours must be the same order.
+  const long double size = icc_space().size();
+  EXPECT_GT(size, 1e13L);
+  EXPECT_LT(size, 1e14L);
+}
+
+TEST(IccSpace, DefaultOptionFirstEverywhere) {
+  const FlagSpace space = icc_space();
+  for (const FlagSpec& spec : space.specs()) {
+    ASSERT_FALSE(spec.options.empty()) << spec.name;
+    EXPECT_TRUE(spec.options[0].text.empty())
+        << spec.name << ": default must render as empty (plain -O3)";
+  }
+}
+
+TEST(IccSpace, NoFloatingPointModelFlags) {
+  // §3.2: FP-model flags are excluded for strict reproducibility.
+  const FlagSpace space = icc_space();
+  for (const FlagSpec& spec : space.specs()) {
+    for (const FlagOption& option : spec.options) {
+      EXPECT_EQ(option.text.find("fp-model"), std::string::npos);
+      EXPECT_EQ(option.text.find("fast-math"), std::string::npos);
+    }
+  }
+}
+
+TEST(GccSpace, IsSmallerButNonTrivial) {
+  const FlagSpace gcc = gcc_space();
+  EXPECT_GE(gcc.flag_count(), 15u);
+  EXPECT_LT(gcc.flag_count(), icc_space().flag_count());
+}
+
+TEST(Spaces, CompilerNamesDiffer) {
+  EXPECT_EQ(icc_space().compiler_name(), "icc");
+  EXPECT_EQ(gcc_space().compiler_name(), "gcc");
+}
+
+TEST(Spaces, UniqueFlagNames) {
+  for (const FlagSpace& space : {icc_space(), gcc_space()}) {
+    std::set<std::string> names;
+    for (const FlagSpec& spec : space.specs()) {
+      EXPECT_TRUE(names.insert(spec.name).second)
+          << "duplicate flag " << spec.name;
+    }
+  }
+}
+
+// ------------------------------------------------------------ default ----
+
+TEST(FlagSpace, DefaultCvRendersAsO3) {
+  const FlagSpace space = icc_space();
+  EXPECT_EQ(space.render(space.default_cv()), "-O3");
+}
+
+TEST(FlagSpace, DefaultCvDecodesToO3Defaults) {
+  const FlagSpace space = icc_space();
+  const SemanticSettings defaults = SemanticSettings::o3_defaults();
+  const SemanticSettings decoded = space.decode(space.default_cv());
+  for (std::size_t i = 0; i < kSemanticFlagCount; ++i) {
+    EXPECT_EQ(decoded.values[i], defaults.values[i])
+        << semantic_flag_name(static_cast<SemanticFlag>(i));
+  }
+}
+
+// ------------------------------------------------------------ sampling ----
+
+TEST(FlagSpace, SamplesAreContained) {
+  const FlagSpace space = icc_space();
+  support::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(space.contains(space.sample(rng)));
+  }
+}
+
+TEST(FlagSpace, SampleManyCount) {
+  const FlagSpace space = icc_space();
+  support::Rng rng(2);
+  EXPECT_EQ(space.sample_many(rng, 64).size(), 64u);
+}
+
+TEST(FlagSpace, SamplingIsDeterministic) {
+  const FlagSpace space = icc_space();
+  support::Rng a(3), b(3);
+  EXPECT_EQ(space.sample(a), space.sample(b));
+}
+
+TEST(FlagSpace, SamplingCoversEveryOption) {
+  const FlagSpace space = icc_space();
+  support::Rng rng(4);
+  std::vector<std::set<std::uint8_t>> seen(space.flag_count());
+  for (int i = 0; i < 3000; ++i) {
+    const CompilationVector cv = space.sample(rng);
+    for (std::size_t f = 0; f < cv.size(); ++f) seen[f].insert(cv[f]);
+  }
+  for (std::size_t f = 0; f < space.flag_count(); ++f) {
+    EXPECT_EQ(seen[f].size(), space.specs()[f].options.size())
+        << space.specs()[f].name;
+  }
+}
+
+// ------------------------------------------------------ render / parse ----
+
+TEST(FlagSpace, RenderParseRoundTrip) {
+  const FlagSpace space = icc_space();
+  support::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const CompilationVector cv = space.sample(rng);
+    const auto parsed = space.parse(space.render(cv));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, cv);
+  }
+}
+
+TEST(FlagSpace, ParseRejectsUnknownToken) {
+  const FlagSpace space = icc_space();
+  EXPECT_FALSE(space.parse("-fmystery-flag").has_value());
+}
+
+TEST(FlagSpace, ParseEmptyIsDefault) {
+  const FlagSpace space = icc_space();
+  const auto parsed = space.parse("");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, space.default_cv());
+}
+
+// -------------------------------------------------- CompilationVector ----
+
+TEST(CompilationVector, HashDiffersOnContent) {
+  CompilationVector a(std::vector<std::uint8_t>{0, 1, 2});
+  CompilationVector b(std::vector<std::uint8_t>{0, 1, 3});
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), CompilationVector(a).hash());
+}
+
+TEST(CompilationVector, HashLengthSensitive) {
+  CompilationVector a(std::vector<std::uint8_t>{0});
+  CompilationVector b(std::vector<std::uint8_t>{0, 0});
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(CompilationVector, Distance) {
+  CompilationVector a(std::vector<std::uint8_t>{0, 1, 2});
+  CompilationVector b(std::vector<std::uint8_t>{0, 2, 2});
+  EXPECT_EQ(a.distance(b), 1u);
+  EXPECT_EQ(a.distance(a), 0u);
+  CompilationVector c(std::vector<std::uint8_t>{0, 1});
+  EXPECT_EQ(a.distance(c), 1u);  // length difference counts
+}
+
+// --------------------------------------------------------- neighbors ----
+
+TEST(FlagSpace, MutateChangesExactlyOneFlag) {
+  const FlagSpace space = icc_space();
+  support::Rng rng(6);
+  const CompilationVector cv = space.default_cv();
+  for (int i = 0; i < 100; ++i) {
+    const CompilationVector mutated = space.mutate(cv, rng);
+    EXPECT_EQ(cv.distance(mutated), 1u);
+    EXPECT_TRUE(space.contains(mutated));
+  }
+}
+
+TEST(FlagSpace, NeighborCountMatchesOptionSum) {
+  const FlagSpace space = icc_space();
+  std::size_t expected = 0;
+  for (const FlagSpec& spec : space.specs()) {
+    expected += spec.options.size() - 1;
+  }
+  EXPECT_EQ(space.neighbors(space.default_cv()).size(), expected);
+}
+
+// -------------------------------------------------------- binarization ----
+
+TEST(FlagSpace, BinarizedHasTwoOptionsEverywhere) {
+  const FlagSpace binary = icc_space().binarized();
+  EXPECT_EQ(binary.flag_count(), icc_space().flag_count());
+  for (const FlagSpec& spec : binary.specs()) {
+    EXPECT_LE(spec.options.size(), 2u);
+  }
+}
+
+TEST(FlagSpace, BinarizedCvValidInFullSpace) {
+  // Binarized option indices coincide with full-space indices 0/1, so
+  // binary CVs can be compiled directly (COBAYN/CE rely on this).
+  const FlagSpace space = icc_space();
+  const FlagSpace binary = space.binarized();
+  support::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(space.contains(binary.sample(rng)));
+  }
+}
+
+// ----------------------------------------------------- semantic decode ----
+
+TEST(Decode, NoVecSetsVectorizeOff) {
+  const FlagSpace space = icc_space();
+  const auto cv = space.parse("-no-vec");
+  ASSERT_TRUE(cv.has_value());
+  EXPECT_EQ(space.decode(*cv).get(SemanticFlag::kVectorize), 0);
+}
+
+TEST(Decode, UnrollValues) {
+  const FlagSpace space = icc_space();
+  const auto cv = space.parse("-unroll4");
+  ASSERT_TRUE(cv.has_value());
+  EXPECT_EQ(space.decode(*cv).get(SemanticFlag::kUnroll), 4);
+}
+
+TEST(Decode, StreamingStoreValues) {
+  const FlagSpace space = icc_space();
+  const auto always = space.parse("-qopt-streaming-stores=always");
+  const auto never = space.parse("-qopt-streaming-stores=never");
+  ASSERT_TRUE(always && never);
+  EXPECT_EQ(space.decode(*always).get(SemanticFlag::kStreamingStores), 1);
+  EXPECT_EQ(space.decode(*never).get(SemanticFlag::kStreamingStores), 2);
+}
+
+TEST(Decode, GccSemanticsMapOntoSameKnobs) {
+  const FlagSpace gcc = gcc_space();
+  const auto cv = gcc.parse("-fno-tree-vectorize");
+  ASSERT_TRUE(cv.has_value());
+  EXPECT_EQ(gcc.decode(*cv).get(SemanticFlag::kVectorize), 0);
+}
+
+// Parameterized sweep: every option of every ICC flag decodes to the
+// value the spec declares (the pipeline depends on this contract).
+class OptionDecode : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OptionDecode, EveryOptionDecodesToDeclaredValue) {
+  const FlagSpace space = icc_space();
+  const std::size_t flag = GetParam();
+  const FlagSpec& spec = space.specs()[flag];
+  for (std::size_t option = 0; option < spec.options.size(); ++option) {
+    CompilationVector cv = space.default_cv();
+    cv.set(flag, static_cast<std::uint8_t>(option));
+    EXPECT_EQ(space.decode(cv).get(spec.semantic),
+              spec.options[option].value)
+        << spec.name << " option " << option;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIccFlags, OptionDecode,
+                         ::testing::Range<std::size_t>(0, 33));
+
+}  // namespace
+}  // namespace ft::flags

@@ -1,0 +1,228 @@
+// Tests for the link step: uniform links carry no mismatch penalties,
+// IPO re-optimization composes transformations only across differing
+// CVs, shared-data mismatch penalties, instruction-cache pressure and
+// executable fingerprints.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hpp"
+#include "compiler/linker.hpp"
+#include "flags/spaces.hpp"
+#include "machine/architecture.hpp"
+
+namespace ft::compiler {
+namespace {
+
+/// Two-loop program with an IPO-inlinable first loop and shared data.
+ir::Program make_program(double body0 = 30, double shared = 0.5) {
+  auto loop = [&](const std::string& name, double ratio, double body) {
+    ir::LoopModule m;
+    m.name = name;
+    m.o3_ratio = ratio;
+    m.features.body_size = body;
+    m.features.flops_per_iter = 20;
+    m.features.trip_count = 4000;
+    m.features.register_pressure = 0.7;
+    m.features.shared_data = shared;
+    m.features.call_density = 0.2;
+    m.features.sanitize();
+    return m;
+  };
+  ir::LoopModule nonloop = loop("nonloop", 0.4, 400);
+  nonloop.is_loop = false;
+  ir::InputSpec tuning;
+  tuning.name = "tuning";
+  return ir::Program("two", "C", 1,
+                     {loop("hot0", 0.35, body0), loop("hot1", 0.25, 60)},
+                     nonloop, {tuning});
+}
+
+class LinkerTest : public ::testing::Test {
+ protected:
+  LinkerTest()
+      : space_(flags::icc_space()),
+        arch_(machine::broadwell()),
+        compiler_(space_, arch_) {}
+
+  flags::CompilationVector cv(const std::string& text) {
+    const auto parsed = space_.parse(text);
+    EXPECT_TRUE(parsed.has_value()) << text;
+    return *parsed;
+  }
+
+  flags::FlagSpace space_;
+  machine::Architecture arch_;
+  Compiler compiler_;
+};
+
+TEST_F(LinkerTest, UniformLinkIsFlaggedUniform) {
+  const ir::Program program = make_program();
+  const Executable exe = compiler_.build_uniform(program, cv("-ipo"));
+  EXPECT_TRUE(exe.uniform);
+}
+
+TEST_F(LinkerTest, MixedLinkIsNotUniform) {
+  const ir::Program program = make_program();
+  ModuleAssignment assignment =
+      ModuleAssignment::uniform(space_.default_cv(), 2);
+  assignment.loop_cvs[0] = cv("-unroll4");
+  const Executable exe = compiler_.build(program, assignment);
+  EXPECT_FALSE(exe.uniform);
+}
+
+TEST_F(LinkerTest, UniformLinkHasNoMismatchPenalties) {
+  const ir::Program program = make_program();
+  const Executable exe =
+      compiler_.build_uniform(program, cv("-pad -no-ansi-alias"));
+  for (const LinkedLoop& loop : exe.loops) {
+    EXPECT_DOUBLE_EQ(loop.interference_mult, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(exe.nonloop.interference_mult, 1.0);
+}
+
+TEST_F(LinkerTest, PadMismatchPenalizesSharedDataModules) {
+  const ir::Program program = make_program();
+  ModuleAssignment assignment =
+      ModuleAssignment::uniform(space_.default_cv(), 2);
+  assignment.loop_cvs[0] = cv("-pad");
+  const Executable exe = compiler_.build(program, assignment);
+  EXPECT_GT(exe.loops[0].interference_mult, 1.0);
+  EXPECT_GT(exe.loops[1].interference_mult, 1.0);
+}
+
+TEST_F(LinkerTest, NoPenaltyWithoutSharedData) {
+  const ir::Program program = make_program(30, /*shared=*/0.0);
+  ModuleAssignment assignment =
+      ModuleAssignment::uniform(space_.default_cv(), 2);
+  assignment.loop_cvs[0] = cv("-pad -no-ansi-alias");
+  const Executable exe = compiler_.build(program, assignment);
+  EXPECT_DOUBLE_EQ(exe.loops[0].interference_mult, 1.0);
+  EXPECT_DOUBLE_EQ(exe.loops[1].interference_mult, 1.0);
+}
+
+TEST_F(LinkerTest, IpoRequiresBothSides) {
+  const ir::Program program = make_program();
+  // Loop has ipo, driver does not: no re-optimization.
+  ModuleAssignment assignment =
+      ModuleAssignment::uniform(space_.default_cv(), 2);
+  assignment.loop_cvs[0] = cv("-ipo -no-vec");
+  const Executable exe = compiler_.build(program, assignment);
+  EXPECT_FALSE(exe.loops[0].ipo_reoptimized);
+}
+
+TEST_F(LinkerTest, IpoMismatchReoptimizesInlinableLoop) {
+  const ir::Program program = make_program(/*body0=*/30);
+  ModuleAssignment assignment =
+      ModuleAssignment::uniform(cv("-ipo"), 2);
+  assignment.loop_cvs[0] = cv("-ipo -no-vec -unroll2");
+  const Executable exe = compiler_.build(program, assignment);
+  EXPECT_TRUE(exe.loops[0].ipo_reoptimized);
+  // hot1 (body 60) has the same CV as the driver: plain inlining only.
+  EXPECT_FALSE(exe.loops[1].ipo_reoptimized);
+}
+
+TEST_F(LinkerTest, IpoCompositionMultipliesUnroll) {
+  // The paper's mom9 effect: the module was compiled -unroll2; the
+  // IPO re-optimization under the driver's settings unrolls again.
+  const ir::Program program = make_program(/*body0=*/30);
+  ModuleAssignment assignment =
+      ModuleAssignment::uniform(cv("-ipo -unroll2"), 2);
+  assignment.loop_cvs[0] = cv("-ipo -unroll4");
+  const Executable exe = compiler_.build(program, assignment);
+  ASSERT_TRUE(exe.loops[0].ipo_reoptimized);
+  EXPECT_EQ(exe.loops[0].codegen.unroll, 8);  // 4 (object) x 2 (driver)
+}
+
+TEST_F(LinkerTest, IpoCompositionKeepsWiderVector) {
+  const ir::Program program = make_program(/*body0=*/30);
+  ModuleAssignment assignment =
+      ModuleAssignment::uniform(cv("-ipo -no-vec"), 2);
+  assignment.loop_cvs[0] = cv("-ipo -qopt-simd-width=256");
+  const Executable exe = compiler_.build(program, assignment);
+  ASSERT_TRUE(exe.loops[0].ipo_reoptimized);
+  EXPECT_EQ(exe.loops[0].codegen.vector_width, 256);
+}
+
+TEST_F(LinkerTest, UniformIpoDoesNotCompose) {
+  const ir::Program program = make_program(/*body0=*/30);
+  const Executable exe =
+      compiler_.build_uniform(program, cv("-ipo -unroll4"));
+  EXPECT_FALSE(exe.loops[0].ipo_reoptimized);
+  EXPECT_EQ(exe.loops[0].codegen.unroll, 4);  // not 16
+}
+
+TEST_F(LinkerTest, UniformIpoGrantsInliningBenefit) {
+  const ir::Program program = make_program(/*body0=*/30);
+  const Executable with_ipo =
+      compiler_.build_uniform(program, cv("-ipo"));
+  const Executable without =
+      compiler_.build_uniform(program, space_.default_cv());
+  EXPECT_LT(with_ipo.loops[0].codegen.compute_mult,
+            without.loops[0].codegen.compute_mult);
+  EXPECT_LT(with_ipo.nonloop.codegen.compute_mult,
+            without.nonloop.codegen.compute_mult);
+}
+
+TEST_F(LinkerTest, LargeBodyLoopNotInlined) {
+  const ir::Program program = make_program(/*body0=*/500);
+  ModuleAssignment assignment =
+      ModuleAssignment::uniform(cv("-ipo"), 2);
+  assignment.loop_cvs[0] = cv("-ipo -no-vec");
+  const Executable exe = compiler_.build(program, assignment);
+  EXPECT_FALSE(exe.loops[0].ipo_reoptimized);
+}
+
+TEST_F(LinkerTest, InlineFactorWidensIpoReach) {
+  const ir::Program program = make_program(/*body0=*/200);
+  // body 200 > 64 at factor 100, but <= 64*800/100 = 512.
+  ModuleAssignment assignment =
+      ModuleAssignment::uniform(cv("-ipo -inline-factor=800"), 2);
+  assignment.loop_cvs[0] = cv("-ipo -no-vec");
+  const Executable exe = compiler_.build(program, assignment);
+  EXPECT_TRUE(exe.loops[0].ipo_reoptimized);
+}
+
+TEST_F(LinkerTest, IcachePressureRaisesGlobalMult) {
+  const ir::Program small_program = make_program(/*body0=*/20);
+  const Executable small_exe =
+      compiler_.build_uniform(small_program, space_.default_cv());
+  EXPECT_DOUBLE_EQ(small_exe.global_mult, 1.0);
+
+  // Huge bodies + deep unrolling overflow the icache budget.
+  ir::Program big_program = make_program(/*body0=*/500);
+  const Executable big_exe = compiler_.build_uniform(
+      big_program, cv("-unroll8 -qopt-multi-version-aggressive"));
+  EXPECT_GT(big_exe.global_mult, 1.0);
+  EXPECT_LE(big_exe.global_mult, 1.25);
+}
+
+TEST_F(LinkerTest, FingerprintChangesWithAnyModuleCv) {
+  const ir::Program program = make_program();
+  ModuleAssignment a = ModuleAssignment::uniform(space_.default_cv(), 2);
+  ModuleAssignment b = a;
+  b.loop_cvs[1] = cv("-unroll2");
+  EXPECT_NE(compiler_.build(program, a).fingerprint,
+            compiler_.build(program, b).fingerprint);
+}
+
+TEST_F(LinkerTest, FingerprintStable) {
+  const ir::Program program = make_program();
+  const ModuleAssignment a =
+      ModuleAssignment::uniform(space_.default_cv(), 2);
+  EXPECT_EQ(compiler_.build(program, a).fingerprint,
+            compiler_.build(program, a).fingerprint);
+}
+
+TEST_F(LinkerTest, LinkRejectsWrongObjectCount) {
+  const ir::Program program = make_program();
+  const CompiledModule object =
+      compiler_.compile(program.loops()[0], space_.default_cv());
+  const CompiledModule nonloop_object =
+      compiler_.compile(program.nonloop(), space_.default_cv());
+  EXPECT_THROW(
+      (void)link(program, {object}, nonloop_object, arch_,
+                 Personality::kIcc),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ft::compiler

@@ -1,0 +1,195 @@
+// Tests for the benchmark workload models: the published roster
+// (Table 1), per-loop O3 shares (Table 3's CloverLeaf ratios), input
+// configurations (Table 2, §4.3) and the COBAYN training corpus.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "programs/benchmarks.hpp"
+#include "programs/corpus.hpp"
+
+namespace ft::programs {
+namespace {
+
+TEST(Suite, SevenBenchmarksInFigureOrder) {
+  const auto programs = suite();
+  ASSERT_EQ(programs.size(), 7u);
+  const std::vector<std::string> expected = {
+      "LULESH", "CL", "AMG", "Optewe", "bwaves", "fma3d", "swim"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(programs[i].name(), expected[i]);
+  }
+}
+
+TEST(Suite, Table1Languages) {
+  EXPECT_EQ(lulesh().language(), "C++");
+  EXPECT_EQ(amg().language(), "C");
+  EXPECT_EQ(cloverleaf().language(), "C, Fortran");
+  EXPECT_EQ(bwaves().language(), "Fortran");
+  EXPECT_EQ(swim().language(), "Fortran");
+}
+
+TEST(Suite, Table1LinesOfCode) {
+  EXPECT_NEAR(amg().loc_k(), 113, 1);
+  EXPECT_NEAR(lulesh().loc_k(), 7.2, 0.1);
+  EXPECT_NEAR(swim().loc_k(), 0.5, 0.1);
+}
+
+TEST(Suite, ByNameRoundTrips) {
+  for (const auto& program : suite()) {
+    EXPECT_EQ(by_name(program.name()).name(), program.name());
+  }
+  EXPECT_THROW((void)by_name("nope"), std::invalid_argument);
+}
+
+TEST(Suite, PgoFailuresMatchPaper) {
+  // §4.2.2: "PGO instrumentation runs fail for LULESH and Optewe".
+  EXPECT_TRUE(lulesh().pgo_instrumentation_fails());
+  EXPECT_TRUE(optewe().pgo_instrumentation_fails());
+  EXPECT_FALSE(cloverleaf().pgo_instrumentation_fails());
+  EXPECT_FALSE(amg().pgo_instrumentation_fails());
+}
+
+TEST(Cloverleaf, Table3LoopRatios) {
+  const ir::Program cl = cloverleaf();
+  auto ratio = [&](const std::string& name) {
+    for (const auto& loop : cl.loops()) {
+      if (loop.name == name) return loop.o3_ratio;
+    }
+    ADD_FAILURE() << "missing loop " << name;
+    return 0.0;
+  };
+  EXPECT_NEAR(ratio("dt"), 0.063, 1e-9);
+  EXPECT_NEAR(ratio("cell3"), 0.029, 1e-9);
+  EXPECT_NEAR(ratio("cell7"), 0.035, 1e-9);
+  EXPECT_NEAR(ratio("mom9"), 0.035, 1e-9);
+  EXPECT_NEAR(ratio("acc"), 0.042, 1e-9);
+}
+
+TEST(WithTimesteps, ScalesRuntimeAroundStartup) {
+  const ir::InputSpec base = cloverleaf().tuning_input();  // 60 steps
+  const ir::InputSpec doubled = with_timesteps(base, 120, 0.5);
+  EXPECT_EQ(doubled.timesteps, 120);
+  const double per_step = (base.o3_seconds - 0.5) / 60.0;
+  EXPECT_NEAR(doubled.o3_seconds, 0.5 + per_step * 120, 1e-9);
+  EXPECT_NE(doubled.name, base.name);
+}
+
+// Parameterized sweep over all seven workload models.
+class SuiteProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  ir::Program program() const { return by_name(GetParam()); }
+};
+
+TEST_P(SuiteProperty, ModuleCountInPaperRange) {
+  // §2.1: J ranges from 5 to 33 (hot loops + rest module).
+  const auto p = program();
+  EXPECT_GE(p.loops().size() + 1, 5u);
+  EXPECT_LE(p.loops().size() + 1, 33u);
+}
+
+TEST_P(SuiteProperty, SharesSumToOne) {
+  const auto p = program();
+  double total = p.nonloop().o3_ratio;
+  for (const auto& loop : p.loops()) total += loop.o3_ratio;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(SuiteProperty, EveryLoopAtLeastOnePercent) {
+  // §3.3: outlined loops have >= 1% of end-to-end runtime.
+  const auto p = program();
+  for (const auto& loop : p.loops()) {
+    EXPECT_GE(loop.o3_ratio, 0.01) << loop.name;
+  }
+}
+
+TEST_P(SuiteProperty, AllFeatureVectorsValid) {
+  const auto p = program();
+  for (const auto& loop : p.loops()) {
+    EXPECT_TRUE(ir::features_valid(loop.features)) << loop.name;
+  }
+  EXPECT_TRUE(ir::features_valid(p.nonloop().features));
+}
+
+TEST_P(SuiteProperty, HasTuningSmallAndLargeInputs) {
+  const auto p = program();
+  EXPECT_TRUE(p.input("tuning").has_value());
+  EXPECT_TRUE(p.input("small").has_value());
+  EXPECT_TRUE(p.input("large").has_value());
+}
+
+TEST_P(SuiteProperty, RunsUnderFortySeconds) {
+  // §3.1: inputs sized so each O3 run stays below 40 s.
+  const auto p = program();
+  for (const auto& input : p.inputs()) {
+    EXPECT_LT(input.o3_seconds, 40.0) << input.name;
+    EXPECT_GT(input.o3_seconds, 0.0) << input.name;
+  }
+}
+
+TEST_P(SuiteProperty, SmallInputSmallerThanLarge) {
+  const auto p = program();
+  EXPECT_LT(p.input("small")->ws_scale, p.input("large")->ws_scale);
+  EXPECT_LT(p.input("small")->o3_seconds, p.input("large")->o3_seconds);
+}
+
+TEST_P(SuiteProperty, OpenMpParallelHotLoops) {
+  // Benchmarks were selected for OpenMP parallelism (§3.1): the bulk
+  // of hot-loop runtime must be parallel.
+  const auto p = program();
+  double weighted = 0.0, total = 0.0;
+  for (const auto& loop : p.loops()) {
+    weighted += loop.o3_ratio * loop.features.parallel_frac;
+    total += loop.o3_ratio;
+  }
+  EXPECT_GT(weighted / total, 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteProperty,
+                         ::testing::Values("LULESH", "CL", "AMG",
+                                           "Optewe", "bwaves", "fma3d",
+                                           "swim"));
+
+// --------------------------------------------------------------- corpus ----
+
+TEST(Corpus, GeneratesRequestedCount) {
+  support::Rng rng(1);
+  EXPECT_EQ(generate_corpus(rng, 10).size(), 10u);
+}
+
+TEST(Corpus, DeterministicInRng) {
+  support::Rng a(5), b(5);
+  const auto ca = generate_corpus(a, 5);
+  const auto cb = generate_corpus(b, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ca[i].loops().size(), cb[i].loops().size());
+    EXPECT_DOUBLE_EQ(ca[i].loops()[0].features.flops_per_iter,
+                     cb[i].loops()[0].features.flops_per_iter);
+  }
+}
+
+TEST(Corpus, ProgramsAreSerial) {
+  // MICA (and COBAYN's dynamic features) only work on serial code;
+  // the corpus mirrors cBench's serial kernels.
+  support::Rng rng(2);
+  for (const auto& program : generate_corpus(rng, 8)) {
+    for (const auto& loop : program.loops()) {
+      EXPECT_DOUBLE_EQ(loop.features.parallel_frac, 0.0);
+    }
+  }
+}
+
+TEST(Corpus, ValidProgramsWithTuningInput) {
+  support::Rng rng(3);
+  for (const auto& program : generate_corpus(rng, 8)) {
+    EXPECT_GE(program.loops().size(), 1u);
+    EXPECT_LE(program.loops().size(), 3u);
+    EXPECT_NO_THROW((void)program.tuning_input());
+    for (const auto& loop : program.loops()) {
+      EXPECT_TRUE(ir::features_valid(loop.features));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ft::programs

@@ -1,0 +1,368 @@
+// Unit tests for the support library: deterministic RNG, statistics,
+// table rendering, CLI parsing, string utilities and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ft::support {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng parent(7);
+  Rng c1 = parent.fork("noise");
+  Rng c2 = parent.fork("noise");
+  EXPECT_EQ(c1.next(), c2.next());
+}
+
+TEST(Rng, ForkKeysDecorrelate) {
+  Rng parent(7);
+  EXPECT_NE(parent.fork("a").next(), parent.fork("b").next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalMeanAndStddev) {
+  Rng rng(17);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(mean(samples), 5.0, 0.1);
+  EXPECT_NEAR(stddev(samples), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 8000.0, 0.75, 0.05);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementAllWhenKExceedsN) {
+  Rng rng(31);
+  const auto sample = rng.sample_without_replacement(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(v.begin(), v.end()), b(shuffled.begin(),
+                                              shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, Fnv1aStableValues) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MeanEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, GeomeanBasic) {
+  const std::vector<double> v = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> v = {1.0, -1.0};
+  EXPECT_DOUBLE_EQ(geomean(v), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(Stats, StddevSingleValueIsZero) {
+  const std::vector<double> v = {3.0};
+  EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+}
+
+TEST(Stats, ArgminArgmax) {
+  const std::vector<double> v = {3, 1, 4, 1.5, 9};
+  EXPECT_EQ(argmin(v), 1u);
+  EXPECT_EQ(argmax(v), 4u);
+}
+
+TEST(Stats, SmallestKOrderedAndTieStable) {
+  const std::vector<double> v = {5, 1, 3, 1, 2};
+  const auto idx = smallest_k(v, 3);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1u);  // first of the tied 1s
+  EXPECT_EQ(idx[1], 3u);
+  EXPECT_EQ(idx[2], 4u);
+}
+
+TEST(Stats, SmallestKClampsToSize) {
+  const std::vector<double> v = {2, 1};
+  EXPECT_EQ(smallest_k(v, 10).size(), 2u);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonAnticorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVariance) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Title");
+  t.set_header({"A", "Bee"});
+  t.add_row({"1", "2"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| A"), std::string::npos);
+  EXPECT_NE(out.find("Bee"), std::string::npos);
+  EXPECT_NE(out.find("| 1"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456), "1.235");
+  EXPECT_EQ(Table::num(2.0, 1), "2.0");
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream oss;
+  EXPECT_NO_THROW(t.print(oss));
+}
+
+// ---------------------------------------------------------------- cli ----
+
+TEST(Cli, ParsesNameValuePairs) {
+  const CliArgs args({"--seed", "42", "--program", "CL"});
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+  EXPECT_EQ(args.get("program"), "CL");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const CliArgs args({"--samples=100"});
+  EXPECT_EQ(args.get_int("samples", 0), 100);
+}
+
+TEST(Cli, BooleanSwitch) {
+  const CliArgs args({"--verbose", "--seed", "1"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("seed", 0), 1);
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const CliArgs args(std::vector<std::string>{});
+  EXPECT_EQ(args.get_int("seed", 99), 99);
+  EXPECT_EQ(args.get("name", "x"), "x");
+  EXPECT_FALSE(args.has("seed"));
+}
+
+TEST(Cli, Positionals) {
+  const CliArgs args({"foo", "--k", "v", "bar"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "foo");
+  EXPECT_EQ(args.positionals()[1], "bar");
+}
+
+TEST(Cli, MalformedNumberFallsBack) {
+  const CliArgs args({"--seed", "abc"});
+  EXPECT_EQ(args.get_int("seed", 7), 7);
+  EXPECT_EQ(args.get_double("seed", 2.5), 2.5);
+}
+
+// ------------------------------------------------------------ strings ----
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x \t"), "x");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+// -------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // Pool remains usable afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { ++hits[i]; }, &pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, DeterministicResults) {
+  ThreadPool pool_a(1), pool_b(8);
+  auto run = [](ThreadPool& pool) {
+    std::vector<double> out(512);
+    parallel_for(512, [&](std::size_t i) {
+      Rng rng(static_cast<std::uint64_t>(i));
+      out[i] = rng.uniform();
+    }, &pool);
+    return out;
+  };
+  EXPECT_EQ(run(pool_a), run(pool_b));
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  EXPECT_NO_THROW(parallel_for(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ParallelFor, SingleIterationRunsInline) {
+  std::atomic<int> counter{0};
+  parallel_for(1, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+}  // namespace
+}  // namespace ft::support

@@ -1,0 +1,243 @@
+// ftune - the FuncyTuner command-line front end.
+//
+// Subcommands:
+//   ftune list                         benchmarks and architectures
+//   ftune spaces [--compiler icc|gcc]  print the optimization space
+//   ftune profile --program P [--arch A]
+//                                      Caliper profile of the O3 build
+//   ftune tune --program P [--arch A] [--algorithm cfr|random|fr|greedy|all]
+//              [--samples N] [--top-x X] [--seed S] [--patience N]
+//              [--json FILE] [--history FILE] [--collection FILE]
+//                                      run a tuning campaign cell
+//   ftune importance --program P [--arch A] [--top K]
+//                                      per-module flag main effects
+//
+// Exit status: 0 on success, 1 on usage errors.
+
+#include <fstream>
+#include <iostream>
+
+#include "core/campaign.hpp"
+#include "core/flag_importance.hpp"
+#include "core/funcy_tuner.hpp"
+#include "core/serialization.hpp"
+#include "flags/spaces.hpp"
+#include "machine/architecture.hpp"
+#include "programs/benchmarks.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace ft;
+
+machine::Architecture parse_arch(const std::string& name) {
+  if (name == "opteron") return machine::opteron();
+  if (name == "sandybridge") return machine::sandy_bridge();
+  if (name == "broadwell") return machine::broadwell();
+  throw std::invalid_argument(
+      "unknown --arch '" + name +
+      "' (expected opteron|sandybridge|broadwell)");
+}
+
+core::FuncyTunerOptions parse_options(const support::CliArgs& args) {
+  core::FuncyTunerOptions options;
+  options.samples =
+      static_cast<std::size_t>(args.get_int("samples", 1000));
+  options.top_x = static_cast<std::size_t>(args.get_int("top-x", 10));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  return options;
+}
+
+int cmd_list() {
+  support::Table programs_table("Benchmarks (Table 1)");
+  programs_table.set_header({"Name", "Language", "kLOC", "Hot loops"});
+  for (const auto& program : programs::suite()) {
+    programs_table.add_row({program.name(), program.language(),
+                            support::Table::num(program.loc_k(), 1),
+                            std::to_string(program.loops().size())});
+  }
+  programs_table.print(std::cout);
+
+  support::Table archs_table("Architectures (Table 2)");
+  archs_table.set_header(
+      {"Name", "Processor", "SIMD", "FMA", "Threads", "Flag"});
+  for (const auto& arch : machine::all_architectures()) {
+    archs_table.add_row({arch.name, arch.processor,
+                         std::to_string(arch.max_simd_bits) + "-bit",
+                         arch.has_fma ? "yes" : "no",
+                         std::to_string(arch.omp_threads),
+                         arch.proc_flag.empty() ? "-" : arch.proc_flag});
+  }
+  archs_table.print(std::cout);
+  return 0;
+}
+
+int cmd_spaces(const support::CliArgs& args) {
+  const std::string compiler = args.get("compiler", "icc");
+  const flags::FlagSpace space =
+      compiler == "gcc" ? flags::gcc_space() : flags::icc_space();
+  support::Table table("Optimization space '" + space.compiler_name() +
+                       "' (" + std::to_string(space.flag_count()) +
+                       " flags, |COS| = " +
+                       std::to_string(static_cast<double>(space.size())) +
+                       ")");
+  table.set_header({"Flag", "Options"});
+  for (const auto& spec : space.specs()) {
+    std::string options;
+    for (std::size_t i = 0; i < spec.options.size(); ++i) {
+      if (i) options += " | ";
+      options +=
+          spec.options[i].text.empty() ? "(default)" : spec.options[i].text;
+    }
+    table.add_row({spec.name, options});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_profile(const support::CliArgs& args) {
+  core::FuncyTuner tuner(programs::by_name(args.get("program", "CL")),
+                         parse_arch(args.get("arch", "broadwell")),
+                         parse_options(args));
+  const core::Outline& outline = tuner.outline();
+  support::Table table("O3 Caliper profile of " + tuner.program().name() +
+                       " on " + tuner.engine().arch().name + " (" +
+                       support::Table::num(outline.profile_seconds, 2) +
+                       " s instrumented)");
+  table.set_header({"Loop", "Share", "Outlined (>= 1%)"});
+  for (std::size_t j = 0; j < tuner.program().loops().size(); ++j) {
+    const bool hot = std::find(outline.hot.begin(), outline.hot.end(),
+                               j) != outline.hot.end();
+    table.add_row(
+        {tuner.program().loops()[j].name,
+         support::Table::num(outline.measured_share[j] * 100, 1) + "%",
+         hot ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_tune(const support::CliArgs& args) {
+  core::FuncyTunerOptions options = parse_options(args);
+  core::FuncyTuner tuner(programs::by_name(args.get("program", "CL")),
+                         parse_arch(args.get("arch", "broadwell")),
+                         options);
+  const std::string algorithm = args.get("algorithm", "cfr");
+
+  std::vector<core::TuningResult> results;
+  if (algorithm == "random" || algorithm == "all") {
+    results.push_back(tuner.run_random());
+  }
+  if (algorithm == "fr" || algorithm == "all") {
+    results.push_back(tuner.run_fr());
+  }
+  if (algorithm == "greedy" || algorithm == "all") {
+    const auto greedy = tuner.run_greedy();
+    results.push_back(greedy.realized);
+    std::cout << "G.Independent (hypothetical): "
+              << support::Table::num(greedy.independent_speedup) << "\n";
+  }
+  if (algorithm == "cfr" || algorithm == "all") {
+    const std::size_t patience =
+        static_cast<std::size_t>(args.get_int("patience", 0));
+    if (patience > 0) {
+      core::CfrOptions cfr_options;
+      cfr_options.top_x = options.top_x;
+      cfr_options.iterations = options.samples;
+      cfr_options.patience = patience;
+      results.push_back(core::cfr_search(
+          tuner.evaluator(), tuner.outline(), tuner.collection(),
+          cfr_options, tuner.baseline_seconds()));
+    } else {
+      results.push_back(tuner.run_cfr());
+    }
+  }
+  if (results.empty()) {
+    std::cerr << "unknown --algorithm '" << algorithm
+              << "' (expected cfr|random|fr|greedy|all)\n";
+    return 1;
+  }
+
+  support::Table table("Tuning " + tuner.program().name() + " on " +
+                       tuner.engine().arch().name);
+  table.set_header({"Algorithm", "Speedup", "Runtime [s]", "Evals"});
+  for (const auto& result : results) {
+    table.add_row({result.algorithm, support::Table::num(result.speedup),
+                   support::Table::num(result.tuned_seconds, 2),
+                   std::to_string(result.evaluations)});
+  }
+  table.print(std::cout);
+
+  const core::TuningResult& last = results.back();
+  if (args.has("json")) {
+    std::ofstream out(args.get("json"));
+    out << core::tuning_result_json(last, tuner.space(),
+                                    tuner.program())
+        << '\n';
+    std::cout << "wrote " << args.get("json") << '\n';
+  }
+  if (args.has("history")) {
+    std::ofstream out(args.get("history"));
+    core::write_history_csv(out, last);
+    std::cout << "wrote " << args.get("history") << '\n';
+  }
+  if (args.has("collection")) {
+    std::ofstream out(args.get("collection"));
+    core::write_collection_csv(out, tuner.outline(), tuner.collection());
+    std::cout << "wrote " << args.get("collection") << '\n';
+  }
+  return 0;
+}
+
+int cmd_importance(const support::CliArgs& args) {
+  core::FuncyTuner tuner(programs::by_name(args.get("program", "CL")),
+                         parse_arch(args.get("arch", "broadwell")),
+                         parse_options(args));
+  const std::size_t top_k =
+      static_cast<std::size_t>(args.get_int("top", 3));
+  const auto importance = core::analyze_flag_importance(
+      tuner.space(), tuner.outline(), tuner.collection());
+  support::Table table("Flag main effects for " + tuner.program().name());
+  table.set_header({"Module", "Flag", "Spread", "Best option"});
+  for (const auto& module : importance) {
+    for (const auto& effect : core::top_flags(module, top_k)) {
+      const auto& spec = tuner.space().specs()[effect.flag_index];
+      const std::string& text = spec.options[effect.best_option].text;
+      table.add_row({module.module_name, effect.flag_name,
+                     support::Table::num(effect.spread * 100, 1) + "%",
+                     text.empty() ? "(default)" : text});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cerr << "usage: ftune <list|spaces|profile|tune|importance> "
+               "[options]\n  see the header of tools/ftune.cpp for the "
+               "full option list\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const support::CliArgs args(argc - 1, argv + 1);
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "spaces") return cmd_spaces(args);
+    if (command == "profile") return cmd_profile(args);
+    if (command == "tune") return cmd_tune(args);
+    if (command == "importance") return cmd_importance(args);
+    usage();
+    return 1;
+  } catch (const std::exception& error) {
+    std::cerr << "ftune: " << error.what() << '\n';
+    return 1;
+  }
+}
