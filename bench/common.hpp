@@ -1,8 +1,10 @@
 // Shared helpers for the figure/table reproduction binaries. Every
 // binary accepts:
-//   --samples N   pre-sampled CV count / search iterations (default 1000)
-//   --seed S      top-level seed (default 42)
-//   --csv         additionally emit CSV rows for plotting
+//   --samples N    pre-sampled CV count / search iterations (default 1000)
+//   --seed S       top-level seed (default 42)
+//   --csv          additionally emit CSV rows for plotting
+//   --pool-stats   append thread-pool counters (submitted/completed/
+//                  stolen tasks, queue high-water, busy seconds)
 // and prints the same rows/series the paper's figure reports.
 #pragma once
 
@@ -16,6 +18,7 @@
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ft::bench {
 
@@ -23,6 +26,7 @@ struct BenchConfig {
   std::size_t samples = 1000;
   std::uint64_t seed = 42;
   bool csv = false;
+  bool pool_stats = false;
 
   static BenchConfig parse(int argc, char** argv) {
     const support::CliArgs args(argc, argv);
@@ -31,6 +35,7 @@ struct BenchConfig {
         static_cast<std::size_t>(args.get_int("samples", 1000));
     config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
     config.csv = args.get_bool("csv", false);
+    config.pool_stats = args.get_bool("pool-stats", false);
     return config;
   }
 
@@ -59,10 +64,27 @@ inline void add_gm_row(support::Table& table, const std::string& label,
   table.add_row(row);
 }
 
+/// Cumulative counters of the shared evaluation pool, for spotting
+/// queue pressure or imbalance in long reproduction runs.
+inline void print_pool_stats(std::ostream& out) {
+  const support::ThreadPool::Stats s = support::global_pool().stats();
+  support::Table table("Thread pool (" + std::to_string(s.threads) +
+                       " workers)");
+  table.set_header({"Submitted", "Completed", "Stolen", "Queue max",
+                    "Busy [s]"});
+  table.add_row({std::to_string(s.tasks_submitted),
+                 std::to_string(s.tasks_completed),
+                 std::to_string(s.tasks_stolen),
+                 std::to_string(s.queue_high_water),
+                 support::Table::num(s.worker_busy_seconds, 3)});
+  table.print(out);
+}
+
 inline void print_table(const support::Table& table,
                         const BenchConfig& config) {
   table.print(std::cout);
   if (config.csv) table.print_csv(std::cout);
+  if (config.pool_stats) print_pool_stats(std::cout);
 }
 
 }  // namespace ft::bench

@@ -7,6 +7,7 @@
 #include "machine/execution_engine.hpp"
 #include "programs/corpus.hpp"
 #include "support/stats.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ft::baselines {
 
@@ -210,14 +211,16 @@ void Cobayn::train() {
     const std::vector<flags::CompilationVector> cvs =
         binary_space_.sample_many(sample_rng, options_.corpus_samples);
 
+    // Training measurements are index-pure (noise keyed by k), so they
+    // fan out on the shared pool like every other sweep.
     std::vector<double> seconds(cvs.size());
-    for (std::size_t k = 0; k < cvs.size(); ++k) {
+    support::parallel_for(cvs.size(), [&](std::size_t k) {
       const compiler::Executable exe =
           compiler.build_uniform(program, cvs[k]);
       machine::RunOptions run_options;
-      run_options.rep_base = k;
+      run_options.rep_base = core::rep_streams::kCobaynTraining + k;
       seconds[k] = engine.run(exe, input, run_options).end_to_end;
-    }
+    });
 
     // Evidence: per-flag non-default frequency among the top-K CVs.
     const std::vector<std::size_t> top = support::smallest_k(
@@ -292,10 +295,12 @@ core::TuningResult Cobayn::infer(core::Evaluator& evaluator,
 
   const std::size_t loop_count = program.loops().size();
   const std::vector<double> seconds = evaluator.evaluate_batch(
-      candidates.size(), [&](std::size_t k) {
+      candidates.size(),
+      [&](std::size_t k) {
         return compiler::ModuleAssignment::uniform(candidates[k],
                                                    loop_count);
-      });
+      },
+      core::rep_streams::kCobayn);
 
   core::TuningResult result;
   result.algorithm = cobayn_model_name(model);

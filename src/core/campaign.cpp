@@ -1,8 +1,10 @@
 #include "core/campaign.hpp"
 
+#include <mutex>
 #include <stdexcept>
 
 #include "support/stats.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ft::core {
 
@@ -18,27 +20,41 @@ Campaign::Campaign(std::vector<ir::Program> programs,
 }
 
 void Campaign::run() {
-  cells_.clear();
-  cells_.reserve(programs_.size() * architectures_.size());
-  for (std::size_t a = 0; a < architectures_.size(); ++a) {
+  const std::size_t cell_count = programs_.size() * architectures_.size();
+  cells_.assign(cell_count, CampaignCell{});
+
+  std::mutex progress_mutex;
+  // Cell index c = a * |programs| + p, matching the sequential
+  // (arch-major) emission order so lookups and serialization see the
+  // same grid regardless of parallel_cells.
+  auto run_cell = [&](std::size_t c) {
+    const std::size_t a = c / programs_.size();
+    const std::size_t p = c % programs_.size();
     FuncyTunerOptions tuner_options = options_.tuner;
     if (options_.salt_seed_per_arch) tuner_options.seed += a;
-    for (const ir::Program& program : programs_) {
-      FuncyTuner tuner(program, architectures_[a], tuner_options);
-      const FuncyTuner::AllResults results = tuner.run_all();
-      CampaignCell cell;
-      cell.program = program.name();
-      cell.architecture = architectures_[a].name;
-      cell.baseline_seconds = results.baseline_seconds;
-      cell.random = results.random;
-      cell.fr = results.fr;
-      cell.greedy = results.greedy;
-      cell.cfr = results.cfr;
-      cells_.push_back(std::move(cell));
-      if (options_.progress) {
-        options_.progress(program.name(), architectures_[a].name);
-      }
+    const ir::Program& program = programs_[p];
+    FuncyTuner tuner(program, architectures_[a], tuner_options);
+    const FuncyTuner::AllResults results = tuner.run_all();
+    CampaignCell& cell = cells_[c];
+    cell.program = program.name();
+    cell.architecture = architectures_[a].name;
+    cell.baseline_seconds = results.baseline_seconds;
+    cell.random = results.random;
+    cell.fr = results.fr;
+    cell.greedy = results.greedy;
+    cell.cfr = results.cfr;
+    if (options_.progress) {
+      std::lock_guard lock(progress_mutex);
+      options_.progress(program.name(), architectures_[a].name);
     }
+  };
+
+  if (options_.parallel_cells) {
+    // Cells nest their own parallel_for sweeps inside pool workers;
+    // safe because waiting callers help execute queued tasks.
+    support::parallel_for(cell_count, run_cell);
+  } else {
+    for (std::size_t c = 0; c < cell_count; ++c) run_cell(c);
   }
   finished_ = true;
 }

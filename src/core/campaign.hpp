@@ -32,7 +32,15 @@ struct CampaignOptions {
   /// platforms draw different pre-samples (the paper tunes each
   /// machine independently).
   bool salt_seed_per_arch = true;
-  /// Optional progress callback: (program, architecture) just finished.
+  /// Run the grid cells concurrently on the shared pool. Each cell is
+  /// a self-contained tuner (own engine, seed-derived noise), so the
+  /// result grid is bit-identical to a sequential run; only the
+  /// progress callback order varies. Cells issue their own
+  /// parallel_for sweeps from inside pool workers, which the
+  /// task-group runtime supports (waiters help execute queued tasks).
+  bool parallel_cells = false;
+  /// Optional progress callback: (program, architecture) just
+  /// finished. Invoked serially (under a lock when parallel_cells).
   std::function<void(const std::string&, const std::string&)> progress;
 };
 
@@ -42,8 +50,9 @@ class Campaign {
            std::vector<machine::Architecture> architectures,
            CampaignOptions options = {});
 
-  /// Runs every cell (sequentially per cell; each cell parallelizes
-  /// its own 1000-variant evaluations internally).
+  /// Runs every cell (concurrently when options.parallel_cells; each
+  /// cell also parallelizes its own 1000-variant evaluations
+  /// internally). The result grid is identical either way.
   void run();
   [[nodiscard]] bool finished() const noexcept { return finished_; }
 

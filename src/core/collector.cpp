@@ -23,7 +23,7 @@ Collection collect_per_loop_runtimes(
     machine::RunOptions options;
     options.repetitions = 1;
     options.instrumented = true;  // Caliper measures the hot loops
-    options.rep_base = k;
+    options.rep_base = rep_streams::kCollection + k;
     const machine::RunResult result = evaluator.run(assignment, options);
 
     collection.end_to_end[k] = result.end_to_end;

@@ -56,10 +56,10 @@ machine::RunResult Evaluator::run(
 std::vector<double> Evaluator::evaluate_batch(
     std::size_t count,
     const std::function<compiler::ModuleAssignment(std::size_t)>& make,
-    bool instrumented) {
+    std::uint64_t rep_base, bool instrumented) {
   std::vector<double> seconds(count, 0.0);
   support::parallel_for(count, [&](std::size_t i) {
-    seconds[i] = evaluate(make(i), /*rep_base=*/i, instrumented);
+    seconds[i] = evaluate(make(i), rep_base + i, instrumented);
   });
   return seconds;
 }
@@ -68,7 +68,7 @@ double Evaluator::final_seconds(const compiler::ModuleAssignment& assignment,
                                 int reps) {
   machine::RunOptions options;
   options.repetitions = reps;
-  options.rep_base = 1u << 20;  // fresh noise stream vs. search runs
+  options.rep_base = rep_streams::kFinal;  // fresh noise vs. search runs
   return run(assignment, options).end_to_end;
 }
 

@@ -17,6 +17,25 @@
 
 namespace ft::core {
 
+/// Disjoint noise-stream offsets, one per measurement phase. Every
+/// phase keys its i-th measurement at `offset + i`, so two phases that
+/// evaluate the same number of variants still draw independent noise
+/// (previously Random, FR, CFR and the collection sweep all reused
+/// keys 0..N-1 and their noise was correlated index-for-index). The
+/// 1<<16 spacing holds as long as a phase evaluates fewer than 65536
+/// variants; the paper's protocol uses 1000.
+namespace rep_streams {
+inline constexpr std::uint64_t kCollection = 0;             ///< §2.2.2 sweep
+inline constexpr std::uint64_t kRandom = 1ull << 16;        ///< Random search
+inline constexpr std::uint64_t kFunctionRandom = 2ull << 16;///< FR search
+inline constexpr std::uint64_t kCfr = 3ull << 16;           ///< CFR (Alg. 1)
+inline constexpr std::uint64_t kEvolution = 4ull << 16;     ///< EvoCFR
+inline constexpr std::uint64_t kCobayn = 5ull << 16;        ///< Cobayn inference
+inline constexpr std::uint64_t kCobaynTraining = 6ull << 16;///< Cobayn training
+inline constexpr std::uint64_t kFinal = 1ull << 20;         ///< final_seconds
+inline constexpr std::uint64_t kCrossInput = 1ull << 21;    ///< other inputs
+}  // namespace rep_streams
+
 /// Modeled real-world cost of tuning actions, for the §4.3
 /// tuning-overhead comparison (seconds of testbed time).
 struct OverheadModel {
@@ -48,11 +67,13 @@ class Evaluator {
       const machine::RunOptions& options);
 
   /// Evaluates `count` variants concurrently; result[i] is produced by
-  /// `make(i)` evaluated at rep_base = i. Deterministic.
+  /// `make(i)` evaluated at noise key `rep_base + i`. Deterministic for
+  /// a fixed rep_base. Callers pass their phase's rep_streams offset so
+  /// concurrent or successive phases draw disjoint noise.
   [[nodiscard]] std::vector<double> evaluate_batch(
       std::size_t count,
       const std::function<compiler::ModuleAssignment(std::size_t)>& make,
-      bool instrumented = false);
+      std::uint64_t rep_base = 0, bool instrumented = false);
 
   /// Re-measures an assignment with fresh noise, averaged over `reps`
   /// (the paper's 10-experiment reporting protocol, §4.1).

@@ -51,24 +51,37 @@ TuningResult evolutionary_search(Evaluator& evaluator,
   };
 
   std::uint64_t rep = 0;
-  auto evaluate = [&](Individual& individual) {
-    individual.seconds =
-        evaluator.evaluate(make_assignment(individual.genome), rep++);
+  auto record_history = [&](double seconds) {
     double best = result.history.empty()
                       ? std::numeric_limits<double>::infinity()
                       : result.history.back();
-    best = std::min(best, individual.seconds);
-    result.history.push_back(best);
+    result.history.push_back(std::min(best, seconds));
+  };
+  auto evaluate = [&](Individual& individual) {
+    individual.seconds = evaluator.evaluate(
+        make_assignment(individual.genome), rep_streams::kEvolution + rep++);
+    record_history(individual.seconds);
   };
 
   // --- generation 0: CFR-style independent samples ------------------------
+  // Gen-0 individuals are independent, so they evaluate as one parallel
+  // batch (noise keys kEvolution + 0..N-1, identical to the sequential
+  // order); history is reconstructed in index order afterwards.
   const std::size_t population_size =
       std::min(options.population, options.evaluations);
   std::vector<Individual> population(population_size);
   for (Individual& individual : population) {
     individual.genome = random_genome();
-    evaluate(individual);
   }
+  const std::vector<double> gen0 = evaluator.evaluate_batch(
+      population_size,
+      [&](std::size_t i) { return make_assignment(population[i].genome); },
+      rep_streams::kEvolution);
+  for (std::size_t i = 0; i < population_size; ++i) {
+    population[i].seconds = gen0[i];
+    record_history(gen0[i]);
+  }
+  rep = population_size;
 
   auto tournament = [&]() -> const Individual& {
     const Individual& a = population[rng.next_below(population.size())];

@@ -119,7 +119,7 @@ double FuncyTuner::seconds_on(const ir::InputSpec& input,
   const compiler::Executable exe = compiler_.build(program_, assignment);
   machine::RunOptions options;
   options.repetitions = reps;
-  options.rep_base = 1u << 21;
+  options.rep_base = rep_streams::kCrossInput;
   return engine_->run(exe, input, options).end_to_end;
 }
 
@@ -127,7 +127,7 @@ double FuncyTuner::baseline_seconds_on(const ir::InputSpec& input,
                                        int reps) {
   machine::RunOptions options;
   options.repetitions = reps;
-  options.rep_base = 1u << 21;
+  options.rep_base = rep_streams::kCrossInput;
   return engine_->run(engine_->baseline(), input, options).end_to_end;
 }
 

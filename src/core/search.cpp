@@ -42,9 +42,11 @@ TuningResult random_search(Evaluator& evaluator,
       evaluator.engine().program().loops().size();
 
   const std::vector<double> seconds = evaluator.evaluate_batch(
-      cvs.size(), [&](std::size_t k) {
+      cvs.size(),
+      [&](std::size_t k) {
         return compiler::ModuleAssignment::uniform(cvs[k], loop_count);
-      });
+      },
+      rep_streams::kRandom);
 
   finish_from_history(result, seconds);
   const std::size_t winner = support::argmin(seconds);
@@ -81,8 +83,8 @@ TuningResult function_random_search(
                                    presampled[picks[k].back()]);
   };
 
-  const std::vector<double> seconds =
-      evaluator.evaluate_batch(iterations, make);
+  const std::vector<double> seconds = evaluator.evaluate_batch(
+      iterations, make, rep_streams::kFunctionRandom);
   finish_from_history(result, seconds);
   result.best_assignment = make(support::argmin(seconds));
   measure_final(result, evaluator, baseline_seconds);
@@ -166,7 +168,8 @@ TuningResult cfr_search(Evaluator& evaluator, const Outline& outline,
 
   std::vector<double> seconds;
   if (options.patience == 0) {
-    seconds = evaluator.evaluate_batch(options.iterations, make);
+    seconds =
+        evaluator.evaluate_batch(options.iterations, make, rep_streams::kCfr);
   } else {
     // Sequential with convergence-based early stop: identical results
     // for the evaluations it does run (same per-index noise keys).
@@ -174,7 +177,7 @@ TuningResult cfr_search(Evaluator& evaluator, const Outline& outline,
     double best = std::numeric_limits<double>::infinity();
     std::size_t since_improvement = 0;
     for (std::size_t k = 0; k < options.iterations; ++k) {
-      const double s = evaluator.evaluate(make(k), k);
+      const double s = evaluator.evaluate(make(k), rep_streams::kCfr + k);
       seconds.push_back(s);
       if (s < best) {
         best = s;

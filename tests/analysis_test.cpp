@@ -288,6 +288,39 @@ TEST(Campaign, RunsGridAndAnswersQueries) {
                std::invalid_argument);
 }
 
+TEST(Campaign, ParallelCellsMatchSequentialGrid) {
+  core::CampaignOptions options;
+  options.tuner = fast_options(60);
+  const std::vector<ir::Program> programs = {programs::swim(),
+                                             programs::bwaves()};
+  const std::vector<machine::Architecture> archs = {
+      machine::broadwell(), machine::sandy_bridge()};
+
+  core::Campaign sequential(programs, archs, options);
+  sequential.run();
+
+  options.parallel_cells = true;
+  std::size_t progress_calls = 0;
+  options.progress = [&](const std::string&, const std::string&) {
+    ++progress_calls;
+  };
+  // Cells run inside pool workers and issue their own nested
+  // parallel_for sweeps; results must be bit-identical to sequential.
+  core::Campaign parallel(programs, archs, options);
+  parallel.run();
+  EXPECT_EQ(progress_calls, 4u);
+  ASSERT_EQ(parallel.cells().size(), sequential.cells().size());
+  for (const auto& cell : sequential.cells()) {
+    const auto& other = parallel.cell(cell.program, cell.architecture);
+    EXPECT_DOUBLE_EQ(other.baseline_seconds, cell.baseline_seconds);
+    EXPECT_DOUBLE_EQ(other.random.speedup, cell.random.speedup);
+    EXPECT_DOUBLE_EQ(other.fr.speedup, cell.fr.speedup);
+    EXPECT_DOUBLE_EQ(other.cfr.speedup, cell.cfr.speedup);
+    EXPECT_DOUBLE_EQ(other.greedy.realized.speedup,
+                     cell.greedy.realized.speedup);
+  }
+}
+
 TEST(Campaign, SaltedSeedsDifferPerArch) {
   core::CampaignOptions options;
   options.tuner = fast_options(60);

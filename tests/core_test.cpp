@@ -284,6 +284,31 @@ TEST_F(CoreTest, EvaluatorBatchMatchesSequential) {
   }
 }
 
+TEST_F(CoreTest, BatchRepBaseOffsetsDecorrelatePhases) {
+  Evaluator& evaluator = tuner_.evaluator();
+  const auto& cvs = tuner_.presampled();
+  const std::size_t loops = tuner_.program().loops().size();
+  auto make = [&](std::size_t i) {
+    return compiler::ModuleAssignment::uniform(cvs[i], loops);
+  };
+  // Same variants under two phase offsets: the noise streams must be
+  // disjoint (different measurements index-for-index), yet each phase
+  // stays deterministic under a fixed offset.
+  const std::vector<double> sweep =
+      evaluator.evaluate_batch(16, make, rep_streams::kCollection);
+  const std::vector<double> random_phase =
+      evaluator.evaluate_batch(16, make, rep_streams::kRandom);
+  EXPECT_EQ(sweep,
+            evaluator.evaluate_batch(16, make, rep_streams::kCollection));
+  EXPECT_EQ(random_phase,
+            evaluator.evaluate_batch(16, make, rep_streams::kRandom));
+  std::size_t identical = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    identical += (sweep[i] == random_phase[i]);
+  }
+  EXPECT_LT(identical, 16u);  // noise no longer shared index-for-index
+}
+
 TEST_F(CoreTest, FinalSecondsUsesFreshNoise) {
   Evaluator& evaluator = tuner_.evaluator();
   const auto o3 = compiler::ModuleAssignment::uniform(

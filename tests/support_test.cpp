@@ -3,9 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "support/cli.hpp"
 #include "support/rng.hpp"
@@ -362,6 +368,178 @@ TEST(ParallelFor, SingleIterationRunsInline) {
   std::atomic<int> counter{0};
   parallel_for(1, [&](std::size_t) { ++counter; });
   EXPECT_EQ(counter.load(), 1);
+}
+
+// ------------------------------------------------------- task groups ----
+
+TEST(TaskGroup, StatsCountSubmittedAndCompleted) {
+  ThreadPool pool(4);
+  TaskGroup group;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 25; ++i) pool.submit(group, [&] { ++counter; });
+  pool.wait(group);
+  EXPECT_EQ(counter.load(), 25);
+  const TaskGroup::Stats stats = group.stats();
+  EXPECT_EQ(stats.submitted, 25u);
+  EXPECT_EQ(stats.completed, 25u);
+
+  const ThreadPool::Stats pool_stats = pool.stats();
+  EXPECT_EQ(pool_stats.threads, 4u);
+  EXPECT_GE(pool_stats.tasks_submitted, 25u);
+  EXPECT_GE(pool_stats.tasks_completed, 25u);
+  EXPECT_GE(pool_stats.queue_high_water, 1u);
+}
+
+TEST(TaskGroup, ErrorIsRoutedOnlyToItsOwnGroup) {
+  ThreadPool pool(2);
+  TaskGroup bad, good;
+  std::atomic<int> good_done{0};
+  pool.submit(bad, [] { throw std::runtime_error("bad-group"); });
+  for (int i = 0; i < 50; ++i) pool.submit(good, [&] { ++good_done; });
+  EXPECT_NO_THROW(pool.wait(good));
+  EXPECT_EQ(good_done.load(), 50);
+  try {
+    pool.wait(bad);
+    FAIL() << "expected bad group's exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "bad-group");
+  }
+  // Error slot is cleared; the group is reusable.
+  pool.submit(bad, [] {});
+  EXPECT_NO_THROW(pool.wait(bad));
+}
+
+// Regression for the flat-counter pool: wait_idle() waited on a global
+// in-flight count and rethrew a global first_error_, so one caller
+// could receive another caller's exception (or return early while
+// foreign work was still in flight). With task groups, two concurrent
+// parallel_for callers must each observe exactly their own failure.
+TEST(TaskGroup, ConcurrentParallelForCallersGetTheirOwnExceptions) {
+  ThreadPool pool(4);
+  auto caller = [&](const std::string& tag) {
+    try {
+      parallel_for(256, [&](std::size_t i) {
+        if (i == 123) throw std::runtime_error(tag);
+      }, &pool);
+      return std::string("no-exception");
+    } catch (const std::runtime_error& error) {
+      return std::string(error.what());
+    }
+  };
+  for (int round = 0; round < 20; ++round) {
+    auto a = std::async(std::launch::async, caller, "caller-a");
+    auto b = std::async(std::launch::async, caller, "caller-b");
+    EXPECT_EQ(a.get(), "caller-a");
+    EXPECT_EQ(b.get(), "caller-b");
+  }
+}
+
+TEST(TaskGroup, ThrowingCallerDoesNotPoisonCleanConcurrentCaller) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    auto thrower = std::async(std::launch::async, [&] {
+      EXPECT_THROW(
+          parallel_for(128, [](std::size_t i) {
+            if (i % 2 == 0) throw std::runtime_error("thrower");
+          }, &pool),
+          std::runtime_error);
+    });
+    auto clean = std::async(std::launch::async, [&] {
+      std::vector<int> out(512, 0);
+      EXPECT_NO_THROW(parallel_for(512, [&](std::size_t i) {
+        out[i] = static_cast<int>(i);
+      }, &pool));
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], static_cast<int>(i));
+      }
+    });
+    thrower.get();
+    clean.get();
+  }
+}
+
+// A caller whose workers are all occupied by another (blocked) caller
+// makes progress by executing its own queued tasks in wait(): the
+// group's stolen counter proves it was not blocked behind the other
+// caller's work.
+TEST(TaskGroup, WaiterHelpsWhenAllWorkersAreBlocked) {
+  ThreadPool pool(2);
+  TaskGroup blockers;
+  std::promise<void> release;
+  const std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> started{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.submit(blockers, [&started, released] {
+      ++started;
+      released.wait();
+    });
+  }
+  while (started.load() < 2) std::this_thread::yield();
+
+  std::vector<int> out(100, 0);
+  TaskGroup::Stats stats;
+  parallel_for(100, [&](std::size_t i) { out[i] = 1; }, &pool, &stats);
+  for (const int v : out) EXPECT_EQ(v, 1);
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.stolen, stats.submitted);  // every chunk ran via helping
+
+  release.set_value();
+  pool.wait(blockers);
+  EXPECT_EQ(blockers.stats().completed, 2u);
+}
+
+// ------------------------------------------------- nested parallelism ----
+
+TEST(ParallelFor, NestedMatchesSerialOnAllPoolSizes) {
+  constexpr std::size_t kOuter = 8, kInner = 16;
+  std::vector<std::vector<int>> expected(kOuter,
+                                         std::vector<int>(kInner, 0));
+  for (std::size_t i = 0; i < kOuter; ++i) {
+    for (std::size_t j = 0; j < kInner; ++j) {
+      expected[i][j] = static_cast<int>(i * 100 + j);
+    }
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{0}}) {
+    ThreadPool pool(threads);
+    std::vector<std::vector<int>> got(kOuter, std::vector<int>(kInner, 0));
+    parallel_for(kOuter, [&](std::size_t i) {
+      parallel_for(kInner, [&, i](std::size_t j) {
+        got[i][j] = static_cast<int>(i * 100 + j);
+      }, &pool);
+    }, &pool);
+    EXPECT_EQ(got, expected) << "pool threads = " << threads;
+  }
+}
+
+TEST(ParallelFor, DeeplyNestedCompletesOnTinyPool) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  parallel_for(4, [&](std::size_t) {
+    parallel_for(4, [&](std::size_t) {
+      parallel_for(4, [&](std::size_t) { ++leaves; }, &pool);
+    }, &pool);
+  }, &pool);
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ParallelFor, NestedExceptionPropagatesToOuterCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(4, [&](std::size_t i) {
+        parallel_for(4, [i](std::size_t j) {
+          if (i == 2 && j == 3) throw std::runtime_error("inner");
+        }, &pool);
+      }, &pool),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, BusySecondsAccumulate) {
+  ThreadPool pool(2);
+  parallel_for(8, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }, &pool);
+  EXPECT_GT(pool.stats().worker_busy_seconds, 0.0);
 }
 
 }  // namespace

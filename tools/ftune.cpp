@@ -8,6 +8,7 @@
 //   ftune tune --program P [--arch A] [--algorithm cfr|random|fr|greedy|all]
 //              [--samples N] [--top-x X] [--seed S] [--patience N]
 //              [--json FILE] [--history FILE] [--collection FILE]
+//              [--pool-stats]
 //                                      run a tuning campaign cell
 //   ftune importance --program P [--arch A] [--top K]
 //                                      per-module flag main effects
@@ -26,6 +27,7 @@
 #include "programs/benchmarks.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -186,6 +188,20 @@ int cmd_tune(const support::CliArgs& args) {
     std::ofstream out(args.get("collection"));
     core::write_collection_csv(out, tuner.outline(), tuner.collection());
     std::cout << "wrote " << args.get("collection") << '\n';
+  }
+  if (args.get_bool("pool-stats", false)) {
+    const support::ThreadPool::Stats stats =
+        support::global_pool().stats();
+    support::Table pool_table(
+        "Evaluation pool (" + std::to_string(stats.threads) + " workers)");
+    pool_table.set_header(
+        {"Submitted", "Completed", "Stolen", "Queue max", "Busy [s]"});
+    pool_table.add_row({std::to_string(stats.tasks_submitted),
+                        std::to_string(stats.tasks_completed),
+                        std::to_string(stats.tasks_stolen),
+                        std::to_string(stats.queue_high_water),
+                        support::Table::num(stats.worker_busy_seconds, 3)});
+    pool_table.print(std::cout);
   }
   return 0;
 }
