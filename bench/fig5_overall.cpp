@@ -10,9 +10,13 @@
 
 #include "bench/common.hpp"
 
+#include "core/search_registry.hpp"
+
 int main(int argc, char** argv) {
   using namespace ft;
   const bench::BenchConfig config = bench::BenchConfig::parse(argc, argv);
+  const std::vector<std::string> algorithms =
+      core::SearchRegistry::global().names();
 
   const char* subfig = "abc";
   int arch_index = 0;
@@ -25,23 +29,30 @@ int main(int argc, char** argv) {
     header.push_back("GM");
     table.set_header(header);
 
-    std::vector<double> random, g_realized, fr, cfr, g_independent;
+    // One speedup series per registry algorithm, plus G.Independent
+    // (carried by greedy's optional TuningResult fields).
+    std::vector<std::string> labels(algorithms.size());
+    std::vector<std::vector<double>> series(algorithms.size());
+    std::vector<double> g_independent;
     for (const auto& name : bench::benchmark_names()) {
       core::FuncyTuner tuner(
           programs::by_name(name), arch,
           config.tuner_options(static_cast<std::uint64_t>(arch_index)));
-      const core::FuncyTuner::AllResults results = tuner.run_all();
-      random.push_back(results.random.speedup);
-      g_realized.push_back(results.greedy.realized.speedup);
-      fr.push_back(results.fr.speedup);
-      cfr.push_back(results.cfr.speedup);
-      g_independent.push_back(results.greedy.independent_speedup);
+      for (std::size_t i = 0; i < algorithms.size(); ++i) {
+        const core::TuningResult result = tuner.run(algorithms[i]);
+        labels[i] = result.algorithm;
+        series[i].push_back(result.speedup);
+        if (result.independent_speedup) {
+          g_independent.push_back(*result.independent_speedup);
+        }
+      }
     }
-    bench::add_gm_row(table, "Random", random);
-    bench::add_gm_row(table, "G.realized", g_realized);
-    bench::add_gm_row(table, "FR", fr);
-    bench::add_gm_row(table, "CFR", cfr);
-    bench::add_gm_row(table, "G.Independent", g_independent);
+    for (std::size_t i = 0; i < algorithms.size(); ++i) {
+      bench::add_gm_row(table, labels[i], series[i]);
+    }
+    if (!g_independent.empty()) {
+      bench::add_gm_row(table, "G.Independent", g_independent);
+    }
     bench::print_table(table, config);
     std::cout << '\n';
     ++arch_index;

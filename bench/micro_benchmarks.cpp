@@ -6,12 +6,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "compiler/compiler.hpp"
 #include "core/evaluator.hpp"
 #include "flags/spaces.hpp"
 #include "machine/execution_engine.hpp"
 #include "programs/benchmarks.hpp"
 #include "support/rng.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -113,10 +117,37 @@ void BM_AssembledEvaluation(benchmark::State& state) {
       assignment.loop_cvs.push_back(space.sample(rng));
     }
     assignment.nonloop_cv = space.sample(rng);
-    benchmark::DoNotOptimize(evaluator.evaluate(assignment, ++rep));
+    benchmark::DoNotOptimize(
+        evaluator.evaluate(assignment, {.rep_base = ++rep}));
   }
 }
 BENCHMARK(BM_AssembledEvaluation);
+
+void BM_NullSinkSpan(benchmark::State& state) {
+  // The telemetry fast path: with no sink attached, begin/end must
+  // reduce to one relaxed load (the acceptance bar for leaving span
+  // calls in hot evaluator paths).
+  for (auto _ : state) {
+    telemetry::Span span = telemetry::tracer().begin("bench");
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(BM_NullSinkSpan);
+
+void BM_ActiveSinkSpan(benchmark::State& state) {
+  // Reference cost with a live JSONL sink, for comparison.
+  auto stream = std::make_shared<std::ostringstream>();
+  telemetry::SinkScope scope(
+      std::make_shared<telemetry::JsonlSink>(*stream));
+  for (auto _ : state) {
+    telemetry::Span span = telemetry::tracer().begin("bench");
+    benchmark::DoNotOptimize(span);
+    if (stream->tellp() > (1 << 20)) {
+      stream->str({});  // keep the buffer bounded
+    }
+  }
+}
+BENCHMARK(BM_ActiveSinkSpan);
 
 }  // namespace
 

@@ -300,7 +300,7 @@ core::TuningResult Cobayn::infer(core::Evaluator& evaluator,
         return compiler::ModuleAssignment::uniform(candidates[k],
                                                    loop_count);
       },
-      core::rep_streams::kCobayn);
+      {.rep_base = core::rep_streams::kCobayn, .label = "cobayn/batch"});
 
   core::TuningResult result;
   result.algorithm = cobayn_model_name(model);

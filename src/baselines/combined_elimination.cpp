@@ -27,7 +27,8 @@ CeResult combined_elimination(core::Evaluator& evaluator,
 
   auto measure = [&](const flags::CompilationVector& cv) {
     return evaluator.evaluate(
-        compiler::ModuleAssignment::uniform(widen(cv), loop_count), ++rep);
+        compiler::ModuleAssignment::uniform(widen(cv), loop_count),
+        {.rep_base = ++rep});
   };
 
   CeResult result;

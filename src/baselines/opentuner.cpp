@@ -66,7 +66,8 @@ OpenTunerResult opentuner_search(core::Evaluator& evaluator,
     const flags::CompilationVector cv =
         techniques[chosen]->propose(space, rng, best_cv);
     const double seconds = evaluator.evaluate(
-        compiler::ModuleAssignment::uniform(cv, loop_count), iteration);
+        compiler::ModuleAssignment::uniform(cv, loop_count),
+        {.rep_base = iteration});
     const bool improved = seconds < best_seconds;
     if (improved) {
       best_seconds = seconds;

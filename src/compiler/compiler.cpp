@@ -3,8 +3,42 @@
 #include <stdexcept>
 
 #include "support/rng.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ft::compiler {
+
+namespace {
+
+/// Deterministic per-build decision counts: counted from the objects a
+/// build() returns (cached or not), so the totals depend only on what
+/// was built, never on which thread compiled first.
+void count_decisions(const std::vector<CompiledModule>& loop_objects) {
+  telemetry::MetricsRegistry& registry = telemetry::metrics();
+  static telemetry::Counter& vectorized =
+      registry.counter("compiler.decisions.vectorized");
+  static telemetry::Counter& unrolled =
+      registry.counter("compiler.decisions.unrolled");
+  static telemetry::Counter& isel =
+      registry.counter("compiler.decisions.aggressive_isel");
+  static telemetry::Counter& reordered =
+      registry.counter("compiler.decisions.sched_reordered");
+  static telemetry::Counter& spilled =
+      registry.counter("compiler.decisions.spilled");
+  static telemetry::Counter& streaming =
+      registry.counter("compiler.decisions.streaming_stores");
+  for (const CompiledModule& object : loop_objects) {
+    const LoopCodeGen& cg = object.codegen;
+    if (cg.vectorized()) vectorized.add();
+    if (cg.unroll > 1) unrolled.add();
+    if (cg.aggressive_isel) isel.add();
+    if (cg.sched_reordered) reordered.add();
+    if (cg.spills()) spilled.add();
+    if (cg.streaming_stores) streaming.add();
+  }
+}
+
+}  // namespace
 
 ModuleAssignment ModuleAssignment::uniform(const flags::CompilationVector& cv,
                                            std::size_t loop_count) {
@@ -31,9 +65,21 @@ CompiledModule Compiler::compile(const ir::LoopModule& module,
     const auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++cache_hits_;
+      if (telemetry::enabled()) {
+        // Hit/miss split races under parallel batches (two threads can
+        // both miss the same key), so these are snapshot-only metrics.
+        static telemetry::Counter& hits = telemetry::metrics().counter(
+            "compiler.cache_hits", /*deterministic=*/false);
+        hits.add();
+      }
       return it->second;
     }
     ++cache_misses_;
+  }
+  if (telemetry::enabled()) {
+    static telemetry::Counter& misses = telemetry::metrics().counter(
+        "compiler.cache_misses", /*deterministic=*/false);
+    misses.add();
   }
 
   CompiledModule object = compile_module(module, cv, space_->decode(cv),
@@ -62,6 +108,15 @@ Executable Compiler::build(const ir::Program& program,
   }
   const CompiledModule nonloop_object =
       compile(program.nonloop(), assignment.nonloop_cv, pgo);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& builds =
+        telemetry::metrics().counter("compiler.builds");
+    static telemetry::Counter& links =
+        telemetry::metrics().counter("compiler.links");
+    builds.add();
+    links.add();
+    count_decisions(loop_objects);
+  }
   return link(program, loop_objects, nonloop_object, arch_, personality_,
               pgo, link_options_);
 }

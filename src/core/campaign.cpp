@@ -3,10 +3,45 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "support/log.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ft::core {
+
+namespace {
+
+/// Case-insensitive ASCII comparison (registry keys are lowercase,
+/// display names mixed-case).
+bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] + 32 : a[i];
+    const char cb = b[i] >= 'A' && b[i] <= 'Z' ? b[i] + 32 : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const TuningResult& CampaignCell::result(
+    const std::string& algorithm) const {
+  for (const TuningResult& r : results) {
+    if (r.algorithm == algorithm || iequals(r.algorithm, algorithm)) {
+      return r;
+    }
+  }
+  // Fall back to registry keys ("greedy" → display "G.realized").
+  if (SearchRegistry::global().contains(algorithm)) {
+    const std::string display =
+        SearchRegistry::global().create(algorithm)->display_name();
+    for (const TuningResult& r : results) {
+      if (r.algorithm == display) return r;
+    }
+  }
+  throw std::invalid_argument("unknown algorithm: " + algorithm);
+}
 
 Campaign::Campaign(std::vector<ir::Program> programs,
                    std::vector<machine::Architecture> architectures,
@@ -22,6 +57,24 @@ Campaign::Campaign(std::vector<ir::Program> programs,
 void Campaign::run() {
   const std::size_t cell_count = programs_.size() * architectures_.size();
   cells_.assign(cell_count, CampaignCell{});
+  const std::vector<std::string> algorithms =
+      options_.algorithms.empty() ? SearchRegistry::global().names()
+                                  : options_.algorithms;
+
+  telemetry::SinkScope sink_scope(options_.trace_sink
+                                      ? options_.trace_sink
+                                      : telemetry::sink());
+  bool parallel_cells = options_.parallel_cells;
+  if (parallel_cells && telemetry::enabled()) {
+    support::log_warn()
+        << "campaign: telemetry attached, running cells sequentially "
+           "(concurrent cells would interleave trace span ids)";
+    parallel_cells = false;
+  }
+  telemetry::Span campaign_span = telemetry::tracer().begin("campaign");
+  if (campaign_span) {
+    campaign_span.attr("cells", static_cast<std::uint64_t>(cell_count));
+  }
 
   std::mutex progress_mutex;
   // Cell index c = a * |programs| + p, matching the sequential
@@ -33,23 +86,32 @@ void Campaign::run() {
     FuncyTunerOptions tuner_options = options_.tuner;
     if (options_.salt_seed_per_arch) tuner_options.seed += a;
     const ir::Program& program = programs_[p];
+    telemetry::Span cell_span =
+        campaign_span
+            ? telemetry::tracer().begin_under(campaign_span.id(),
+                                              "campaign.cell")
+            : telemetry::Span();
+    if (cell_span) {
+      cell_span.attr("program", program.name())
+          .attr("architecture", architectures_[a].name);
+    }
     FuncyTuner tuner(program, architectures_[a], tuner_options);
-    const FuncyTuner::AllResults results = tuner.run_all();
     CampaignCell& cell = cells_[c];
     cell.program = program.name();
     cell.architecture = architectures_[a].name;
-    cell.baseline_seconds = results.baseline_seconds;
-    cell.random = results.random;
-    cell.fr = results.fr;
-    cell.greedy = results.greedy;
-    cell.cfr = results.cfr;
+    cell.baseline_seconds = tuner.baseline_seconds();
+    cell.results.reserve(algorithms.size());
+    for (const std::string& algorithm : algorithms) {
+      cell.results.push_back(tuner.run(algorithm));
+    }
+    cell_span.end();
     if (options_.progress) {
       std::lock_guard lock(progress_mutex);
       options_.progress(program.name(), architectures_[a].name);
     }
   };
 
-  if (options_.parallel_cells) {
+  if (parallel_cells) {
     // Cells nest their own parallel_for sweeps inside pool workers;
     // safe because waiting callers help execute queued tasks.
     support::parallel_for(cell_count, run_cell);
@@ -73,18 +135,21 @@ double Campaign::geomean_speedup(const std::string& algorithm,
   std::vector<double> speedups;
   for (const CampaignCell& c : cells_) {
     if (c.architecture != arch) continue;
-    if (algorithm == "Random") {
-      speedups.push_back(c.random.speedup);
-    } else if (algorithm == "FR") {
-      speedups.push_back(c.fr.speedup);
-    } else if (algorithm == "CFR") {
-      speedups.push_back(c.cfr.speedup);
-    } else if (algorithm == "G.realized") {
-      speedups.push_back(c.greedy.realized.speedup);
-    } else if (algorithm == "G.Independent") {
-      speedups.push_back(c.greedy.independent_speedup);
+    if (algorithm == "G.Independent") {
+      bool found = false;
+      for (const TuningResult& r : c.results) {
+        if (r.independent_speedup) {
+          speedups.push_back(*r.independent_speedup);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw std::invalid_argument(
+            "G.Independent: no result carries independent_speedup");
+      }
     } else {
-      throw std::invalid_argument("unknown algorithm: " + algorithm);
+      speedups.push_back(c.result(algorithm).speedup);
     }
   }
   return support::geomean(speedups);

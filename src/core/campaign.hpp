@@ -6,24 +6,30 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/funcy_tuner.hpp"
 #include "ir/program.hpp"
 #include "machine/architecture.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ft::core {
 
-/// One cell of the campaign grid.
+/// One cell of the campaign grid: every registry algorithm's result, in
+/// registration order (the paper's Random, FR, G, CFR column order).
 struct CampaignCell {
   std::string program;
   std::string architecture;
   double baseline_seconds = 0.0;
-  TuningResult random;
-  TuningResult fr;
-  GreedyResult greedy;
-  TuningResult cfr;
+  std::vector<TuningResult> results;
+
+  /// Lookup by display name ("Random", "G.realized", ...) or registry
+  /// key ("random", "greedy", ...); throws std::invalid_argument on
+  /// unknown names.
+  [[nodiscard]] const TuningResult& result(
+      const std::string& algorithm) const;
 };
 
 struct CampaignOptions {
@@ -42,6 +48,13 @@ struct CampaignOptions {
   /// Optional progress callback: (program, architecture) just
   /// finished. Invoked serially (under a lock when parallel_cells).
   std::function<void(const std::string&, const std::string&)> progress;
+  /// Algorithms to run per cell (registry keys); empty = every
+  /// algorithm registered with SearchRegistry::global().
+  std::vector<std::string> algorithms;
+  /// Telemetry sink installed (via SinkScope) for the duration of
+  /// run(). Forces sequential cells: concurrent cells would interleave
+  /// span ids and break trace determinism.
+  std::shared_ptr<telemetry::Sink> trace_sink;
 };
 
 class Campaign {
@@ -64,8 +77,9 @@ class Campaign {
                                          const std::string& arch) const;
 
   /// Geometric mean of one algorithm's speedups on one architecture.
-  /// `algorithm` is one of "Random", "G.realized", "FR", "CFR",
-  /// "G.Independent".
+  /// `algorithm` is a display name or registry key of a per-cell
+  /// result, or "G.Independent" (greedy's §3.4 hypothetical, read from
+  /// the optional TuningResult fields).
   [[nodiscard]] double geomean_speedup(const std::string& algorithm,
                                        const std::string& arch) const;
 

@@ -1,12 +1,18 @@
 #include "core/collector.hpp"
 
 #include "support/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ft::core {
 
 Collection collect_per_loop_runtimes(
     Evaluator& evaluator, const Outline& outline,
     std::span<const flags::CompilationVector> cvs) {
+  telemetry::Span span = telemetry::tracer().begin("collection");
+  if (span) {
+    span.attr("samples", static_cast<std::uint64_t>(cvs.size()))
+        .attr("hot_loops", static_cast<std::uint64_t>(outline.hot.size()));
+  }
   Collection collection;
   collection.cvs.assign(cvs.begin(), cvs.end());
   const std::size_t k_count = cvs.size();

@@ -1,6 +1,7 @@
 #include "core/evaluator.hpp"
 
 #include "support/thread_pool.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ft::core {
 
@@ -24,15 +25,37 @@ void Evaluator::account(std::size_t modules_compiled, double run_seconds,
   while (!modeled_overhead_.compare_exchange_weak(
       expected, expected + cost, std::memory_order_relaxed)) {
   }
+  if (telemetry::enabled()) {
+    static telemetry::Counter& evals =
+        telemetry::metrics().counter("evaluator.evaluations");
+    // Modeled overhead inherits the cache-miss attribution race, so it
+    // is snapshot-only (never traced).
+    static telemetry::Gauge& overhead = telemetry::metrics().gauge(
+        "evaluator.modeled_overhead_seconds", /*deterministic=*/false);
+    evals.add(static_cast<std::uint64_t>(reps));
+    overhead.set(modeled_overhead_.load(std::memory_order_relaxed));
+  }
 }
 
 double Evaluator::evaluate(const compiler::ModuleAssignment& assignment,
-                           std::uint64_t rep_base, bool instrumented) {
+                           const EvalContext& context) {
+  telemetry::Span span;
+  if (context.leaf_spans && telemetry::enabled()) {
+    const std::string_view name =
+        context.label.empty() ? std::string_view("eval") : context.label;
+    span = context.parent_span != 0
+               ? telemetry::tracer().begin_under(context.parent_span, name)
+               : telemetry::tracer().begin(name);
+    span.attr("rep_base", context.rep_base)
+        .attr("instrumented", std::int64_t{context.instrumented});
+  }
   machine::RunOptions options;
   options.repetitions = 1;
-  options.instrumented = instrumented;
-  options.rep_base = rep_base;
-  return run(assignment, options).end_to_end;
+  options.instrumented = context.instrumented;
+  options.rep_base = context.rep_base;
+  const double seconds = run(assignment, options).end_to_end;
+  if (span) span.attr("seconds", seconds);
+  return seconds;
 }
 
 machine::RunResult Evaluator::run(
@@ -56,10 +79,29 @@ machine::RunResult Evaluator::run(
 std::vector<double> Evaluator::evaluate_batch(
     std::size_t count,
     const std::function<compiler::ModuleAssignment(std::size_t)>& make,
-    std::uint64_t rep_base, bool instrumented) {
+    const EvalContext& context) {
+  // One batch-level span from the calling thread: per-evaluation spans
+  // inside the pool would interleave non-deterministically.
+  telemetry::Span span;
+  if (telemetry::enabled()) {
+    const std::string_view name = context.label.empty()
+                                      ? std::string_view("evaluate_batch")
+                                      : context.label;
+    span = context.parent_span != 0
+               ? telemetry::tracer().begin_under(context.parent_span, name)
+               : telemetry::tracer().begin(name);
+    span.attr("count", static_cast<std::uint64_t>(count))
+        .attr("rep_base", context.rep_base)
+        .attr("instrumented", std::int64_t{context.instrumented});
+  }
   std::vector<double> seconds(count, 0.0);
+  EvalContext worker = context;
+  worker.leaf_spans = false;  // workers never emit spans (see above)
+  worker.parent_span = 0;
   support::parallel_for(count, [&](std::size_t i) {
-    seconds[i] = evaluate(make(i), rep_base + i, instrumented);
+    EvalContext one = worker;
+    one.rep_base = context.rep_base + i;
+    seconds[i] = evaluate(make(i), one);
   });
   return seconds;
 }

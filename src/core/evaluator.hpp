@@ -14,6 +14,7 @@
 #include "compiler/compiler.hpp"
 #include "ir/program.hpp"
 #include "machine/execution_engine.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ft::core {
 
@@ -43,6 +44,29 @@ struct OverheadModel {
   double link_seconds = 40.0;                ///< xild whole-program link
 };
 
+/// Everything an evaluation needs besides the assignment itself: the
+/// phase's noise stream, the instrumentation switch and the telemetry
+/// attachment point. Replaces the old positional
+/// `evaluate(assignment, rep_base, instrumented)` parameters - call
+/// sites read as `evaluate(a, {.rep_base = rep_streams::kCfr + k})`.
+struct EvalContext {
+  /// Offset into the noise stream; pass the owning phase's
+  /// `rep_streams` constant (plus the per-variant index for
+  /// sequential loops).
+  std::uint64_t rep_base = 0;
+  bool instrumented = false;  ///< Caliper annotations compiled in?
+  /// Span to parent telemetry under; 0 = the calling thread's
+  /// innermost open span.
+  telemetry::SpanId parent_span = 0;
+  /// Emit per-evaluation eval→compile/run leaf spans. Only enable for
+  /// sequential callers: spans begun from batch workers would get
+  /// scheduling-dependent ids and break trace diffability.
+  bool leaf_spans = false;
+  /// Span label for this evaluation/batch (defaults to "eval" /
+  /// "evaluate_batch").
+  std::string label;
+};
+
 class Evaluator {
  public:
   /// Borrows engine (and through it the compiler); must outlive this.
@@ -56,10 +80,9 @@ class Evaluator {
   }
 
   /// End-to-end seconds of one run of the given assignment (1 rep,
-  /// noise on). `rep_base` decorrelates repeated measurements.
+  /// noise on). `context.rep_base` decorrelates repeated measurements.
   [[nodiscard]] double evaluate(const compiler::ModuleAssignment& assignment,
-                                std::uint64_t rep_base = 0,
-                                bool instrumented = false);
+                                const EvalContext& context = {});
 
   /// Full run result (used by the collection phase).
   [[nodiscard]] machine::RunResult run(
@@ -67,13 +90,15 @@ class Evaluator {
       const machine::RunOptions& options);
 
   /// Evaluates `count` variants concurrently; result[i] is produced by
-  /// `make(i)` evaluated at noise key `rep_base + i`. Deterministic for
-  /// a fixed rep_base. Callers pass their phase's rep_streams offset so
-  /// concurrent or successive phases draw disjoint noise.
+  /// `make(i)` evaluated at noise key `context.rep_base + i`.
+  /// Deterministic for a fixed rep_base. Callers pass their phase's
+  /// rep_streams offset so concurrent or successive phases draw
+  /// disjoint noise. Emits one batch-level span (from the calling
+  /// thread, so traces stay deterministic under any pool schedule).
   [[nodiscard]] std::vector<double> evaluate_batch(
       std::size_t count,
       const std::function<compiler::ModuleAssignment(std::size_t)>& make,
-      std::uint64_t rep_base = 0, bool instrumented = false);
+      const EvalContext& context = {});
 
   /// Re-measures an assignment with fresh noise, averaged over `reps`
   /// (the paper's 10-experiment reporting protocol, §4.1).

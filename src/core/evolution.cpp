@@ -58,8 +58,9 @@ TuningResult evolutionary_search(Evaluator& evaluator,
     result.history.push_back(std::min(best, seconds));
   };
   auto evaluate = [&](Individual& individual) {
-    individual.seconds = evaluator.evaluate(
-        make_assignment(individual.genome), rep_streams::kEvolution + rep++);
+    individual.seconds =
+        evaluator.evaluate(make_assignment(individual.genome),
+                           {.rep_base = rep_streams::kEvolution + rep++});
     record_history(individual.seconds);
   };
 
@@ -76,7 +77,7 @@ TuningResult evolutionary_search(Evaluator& evaluator,
   const std::vector<double> gen0 = evaluator.evaluate_batch(
       population_size,
       [&](std::size_t i) { return make_assignment(population[i].genome); },
-      rep_streams::kEvolution);
+      {.rep_base = rep_streams::kEvolution, .label = "evolution/gen0"});
   for (std::size_t i = 0; i < population_size; ++i) {
     population[i].seconds = gen0[i];
     record_history(gen0[i]);

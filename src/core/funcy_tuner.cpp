@@ -1,6 +1,7 @@
 #include "core/funcy_tuner.hpp"
 
 #include "support/rng.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ft::core {
 
@@ -47,36 +48,48 @@ const Collection& FuncyTuner::collection() {
 
 double FuncyTuner::baseline_seconds() {
   if (!baseline_seconds_) {
+    telemetry::Span span = telemetry::tracer().begin("baseline");
     const compiler::ModuleAssignment o3 = compiler::ModuleAssignment::uniform(
         space_.default_cv(), program_.loops().size());
     baseline_seconds_ = evaluator_->final_seconds(o3, options_.final_reps);
+    if (span) span.attr("seconds", *baseline_seconds_);
   }
   return *baseline_seconds_;
 }
 
-TuningResult FuncyTuner::run_random() {
-  return random_search(*evaluator_, presampled(), baseline_seconds());
+SearchContext FuncyTuner::search_context() {
+  SearchContext context;
+  context.evaluator = evaluator_.get();
+  context.options = &options_;
+  context.presampled = [this]() -> decltype(auto) { return presampled(); };
+  context.outline = [this]() -> decltype(auto) { return outline(); };
+  context.collection = [this]() -> decltype(auto) { return collection(); };
+  context.baseline_seconds = [this] { return baseline_seconds(); };
+  return context;
 }
 
-TuningResult FuncyTuner::run_fr() {
-  return function_random_search(
-      *evaluator_, outline(), presampled(), options_.samples,
-      support::Rng(options_.seed).fork("fr").next(), baseline_seconds());
+TuningResult FuncyTuner::run(const std::string& algorithm) {
+  const std::unique_ptr<SearchAlgorithm> search =
+      SearchRegistry::global().create(algorithm);
+  SearchContext context = search_context();
+  return search->run(context);
 }
+
+TuningResult FuncyTuner::run_random() { return run("random"); }
+
+TuningResult FuncyTuner::run_fr() { return run("fr"); }
 
 GreedyResult FuncyTuner::run_greedy() {
-  return greedy_combination(*evaluator_, outline(), collection(),
-                            baseline_seconds());
+  GreedyResult result;
+  result.realized = run("greedy");
+  // The registry carries the §3.4 extras as optional TuningResult
+  // fields; rebuild the typed pair for legacy callers.
+  result.independent_seconds = result.realized.independent_seconds.value_or(0);
+  result.independent_speedup = result.realized.independent_speedup.value_or(0);
+  return result;
 }
 
-TuningResult FuncyTuner::run_cfr() {
-  CfrOptions cfr_options;
-  cfr_options.top_x = options_.top_x;
-  cfr_options.iterations = options_.samples;
-  cfr_options.seed = support::Rng(options_.seed).fork("cfr").next();
-  return cfr_search(*evaluator_, outline(), collection(), cfr_options,
-                    baseline_seconds());
-}
+TuningResult FuncyTuner::run_cfr() { return run("cfr"); }
 
 FuncyTuner::AllResults FuncyTuner::run_all() {
   AllResults results;

@@ -15,6 +15,7 @@
 #include "core/evaluator.hpp"
 #include "core/outline.hpp"
 #include "core/search.hpp"
+#include "core/search_registry.hpp"
 #include "flags/spaces.hpp"
 #include "machine/execution_engine.hpp"
 
@@ -30,6 +31,9 @@ struct FuncyTunerOptions {
   /// Extra error on per-region Caliper readings (§3.3 noise-tolerance
   /// claim; see ExecutionEngine). The noise ablation sweeps this.
   double attribution_sigma = 0.03;
+  /// CFR convergence-based early stop (CfrOptions::patience); 0 runs
+  /// the paper's fixed-budget protocol.
+  std::size_t patience = 0;
 };
 
 class FuncyTuner {
@@ -67,7 +71,16 @@ class FuncyTuner {
   [[nodiscard]] const Collection& collection();
   [[nodiscard]] double baseline_seconds();
 
-  /// The four algorithms of §2.2.
+  /// Lazy accessors over this tuner's phases, for SearchAlgorithm::run.
+  [[nodiscard]] SearchContext search_context();
+
+  /// Runs one registry algorithm ("random", "fr", "greedy", "cfr", or
+  /// anything registered with SearchRegistry::global()). Throws
+  /// std::invalid_argument for unknown names.
+  [[nodiscard]] TuningResult run(const std::string& algorithm);
+
+  /// The four algorithms of §2.2 (registry wrappers, kept for callers
+  /// that want the typed GreedyResult).
   [[nodiscard]] TuningResult run_random();
   [[nodiscard]] TuningResult run_fr();
   [[nodiscard]] GreedyResult run_greedy();

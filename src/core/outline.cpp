@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace ft::core {
 
 compiler::ModuleAssignment Outline::make_assignment(
@@ -23,6 +25,8 @@ compiler::ModuleAssignment Outline::make_assignment(
 
 Outline profile_and_outline(machine::ExecutionEngine& engine,
                             const ir::InputSpec& input, double threshold) {
+  telemetry::Span span = telemetry::tracer().begin("outline");
+  if (span) span.attr("threshold", threshold);
   machine::RunOptions options;
   options.instrumented = true;
   options.repetitions = 1;
@@ -42,6 +46,9 @@ Outline profile_and_outline(machine::ExecutionEngine& engine,
   if (outline.hot.empty()) {
     throw std::runtime_error("profile found no hot loops in program '" +
                              engine.program().name() + "'");
+  }
+  if (span) {
+    span.attr("hot_loops", static_cast<std::uint64_t>(outline.hot.size()));
   }
   return outline;
 }

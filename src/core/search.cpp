@@ -5,6 +5,7 @@
 
 #include "support/rng.hpp"
 #include "support/stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ft::core {
 
@@ -26,9 +27,15 @@ void finish_from_history(TuningResult& result,
 
 void measure_final(TuningResult& result, Evaluator& evaluator,
                    double baseline_seconds) {
+  telemetry::Span span = telemetry::tracer().begin("final_measure");
   result.tuned_seconds = evaluator.final_seconds(result.best_assignment);
   result.baseline_seconds = baseline_seconds;
   result.speedup = baseline_seconds / result.tuned_seconds;
+  if (span) {
+    span.attr("algorithm", result.algorithm)
+        .attr("tuned_seconds", result.tuned_seconds)
+        .attr("speedup", result.speedup);
+  }
 }
 
 }  // namespace
@@ -38,15 +45,20 @@ TuningResult random_search(Evaluator& evaluator,
                            double baseline_seconds) {
   TuningResult result;
   result.algorithm = "Random";
+  telemetry::Span span = telemetry::tracer().begin("search:Random");
+  if (span) span.attr("samples", static_cast<std::uint64_t>(cvs.size()));
   const std::size_t loop_count =
       evaluator.engine().program().loops().size();
 
+  EvalContext context;
+  context.rep_base = rep_streams::kRandom;
+  context.label = "random/batch";
   const std::vector<double> seconds = evaluator.evaluate_batch(
       cvs.size(),
       [&](std::size_t k) {
         return compiler::ModuleAssignment::uniform(cvs[k], loop_count);
       },
-      rep_streams::kRandom);
+      context);
 
   finish_from_history(result, seconds);
   const std::size_t winner = support::argmin(seconds);
@@ -62,6 +74,11 @@ TuningResult function_random_search(
     std::size_t iterations, std::uint64_t seed, double baseline_seconds) {
   TuningResult result;
   result.algorithm = "FR";
+  telemetry::Span span = telemetry::tracer().begin("search:FR");
+  if (span) {
+    span.attr("iterations", static_cast<std::uint64_t>(iterations))
+        .attr("seed", seed);
+  }
   const std::size_t module_count = outline.module_count();
 
   // Pre-draw all module CV indices so evaluation order cannot perturb
@@ -83,8 +100,11 @@ TuningResult function_random_search(
                                    presampled[picks[k].back()]);
   };
 
-  const std::vector<double> seconds = evaluator.evaluate_batch(
-      iterations, make, rep_streams::kFunctionRandom);
+  EvalContext context;
+  context.rep_base = rep_streams::kFunctionRandom;
+  context.label = "fr/batch";
+  const std::vector<double> seconds =
+      evaluator.evaluate_batch(iterations, make, context);
   finish_from_history(result, seconds);
   result.best_assignment = make(support::argmin(seconds));
   measure_final(result, evaluator, baseline_seconds);
@@ -96,6 +116,7 @@ GreedyResult greedy_combination(Evaluator& evaluator, const Outline& outline,
                                 double baseline_seconds) {
   GreedyResult result;
   result.realized.algorithm = "G.realized";
+  telemetry::Span span = telemetry::tracer().begin("search:Greedy");
 
   // Per-module winners: i = argmin_k T[j][k] (paper §2.2.3).
   std::vector<flags::CompilationVector> hot_cvs;
@@ -120,6 +141,12 @@ GreedyResult greedy_combination(Evaluator& evaluator, const Outline& outline,
   // sums the best per-module times without assembling an executable.
   result.independent_seconds = independent_sum;
   result.independent_speedup = baseline_seconds / independent_sum;
+  result.realized.independent_seconds = independent_sum;
+  result.realized.independent_speedup = result.independent_speedup;
+  if (span) {
+    span.attr("independent_speedup", result.independent_speedup)
+        .attr("realized_speedup", result.realized.speedup);
+  }
   return result;
 }
 
@@ -139,6 +166,13 @@ TuningResult cfr_search(Evaluator& evaluator, const Outline& outline,
                         const CfrOptions& options, double baseline_seconds) {
   TuningResult result;
   result.algorithm = "CFR";
+  telemetry::Span span = telemetry::tracer().begin("search:CFR");
+  if (span) {
+    span.attr("iterations", static_cast<std::uint64_t>(options.iterations))
+        .attr("top_x", static_cast<std::uint64_t>(options.top_x))
+        .attr("patience", static_cast<std::uint64_t>(options.patience))
+        .attr("seed", options.seed);
+  }
 
   // Step 2 of Algorithm 1: prune the pre-sampled space per module.
   const std::vector<std::vector<std::size_t>> pruned =
@@ -168,8 +202,10 @@ TuningResult cfr_search(Evaluator& evaluator, const Outline& outline,
 
   std::vector<double> seconds;
   if (options.patience == 0) {
-    seconds =
-        evaluator.evaluate_batch(options.iterations, make, rep_streams::kCfr);
+    EvalContext context;
+    context.rep_base = rep_streams::kCfr;
+    context.label = "cfr/batch";
+    seconds = evaluator.evaluate_batch(options.iterations, make, context);
   } else {
     // Sequential with convergence-based early stop: identical results
     // for the evaluations it does run (same per-index noise keys).
@@ -177,7 +213,11 @@ TuningResult cfr_search(Evaluator& evaluator, const Outline& outline,
     double best = std::numeric_limits<double>::infinity();
     std::size_t since_improvement = 0;
     for (std::size_t k = 0; k < options.iterations; ++k) {
-      const double s = evaluator.evaluate(make(k), rep_streams::kCfr + k);
+      EvalContext context;
+      context.rep_base = rep_streams::kCfr + k;
+      context.leaf_spans = true;  // sequential: per-eval spans are safe
+      context.label = "cfr/eval";
+      const double s = evaluator.evaluate(make(k), context);
       seconds.push_back(s);
       if (s < best) {
         best = s;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,6 +31,10 @@ struct TuningResult {
   double speedup = 0.0;              ///< baseline / tuned
   std::vector<double> history;       ///< best-so-far after each evaluation
   std::size_t evaluations = 0;
+  // Algorithm-specific extras (greedy's §3.4 pairwise-independence
+  // hypothetical); unset for searches that don't report them.
+  std::optional<double> independent_seconds;
+  std::optional<double> independent_speedup;
 };
 
 /// Greedy combination reports two numbers (paper §3.4).

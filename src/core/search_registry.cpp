@@ -1,0 +1,118 @@
+#include "core/search_registry.hpp"
+
+#include <stdexcept>
+
+#include "core/funcy_tuner.hpp"
+#include "support/rng.hpp"
+
+namespace ft::core {
+
+namespace {
+
+class RandomAlgorithm final : public SearchAlgorithm {
+ public:
+  std::string name() const override { return "random"; }
+  std::string display_name() const override { return "Random"; }
+  TuningResult run(SearchContext& context) const override {
+    return random_search(*context.evaluator, context.presampled(),
+                         context.baseline_seconds());
+  }
+};
+
+class FrAlgorithm final : public SearchAlgorithm {
+ public:
+  std::string name() const override { return "fr"; }
+  std::string display_name() const override { return "FR"; }
+  TuningResult run(SearchContext& context) const override {
+    const FuncyTunerOptions& options = *context.options;
+    return function_random_search(
+        *context.evaluator, context.outline(), context.presampled(),
+        options.samples, support::Rng(options.seed).fork("fr").next(),
+        context.baseline_seconds());
+  }
+};
+
+class GreedyAlgorithm final : public SearchAlgorithm {
+ public:
+  std::string name() const override { return "greedy"; }
+  std::string display_name() const override { return "G.realized"; }
+  TuningResult run(SearchContext& context) const override {
+    // The §3.4 extras (independent_seconds/speedup) ride along as
+    // optional TuningResult fields.
+    return greedy_combination(*context.evaluator, context.outline(),
+                              context.collection(),
+                              context.baseline_seconds())
+        .realized;
+  }
+};
+
+class CfrAlgorithm final : public SearchAlgorithm {
+ public:
+  std::string name() const override { return "cfr"; }
+  std::string display_name() const override { return "CFR"; }
+  TuningResult run(SearchContext& context) const override {
+    const FuncyTunerOptions& options = *context.options;
+    CfrOptions cfr_options;
+    cfr_options.top_x = options.top_x;
+    cfr_options.iterations = options.samples;
+    cfr_options.seed = support::Rng(options.seed).fork("cfr").next();
+    cfr_options.patience = options.patience;
+    return cfr_search(*context.evaluator, context.outline(),
+                      context.collection(), cfr_options,
+                      context.baseline_seconds());
+  }
+};
+
+}  // namespace
+
+void SearchRegistry::add(const std::string& name, Factory factory) {
+  for (auto& [key, existing] : entries_) {
+    if (key == name) {
+      existing = std::move(factory);
+      return;
+    }
+  }
+  entries_.emplace_back(name, std::move(factory));
+}
+
+bool SearchRegistry::contains(const std::string& name) const {
+  for (const auto& [key, factory] : entries_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<SearchAlgorithm> SearchRegistry::create(
+    const std::string& name) const {
+  for (const auto& [key, factory] : entries_) {
+    if (key == name) return factory();
+  }
+  std::string known;
+  for (const auto& [key, factory] : entries_) {
+    if (!known.empty()) known += ", ";
+    known += key;
+  }
+  throw std::invalid_argument("unknown search algorithm '" + name +
+                              "' (registered: " + known + ")");
+}
+
+std::vector<std::string> SearchRegistry::names() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, factory] : entries_) keys.push_back(key);
+  return keys;
+}
+
+SearchRegistry& SearchRegistry::global() {
+  static SearchRegistry registry = [] {
+    SearchRegistry r;
+    r.add("random", [] { return std::make_unique<RandomAlgorithm>(); });
+    r.add("fr", [] { return std::make_unique<FrAlgorithm>(); });
+    r.add("greedy", [] { return std::make_unique<GreedyAlgorithm>(); });
+    r.add("cfr", [] { return std::make_unique<CfrAlgorithm>(); });
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace ft::core

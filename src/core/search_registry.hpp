@@ -1,0 +1,73 @@
+// SearchAlgorithm registry: a uniform name → factory API over the
+// paper's four search algorithms (and any experimental ones a caller
+// registers). Replaces the run_random / run_fr / run_greedy / run_cfr
+// fan-out: ftune, Campaign and the figure benches resolve algorithms by
+// key and iterate `names()` instead of hard-coding a string switch.
+//
+// A SearchAlgorithm consumes a SearchContext - lazy accessors over one
+// FuncyTuner's phases - so cheap algorithms (Random) never force the
+// expensive collection sweep just by being constructed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/search.hpp"
+
+namespace ft::core {
+
+struct FuncyTunerOptions;
+
+/// Everything a search algorithm may need, behind lazy accessors: each
+/// std::function runs (and memoizes, via FuncyTuner) the corresponding
+/// phase on first call, so an algorithm only pays for the phases it
+/// actually touches.
+struct SearchContext {
+  Evaluator* evaluator = nullptr;
+  const FuncyTunerOptions* options = nullptr;
+  std::function<const std::vector<flags::CompilationVector>&()> presampled;
+  std::function<const Outline&()> outline;
+  std::function<const Collection&()> collection;
+  std::function<double()> baseline_seconds;
+};
+
+/// One search algorithm, resolvable by registry key.
+class SearchAlgorithm {
+ public:
+  virtual ~SearchAlgorithm() = default;
+  /// Registry key (stable, lowercase: "random", "fr", "greedy", "cfr").
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Human label as the paper prints it ("Random", "FR", "G.realized",
+  /// "CFR"); also what TuningResult::algorithm is set to.
+  [[nodiscard]] virtual std::string display_name() const = 0;
+  [[nodiscard]] virtual TuningResult run(SearchContext& context) const = 0;
+};
+
+/// Name → factory map. Registration order is iteration order, so
+/// `--algorithm all` reproduces the paper's Random, FR, G, CFR column
+/// order. Thread-compatible: register at startup, read from anywhere.
+class SearchRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<SearchAlgorithm>()>;
+
+  /// Registers (or replaces, keeping its position) an algorithm.
+  void add(const std::string& name, Factory factory);
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Instantiates by key; throws std::invalid_argument for unknown
+  /// names (message lists the registered keys).
+  [[nodiscard]] std::unique_ptr<SearchAlgorithm> create(
+      const std::string& name) const;
+  /// Keys in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// The process-wide registry, pre-populated with the paper's four
+  /// algorithms (random, fr, greedy, cfr).
+  [[nodiscard]] static SearchRegistry& global();
+
+ private:
+  std::vector<std::pair<std::string, Factory>> entries_;
+};
+
+}  // namespace ft::core

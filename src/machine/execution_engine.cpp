@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "support/stats.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ft::machine {
 
@@ -139,6 +141,30 @@ RunResult ExecutionEngine::run(const compiler::Executable& exe,
       result.end_to_end -
       std::accumulate(result.loop_seconds.begin(), result.loop_seconds.end(),
                       0.0);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& runs =
+        telemetry::metrics().counter("engine.runs");
+    static telemetry::Counter& rep_count =
+        telemetry::metrics().counter("engine.reps");
+    static telemetry::Counter& noise_draws =
+        telemetry::metrics().counter("engine.noise_draws");
+    static telemetry::Histogram& run_seconds =
+        telemetry::metrics().histogram("engine.run_seconds");
+    runs.add();
+    rep_count.add(static_cast<std::uint64_t>(reps));
+    if (options.noise) {
+      // One end-to-end draw per module per rep, plus one attribution
+      // draw per loop per rep when instrumented.
+      std::uint64_t draws = static_cast<std::uint64_t>(reps) *
+                            static_cast<std::uint64_t>(loop_count + 1);
+      if (options.instrumented) {
+        draws += static_cast<std::uint64_t>(reps) *
+                 static_cast<std::uint64_t>(loop_count);
+      }
+      noise_draws.add(draws);
+    }
+    run_seconds.observe(result.end_to_end);
+  }
   return result;
 }
 

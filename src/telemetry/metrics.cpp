@@ -1,0 +1,127 @@
+#include "telemetry/metrics.hpp"
+
+#include <stdexcept>
+
+namespace ft::telemetry {
+
+void Histogram::observe(double value) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micro_.fetch_add(static_cast<std::int64_t>(std::llround(value * 1e6)),
+                       std::memory_order_relaxed);
+  double seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const noexcept {
+  // The +inf sentinel means "no observations"; report 0 instead.
+  const double value = min_.load(std::memory_order_relaxed);
+  return std::isfinite(value) ? value : 0.0;
+}
+
+double Histogram::max() const noexcept {
+  const double value = max_.load(std::memory_order_relaxed);
+  return std::isfinite(value) ? value : 0.0;
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_micro_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               MetricSample::Kind kind,
+                                               bool deterministic) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(std::string(name));
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.kind = kind;
+    entry.deterministic = deterministic;
+    switch (kind) {
+      case MetricSample::Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricSample::Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricSample::Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  } else if (entry.kind != kind) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' registered with a different kind");
+  }
+  return entry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  bool deterministic) {
+  return *entry(name, MetricSample::Kind::kCounter, deterministic).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, bool deterministic) {
+  return *entry(name, MetricSample::Kind::kGauge, deterministic).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      bool deterministic) {
+  return *entry(name, MetricSample::Kind::kHistogram, deterministic)
+              .histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricSample> samples;
+  samples.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {  // std::map: sorted by name
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = entry.kind;
+    sample.deterministic = entry.deterministic;
+    switch (entry.kind) {
+      case MetricSample::Kind::kCounter:
+        sample.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricSample::Kind::kGauge:
+        sample.value = entry.gauge->value();
+        break;
+      case MetricSample::Kind::kHistogram:
+        sample.count = entry.histogram->count();
+        sample.sum = entry.histogram->sum();
+        sample.min = entry.histogram->min();
+        sample.max = entry.histogram->max();
+        break;
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter) entry.counter->reset();
+    if (entry.gauge) entry.gauge->reset();
+    if (entry.histogram) entry.histogram->reset();
+  }
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace ft::telemetry

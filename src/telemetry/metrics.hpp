@@ -1,0 +1,122 @@
+// Process-wide metrics registry: named counters, gauges and histograms
+// with stable addresses (callers cache `Counter&` in static locals on
+// hot paths). Values are cumulative until reset().
+//
+// Determinism: counter adds and histogram observations commute exactly
+// - counters are integers and histogram sums accumulate in fixed-point
+// micro-units - so totals are bit-identical regardless of thread
+// interleaving as long as the *set* of observations is deterministic.
+// Metrics whose observation set itself depends on scheduling (compile
+// cache-miss races, pool stats) must be registered with
+// deterministic=false so flush_metrics() keeps them out of the trace.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace ft::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar. Set it from one thread at a time if the
+/// reading should be deterministic.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Count / sum / min / max aggregate. The sum is kept in integer
+/// microseconds-style fixed point (1e-6 units) so parallel observation
+/// order cannot perturb the total's low bits.
+class Histogram {
+ public:
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return static_cast<double>(sum_micro_.load(std::memory_order_relaxed)) *
+           1e-6;
+  }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_micro_{0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+class MetricsRegistry {
+ public:
+  /// Lookup-or-create; the returned reference stays valid for the
+  /// registry's lifetime (reset() zeroes values, never deletes).
+  /// `deterministic` is fixed by the first registration of a name.
+  [[nodiscard]] Counter& counter(std::string_view name,
+                                 bool deterministic = true);
+  [[nodiscard]] Gauge& gauge(std::string_view name,
+                             bool deterministic = true);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     bool deterministic = true);
+
+  /// All current readings, sorted by name (deterministic order).
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// Zeroes every value; registered metrics (and cached references)
+  /// survive.
+  void reset();
+
+ private:
+  struct Entry {
+    MetricSample::Kind kind = MetricSample::Kind::kCounter;
+    bool deterministic = true;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(std::string_view name, MetricSample::Kind kind,
+               bool deterministic);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// The process-wide registry used by all instrumented modules.
+[[nodiscard]] MetricsRegistry& metrics();
+
+}  // namespace ft::telemetry

@@ -1,0 +1,172 @@
+#include "telemetry/sinks.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/table.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ft::telemetry {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Shortest round-trip decimal form: deterministic and diff-friendly
+/// (no locale, no trailing zeros).
+std::string json_number(double value) {
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) return "0";
+  return std::string(buffer, end);
+}
+
+const char* kind_name(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter:
+      return "counter";
+    case MetricSample::Kind::kGauge:
+      return "gauge";
+    case MetricSample::Kind::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+}  // namespace
+
+std::string span_json(const SpanRecord& span) {
+  std::ostringstream oss;
+  oss << "{\"type\":\"span\",\"id\":" << span.id
+      << ",\"parent\":" << span.parent << ",\"name\":\""
+      << json_escape(span.name) << "\",\"t0\":" << json_number(span.t0)
+      << ",\"t1\":" << json_number(span.t1) << ",\"attrs\":{";
+  bool first = true;
+  for (const auto& [key, value] : span.num_attrs) {
+    if (!first) oss << ',';
+    first = false;
+    oss << '"' << json_escape(key) << "\":" << json_number(value);
+  }
+  for (const auto& [key, value] : span.str_attrs) {
+    if (!first) oss << ',';
+    first = false;
+    oss << '"' << json_escape(key) << "\":\"" << json_escape(value)
+        << '"';
+  }
+  oss << "}}";
+  return oss.str();
+}
+
+std::string metric_json(const MetricSample& sample) {
+  std::ostringstream oss;
+  oss << "{\"type\":\"metric\",\"name\":\"" << json_escape(sample.name)
+      << "\",\"kind\":\"" << kind_name(sample.kind) << '"';
+  if (sample.kind == MetricSample::Kind::kHistogram) {
+    oss << ",\"count\":" << sample.count
+        << ",\"sum\":" << json_number(sample.sum)
+        << ",\"min\":" << json_number(sample.min)
+        << ",\"max\":" << json_number(sample.max);
+  } else {
+    oss << ",\"value\":" << json_number(sample.value);
+  }
+  oss << '}';
+  return oss.str();
+}
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+
+JsonlSink::JsonlSink(std::unique_ptr<std::ostream> out)
+    : owned_(std::move(out)), out_(owned_.get()) {}
+
+std::shared_ptr<JsonlSink> JsonlSink::open(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!*file) {
+    throw std::runtime_error("cannot open trace file '" + path + "'");
+  }
+  return std::make_shared<JsonlSink>(std::move(file));
+}
+
+void JsonlSink::on_span(const SpanRecord& span) {
+  const std::string line = span_json(span);
+  std::lock_guard lock(mutex_);
+  *out_ << line << '\n';
+  ++lines_;
+}
+
+void JsonlSink::on_metric(const MetricSample& sample) {
+  const std::string line = metric_json(sample);
+  std::lock_guard lock(mutex_);
+  *out_ << line << '\n';
+  ++lines_;
+}
+
+void JsonlSink::flush() {
+  std::lock_guard lock(mutex_);
+  out_->flush();
+}
+
+std::size_t JsonlSink::lines() const noexcept {
+  std::lock_guard lock(mutex_);
+  return lines_;
+}
+
+void write_metrics_json(std::ostream& os,
+                        const std::vector<MetricSample>& samples) {
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& sample : samples) {
+    if (!first) os << ',';
+    first = false;
+    os << metric_json(sample);
+  }
+  os << "]}\n";
+}
+
+support::Table metrics_summary_table(
+    const std::vector<MetricSample>& samples) {
+  support::Table table("Telemetry metrics");
+  table.set_header({"Metric", "Kind", "Value", "Count", "Min", "Max"});
+  for (const MetricSample& sample : samples) {
+    if (sample.kind == MetricSample::Kind::kHistogram) {
+      table.add_row({sample.name, kind_name(sample.kind),
+                     support::Table::num(sample.sum, 3),
+                     std::to_string(sample.count),
+                     support::Table::num(sample.min, 4),
+                     support::Table::num(sample.max, 4)});
+    } else {
+      table.add_row({sample.name, kind_name(sample.kind),
+                     support::Table::num(sample.value, 3), "-", "-",
+                     "-"});
+    }
+  }
+  return table;
+}
+
+void bridge_pool_stats(const support::ThreadPool::Stats& stats) {
+  MetricsRegistry& registry = metrics();
+  registry.gauge("pool.threads", /*deterministic=*/false)
+      .set(static_cast<double>(stats.threads));
+  registry.gauge("pool.tasks_submitted", false)
+      .set(static_cast<double>(stats.tasks_submitted));
+  registry.gauge("pool.tasks_completed", false)
+      .set(static_cast<double>(stats.tasks_completed));
+  registry.gauge("pool.tasks_stolen", false)
+      .set(static_cast<double>(stats.tasks_stolen));
+  registry.gauge("pool.queue_high_water", false)
+      .set(static_cast<double>(stats.queue_high_water));
+  registry.gauge("pool.worker_busy_seconds", false)
+      .set(stats.worker_busy_seconds);
+}
+
+}  // namespace ft::telemetry

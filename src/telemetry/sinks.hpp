@@ -1,0 +1,73 @@
+// Telemetry sinks: a JSONL event trace (one JSON object per span /
+// metric sample - the archive format a tuning campaign stores next to
+// its results) and a human summary table of the metrics snapshot.
+//
+// JSONL schema (one object per line):
+//   {"type":"span","id":N,"parent":N,"name":S,"t0":T,"t1":T,
+//    "attrs":{...}}                       t0/t1 are the only
+//                                         non-deterministic fields
+//   {"type":"metric","name":S,"kind":"counter"|"gauge","value":N}
+//   {"type":"metric","name":S,"kind":"histogram","count":N,"sum":N,
+//    "min":N,"max":N}
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ft::support {
+class Table;
+}
+
+namespace ft::telemetry {
+
+/// Streams events as JSON Lines. Thread-safe; line-buffered under an
+/// internal mutex so concurrent span ends never interleave bytes.
+class JsonlSink final : public Sink {
+ public:
+  /// Borrows `out`; it must outlive the sink.
+  explicit JsonlSink(std::ostream& out);
+  /// Owns the stream (e.g. a std::ofstream).
+  explicit JsonlSink(std::unique_ptr<std::ostream> out);
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  [[nodiscard]] static std::shared_ptr<JsonlSink> open(
+      const std::string& path);
+
+  void on_span(const SpanRecord& span) override;
+  void on_metric(const MetricSample& sample) override;
+  void flush() override;
+
+  [[nodiscard]] std::size_t lines() const noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+  std::size_t lines_ = 0;
+};
+
+/// Renders one span record / metric sample as a single JSON line
+/// (no trailing newline). Exposed for schema tests.
+[[nodiscard]] std::string span_json(const SpanRecord& span);
+[[nodiscard]] std::string metric_json(const MetricSample& sample);
+
+/// Writes a metrics snapshot as one JSON document:
+/// {"metrics":[{...},...]}.
+void write_metrics_json(std::ostream& os,
+                        const std::vector<MetricSample>& samples);
+
+/// Human summary of a metrics snapshot (name, kind, value columns).
+[[nodiscard]] support::Table metrics_summary_table(
+    const std::vector<MetricSample>& samples);
+
+/// Publishes thread-pool counters as `pool.*` gauges. Pool counters
+/// depend on scheduling, so they are registered non-deterministic
+/// (metrics snapshots only, never the trace).
+void bridge_pool_stats(const support::ThreadPool::Stats& stats);
+
+}  // namespace ft::telemetry

@@ -1,0 +1,129 @@
+#include "telemetry/telemetry.hpp"
+
+#include <mutex>
+
+#include "caliper/clock.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ft::telemetry {
+
+namespace {
+
+/// Global sink + enable flag. The flag is the only thing hot paths
+/// touch; the shared_ptr is guarded by a mutex (sink swaps are rare).
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_metrics_forced{false};
+std::mutex g_sink_mutex;
+std::shared_ptr<Sink> g_sink;  // guarded by g_sink_mutex
+
+/// Innermost-open-span stack of the calling thread.
+thread_local std::vector<SpanId> t_scope;
+
+const caliper::WallClock& wall_clock() {
+  static const caliper::WallClock clock;
+  return clock;
+}
+
+void update_enabled() noexcept {
+  g_enabled.store(static_cast<bool>(g_sink) ||
+                      g_metrics_forced.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// ---- Span -------------------------------------------------------------------
+
+SpanId Span::id() const noexcept { return record_ ? record_->id : 0; }
+
+Span& Span::attr(std::string_view key, double value) {
+  if (record_) record_->num_attrs.emplace_back(std::string(key), value);
+  return *this;
+}
+
+Span& Span::attr(std::string_view key, std::string_view value) {
+  if (record_) {
+    record_->str_attrs.emplace_back(std::string(key), std::string(value));
+  }
+  return *this;
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  tracer->finish(*record_);
+  record_.reset();
+}
+
+// ---- Tracer -----------------------------------------------------------------
+
+Span Tracer::begin(std::string_view name) {
+  if (!enabled()) return {};
+  return begin_under(current(), name);
+}
+
+Span Tracer::begin_under(SpanId parent, std::string_view name) {
+  if (!enabled()) return {};
+  auto record = std::make_unique<SpanRecord>();
+  record->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  record->parent = parent;
+  record->name = std::string(name);
+  record->t0 = wall_clock().now();
+  t_scope.push_back(record->id);
+  return Span(this, std::move(record));
+}
+
+SpanId Tracer::current() const noexcept {
+  return t_scope.empty() ? 0 : t_scope.back();
+}
+
+void Tracer::finish(SpanRecord& record) {
+  record.t1 = wall_clock().now();
+  // Well-nested RAII use makes this a pop of the top; tolerate
+  // out-of-order ends (e.g. a moved span outliving its child scope).
+  for (std::size_t i = t_scope.size(); i-- > 0;) {
+    if (t_scope[i] == record.id) {
+      t_scope.erase(t_scope.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (std::shared_ptr<Sink> target = sink()) target->on_span(record);
+}
+
+// ---- process-wide state -----------------------------------------------------
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+void set_sink(std::shared_ptr<Sink> sink) {
+  std::lock_guard lock(g_sink_mutex);
+  g_sink = std::move(sink);
+  update_enabled();
+}
+
+std::shared_ptr<Sink> sink() {
+  std::lock_guard lock(g_sink_mutex);
+  return g_sink;
+}
+
+void enable_metrics(bool on) {
+  std::lock_guard lock(g_sink_mutex);
+  g_metrics_forced.store(on, std::memory_order_relaxed);
+  update_enabled();
+}
+
+void flush_metrics() {
+  const std::shared_ptr<Sink> target = sink();
+  if (!target) return;
+  for (const MetricSample& sample : metrics().snapshot()) {
+    if (sample.deterministic) target->on_metric(sample);
+  }
+  target->flush();
+}
+
+}  // namespace ft::telemetry

@@ -1,0 +1,181 @@
+// Telemetry: scoped-span tracing plus a process-wide metrics registry.
+//
+// The tuner's own behaviour - where time goes per phase, per search,
+// per compile/run - is exactly the attribution question the paper asks
+// about applications (§3.3). This module makes the tuner observable the
+// same way: a span tree (phase → search → batch → compile/run leaves)
+// and named metrics (cache hits, evaluations, noise draws, pool stats),
+// delivered to pluggable sinks (JSONL trace, human summary table).
+//
+// Contract:
+//  * Null-sink fast path: with no sink attached and metrics collection
+//    off, every entry point reduces to one relaxed atomic load - safe
+//    to leave in the hottest paths.
+//  * Determinism: span ids are allocated sequentially and all span /
+//    metric fields except wall-clock timestamps (`t0`/`t1`) are
+//    deterministic for a fixed seed, as long as spans are begun and
+//    ended from a single thread (the evaluator emits batch-level spans
+//    from the calling thread for exactly this reason). Metrics whose
+//    value depends on scheduling (cache-miss races, pool counters) are
+//    registered non-deterministic and excluded from the trace; they
+//    still appear in metrics snapshots.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ft::telemetry {
+
+using SpanId = std::uint64_t;
+
+/// A finished span, as delivered to sinks when the span ends.
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;  ///< 0 = root
+  std::string name;
+  double t0 = 0.0;  ///< wall-clock begin (timing field, non-deterministic)
+  double t1 = 0.0;  ///< wall-clock end (timing field, non-deterministic)
+  std::vector<std::pair<std::string, double>> num_attrs;
+  std::vector<std::pair<std::string, std::string>> str_attrs;
+};
+
+/// One metric reading, as delivered to sinks by flush_metrics().
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  /// False for metrics whose value depends on thread scheduling; such
+  /// samples are kept out of the (diffable) trace sink.
+  bool deterministic = true;
+  double value = 0.0;  ///< counter / gauge reading
+  // Histogram fields (kind == kHistogram).
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Receiver of telemetry events. Implementations must be thread-safe:
+/// spans can end concurrently when callers trace from several threads.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_span(const SpanRecord& span) = 0;
+  virtual void on_metric(const MetricSample& sample) = 0;
+  virtual void flush() {}
+};
+
+class Tracer;
+
+/// Movable RAII handle for an in-flight span. A default-constructed
+/// (or disabled-tracer) Span is inert: attrs and end() are no-ops.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept
+      : tracer_(other.tracer_), record_(std::move(other.record_)) {
+    other.tracer_ = nullptr;
+  }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      end();
+      tracer_ = other.tracer_;
+      record_ = std::move(other.record_);
+      other.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return tracer_ != nullptr;
+  }
+  [[nodiscard]] SpanId id() const noexcept;
+
+  Span& attr(std::string_view key, double value);
+  Span& attr(std::string_view key, std::int64_t value) {
+    return attr(key, static_cast<double>(value));
+  }
+  Span& attr(std::string_view key, std::uint64_t value) {
+    return attr(key, static_cast<double>(value));
+  }
+  Span& attr(std::string_view key, std::string_view value);
+
+  /// Stamps t1, pops the thread-local scope and emits the record.
+  /// Idempotent; called by the destructor.
+  void end();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::unique_ptr<SpanRecord> record)
+      : tracer_(tracer), record_(std::move(record)) {}
+
+  Tracer* tracer_ = nullptr;
+  std::unique_ptr<SpanRecord> record_;
+};
+
+/// Span factory. begin() parents new spans on the calling thread's
+/// innermost open span; begin_under() parents explicitly (used when
+/// work hops threads, e.g. an evaluation batch).
+class Tracer {
+ public:
+  /// Inert span unless a sink is attached.
+  [[nodiscard]] Span begin(std::string_view name);
+  [[nodiscard]] Span begin_under(SpanId parent, std::string_view name);
+
+  /// Innermost open span on the calling thread (0 = none).
+  [[nodiscard]] SpanId current() const noexcept;
+
+  /// Restarts span ids from 1 (tests; golden traces).
+  void reset_ids() noexcept { next_id_.store(1, std::memory_order_relaxed); }
+
+ private:
+  friend class Span;
+  void finish(SpanRecord& record);
+
+  std::atomic<SpanId> next_id_{1};
+};
+
+// ---- process-wide state -----------------------------------------------------
+
+/// One relaxed load; true when a sink is attached or metrics collection
+/// has been forced on. Gate all non-trivial telemetry work behind it.
+[[nodiscard]] bool enabled() noexcept;
+
+[[nodiscard]] Tracer& tracer();
+
+/// Installs (or, with nullptr, detaches) the process-wide sink.
+void set_sink(std::shared_ptr<Sink> sink);
+[[nodiscard]] std::shared_ptr<Sink> sink();
+
+/// Collect metrics even without a sink (e.g. `ftune tune --metrics`).
+void enable_metrics(bool on);
+
+/// Emits every deterministic metric sample to the attached sink (sorted
+/// by name) and flushes it. No-op without a sink.
+void flush_metrics();
+
+/// RAII sink installation: installs on construction, restores the
+/// previous sink on destruction. Used by tests and Campaign.
+class SinkScope {
+ public:
+  explicit SinkScope(std::shared_ptr<Sink> sink)
+      : previous_(telemetry::sink()) {
+    set_sink(std::move(sink));
+  }
+  ~SinkScope() { set_sink(std::move(previous_)); }
+  SinkScope(const SinkScope&) = delete;
+  SinkScope& operator=(const SinkScope&) = delete;
+
+ private:
+  std::shared_ptr<Sink> previous_;
+};
+
+}  // namespace ft::telemetry

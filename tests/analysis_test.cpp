@@ -277,7 +277,7 @@ TEST(Campaign, RunsGridAndAnswersQueries) {
   EXPECT_EQ(progress_calls, 4u);
 
   const auto& cell = campaign.cell("swim", "Intel Broadwell");
-  EXPECT_GT(cell.cfr.speedup, 0.9);
+  EXPECT_GT(cell.result("CFR").speedup, 0.9);
   EXPECT_GT(cell.baseline_seconds, 0.0);
   EXPECT_THROW((void)campaign.cell("nope", "Intel Broadwell"),
                std::invalid_argument);
@@ -313,11 +313,11 @@ TEST(Campaign, ParallelCellsMatchSequentialGrid) {
   for (const auto& cell : sequential.cells()) {
     const auto& other = parallel.cell(cell.program, cell.architecture);
     EXPECT_DOUBLE_EQ(other.baseline_seconds, cell.baseline_seconds);
-    EXPECT_DOUBLE_EQ(other.random.speedup, cell.random.speedup);
-    EXPECT_DOUBLE_EQ(other.fr.speedup, cell.fr.speedup);
-    EXPECT_DOUBLE_EQ(other.cfr.speedup, cell.cfr.speedup);
-    EXPECT_DOUBLE_EQ(other.greedy.realized.speedup,
-                     cell.greedy.realized.speedup);
+    ASSERT_EQ(other.results.size(), cell.results.size());
+    for (std::size_t i = 0; i < cell.results.size(); ++i) {
+      EXPECT_EQ(other.results[i].algorithm, cell.results[i].algorithm);
+      EXPECT_DOUBLE_EQ(other.results[i].speedup, cell.results[i].speedup);
+    }
   }
 }
 
@@ -332,7 +332,7 @@ TEST(Campaign, SaltedSeedsDifferPerArch) {
   // different winning CVs across architectures.
   const auto& a = campaign.cell("swim", "Intel Broadwell");
   const auto& b = campaign.cell("swim", "AMD Opteron");
-  EXPECT_NE(a.cfr.tuned_seconds, b.cfr.tuned_seconds);
+  EXPECT_NE(a.result("cfr").tuned_seconds, b.result("cfr").tuned_seconds);
 }
 
 TEST(Campaign, RejectsEmptyInputs) {

@@ -280,7 +280,7 @@ TEST_F(CoreTest, EvaluatorBatchMatchesSequential) {
   };
   const std::vector<double> batch = evaluator.evaluate_batch(16, make);
   for (std::size_t i = 0; i < 16; ++i) {
-    EXPECT_DOUBLE_EQ(batch[i], evaluator.evaluate(make(i), i));
+    EXPECT_DOUBLE_EQ(batch[i], evaluator.evaluate(make(i), {.rep_base = i}));
   }
 }
 
@@ -294,14 +294,15 @@ TEST_F(CoreTest, BatchRepBaseOffsetsDecorrelatePhases) {
   // Same variants under two phase offsets: the noise streams must be
   // disjoint (different measurements index-for-index), yet each phase
   // stays deterministic under a fixed offset.
-  const std::vector<double> sweep =
-      evaluator.evaluate_batch(16, make, rep_streams::kCollection);
+  const std::vector<double> sweep = evaluator.evaluate_batch(
+      16, make, {.rep_base = rep_streams::kCollection});
   const std::vector<double> random_phase =
-      evaluator.evaluate_batch(16, make, rep_streams::kRandom);
-  EXPECT_EQ(sweep,
-            evaluator.evaluate_batch(16, make, rep_streams::kCollection));
+      evaluator.evaluate_batch(16, make, {.rep_base = rep_streams::kRandom});
+  EXPECT_EQ(sweep, evaluator.evaluate_batch(
+                       16, make, {.rep_base = rep_streams::kCollection}));
   EXPECT_EQ(random_phase,
-            evaluator.evaluate_batch(16, make, rep_streams::kRandom));
+            evaluator.evaluate_batch(16, make,
+                                     {.rep_base = rep_streams::kRandom}));
   std::size_t identical = 0;
   for (std::size_t i = 0; i < 16; ++i) {
     identical += (sweep[i] == random_phase[i]);
@@ -313,7 +314,7 @@ TEST_F(CoreTest, FinalSecondsUsesFreshNoise) {
   Evaluator& evaluator = tuner_.evaluator();
   const auto o3 = compiler::ModuleAssignment::uniform(
       tuner_.space().default_cv(), tuner_.program().loops().size());
-  const double search_measure = evaluator.evaluate(o3, 0);
+  const double search_measure = evaluator.evaluate(o3);
   const double final_measure = evaluator.final_seconds(o3);
   EXPECT_NE(search_measure, final_measure);
   EXPECT_NEAR(search_measure, final_measure, 1.0);

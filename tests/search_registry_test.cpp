@@ -1,0 +1,164 @@
+// Tests for the SearchAlgorithm registry: names, lookup errors, custom
+// registration, and the round-trip guarantee that resolving the four
+// paper algorithms through the registry is bit-identical to calling
+// the search functions directly for a fixed seed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/funcy_tuner.hpp"
+#include "core/search.hpp"
+#include "core/search_registry.hpp"
+#include "machine/architecture.hpp"
+#include "programs/benchmarks.hpp"
+#include "support/rng.hpp"
+
+namespace ft {
+namespace {
+
+core::FuncyTunerOptions fast_options() {
+  core::FuncyTunerOptions options;
+  options.samples = 30;
+  options.top_x = 5;
+  return options;
+}
+
+TEST(SearchRegistry, RegistersThePaperAlgorithmsInOrder) {
+  const std::vector<std::string> names =
+      core::SearchRegistry::global().names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "random");
+  EXPECT_EQ(names[1], "fr");
+  EXPECT_EQ(names[2], "greedy");
+  EXPECT_EQ(names[3], "cfr");
+  EXPECT_TRUE(core::SearchRegistry::global().contains("cfr"));
+  EXPECT_FALSE(core::SearchRegistry::global().contains("CFR"));
+}
+
+TEST(SearchRegistry, CreateResolvesDisplayNames) {
+  EXPECT_EQ(core::SearchRegistry::global().create("random")->display_name(),
+            "Random");
+  EXPECT_EQ(core::SearchRegistry::global().create("fr")->display_name(),
+            "FR");
+  EXPECT_EQ(core::SearchRegistry::global().create("greedy")->display_name(),
+            "G.realized");
+  EXPECT_EQ(core::SearchRegistry::global().create("cfr")->display_name(),
+            "CFR");
+}
+
+TEST(SearchRegistry, UnknownNameThrowsWithKnownKeys) {
+  try {
+    (void)core::SearchRegistry::global().create("annealing");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("annealing"), std::string::npos);
+    EXPECT_NE(message.find("cfr"), std::string::npos);
+  }
+}
+
+TEST(SearchRegistry, CustomAlgorithmsCanRegisterAndReplace) {
+  class Fixed final : public core::SearchAlgorithm {
+   public:
+    std::string name() const override { return "fixed"; }
+    std::string display_name() const override { return "Fixed"; }
+    core::TuningResult run(core::SearchContext& context) const override {
+      core::TuningResult result;
+      result.algorithm = display_name();
+      result.baseline_seconds = context.baseline_seconds();
+      result.speedup = 1.0;
+      return result;
+    }
+  };
+
+  core::SearchRegistry registry;
+  registry.add("fixed", [] { return std::make_unique<Fixed>(); });
+  ASSERT_TRUE(registry.contains("fixed"));
+
+  core::FuncyTuner tuner(programs::swim(), machine::broadwell(),
+                         fast_options());
+  core::SearchContext context = tuner.search_context();
+  const core::TuningResult result =
+      registry.create("fixed")->run(context);
+  EXPECT_EQ(result.algorithm, "Fixed");
+  EXPECT_GT(result.baseline_seconds, 0.0);
+
+  // Re-registering a key replaces the factory but keeps its slot.
+  registry.add("fixed", [] { return std::make_unique<Fixed>(); });
+  EXPECT_EQ(registry.names().size(), 1u);
+}
+
+/// The acceptance criterion: every registry algorithm's result is
+/// seed-for-seed identical to the direct search-function call path.
+TEST(SearchRegistry, RoundTripMatchesDirectCallsBitForBit) {
+  const core::FuncyTunerOptions options = fast_options();
+
+  // Direct path: call the search functions the way run_* used to.
+  core::FuncyTuner direct(programs::cloverleaf(), machine::broadwell(),
+                          options);
+  const core::TuningResult direct_random = core::random_search(
+      direct.evaluator(), direct.presampled(), direct.baseline_seconds());
+  const core::TuningResult direct_fr = core::function_random_search(
+      direct.evaluator(), direct.outline(), direct.presampled(),
+      options.samples, support::Rng(options.seed).fork("fr").next(),
+      direct.baseline_seconds());
+  const core::GreedyResult direct_greedy = core::greedy_combination(
+      direct.evaluator(), direct.outline(), direct.collection(),
+      direct.baseline_seconds());
+  core::CfrOptions cfr_options;
+  cfr_options.top_x = options.top_x;
+  cfr_options.iterations = options.samples;
+  cfr_options.seed = support::Rng(options.seed).fork("cfr").next();
+  const core::TuningResult direct_cfr = core::cfr_search(
+      direct.evaluator(), direct.outline(), direct.collection(),
+      cfr_options, direct.baseline_seconds());
+
+  // Registry path, on a fresh tuner with the same seed.
+  core::FuncyTuner registry(programs::cloverleaf(), machine::broadwell(),
+                            options);
+  auto expect_same = [](const core::TuningResult& a,
+                        const core::TuningResult& b) {
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    EXPECT_DOUBLE_EQ(a.search_best_seconds, b.search_best_seconds);
+    EXPECT_DOUBLE_EQ(a.tuned_seconds, b.tuned_seconds);
+    EXPECT_DOUBLE_EQ(a.baseline_seconds, b.baseline_seconds);
+    EXPECT_DOUBLE_EQ(a.speedup, b.speedup);
+    EXPECT_EQ(a.history, b.history);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+  };
+  expect_same(registry.run("random"), direct_random);
+  expect_same(registry.run("fr"), direct_fr);
+  const core::TuningResult greedy = registry.run("greedy");
+  expect_same(greedy, direct_greedy.realized);
+  ASSERT_TRUE(greedy.independent_speedup.has_value());
+  EXPECT_DOUBLE_EQ(*greedy.independent_seconds,
+                   direct_greedy.independent_seconds);
+  EXPECT_DOUBLE_EQ(*greedy.independent_speedup,
+                   direct_greedy.independent_speedup);
+  expect_same(registry.run("cfr"), direct_cfr);
+}
+
+TEST(SearchRegistry, PatienceFoldsIntoCfrOptions) {
+  core::FuncyTunerOptions options = fast_options();
+  options.patience = 3;
+  core::FuncyTuner tuner(programs::swim(), machine::broadwell(), options);
+  const core::TuningResult early = tuner.run("cfr");
+  EXPECT_LE(early.evaluations, options.samples);
+  EXPECT_GT(early.speedup, 0.0);
+
+  // With patience off, the fixed budget is spent in full, and the
+  // early-stopped run's measurements are a prefix of the full run's.
+  options.patience = 0;
+  core::FuncyTuner full(programs::swim(), machine::broadwell(), options);
+  const core::TuningResult complete = full.run("cfr");
+  EXPECT_EQ(complete.evaluations, options.samples);
+  ASSERT_LE(early.history.size(), complete.history.size());
+  for (std::size_t i = 0; i < early.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(early.history[i], complete.history[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ft

@@ -5,22 +5,22 @@
 //   ftune spaces [--compiler icc|gcc]  print the optimization space
 //   ftune profile --program P [--arch A]
 //                                      Caliper profile of the O3 build
-//   ftune tune --program P [--arch A] [--algorithm cfr|random|fr|greedy|all]
-//              [--samples N] [--top-x X] [--seed S] [--patience N]
-//              [--json FILE] [--history FILE] [--collection FILE]
-//              [--pool-stats]
+//   ftune tune --program P [--arch A] [--algorithm NAME|all] ...
 //                                      run a tuning campaign cell
 //   ftune importance --program P [--arch A] [--top K]
 //                                      per-module flag main effects
 //
+// `ftune tune --help` (or any bad flag) prints the full option list.
 // Exit status: 0 on success, 1 on usage errors.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
 #include "core/campaign.hpp"
 #include "core/flag_importance.hpp"
 #include "core/funcy_tuner.hpp"
+#include "core/search_registry.hpp"
 #include "core/serialization.hpp"
 #include "flags/spaces.hpp"
 #include "machine/architecture.hpp"
@@ -28,6 +28,9 @@
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -43,12 +46,36 @@ machine::Architecture parse_arch(const std::string& name) {
 }
 
 core::FuncyTunerOptions parse_options(const support::CliArgs& args) {
+  core::FuncyTunerOptions defaults;
   core::FuncyTunerOptions options;
   options.samples =
       static_cast<std::size_t>(args.get_int("samples", 1000));
   options.top_x = static_cast<std::size_t>(args.get_int("top-x", 10));
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  options.hot_threshold =
+      args.get_double("hot-threshold", defaults.hot_threshold);
+  options.final_reps = static_cast<int>(
+      args.get_int("final-reps", defaults.final_reps));
+  options.noise_sigma_rel =
+      args.get_double("noise-sigma", defaults.noise_sigma_rel);
+  options.attribution_sigma =
+      args.get_double("attribution-sigma", defaults.attribution_sigma);
+  options.patience =
+      static_cast<std::size_t>(args.get_int("patience", 0));
   return options;
+}
+
+/// "out.csv" + "cfr" -> "out.cfr.csv" (suffix appended when the path
+/// has no extension). Used when --algorithm all writes per-algorithm
+/// files.
+std::string suffixed_path(const std::string& path, const std::string& key) {
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t slash = path.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "." + key;
+  }
+  return path.substr(0, dot) + "." + key + path.substr(dot);
 }
 
 int cmd_list() {
@@ -121,44 +148,54 @@ int cmd_profile(const support::CliArgs& args) {
 }
 
 int cmd_tune(const support::CliArgs& args) {
+  core::SearchRegistry& registry = core::SearchRegistry::global();
+  const std::string algorithm = args.get("algorithm", "cfr");
+  std::vector<std::string> keys;
+  if (algorithm == "all") {
+    keys = registry.names();
+  } else if (registry.contains(algorithm)) {
+    keys.push_back(algorithm);
+  } else {
+    std::string known;
+    for (const std::string& name : registry.names()) {
+      known += name + "|";
+    }
+    std::cerr << "unknown --algorithm '" << algorithm << "' (expected "
+              << known << "all)\n";
+    return 1;
+  }
+
+  // Telemetry: a JSONL trace sink and/or a metrics snapshot, both
+  // off (and zero-cost) by default.
+  std::shared_ptr<telemetry::JsonlSink> trace;
+  if (args.has("trace")) {
+    trace = telemetry::JsonlSink::open(args.get("trace"));
+    telemetry::set_sink(trace);
+  }
+  if (args.has("metrics")) telemetry::enable_metrics(true);
+
   core::FuncyTunerOptions options = parse_options(args);
   core::FuncyTuner tuner(programs::by_name(args.get("program", "CL")),
                          parse_arch(args.get("arch", "broadwell")),
                          options);
-  const std::string algorithm = args.get("algorithm", "cfr");
 
   std::vector<core::TuningResult> results;
-  if (algorithm == "random" || algorithm == "all") {
-    results.push_back(tuner.run_random());
-  }
-  if (algorithm == "fr" || algorithm == "all") {
-    results.push_back(tuner.run_fr());
-  }
-  if (algorithm == "greedy" || algorithm == "all") {
-    const auto greedy = tuner.run_greedy();
-    results.push_back(greedy.realized);
-    std::cout << "G.Independent (hypothetical): "
-              << support::Table::num(greedy.independent_speedup) << "\n";
-  }
-  if (algorithm == "cfr" || algorithm == "all") {
-    const std::size_t patience =
-        static_cast<std::size_t>(args.get_int("patience", 0));
-    if (patience > 0) {
-      core::CfrOptions cfr_options;
-      cfr_options.top_x = options.top_x;
-      cfr_options.iterations = options.samples;
-      cfr_options.patience = patience;
-      results.push_back(core::cfr_search(
-          tuner.evaluator(), tuner.outline(), tuner.collection(),
-          cfr_options, tuner.baseline_seconds()));
-    } else {
-      results.push_back(tuner.run_cfr());
+  {
+    telemetry::Span root = telemetry::tracer().begin("tune");
+    if (root) {
+      root.attr("program", tuner.program().name())
+          .attr("architecture", tuner.engine().arch().name)
+          .attr("seed", options.seed)
+          .attr("samples", static_cast<std::uint64_t>(options.samples));
     }
-  }
-  if (results.empty()) {
-    std::cerr << "unknown --algorithm '" << algorithm
-              << "' (expected cfr|random|fr|greedy|all)\n";
-    return 1;
+    for (const std::string& key : keys) {
+      results.push_back(tuner.run(key));
+      if (results.back().independent_speedup) {
+        std::cout << "G.Independent (hypothetical): "
+                  << support::Table::num(*results.back().independent_speedup)
+                  << "\n";
+      }
+    }
   }
 
   support::Table table("Tuning " + tuner.program().name() + " on " +
@@ -171,18 +208,37 @@ int cmd_tune(const support::CliArgs& args) {
   }
   table.print(std::cout);
 
-  const core::TuningResult& last = results.back();
   if (args.has("json")) {
+    // One entry per algorithm: a bare object for a single algorithm
+    // (backwards compatible), a JSON array for --algorithm all.
     std::ofstream out(args.get("json"));
-    out << core::tuning_result_json(last, tuner.space(),
-                                    tuner.program())
-        << '\n';
+    if (results.size() == 1) {
+      out << core::tuning_result_json(results.front(), tuner.space(),
+                                      tuner.program())
+          << '\n';
+    } else {
+      out << "[\n";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        out << core::tuning_result_json(results[i], tuner.space(),
+                                        tuner.program());
+        if (i + 1 < results.size()) out << ',';
+        out << '\n';
+      }
+      out << "]\n";
+    }
     std::cout << "wrote " << args.get("json") << '\n';
   }
   if (args.has("history")) {
-    std::ofstream out(args.get("history"));
-    core::write_history_csv(out, last);
-    std::cout << "wrote " << args.get("history") << '\n';
+    // Per-algorithm files ("conv.cfr.csv") when tuning more than one.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const std::string path =
+          results.size() == 1
+              ? args.get("history")
+              : suffixed_path(args.get("history"), keys[i]);
+      std::ofstream out(path);
+      core::write_history_csv(out, results[i]);
+      std::cout << "wrote " << path << '\n';
+    }
   }
   if (args.has("collection")) {
     std::ofstream out(args.get("collection"));
@@ -202,6 +258,25 @@ int cmd_tune(const support::CliArgs& args) {
                         std::to_string(stats.queue_high_water),
                         support::Table::num(stats.worker_busy_seconds, 3)});
     pool_table.print(std::cout);
+  }
+
+  if (args.has("metrics") || trace) {
+    telemetry::bridge_pool_stats(support::global_pool().stats());
+    // Appends the deterministic metric samples to the trace.
+    telemetry::flush_metrics();
+  }
+  if (args.has("metrics")) {
+    const std::vector<telemetry::MetricSample> snapshot =
+        telemetry::metrics().snapshot();
+    std::ofstream out(args.get("metrics"));
+    telemetry::write_metrics_json(out, snapshot);
+    std::cout << "wrote " << args.get("metrics") << '\n';
+    telemetry::metrics_summary_table(snapshot).print(std::cout);
+  }
+  if (trace) {
+    telemetry::set_sink(nullptr);
+    std::cout << "wrote " << args.get("trace") << " (" << trace->lines()
+              << " events)\n";
   }
   return 0;
 }
@@ -230,9 +305,50 @@ int cmd_importance(const support::CliArgs& args) {
 }
 
 void usage() {
-  std::cerr << "usage: ftune <list|spaces|profile|tune|importance> "
-               "[options]\n  see the header of tools/ftune.cpp for the "
-               "full option list\n";
+  std::string algorithms;
+  for (const std::string& name :
+       core::SearchRegistry::global().names()) {
+    algorithms += name + "|";
+  }
+  std::cerr
+      << "usage: ftune <list|spaces|profile|tune|importance> [options]\n"
+         "\n"
+         "common options\n"
+         "  --program P            benchmark name (see `ftune list`; "
+         "default CL)\n"
+         "  --arch A               opteron|sandybridge|broadwell "
+         "(default broadwell)\n"
+         "  --samples N            pre-sampled CVs / search iterations "
+         "(default 1000)\n"
+         "  --top-x X              CFR pruned-space size per module "
+         "(default 10)\n"
+         "  --seed S               master seed (default 42)\n"
+         "  --hot-threshold F      outline loops >= this runtime share "
+         "(default 0.01)\n"
+         "  --final-reps N         reps for baseline/final measurement "
+         "(default 10)\n"
+         "  --noise-sigma F        relative run-to-run noise sigma "
+         "(default 0.008)\n"
+         "  --attribution-sigma F  extra per-region Caliper error "
+         "(default 0.03)\n"
+         "  --threads N            evaluation pool size (sets "
+         "FT_THREADS)\n"
+         "\n"
+         "tune options\n"
+         "  --algorithm NAME       " +
+             algorithms +
+             "all (default cfr)\n"
+             "  --patience N           CFR early stop after N "
+             "non-improving evals (0 = off)\n"
+             "  --json FILE            result JSON (array when tuning "
+             "several algorithms)\n"
+             "  --history FILE         best-so-far CSV (per-algorithm "
+             "suffixes for `all`)\n"
+             "  --collection FILE      per-loop collection matrix CSV\n"
+             "  --trace FILE           JSONL span/metric event trace\n"
+             "  --metrics FILE         metrics snapshot JSON + summary "
+             "table\n"
+             "  --pool-stats           print thread-pool counters\n";
 }
 
 }  // namespace
@@ -244,6 +360,15 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const support::CliArgs args(argc - 1, argv + 1);
+  if (args.has("help")) {
+    usage();
+    return 0;
+  }
+  if (args.has("threads")) {
+    // Must happen before the first global_pool() use; the pool reads
+    // FT_THREADS once, at construction.
+    setenv("FT_THREADS", args.get("threads").c_str(), /*overwrite=*/1);
+  }
   try {
     if (command == "list") return cmd_list();
     if (command == "spaces") return cmd_spaces(args);
