@@ -23,7 +23,10 @@ CriticalFlags eliminate_noncritical_flags(
     machine::RunOptions options;
     options.repetitions = repetitions;
     options.rep_base = (rep += 97);
-    return evaluator.run(working, options).end_to_end;
+    // A failed measurement scores +inf: the flag under test looks
+    // critical and stays, which is the conservative choice.
+    return evaluator.try_run(working, options)
+        .seconds_or(core::kInvalidSeconds);
   };
   double current_seconds = measure();
   ++result.evaluations;

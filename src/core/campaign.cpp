@@ -3,6 +3,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "core/checkpoint.hpp"
 #include "support/log.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
@@ -76,6 +77,14 @@ void Campaign::run() {
     campaign_span.attr("cells", static_cast<std::uint64_t>(cell_count));
   }
 
+  std::shared_ptr<EvalJournal> journal;
+  if (!options_.checkpoint_path.empty()) {
+    const std::uint64_t fingerprint = options_fingerprint(options_.tuner);
+    journal = options_.resume
+                  ? EvalJournal::resume(options_.checkpoint_path, fingerprint)
+                  : EvalJournal::create(options_.checkpoint_path, fingerprint);
+  }
+
   std::mutex progress_mutex;
   // Cell index c = a * |programs| + p, matching the sequential
   // (arch-major) emission order so lookups and serialization see the
@@ -96,6 +105,7 @@ void Campaign::run() {
           .attr("architecture", architectures_[a].name);
     }
     FuncyTuner tuner(program, architectures_[a], tuner_options);
+    if (journal) tuner.evaluator().set_journal(journal);
     CampaignCell& cell = cells_[c];
     cell.program = program.name();
     cell.architecture = architectures_[a].name;

@@ -1,0 +1,276 @@
+#include "core/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/funcy_tuner.hpp"
+#include "support/rng.hpp"
+
+namespace ft::core {
+
+namespace {
+
+/// %.17g round-trips every double bit-exactly, which the resume
+/// determinism guarantee depends on.
+std::string fmt_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Locates `"name":` and returns the raw value text: the quoted body
+/// for strings, the token up to , } ] otherwise. False when absent.
+bool field_text(const std::string& line, const std::string& name,
+                std::string* out) {
+  const std::string needle = "\"" + name + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t begin = at + needle.size();
+  if (begin >= line.size()) return false;
+  if (line[begin] == '"') {
+    ++begin;
+    const std::size_t end = line.find('"', begin);
+    if (end == std::string::npos) return false;
+    *out = line.substr(begin, end - begin);
+    return true;
+  }
+  std::size_t end = begin;
+  while (end < line.size() && line[end] != ',' && line[end] != '}' &&
+         line[end] != ']') {
+    ++end;
+  }
+  if (end == line.size()) return false;  // torn line
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+bool field_u64(const std::string& line, const std::string& name,
+               std::uint64_t* out) {
+  std::string text;
+  if (!field_text(line, name, &text) || text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool field_double(const std::string& line, const std::string& name,
+                  double* out) {
+  std::string text;
+  if (!field_text(line, name, &text) || text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+std::uint64_t options_fingerprint(const FuncyTunerOptions& options) {
+  std::ostringstream oss;
+  oss << options.samples << '|' << options.top_x << '|' << options.seed
+      << '|' << fmt_double(options.hot_threshold) << '|'
+      << options.final_reps << '|' << fmt_double(options.noise_sigma_rel)
+      << '|' << fmt_double(options.attribution_sigma) << '|'
+      << options.patience << '|' << fmt_double(options.faults.rate) << '|'
+      << options.faults.seed << '|'
+      << fmt_double(options.faults.outlier_rate) << '|'
+      << options.retry.max_retries << '|'
+      << fmt_double(options.retry.eval_timeout_seconds) << '|'
+      << options.retry.quarantine_after;
+  return support::fnv1a64(oss.str());
+}
+
+std::string EvalJournal::encode(const JournalRecord& record) {
+  std::ostringstream oss;
+  oss << "{\"type\":\"eval\",\"key\":\"" << record.key << "\",\"rep\":\""
+      << record.rep_base << "\",\"reps\":" << record.repetitions
+      << ",\"instr\":" << (record.instrumented ? 1 : 0)
+      << ",\"ok\":" << (record.outcome.ok() ? 1 : 0) << ",\"fault\":\""
+      << to_string(record.outcome.error.kind) << "\",\"attempts\":"
+      << record.outcome.attempts;
+  if (!record.outcome.ok() && !record.outcome.error.detail.empty()) {
+    oss << ",\"detail\":\"" << record.outcome.error.detail << "\"";
+  }
+  if (record.outcome.ok()) {
+    const machine::RunResult& result = record.outcome.result;
+    oss << ",\"end\":" << fmt_double(result.end_to_end)
+        << ",\"stddev\":" << fmt_double(result.stddev) << ",\"loops\":[";
+    for (std::size_t j = 0; j < result.loop_seconds.size(); ++j) {
+      if (j) oss << ',';
+      oss << fmt_double(result.loop_seconds[j]);
+    }
+    oss << ']';
+  }
+  oss << '}';
+  return oss.str();
+}
+
+bool EvalJournal::decode(const std::string& line, JournalRecord* out) {
+  if (line.empty() || line.back() != '}') return false;  // torn tail
+  std::string type;
+  if (!field_text(line, "type", &type) || type != "eval") return false;
+
+  JournalRecord record;
+  std::uint64_t reps = 0, instr = 0, ok = 0, attempts = 0;
+  if (!field_u64(line, "key", &record.key) ||
+      !field_u64(line, "rep", &record.rep_base) ||
+      !field_u64(line, "reps", &reps) ||
+      !field_u64(line, "instr", &instr) || !field_u64(line, "ok", &ok) ||
+      !field_u64(line, "attempts", &attempts)) {
+    return false;
+  }
+  record.repetitions = static_cast<int>(reps);
+  record.instrumented = instr != 0;
+  record.outcome.attempts = static_cast<int>(attempts);
+
+  std::string fault;
+  if (!field_text(line, "fault", &fault)) return false;
+  record.outcome.error.kind = eval_fault_from_string(fault);
+  if (ok == 0 && record.outcome.error.kind == EvalFault::kNone) {
+    return false;  // failed record with unknown fault kind
+  }
+  (void)field_text(line, "detail", &record.outcome.error.detail);
+
+  if (ok != 0) {
+    machine::RunResult& result = record.outcome.result;
+    if (!field_double(line, "end", &result.end_to_end) ||
+        !field_double(line, "stddev", &result.stddev)) {
+      return false;
+    }
+    const std::size_t open = line.find("\"loops\":[");
+    if (open == std::string::npos) return false;
+    std::size_t at = open + 9;
+    const std::size_t close = line.find(']', at);
+    if (close == std::string::npos) return false;
+    while (at < close) {
+      char* end = nullptr;
+      const double value = std::strtod(line.c_str() + at, &end);
+      const auto parsed = static_cast<std::size_t>(end - line.c_str());
+      if (end == nullptr || parsed <= at || parsed > close) return false;
+      result.loop_seconds.push_back(value);
+      at = parsed + 1;  // skip ',' (or land past ']')
+    }
+    // Not journaled; recompute exactly as the engine does.
+    result.derived_nonloop_seconds =
+        result.end_to_end -
+        std::accumulate(result.loop_seconds.begin(),
+                        result.loop_seconds.end(), 0.0);
+  }
+  *out = record;
+  return true;
+}
+
+std::shared_ptr<EvalJournal> EvalJournal::create(
+    const std::string& path, std::uint64_t config_fingerprint) {
+  auto journal = std::shared_ptr<EvalJournal>(new EvalJournal());
+  journal->path_ = path;
+  journal->out_ = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*journal->out_) {
+    throw std::runtime_error("cannot write journal: " + path);
+  }
+  *journal->out_ << "{\"type\":\"header\",\"version\":1,\"config\":\""
+                 << config_fingerprint << "\"}\n";
+  journal->out_->flush();
+  return journal;
+}
+
+std::shared_ptr<EvalJournal> EvalJournal::resume(
+    const std::string& path, std::uint64_t config_fingerprint) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read journal: " + path);
+  }
+  auto journal = std::shared_ptr<EvalJournal>(new EvalJournal());
+  journal->path_ = path;
+
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (!saw_header) {
+      std::string type, config;
+      if (!field_text(line, "type", &type) || type != "header") break;
+      saw_header = true;
+      if (config_fingerprint != 0 &&
+          field_text(line, "config", &config) &&
+          config != std::to_string(config_fingerprint)) {
+        throw std::runtime_error(
+            "journal " + path +
+            " was recorded under different tuning options (config " +
+            config + "); refusing to resume");
+      }
+      continue;
+    }
+    std::string type;
+    if (field_text(line, "type", &type) && type == "snapshot") continue;
+    JournalRecord record;
+    // First malformed line = the torn tail of a killed process; every
+    // complete record before it is kept, the rest re-evaluates.
+    if (!decode(line, &record)) break;
+    journal->records_[Key{record.key, record.rep_base, record.repetitions,
+                          record.instrumented}] = record.outcome;
+    ++journal->loaded_;
+    (record.outcome.ok() ? journal->ok_count_ : journal->failed_count_)++;
+  }
+  in.close();
+
+  // Rewrite the file to the valid prefix so a future resume never
+  // stops early at the torn line we just skipped.
+  journal->out_ = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*journal->out_) {
+    throw std::runtime_error("cannot write journal: " + path);
+  }
+  *journal->out_ << "{\"type\":\"header\",\"version\":1,\"config\":\""
+                 << config_fingerprint << "\"}\n";
+  for (const auto& [key, outcome] : journal->records_) {
+    JournalRecord record;
+    record.key = std::get<0>(key);
+    record.rep_base = std::get<1>(key);
+    record.repetitions = std::get<2>(key);
+    record.instrumented = std::get<3>(key);
+    record.outcome = outcome;
+    *journal->out_ << encode(record) << '\n';
+  }
+  journal->out_->flush();
+  return journal;
+}
+
+bool EvalJournal::lookup(std::uint64_t key, std::uint64_t rep_base,
+                         int repetitions, bool instrumented,
+                         EvalOutcome* out) {
+  std::lock_guard lock(mutex_);
+  const auto it =
+      records_.find(Key{key, rep_base, repetitions, instrumented});
+  if (it == records_.end()) return false;
+  *out = it->second;
+  ++replayed_;
+  return true;
+}
+
+void EvalJournal::record(const JournalRecord& record) {
+  const std::string line = encode(record);
+  std::lock_guard lock(mutex_);
+  records_[Key{record.key, record.rep_base, record.repetitions,
+               record.instrumented}] = record.outcome;
+  ++appended_;
+  (record.outcome.ok() ? ok_count_ : failed_count_)++;
+  write_locked(line);
+}
+
+void EvalJournal::write_locked(const std::string& line) {
+  if (!out_ || !*out_) return;
+  *out_ << line << '\n';
+  if (snapshot_interval_ > 0 && ++since_snapshot_ >= snapshot_interval_) {
+    since_snapshot_ = 0;
+    *out_ << "{\"type\":\"snapshot\",\"records\":" << (loaded_ + appended_)
+          << ",\"ok\":" << ok_count_ << ",\"failed\":" << failed_count_
+          << "}\n";
+  }
+  // Flush every record: the journal's whole point is surviving a kill.
+  out_->flush();
+}
+
+}  // namespace ft::core

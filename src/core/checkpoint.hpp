@@ -1,0 +1,111 @@
+// Checkpoint/resume for long tuning campaigns: a JSONL journal of
+// completed evaluations plus periodic progress snapshots.
+//
+// Every evaluation the resilient path completes (success OR classified
+// failure) is appended as one self-contained line keyed by
+// (assignment+context fingerprint, noise rep_base, repetitions,
+// instrumented). Because the whole stack is deterministic for a fixed
+// seed, replaying the journal instead of re-running reproduces
+// bit-identical search trajectories: `ftune tune --resume <journal>`
+// continues a killed campaign and lands on exactly the result an
+// uninterrupted run would have produced.
+//
+// The loader tolerates a torn tail (a line cut short by process death):
+// it stops at the first malformed line and resumes from there. A
+// config fingerprint in the header line guards against replaying a
+// journal recorded under different tuning options.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "core/evaluator.hpp"
+
+namespace ft::core {
+
+struct FuncyTunerOptions;
+
+/// Stable fingerprint of every option that changes measured values or
+/// the evaluation schedule (seed, samples, noise, faults, retry...).
+/// Journals refuse to resume under a different fingerprint.
+[[nodiscard]] std::uint64_t options_fingerprint(
+    const FuncyTunerOptions& options);
+
+/// One journaled evaluation.
+struct JournalRecord {
+  std::uint64_t key = 0;       ///< Evaluator::assignment_key
+  std::uint64_t rep_base = 0;  ///< noise-stream offset
+  int repetitions = 1;
+  bool instrumented = false;
+  EvalOutcome outcome;  ///< caliper_report is not journaled
+};
+
+class EvalJournal {
+ public:
+  /// Starts a fresh journal at `path` (truncates). Every record is
+  /// flushed as soon as it is appended, so a killed process loses at
+  /// most the in-flight evaluations.
+  [[nodiscard]] static std::shared_ptr<EvalJournal> create(
+      const std::string& path, std::uint64_t config_fingerprint);
+
+  /// Loads completed records from `path` (ignoring a torn tail) and
+  /// re-opens it for appending. Throws std::runtime_error when the
+  /// file is unreadable or was recorded under a different config
+  /// fingerprint (pass 0 to skip the check).
+  [[nodiscard]] static std::shared_ptr<EvalJournal> resume(
+      const std::string& path, std::uint64_t config_fingerprint);
+
+  /// Replays a completed evaluation into `out`; false on miss.
+  /// Thread-safe.
+  [[nodiscard]] bool lookup(std::uint64_t key, std::uint64_t rep_base,
+                            int repetitions, bool instrumented,
+                            EvalOutcome* out);
+
+  /// Appends one completed evaluation (and a snapshot line every
+  /// `snapshot_interval` records) and flushes. Thread-safe.
+  void record(const JournalRecord& record);
+
+  /// Snapshot cadence in records (default 64; 0 disables snapshots).
+  void set_snapshot_interval(std::size_t interval) noexcept {
+    snapshot_interval_ = interval;
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Records loaded from disk at resume time.
+  [[nodiscard]] std::size_t loaded() const noexcept { return loaded_; }
+  /// Records appended by this process.
+  [[nodiscard]] std::size_t appended() const noexcept { return appended_; }
+  /// Lookup hits served so far.
+  [[nodiscard]] std::size_t replayed() const noexcept { return replayed_; }
+
+  /// Serializes one record as a journal line (exposed for tests).
+  [[nodiscard]] static std::string encode(const JournalRecord& record);
+  /// Parses a journal line; false for snapshots/headers/torn lines.
+  [[nodiscard]] static bool decode(const std::string& line,
+                                   JournalRecord* out);
+
+ private:
+  EvalJournal() = default;
+  void write_locked(const std::string& line);
+
+  using Key = std::tuple<std::uint64_t, std::uint64_t, int, bool>;
+
+  std::string path_;
+  std::mutex mutex_;
+  std::map<Key, EvalOutcome> records_;
+  std::unique_ptr<std::ofstream> out_;
+  std::size_t snapshot_interval_ = 64;
+  std::size_t since_snapshot_ = 0;
+  std::size_t loaded_ = 0;
+  std::size_t appended_ = 0;
+  std::size_t ok_count_ = 0;
+  std::size_t failed_count_ = 0;
+  std::size_t replayed_ = 0;
+};
+
+}  // namespace ft::core

@@ -22,6 +22,7 @@ Collection collect_per_loop_runtimes(
   collection.rest_times.assign(k_count, 0.0);
   collection.end_to_end.assign(k_count, 0.0);
 
+  evaluator.begin_parallel_region();
   support::parallel_for(k_count, [&](std::size_t k) {
     const compiler::ModuleAssignment assignment =
         compiler::ModuleAssignment::uniform(
@@ -30,7 +31,18 @@ Collection collect_per_loop_runtimes(
     options.repetitions = 1;
     options.instrumented = true;  // Caliper measures the hot loops
     options.rep_base = rep_streams::kCollection + k;
-    const machine::RunResult result = evaluator.run(assignment, options);
+    const EvalOutcome outcome = evaluator.try_run(assignment, options);
+    if (!outcome.ok()) {
+      // A CV that ICEs or crashes here is invalid for every module: +inf
+      // rows keep it out of per-module winners and top-X pruning.
+      collection.end_to_end[k] = kInvalidSeconds;
+      for (std::size_t i = 0; i < hot_count; ++i) {
+        collection.loop_times[i][k] = kInvalidSeconds;
+      }
+      collection.rest_times[k] = kInvalidSeconds;
+      return;
+    }
+    const machine::RunResult& result = outcome.result;
 
     collection.end_to_end[k] = result.end_to_end;
     double hot_sum = 0.0;
@@ -41,6 +53,7 @@ Collection collect_per_loop_runtimes(
     }
     collection.rest_times[k] = result.end_to_end - hot_sum;
   });
+  evaluator.end_parallel_region();
 
   return collection;
 }

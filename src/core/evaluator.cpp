@@ -1,13 +1,59 @@
 #include "core/evaluator.hpp"
 
+#include <algorithm>
+#include <cstdio>
+
+#include "core/checkpoint.hpp"
+#include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace ft::core {
 
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+void count_metric(const char* name, std::uint64_t n = 1) {
+  if (!telemetry::enabled()) return;
+  telemetry::metrics().counter(name).add(n);
+}
+
+}  // namespace
+
+std::string_view to_string(EvalFault fault) noexcept {
+  switch (fault) {
+    case EvalFault::kNone: return "none";
+    case EvalFault::kCompileFailure: return "compile";
+    case EvalFault::kRunCrash: return "crash";
+    case EvalFault::kRunTimeout: return "timeout";
+    case EvalFault::kQuarantined: return "quarantined";
+  }
+  return "none";
+}
+
+EvalFault eval_fault_from_string(std::string_view name) noexcept {
+  if (name == "compile") return EvalFault::kCompileFailure;
+  if (name == "crash") return EvalFault::kRunCrash;
+  if (name == "timeout") return EvalFault::kRunTimeout;
+  if (name == "quarantined") return EvalFault::kQuarantined;
+  return EvalFault::kNone;
+}
+
 Evaluator::Evaluator(machine::ExecutionEngine& engine,
                      const ir::InputSpec& input)
-    : engine_(&engine), input_(&input) {}
+    : engine_(&engine), input_(&input) {
+  // Mixed into every assignment key so journal records and quarantine
+  // entries never collide across campaign cells sharing one journal.
+  context_hash_ = support::fnv1a64(engine.program().name()) ^
+                  support::fnv1a64(input.name) * 0x9e3779b97f4a7c15ULL ^
+                  support::fnv1a64(engine.arch().name) * 0xc2b2ae3d27d4eb4fULL;
+}
 
 void Evaluator::account(std::size_t modules_compiled, double run_seconds,
                         int reps) {
@@ -21,10 +67,7 @@ void Evaluator::account(std::size_t modules_compiled, double run_seconds,
       static_cast<double>(modules_compiled) *
           overhead_model_.seconds_per_module_compile +
       overhead_model_.link_seconds + run_seconds * reps;
-  double expected = modeled_overhead_.load(std::memory_order_relaxed);
-  while (!modeled_overhead_.compare_exchange_weak(
-      expected, expected + cost, std::memory_order_relaxed)) {
-  }
+  account_overhead(cost);
   if (telemetry::enabled()) {
     static telemetry::Counter& evals =
         telemetry::metrics().counter("evaluator.evaluations");
@@ -37,8 +80,21 @@ void Evaluator::account(std::size_t modules_compiled, double run_seconds,
   }
 }
 
+void Evaluator::account_overhead(double seconds) {
+  double expected = modeled_overhead_.load(std::memory_order_relaxed);
+  while (!modeled_overhead_.compare_exchange_weak(
+      expected, expected + seconds, std::memory_order_relaxed)) {
+  }
+}
+
 double Evaluator::evaluate(const compiler::ModuleAssignment& assignment,
                            const EvalContext& context) {
+  return try_evaluate(assignment, context).seconds_or(kInvalidSeconds);
+}
+
+EvalOutcome Evaluator::try_evaluate(
+    const compiler::ModuleAssignment& assignment,
+    const EvalContext& context) {
   telemetry::Span span;
   if (context.leaf_spans && telemetry::enabled()) {
     const std::string_view name =
@@ -53,9 +109,12 @@ double Evaluator::evaluate(const compiler::ModuleAssignment& assignment,
   options.repetitions = 1;
   options.instrumented = context.instrumented;
   options.rep_base = context.rep_base;
-  const double seconds = run(assignment, options).end_to_end;
-  if (span) span.attr("seconds", seconds);
-  return seconds;
+  const EvalOutcome outcome = try_run(assignment, options);
+  if (span) {
+    span.attr("seconds", outcome.seconds_or(kInvalidSeconds));
+    if (!outcome.ok()) span.attr("fault", to_string(outcome.error.kind));
+  }
+  return outcome;
 }
 
 machine::RunResult Evaluator::run(
@@ -74,6 +133,222 @@ machine::RunResult Evaluator::run(
   const machine::RunResult result = engine_->run(exe, *input_, options);
   account(compiled, result.end_to_end, options.repetitions);
   return result;
+}
+
+std::uint64_t Evaluator::assignment_key(
+    const compiler::ModuleAssignment& assignment) const {
+  std::uint64_t key = context_hash_;
+  for (const flags::CompilationVector& cv : assignment.loop_cvs) {
+    key = (key ^ cv.hash()) * 0x100000001b3ULL;  // FNV-style fold
+  }
+  key = (key ^ assignment.nonloop_cv.hash()) * 0x100000001b3ULL;
+  return key;
+}
+
+bool Evaluator::is_quarantined(
+    const compiler::ModuleAssignment& assignment) const {
+  if (!has_quarantine_.load(std::memory_order_acquire)) return false;
+  std::lock_guard lock(resilience_mutex_);
+  if (quarantined_keys_.count(assignment_key(assignment)) != 0) return true;
+  if (quarantined_cvs_.empty()) return false;
+  if (quarantined_cvs_.count(assignment.nonloop_cv.hash()) != 0) return true;
+  for (const flags::CompilationVector& cv : assignment.loop_cvs) {
+    if (quarantined_cvs_.count(cv.hash()) != 0) return true;
+  }
+  return false;
+}
+
+void Evaluator::note_failure(std::uint64_t key) {
+  failed_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  count_metric("eval.failures");
+  if (retry_policy_.quarantine_after <= 0) return;
+  std::lock_guard lock(resilience_mutex_);
+  if (++failure_counts_[key] == retry_policy_.quarantine_after) {
+    pending_quarantine_.push_back(key);
+  }
+}
+
+void Evaluator::begin_parallel_region() {
+  promote_quarantines();
+  batch_depth_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Evaluator::end_parallel_region() {
+  if (batch_depth_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    promote_quarantines();
+  }
+}
+
+void Evaluator::promote_quarantines() {
+  std::lock_guard lock(resilience_mutex_);
+  for (const std::uint64_t key : pending_quarantine_) {
+    quarantined_keys_.insert(key);
+  }
+  pending_quarantine_.clear();
+  const bool any = !quarantined_keys_.empty() || !quarantined_cvs_.empty();
+  has_quarantine_.store(any, std::memory_order_release);
+  if (telemetry::enabled()) {
+    // Scheduling decides which of several racing failures trips the
+    // threshold, so the reading is snapshot-only.
+    telemetry::metrics()
+        .gauge("eval.quarantined", /*deterministic=*/false)
+        .set(static_cast<double>(quarantined_keys_.size() +
+                                 quarantined_cvs_.size()));
+  }
+}
+
+EvalOutcome Evaluator::try_run(const compiler::ModuleAssignment& assignment,
+                               const machine::RunOptions& options) {
+  const bool resilient = engine_->fault_model().enabled() ||
+                         journal_ != nullptr ||
+                         retry_policy_.eval_timeout_seconds > 0.0 ||
+                         has_quarantine_.load(std::memory_order_acquire);
+  EvalOutcome outcome;
+  if (!resilient) {
+    // Fast path: bit-identical to the pre-resilience pipeline.
+    outcome.result = run(assignment, options);
+    return outcome;
+  }
+
+  // Quarantine promotion is deferred to deterministic points: between
+  // batches (evaluate_batch promotes before its parallel_for) and, for
+  // sequential callers, before every evaluation.
+  if (batch_depth_.load(std::memory_order_relaxed) == 0) {
+    promote_quarantines();
+  }
+
+  const std::uint64_t key = assignment_key(assignment);
+  if (journal_ &&
+      journal_->lookup(key, options.rep_base, options.repetitions,
+                       options.instrumented, &outcome)) {
+    if (!outcome.ok() && outcome.error.kind != EvalFault::kQuarantined) {
+      // Rebuild quarantine state exactly as the original run did.
+      note_failure(key);
+    }
+    count_metric("journal.replayed");
+    return outcome;
+  }
+
+  outcome = attempt_run(key, assignment, options);
+  if (journal_) {
+    journal_->record({key, options.rep_base, options.repetitions,
+                      options.instrumented, outcome});
+    count_metric("journal.appended");
+  }
+  return outcome;
+}
+
+EvalOutcome Evaluator::attempt_run(
+    std::uint64_t key, const compiler::ModuleAssignment& assignment,
+    const machine::RunOptions& options) {
+  EvalOutcome outcome;
+  if (is_quarantined(assignment)) {
+    quarantine_hits_.fetch_add(1, std::memory_order_relaxed);
+    count_metric("eval.quarantine_hits");
+    outcome.error = {EvalFault::kQuarantined, hex64(key)};
+    outcome.attempts = 0;
+    return outcome;
+  }
+
+  const machine::FaultModel& faults = engine_->fault_model();
+  if (faults.enabled()) {
+    // Compile ICEs are a permanent property of a CV's flag interaction:
+    // fail without retrying and quarantine the CV itself, so later
+    // assignments touching it are skipped before the compiler runs.
+    const auto ice = [&](const flags::CompilationVector& cv) -> bool {
+      if (!faults.compile_fails(cv.hash())) return false;
+      {
+        std::lock_guard lock(resilience_mutex_);
+        quarantined_cvs_.insert(cv.hash());
+      }
+      has_quarantine_.store(true, std::memory_order_release);
+      compile_failures_.fetch_add(1, std::memory_order_relaxed);
+      count_metric("fault.compile_failures");
+      // The ICE still burned one modeled module compile.
+      account_overhead(overhead_model_.seconds_per_module_compile);
+      outcome.error = {EvalFault::kCompileFailure, hex64(cv.hash())};
+      return true;
+    };
+    bool failed = ice(assignment.nonloop_cv);
+    for (std::size_t j = 0; !failed && j < assignment.loop_cvs.size(); ++j) {
+      failed = ice(assignment.loop_cvs[j]);
+    }
+    if (failed) {
+      note_failure(key);
+      return outcome;
+    }
+  }
+
+  const double budget = retry_policy_.eval_timeout_seconds;
+  for (int attempt = 0;; ++attempt) {
+    const machine::FaultModel::RunFault fault =
+        faults.run_fault(key, options.rep_base, attempt);
+    if (fault == machine::FaultModel::RunFault::kNone) {
+      outcome.result = run(assignment, options);
+      outcome.attempts = attempt + 1;
+      if (budget > 0.0 && outcome.result.end_to_end > budget) {
+        // Genuine budget overrun. Measurements are deterministic per
+        // rep key, so retrying would reproduce it - fail immediately.
+        run_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        count_metric("fault.run_timeouts");
+        outcome.result = machine::RunResult{};
+        outcome.error = {EvalFault::kRunTimeout, "budget exceeded"};
+        note_failure(key);
+      }
+      return outcome;
+    }
+
+    // Injected transient fault: account the modeled wall-clock it
+    // burned, then retry with deterministic exponential backoff.
+    if (fault == machine::FaultModel::RunFault::kCrash) {
+      run_crashes_.fetch_add(1, std::memory_order_relaxed);
+      count_metric("fault.run_crashes");
+      account_overhead(overhead_model_.link_seconds);
+    } else {
+      run_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      count_metric("fault.run_timeouts");
+      account_overhead(budget > 0.0 ? budget
+                                    : overhead_model_.link_seconds);
+    }
+    if (attempt >= retry_policy_.max_retries) {
+      outcome.attempts = attempt + 1;
+      outcome.error = {fault == machine::FaultModel::RunFault::kCrash
+                           ? EvalFault::kRunCrash
+                           : EvalFault::kRunTimeout,
+                       "retries exhausted"};
+      note_failure(key);
+      return outcome;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    count_metric("eval.retries");
+    account_overhead(retry_policy_.backoff_seconds *
+                     static_cast<double>(1 << std::min(attempt, 16)));
+  }
+}
+
+void Evaluator::set_journal(std::shared_ptr<EvalJournal> journal) {
+  journal_ = std::move(journal);
+}
+
+ResilienceStats Evaluator::resilience_stats() const {
+  ResilienceStats stats;
+  stats.compile_failures =
+      compile_failures_.load(std::memory_order_relaxed);
+  stats.run_crashes = run_crashes_.load(std::memory_order_relaxed);
+  stats.run_timeouts = run_timeouts_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.failed_evaluations =
+      failed_evaluations_.load(std::memory_order_relaxed);
+  stats.quarantine_hits = quarantine_hits_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(resilience_mutex_);
+    stats.quarantined = quarantined_keys_.size() + quarantined_cvs_.size();
+  }
+  if (journal_) {
+    stats.journal_replayed = journal_->replayed();
+    stats.journal_appended = journal_->appended();
+  }
+  return stats;
 }
 
 std::vector<double> Evaluator::evaluate_batch(
@@ -98,11 +373,16 @@ std::vector<double> Evaluator::evaluate_batch(
   EvalContext worker = context;
   worker.leaf_spans = false;  // workers never emit spans (see above)
   worker.parent_span = 0;
+  // Quarantines queued by earlier phases take effect at this
+  // deterministic boundary; none are applied mid-batch, so whether an
+  // evaluation is skipped never depends on worker scheduling.
+  begin_parallel_region();
   support::parallel_for(count, [&](std::size_t i) {
     EvalContext one = worker;
     one.rep_base = context.rep_base + i;
     seconds[i] = evaluate(make(i), one);
   });
+  end_parallel_region();
   return seconds;
 }
 
@@ -111,7 +391,13 @@ double Evaluator::final_seconds(const compiler::ModuleAssignment& assignment,
   machine::RunOptions options;
   options.repetitions = reps;
   options.rep_base = rep_streams::kFinal;  // fresh noise vs. search runs
-  return run(assignment, options).end_to_end;
+  if (engine_->fault_model().enabled()) {
+    // Outlier spikes are in play: score with the trimmed mean so one
+    // contaminated rep cannot flip a winner (plain mean otherwise, the
+    // paper's protocol - keeps fault-free results bit-identical).
+    options.aggregate = machine::Aggregation::kTrimmedMean;
+  }
+  return try_run(assignment, options).seconds_or(kInvalidSeconds);
 }
 
 }  // namespace ft::core

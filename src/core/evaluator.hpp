@@ -8,7 +8,12 @@
 
 #include <atomic>
 #include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "compiler/compiler.hpp"
@@ -17,6 +22,8 @@
 #include "telemetry/telemetry.hpp"
 
 namespace ft::core {
+
+class EvalJournal;
 
 /// Disjoint noise-stream offsets, one per measurement phase. Every
 /// phase keys its i-th measurement at `offset + i`, so two phases that
@@ -42,6 +49,75 @@ inline constexpr std::uint64_t kCrossInput = 1ull << 21;    ///< other inputs
 struct OverheadModel {
   double seconds_per_module_compile = 8.0;  ///< ICC object compile (parallel make)
   double link_seconds = 40.0;                ///< xild whole-program link
+};
+
+/// Classified evaluation failure. Compile ICEs are permanent (a
+/// property of the CV's flag interactions); crashes and timeouts are
+/// transient and retryable; quarantined evaluations were skipped
+/// because their CV/assignment failed repeatedly before.
+enum class EvalFault {
+  kNone,
+  kCompileFailure,
+  kRunCrash,
+  kRunTimeout,
+  kQuarantined,
+};
+
+[[nodiscard]] std::string_view to_string(EvalFault fault) noexcept;
+/// Inverse of to_string; kNone for unknown text.
+[[nodiscard]] EvalFault eval_fault_from_string(std::string_view name) noexcept;
+
+struct EvalError {
+  EvalFault kind = EvalFault::kNone;
+  std::string detail;  ///< e.g. hex hash of the ICE-ing CV
+};
+
+/// Result<RunResult, EvalError>: a measurement or a classified failure.
+struct EvalOutcome {
+  machine::RunResult result;  ///< valid only when ok()
+  EvalError error;
+  int attempts = 1;  ///< run attempts made (retries included)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return error.kind == EvalFault::kNone;
+  }
+  [[nodiscard]] double seconds_or(double fallback) const noexcept {
+    return ok() ? result.end_to_end : fallback;
+  }
+};
+
+/// Score of a failed evaluation: +inf sorts after every real runtime,
+/// so searches skip invalid candidates without special-casing.
+inline constexpr double kInvalidSeconds =
+    std::numeric_limits<double>::infinity();
+
+/// Bounded-retry policy for transient evaluation faults, with
+/// deterministic wall-clock accounting (each retry charges
+/// backoff_seconds * 2^attempt of modeled testbed time).
+struct RetryPolicy {
+  int max_retries = 2;        ///< extra attempts after the first
+  double backoff_seconds = 1.0;
+  /// Modeled per-evaluation runtime budget in seconds; a run exceeding
+  /// it fails as kRunTimeout. 0 = unlimited. Injected timeouts burn
+  /// the full budget (or one link time when unlimited).
+  double eval_timeout_seconds = 0.0;
+  /// Failed evaluations of the same assignment before it is
+  /// quarantined (skipped without compiling); <= 0 disables.
+  int quarantine_after = 2;
+};
+
+/// Cumulative fault/retry/quarantine counters (also mirrored into the
+/// telemetry metrics registry under fault.* / eval.* / journal.*).
+struct ResilienceStats {
+  std::size_t compile_failures = 0;
+  std::size_t run_crashes = 0;
+  std::size_t run_timeouts = 0;
+  std::size_t retries = 0;
+  std::size_t failed_evaluations = 0;
+  std::size_t quarantine_hits = 0;     ///< evaluations skipped
+  std::size_t quarantined = 0;         ///< entries on the list
+  std::size_t journal_replayed = 0;
+  std::size_t journal_appended = 0;
 };
 
 /// Everything an evaluation needs besides the assignment itself: the
@@ -81,11 +157,29 @@ class Evaluator {
 
   /// End-to-end seconds of one run of the given assignment (1 rep,
   /// noise on). `context.rep_base` decorrelates repeated measurements.
+  /// Returns kInvalidSeconds when the evaluation fails under the
+  /// resilient path (fault injection / timeout budget / quarantine).
   [[nodiscard]] double evaluate(const compiler::ModuleAssignment& assignment,
                                 const EvalContext& context = {});
 
-  /// Full run result (used by the collection phase).
+  /// evaluate() with the failure classified instead of collapsed to
+  /// +inf.
+  [[nodiscard]] EvalOutcome try_evaluate(
+      const compiler::ModuleAssignment& assignment,
+      const EvalContext& context = {});
+
+  /// Full run result (used by the collection phase). Bypasses fault
+  /// injection, retries and the journal - prefer try_run.
   [[nodiscard]] machine::RunResult run(
+      const compiler::ModuleAssignment& assignment,
+      const machine::RunOptions& options);
+
+  /// Resilient run: quarantine check, fault injection (from the
+  /// engine's FaultModel), bounded retries with deterministic backoff
+  /// accounting, per-evaluation timeout budget, and journal
+  /// record/replay. Identical to run() when no fault model, journal or
+  /// timeout budget is configured.
+  [[nodiscard]] EvalOutcome try_run(
       const compiler::ModuleAssignment& assignment,
       const machine::RunOptions& options);
 
@@ -118,15 +212,88 @@ class Evaluator {
     overhead_model_ = model;
   }
 
+  // --- resilience ---------------------------------------------------------
+
+  void set_retry_policy(const RetryPolicy& policy) noexcept {
+    retry_policy_ = policy;
+  }
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return retry_policy_;
+  }
+
+  /// Attaches a checkpoint journal: completed evaluations are appended
+  /// to it, and evaluations it already holds are replayed instead of
+  /// re-run.
+  void set_journal(std::shared_ptr<EvalJournal> journal);
+  [[nodiscard]] const std::shared_ptr<EvalJournal>& journal() const noexcept {
+    return journal_;
+  }
+
+  /// Stable fingerprint of (program, input, architecture, assignment):
+  /// the identity journal records and quarantine entries are keyed by.
+  [[nodiscard]] std::uint64_t assignment_key(
+      const compiler::ModuleAssignment& assignment) const;
+
+  [[nodiscard]] bool is_quarantined(
+      const compiler::ModuleAssignment& assignment) const;
+
+  /// Marks a caller-managed parallel evaluation region (evaluate_batch
+  /// brackets its own): quarantine promotion is deferred to the region
+  /// boundaries so whether an evaluation is quarantine-skipped never
+  /// depends on worker scheduling.
+  void begin_parallel_region();
+  void end_parallel_region();
+
+  [[nodiscard]] ResilienceStats resilience_stats() const;
+
  private:
   void account(std::size_t modules_compiled, double run_seconds,
                int reps);
+  /// Adds raw modeled seconds (fault cleanup, retry backoff) to the
+  /// overhead total without counting an evaluation.
+  void account_overhead(double seconds);
+
+  /// Fault/retry/timeout state machine behind try_run (journal and
+  /// fast path already handled by the caller).
+  [[nodiscard]] EvalOutcome attempt_run(
+      std::uint64_t key, const compiler::ModuleAssignment& assignment,
+      const machine::RunOptions& options);
+
+  /// Registers one fully-failed evaluation of `key`; queues the key
+  /// for quarantine once it reaches retry_policy_.quarantine_after.
+  void note_failure(std::uint64_t key);
+  /// Applies queued quarantines. Called only at deterministic points
+  /// (outside batches / between batches) so that whether an evaluation
+  /// is quarantine-skipped never depends on worker scheduling.
+  void promote_quarantines();
 
   machine::ExecutionEngine* engine_;
   const ir::InputSpec* input_;
   OverheadModel overhead_model_;
   std::atomic<std::size_t> evaluations_{0};
   std::atomic<double> modeled_overhead_{0.0};
+
+  RetryPolicy retry_policy_;
+  std::shared_ptr<EvalJournal> journal_;
+  std::uint64_t context_hash_ = 0;  ///< program/input/arch mix
+  std::atomic<int> batch_depth_{0};
+  std::atomic<bool> has_quarantine_{false};
+
+  mutable std::mutex resilience_mutex_;
+  std::unordered_map<std::uint64_t, int> failure_counts_;
+  std::vector<std::uint64_t> pending_quarantine_;
+  std::unordered_set<std::uint64_t> quarantined_keys_;
+  /// CVs whose flag interactions ICE the compiler (hash of the CV):
+  /// any assignment touching one is skipped. Applied eagerly - the
+  /// skip is score-identical to re-hitting the deterministic ICE.
+  std::unordered_set<std::uint64_t> quarantined_cvs_;
+
+  std::atomic<std::size_t> compile_failures_{0};
+  std::atomic<std::size_t> run_crashes_{0};
+  std::atomic<std::size_t> run_timeouts_{0};
+  std::atomic<std::size_t> retries_{0};
+  std::atomic<std::size_t> failed_evaluations_{0};
+  std::atomic<std::size_t> quarantine_hits_{0};
 };
 
 }  // namespace ft::core

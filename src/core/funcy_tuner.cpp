@@ -20,7 +20,12 @@ FuncyTuner::FuncyTuner(ir::Program program, machine::Architecture arch,
           /*caliper_overhead_per_event=*/2e-4,
           options.attribution_sigma)),
       tuning_input_(program_.tuning_input()),
-      evaluator_(std::make_unique<Evaluator>(*engine_, tuning_input_)) {}
+      evaluator_(std::make_unique<Evaluator>(*engine_, tuning_input_)) {
+  if (options_.faults.rate > 0 || options_.faults.outlier_rate > 0) {
+    engine_->set_fault_model(machine::FaultModel(options_.faults));
+  }
+  evaluator_->set_retry_policy(options_.retry);
+}
 
 const std::vector<flags::CompilationVector>& FuncyTuner::presampled() {
   if (presampled_.empty()) {

@@ -34,6 +34,11 @@ struct FuncyTunerOptions {
   /// CFR convergence-based early stop (CfrOptions::patience); 0 runs
   /// the paper's fixed-budget protocol.
   std::size_t patience = 0;
+  /// Fault injection (off by default: rate 0 leaves every existing
+  /// result bit-identical).
+  machine::FaultConfig faults;
+  /// Retry/quarantine/timeout policy for the resilient evaluation path.
+  RetryPolicy retry;
 };
 
 class FuncyTuner {

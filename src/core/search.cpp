@@ -1,6 +1,7 @@
 #include "core/search.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "support/rng.hpp"
@@ -10,6 +11,22 @@
 namespace ft::core {
 
 namespace {
+
+/// True when at least one evaluation produced a real runtime. Failed
+/// evaluations score kInvalidSeconds (+inf), so argmin naturally skips
+/// them - but with every candidate invalid (pathological fault rates)
+/// the argmin index is meaningless and callers fall back to the
+/// compiler's default CV instead of crowning an un-runnable winner.
+bool any_valid(const std::vector<double>& seconds) {
+  return std::any_of(seconds.begin(), seconds.end(),
+                     [](double s) { return std::isfinite(s); });
+}
+
+compiler::ModuleAssignment default_assignment(Evaluator& evaluator,
+                                              std::size_t loop_count) {
+  return compiler::ModuleAssignment::uniform(
+      evaluator.engine().compiler().space().default_cv(), loop_count);
+}
 
 /// Best-so-far curve and winner from a vector of evaluation results.
 void finish_from_history(TuningResult& result,
@@ -61,9 +78,13 @@ TuningResult random_search(Evaluator& evaluator,
       context);
 
   finish_from_history(result, seconds);
-  const std::size_t winner = support::argmin(seconds);
-  result.best_assignment =
-      compiler::ModuleAssignment::uniform(cvs[winner], loop_count);
+  if (any_valid(seconds)) {
+    const std::size_t winner = support::argmin(seconds);
+    result.best_assignment =
+        compiler::ModuleAssignment::uniform(cvs[winner], loop_count);
+  } else {
+    result.best_assignment = default_assignment(evaluator, loop_count);
+  }
   measure_final(result, evaluator, baseline_seconds);
   return result;
 }
@@ -106,7 +127,11 @@ TuningResult function_random_search(
   const std::vector<double> seconds =
       evaluator.evaluate_batch(iterations, make, context);
   finish_from_history(result, seconds);
-  result.best_assignment = make(support::argmin(seconds));
+  result.best_assignment =
+      any_valid(seconds)
+          ? make(support::argmin(seconds))
+          : default_assignment(evaluator,
+                               evaluator.engine().program().loops().size());
   measure_final(result, evaluator, baseline_seconds);
   return result;
 }
@@ -118,20 +143,28 @@ GreedyResult greedy_combination(Evaluator& evaluator, const Outline& outline,
   result.realized.algorithm = "G.realized";
   telemetry::Span span = telemetry::tracer().begin("search:Greedy");
 
-  // Per-module winners: i = argmin_k T[j][k] (paper §2.2.3).
+  // Per-module winners: i = argmin_k T[j][k] (paper §2.2.3). Failed
+  // collection rows hold +inf, so the argmin skips them; a module with
+  // no valid row at all falls back to the compiler default CV.
+  const flags::CompilationVector default_cv =
+      evaluator.engine().compiler().space().default_cv();
   std::vector<flags::CompilationVector> hot_cvs;
   hot_cvs.reserve(outline.hot.size());
   double independent_sum = 0.0;
   for (std::size_t j = 0; j < outline.hot.size(); ++j) {
     const std::size_t winner = support::argmin(collection.loop_times[j]);
-    hot_cvs.push_back(collection.cvs[winner]);
-    independent_sum += collection.loop_times[j][winner];
+    const double best = collection.loop_times[j][winner];
+    hot_cvs.push_back(std::isfinite(best) ? collection.cvs[winner]
+                                          : default_cv);
+    independent_sum += best;
   }
   const std::size_t rest_winner = support::argmin(collection.rest_times);
   independent_sum += collection.rest_times[rest_winner];
 
-  result.realized.best_assignment =
-      outline.make_assignment(hot_cvs, collection.cvs[rest_winner]);
+  result.realized.best_assignment = outline.make_assignment(
+      hot_cvs, std::isfinite(collection.rest_times[rest_winner])
+                   ? collection.cvs[rest_winner]
+                   : default_cv);
   result.realized.evaluations = 1;
   measure_final(result.realized, evaluator, baseline_seconds);
   result.realized.search_best_seconds = result.realized.tuned_seconds;
@@ -152,12 +185,24 @@ GreedyResult greedy_combination(Evaluator& evaluator, const Outline& outline,
 
 std::vector<std::vector<std::size_t>> prune_top_x(
     const Collection& collection, std::size_t top_x) {
+  // Failed evaluations (+inf rows) must never occupy top-X slots; they
+  // only survive when a module has fewer than top_x valid rows, and
+  // even then only as a last-resort non-empty candidate set.
+  const auto prune = [top_x](const std::vector<double>& times) {
+    std::vector<std::size_t> keep = support::smallest_k(times, top_x);
+    std::vector<std::size_t> valid;
+    valid.reserve(keep.size());
+    for (const std::size_t index : keep) {
+      if (std::isfinite(times[index])) valid.push_back(index);
+    }
+    return valid.empty() ? keep : valid;
+  };
   std::vector<std::vector<std::size_t>> pruned;
   pruned.reserve(collection.loop_times.size() + 1);
   for (const std::vector<double>& times : collection.loop_times) {
-    pruned.push_back(support::smallest_k(times, top_x));
+    pruned.push_back(prune(times));
   }
-  pruned.push_back(support::smallest_k(collection.rest_times, top_x));
+  pruned.push_back(prune(collection.rest_times));
   return pruned;
 }
 
@@ -228,7 +273,11 @@ TuningResult cfr_search(Evaluator& evaluator, const Outline& outline,
     }
   }
   finish_from_history(result, seconds);
-  result.best_assignment = make(support::argmin(seconds));
+  result.best_assignment =
+      any_valid(seconds)
+          ? make(support::argmin(seconds))
+          : default_assignment(evaluator,
+                               evaluator.engine().program().loops().size());
   measure_final(result, evaluator, baseline_seconds);
   return result;
 }

@@ -1,11 +1,21 @@
 #include "core/serialization.hpp"
 
+#include <cmath>
 #include <ostream>
 #include <sstream>
 
 namespace ft::core {
 
 namespace {
+
+/// JSON has no literal for inf/nan; failed measurements (scored
+/// kInvalidSeconds) serialize as null so the output stays parseable.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  std::ostringstream oss;
+  oss << value;
+  return oss.str();
+}
 
 std::string json_escape(const std::string& text) {
   std::string out;
@@ -48,9 +58,9 @@ std::string tuning_result_json(const TuningResult& result,
                                const ir::Program& program) {
   std::ostringstream oss;
   oss << "{\"algorithm\":\"" << json_escape(result.algorithm) << "\""
-      << ",\"speedup\":" << result.speedup
-      << ",\"tuned_seconds\":" << result.tuned_seconds
-      << ",\"baseline_seconds\":" << result.baseline_seconds
+      << ",\"speedup\":" << json_number(result.speedup)
+      << ",\"tuned_seconds\":" << json_number(result.tuned_seconds)
+      << ",\"baseline_seconds\":" << json_number(result.baseline_seconds)
       << ",\"evaluations\":" << result.evaluations << ",\"modules\":{";
   bool first = true;
   for (std::size_t j = 0; j < result.best_assignment.loop_cvs.size();

@@ -70,10 +70,22 @@ RunResult ExecutionEngine::run(const compiler::Executable& exe,
   result.loop_seconds.assign(loop_count, 0.0);
   std::vector<double> end_samples;
   end_samples.reserve(static_cast<std::size_t>(reps));
+  std::uint64_t outliers = 0;
 
   for (int rep = 0; rep < reps; ++rep) {
     const std::uint64_t rep_index =
         options.rep_base + static_cast<std::uint64_t>(rep);
+
+    // One machine-level spike multiplier per repetition (a contended
+    // node inflates the whole run, not one loop); 1.0 when the fault
+    // model is disabled or the rep is clean.
+    const double spike =
+        options.noise
+            ? faults_.outlier_multiplier(NoiseModel::make_key(
+                  exe.fingerprint, "<outlier>", input.name, arch_name,
+                  rep_index))
+            : 1.0;
+    if (spike != 1.0) ++outliers;
 
     // Measured per-module times for this repetition.
     std::vector<double> measured(loop_count + 1);
@@ -88,6 +100,7 @@ RunResult ExecutionEngine::run(const compiler::Executable& exe,
                                                     module_name, input.name,
                                                     arch_name, rep_index))
               : truth[j];
+      measured[j] *= spike;
     }
 
     double end_to_end;
@@ -135,7 +148,17 @@ RunResult ExecutionEngine::run(const compiler::Executable& exe,
   for (double& loop_second : result.loop_seconds) {
     loop_second /= static_cast<double>(reps);
   }
-  result.end_to_end = support::mean(end_samples);
+  switch (options.aggregate) {
+    case Aggregation::kMedian:
+      result.end_to_end = support::median(end_samples);
+      break;
+    case Aggregation::kTrimmedMean:
+      result.end_to_end = support::trimmed_mean(end_samples);
+      break;
+    case Aggregation::kMean:
+      result.end_to_end = support::mean(end_samples);
+      break;
+  }
   result.stddev = support::stddev(end_samples);
   result.derived_nonloop_seconds =
       result.end_to_end -
@@ -162,6 +185,11 @@ RunResult ExecutionEngine::run(const compiler::Executable& exe,
                  static_cast<std::uint64_t>(loop_count);
       }
       noise_draws.add(draws);
+    }
+    if (outliers > 0) {
+      static telemetry::Counter& spiked =
+          telemetry::metrics().counter("fault.outliers");
+      spiked.add(outliers);
     }
     run_seconds.observe(result.end_to_end);
   }

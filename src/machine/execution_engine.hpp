@@ -24,15 +24,23 @@
 #include "compiler/compiler.hpp"
 #include "ir/program.hpp"
 #include "machine/cost_model.hpp"
+#include "machine/fault_model.hpp"
 #include "machine/noise.hpp"
 
 namespace ft::machine {
+
+/// How multi-repetition end-to-end samples collapse to one number.
+/// kMean is the paper's protocol; the robust variants ignore outlier
+/// spikes (a single contaminated rep cannot flip a winner) and are used
+/// for final-reps scoring when fault injection is active.
+enum class Aggregation { kMean, kMedian, kTrimmedMean };
 
 struct RunOptions {
   int repetitions = 1;        ///< runs to average over
   bool instrumented = false;  ///< Caliper annotations compiled in?
   bool noise = true;          ///< apply the measurement-noise model
   std::uint64_t rep_base = 0; ///< offset into the noise stream
+  Aggregation aggregate = Aggregation::kMean;  ///< end-to-end reduction
 };
 
 struct RunResult {
@@ -90,6 +98,14 @@ class ExecutionEngine {
     return noise_;
   }
 
+  /// Fault injector consulted by this engine (outlier spikes) and by
+  /// the resilient evaluation path (compile/run faults). Disabled by
+  /// default. Set before the first run; not synchronized.
+  void set_fault_model(FaultModel model) noexcept { faults_ = model; }
+  [[nodiscard]] const FaultModel& fault_model() const noexcept {
+    return faults_;
+  }
+
  private:
   /// Per-loop calibration constants for an input (loops then nonloop):
   /// raw O3 cost * k == published O3 share * o3_seconds.
@@ -99,6 +115,7 @@ class ExecutionEngine {
   compiler::Compiler* compiler_;
   NoiseModel noise_;
   NoiseModel attribution_noise_;
+  FaultModel faults_;
   double caliper_overhead_;
   compiler::Executable baseline_;
   std::map<std::string, std::vector<double>> calibration_cache_;

@@ -1,0 +1,61 @@
+#include "machine/fault_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace ft::machine {
+
+namespace {
+
+/// One uniform draw in [0, 1) for a (seed, salt, key...) context. Each
+/// decision gets its own salt so the compile / crash / timeout /
+/// outlier streams never alias even for identical keys.
+double draw(std::uint64_t seed, std::string_view salt, std::uint64_t a,
+            std::uint64_t b = 0, std::uint64_t c = 0) {
+  std::uint64_t key = seed ^ support::fnv1a64(salt);
+  key ^= (a + 0x9e3779b97f4a7c15ULL) * 0xc2b2ae3d27d4eb4fULL;
+  key ^= (b + 0x165667b19e3779f9ULL) * 0x27d4eb2f165667c5ULL;
+  key ^= (c + 0xd6e8feb86659fd93ULL) * 0x2545f4914f6cdd1dULL;
+  return support::Rng(key).uniform();
+}
+
+}  // namespace
+
+FaultModel::FaultModel(FaultConfig config) : config_(config) {
+  if (config_.rate < 0.0 || config_.rate > 1.0) {
+    throw std::invalid_argument("FaultConfig.rate must be in [0, 1]");
+  }
+  if (config_.outlier_rate < 0.0) config_.outlier_rate = config_.rate;
+}
+
+bool FaultModel::compile_fails(std::uint64_t cv_hash) const {
+  if (!enabled()) return false;
+  return draw(config_.seed, "ice", cv_hash) <
+         config_.rate * config_.compile_share;
+}
+
+FaultModel::RunFault FaultModel::run_fault(std::uint64_t context_key,
+                                           std::uint64_t rep,
+                                           int attempt) const {
+  if (!enabled()) return RunFault::kNone;
+  const double u = draw(config_.seed, "run", context_key, rep,
+                        static_cast<std::uint64_t>(attempt));
+  const double crash_p = config_.rate * config_.crash_share;
+  const double timeout_p = config_.rate * config_.timeout_share;
+  if (u < crash_p) return RunFault::kCrash;
+  if (u < crash_p + timeout_p) return RunFault::kTimeout;
+  return RunFault::kNone;
+}
+
+double FaultModel::outlier_multiplier(std::uint64_t key) const {
+  if (!enabled() || config_.outlier_rate <= 0.0) return 1.0;
+  if (draw(config_.seed, "outlier", key) >= config_.outlier_rate) return 1.0;
+  const double span =
+      std::max(config_.outlier_max_scale - config_.outlier_min_scale, 0.0);
+  return config_.outlier_min_scale +
+         span * draw(config_.seed, "outlier-scale", key);
+}
+
+}  // namespace ft::machine

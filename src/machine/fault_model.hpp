@@ -1,0 +1,79 @@
+// Deterministic fault injector for resilience testing. Real per-loop
+// campaigns lose evaluations to compiler ICEs, crashed runs, timeouts
+// and measurement spikes; this model makes those failures reproducible
+// the same way NoiseModel makes measurement noise reproducible: every
+// decision is a pure function of (fault seed, context key), so a fixed
+// seed replays the exact same failure pattern while distinct phases
+// (keyed through the rep_streams offsets) decorrelate.
+//
+// Fault taxonomy:
+//  * Compile ICE   - a property of the compilation vector itself (bad
+//                    flag interactions crash the compiler every time),
+//                    so the decision is keyed per CV and is permanent:
+//                    retries never help, quarantine does.
+//  * Run crash     - transient (keyed per repetition AND attempt), so a
+//                    bounded retry usually recovers.
+//  * Run timeout   - transient like a crash, but the attempt burns the
+//                    evaluation's full timeout budget before failing.
+//  * Outlier spike - the run completes but the measurement is inflated
+//                    by a multiplier (cron job, page-cache miss...);
+//                    robust final-rep aggregation defends against it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ft::machine {
+
+struct FaultConfig {
+  /// Master fault probability; 0 disables the injector entirely.
+  /// Category probabilities below are fractions of this rate.
+  double rate = 0.0;
+  std::uint64_t seed = 1337;
+  double compile_share = 0.5;  ///< P(CV ICEs) = rate * compile_share
+  double crash_share = 0.25;   ///< per (evaluation, rep, attempt)
+  double timeout_share = 0.25; ///< per (evaluation, rep, attempt)
+  /// Probability a completed repetition's measurement is spiked
+  /// (defaults to `rate` when negative).
+  double outlier_rate = -1.0;
+  double outlier_min_scale = 3.0;  ///< spike multiplier range
+  double outlier_max_scale = 10.0;
+};
+
+class FaultModel {
+ public:
+  enum class RunFault { kNone, kCrash, kTimeout };
+
+  /// Default-constructed model injects nothing.
+  FaultModel() = default;
+  explicit FaultModel(FaultConfig config);
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return config_.rate > 0.0 || config_.outlier_rate > 0.0;
+  }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+  /// True when `cv_hash` identifies a CV whose flag combination ICEs
+  /// the compiler. Deterministic per (seed, cv_hash) - independent of
+  /// module, repetition and attempt, so the failure is permanent.
+  [[nodiscard]] bool compile_fails(std::uint64_t cv_hash) const;
+
+  /// Fault drawn for one run attempt. `context_key` identifies the
+  /// evaluation (assignment + program/input/arch), `rep` the noise
+  /// repetition, `attempt` the retry index - retries redraw.
+  [[nodiscard]] RunFault run_fault(std::uint64_t context_key,
+                                   std::uint64_t rep, int attempt) const;
+
+  /// Measurement-spike multiplier for one repetition: 1.0 for a clean
+  /// measurement, otherwise uniform in [outlier_min_scale,
+  /// outlier_max_scale]. Deterministic per (seed, key).
+  [[nodiscard]] double outlier_multiplier(std::uint64_t key) const;
+
+  /// A disabled model, for explicitness at call sites.
+  [[nodiscard]] static FaultModel none() { return FaultModel(); }
+
+ private:
+  FaultConfig config_{};
+};
+
+}  // namespace ft::machine

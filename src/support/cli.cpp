@@ -52,21 +52,34 @@ std::int64_t CliArgs::get_int(const std::string& name,
                               std::int64_t fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
+  std::size_t consumed = 0;
+  std::int64_t value = 0;
   try {
-    return std::stoll(it->second);
+    value = std::stoll(it->second, &consumed);
   } catch (const std::exception&) {
-    return fallback;
+    consumed = 0;
   }
+  // Partial parses ("10o0") are as wrong as unparseable ones.
+  if (consumed != it->second.size() || it->second.empty()) {
+    throw CliError("--" + name + ": not an integer: '" + it->second + "'");
+  }
+  return value;
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
+  std::size_t consumed = 0;
+  double value = 0.0;
   try {
-    return std::stod(it->second);
+    value = std::stod(it->second, &consumed);
   } catch (const std::exception&) {
-    return fallback;
+    consumed = 0;
   }
+  if (consumed != it->second.size() || it->second.empty()) {
+    throw CliError("--" + name + ": not a number: '" + it->second + "'");
+  }
+  return value;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
@@ -74,6 +87,19 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes" ||
          it->second == "on";
+}
+
+void CliArgs::check_known(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    bool found = false;
+    for (const std::string& candidate : known) {
+      if (name == candidate) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw CliError("unknown option: --" + name);
+  }
 }
 
 }  // namespace ft::support

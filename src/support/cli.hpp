@@ -5,10 +5,18 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace ft::support {
+
+/// Malformed command line: unknown flag or unparseable value. Carries
+/// the offending token so tools can report it and exit nonzero.
+class CliError : public std::runtime_error {
+ public:
+  explicit CliError(const std::string& what) : std::runtime_error(what) {}
+};
 
 class CliArgs {
  public:
@@ -22,11 +30,20 @@ class CliArgs {
 
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback = "") const;
+  /// Typed accessors return `fallback` when the flag is absent and
+  /// throw CliError (naming the flag and the offending token) when it
+  /// is present but not a well-formed number - a typo like
+  /// `--samples 10o0` must fail loudly, not silently tune with the
+  /// default.
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Throws CliError when any parsed `--flag` is not in `known`
+  /// (misspelled options must not be silently ignored).
+  void check_known(const std::vector<std::string>& known) const;
 
   [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
     return positionals_;

@@ -43,6 +43,29 @@ double median(std::span<const double> values) {
   return percentile(values, 50.0);
 }
 
+double trimmed_mean(std::span<const double> values, double trim) {
+  if (values.empty()) return 0.0;
+  trim = std::clamp(trim, 0.0, 0.4999);
+  const auto cut = static_cast<std::size_t>(
+      trim * static_cast<double>(values.size()));
+  if (cut == 0) return mean(values);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::span<const double> kept(sorted.data() + cut,
+                                     sorted.size() - 2 * cut);
+  return mean(kept);
+}
+
+double mad(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  const double m = median(values);
+  std::vector<double> deviations(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    deviations[i] = std::abs(values[i] - m);
+  }
+  return median(deviations);
+}
+
 double percentile(std::span<const double> values, double p) {
   if (values.empty()) return 0.0;
   std::vector<double> sorted(values.begin(), values.end());

@@ -25,6 +25,18 @@ namespace ft::support {
 /// Median (copies and sorts). Returns 0 for an empty span.
 [[nodiscard]] double median(std::span<const double> values);
 
+/// Mean after symmetrically discarding floor(trim * n) samples from
+/// each sorted tail (trim in [0, 0.5)). Robust to outlier spikes: with
+/// the default 20% trim a single contaminated rep out of >= 5 cannot
+/// move the estimate. Degenerates to the plain mean for small n.
+[[nodiscard]] double trimmed_mean(std::span<const double> values,
+                                  double trim = 0.2);
+
+/// Median absolute deviation from the median (unscaled). A robust
+/// dispersion estimate: multiply by ~1.4826 for a Gaussian-consistent
+/// sigma. Returns 0 for an empty span.
+[[nodiscard]] double mad(std::span<const double> values);
+
 /// Linear-interpolated percentile, p in [0, 100].
 [[nodiscard]] double percentile(std::span<const double> values, double p);
 

@@ -1,0 +1,433 @@
+// Tests for the fault-injection layer and the resilient evaluation
+// pipeline: deterministic fault draws, retry/quarantine semantics,
+// graceful degradation of every registry search under faults, robust
+// final-rep aggregation, and checkpoint/resume bit-identity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
+#include "core/funcy_tuner.hpp"
+#include "core/search_registry.hpp"
+#include "core/serialization.hpp"
+#include "machine/architecture.hpp"
+#include "machine/fault_model.hpp"
+#include "programs/benchmarks.hpp"
+
+namespace ft::core {
+namespace {
+
+FuncyTunerOptions fast_options(std::size_t samples = 60) {
+  FuncyTunerOptions options;
+  options.samples = samples;
+  options.top_x = 8;
+  options.seed = 42;
+  options.final_reps = 5;
+  return options;
+}
+
+FuncyTunerOptions faulty_options(double rate, std::size_t samples = 60) {
+  FuncyTunerOptions options = fast_options(samples);
+  options.faults.rate = rate;
+  options.faults.seed = 99;
+  return options;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+// ---------------------------------------------------------- fault model ----
+
+TEST(FaultModel, DisabledInjectsNothing) {
+  const machine::FaultModel model = machine::FaultModel::none();
+  EXPECT_FALSE(model.enabled());
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_FALSE(model.compile_fails(k));
+    EXPECT_EQ(model.run_fault(k, 0, 0), machine::FaultModel::RunFault::kNone);
+    EXPECT_DOUBLE_EQ(model.outlier_multiplier(k), 1.0);
+  }
+}
+
+TEST(FaultModel, DeterministicPerSeed) {
+  machine::FaultConfig config;
+  config.rate = 0.3;
+  config.seed = 7;
+  const machine::FaultModel a(config);
+  const machine::FaultModel b(config);
+  config.seed = 8;
+  const machine::FaultModel c(config);
+
+  bool any_difference = false;
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    EXPECT_EQ(a.compile_fails(k), b.compile_fails(k));
+    EXPECT_EQ(a.run_fault(k, 3, 1), b.run_fault(k, 3, 1));
+    EXPECT_DOUBLE_EQ(a.outlier_multiplier(k), b.outlier_multiplier(k));
+    any_difference |= a.compile_fails(k) != c.compile_fails(k);
+  }
+  EXPECT_TRUE(any_difference);  // a different seed draws different faults
+}
+
+TEST(FaultModel, RateProportionalAndSplitByShares) {
+  machine::FaultConfig config;
+  config.rate = 0.4;
+  config.compile_share = 0.5;  // => P(ICE) = 0.2 per CV
+  const machine::FaultModel model(config);
+  std::size_t ices = 0;
+  for (std::uint64_t k = 0; k < 2000; ++k) ices += model.compile_fails(k);
+  EXPECT_NEAR(static_cast<double>(ices) / 2000.0, 0.2, 0.04);
+
+  std::size_t crashes = 0, timeouts = 0;
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    switch (model.run_fault(k, 0, 0)) {
+      case machine::FaultModel::RunFault::kCrash: ++crashes; break;
+      case machine::FaultModel::RunFault::kTimeout: ++timeouts; break;
+      case machine::FaultModel::RunFault::kNone: break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(crashes) / 2000.0, 0.1, 0.04);
+  EXPECT_NEAR(static_cast<double>(timeouts) / 2000.0, 0.1, 0.04);
+}
+
+TEST(FaultModel, RetriesRedrawRunFaults) {
+  machine::FaultConfig config;
+  config.rate = 0.6;
+  config.compile_share = 0.0;
+  config.crash_share = 1.0;
+  config.timeout_share = 0.0;
+  const machine::FaultModel model(config);
+  // Some attempt succeeds where attempt 0 crashed: the draw depends on
+  // the attempt index, which is what makes retries worthwhile.
+  bool recovered = false;
+  for (std::uint64_t k = 0; k < 200 && !recovered; ++k) {
+    if (model.run_fault(k, 0, 0) != machine::FaultModel::RunFault::kCrash) {
+      continue;
+    }
+    for (int attempt = 1; attempt < 4; ++attempt) {
+      if (model.run_fault(k, 0, attempt) ==
+          machine::FaultModel::RunFault::kNone) {
+        recovered = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(recovered);
+}
+
+TEST(FaultModel, OutlierMultiplierInConfiguredRange) {
+  machine::FaultConfig config;
+  config.rate = 0.0;
+  config.outlier_rate = 0.5;
+  const machine::FaultModel model(config);
+  EXPECT_TRUE(model.enabled());  // outlier-only configs still inject
+  std::size_t spikes = 0;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const double m = model.outlier_multiplier(k);
+    if (m == 1.0) continue;
+    ++spikes;
+    EXPECT_GE(m, config.outlier_min_scale);
+    EXPECT_LE(m, config.outlier_max_scale);
+  }
+  EXPECT_NEAR(static_cast<double>(spikes) / 1000.0, 0.5, 0.06);
+}
+
+TEST(FaultModel, RejectsInvalidRate) {
+  machine::FaultConfig config;
+  config.rate = 1.5;
+  EXPECT_THROW(machine::FaultModel{config}, std::invalid_argument);
+}
+
+// --------------------------------------------------- resilient searches ----
+
+TEST(Resilience, FastPathIsBitIdenticalToPrePolicyRuns) {
+  // Faults off, no journal: two tuners with the same seed must agree
+  // exactly, and try_evaluate must equal evaluate.
+  FuncyTuner a(programs::cloverleaf(), machine::broadwell(), fast_options());
+  FuncyTuner b(programs::cloverleaf(), machine::broadwell(), fast_options());
+  const TuningResult ra = a.run_cfr();
+  const TuningResult rb = b.run_cfr();
+  EXPECT_EQ(ra.tuned_seconds, rb.tuned_seconds);
+  EXPECT_EQ(ra.history, rb.history);
+  const ResilienceStats stats = a.evaluator().resilience_stats();
+  EXPECT_EQ(stats.failed_evaluations, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST(Resilience, AllRegistryAlgorithmsSurviveFaultInjection) {
+  FuncyTuner tuner(programs::cloverleaf(), machine::broadwell(),
+                   faulty_options(0.1));
+  for (const std::string& name : SearchRegistry::global().names()) {
+    SCOPED_TRACE(name);
+    const TuningResult result = tuner.run(name);
+    // The campaign completes and crowns a real winner even though some
+    // evaluations failed.
+    EXPECT_TRUE(std::isfinite(result.tuned_seconds));
+    EXPECT_GT(result.speedup, 0.0);
+  }
+  const ResilienceStats stats = tuner.evaluator().resilience_stats();
+  EXPECT_GT(stats.failed_evaluations, 0u);
+  EXPECT_GT(stats.compile_failures + stats.run_crashes + stats.run_timeouts,
+            0u);
+}
+
+TEST(Resilience, TransientCrashesAreRetried) {
+  FuncyTunerOptions options = fast_options();
+  options.faults.rate = 0.3;
+  options.faults.seed = 5;
+  options.faults.compile_share = 0.0;  // only transient crashes
+  options.faults.crash_share = 1.0;
+  options.faults.timeout_share = 0.0;
+  options.faults.outlier_rate = 0.0;
+  options.retry.max_retries = 6;
+  FuncyTuner tuner(programs::cloverleaf(), machine::broadwell(), options);
+  const TuningResult result = tuner.run_random();
+  EXPECT_TRUE(std::isfinite(result.tuned_seconds));
+  const ResilienceStats stats = tuner.evaluator().resilience_stats();
+  EXPECT_GT(stats.retries, 0u);
+  // With 6 retries against a 30% transient rate, virtually every
+  // evaluation recovers.
+  EXPECT_LT(stats.failed_evaluations, stats.retries);
+}
+
+TEST(Resilience, CompileFailuresQuarantineTheVector) {
+  FuncyTunerOptions options = fast_options();
+  options.faults.rate = 0.4;
+  options.faults.seed = 11;
+  options.faults.compile_share = 1.0;  // ICEs only: retrying never helps
+  options.faults.crash_share = 0.0;
+  options.faults.timeout_share = 0.0;
+  options.faults.outlier_rate = 0.0;
+  FuncyTuner tuner(programs::cloverleaf(), machine::broadwell(), options);
+  const TuningResult result = tuner.run_random();
+  EXPECT_TRUE(std::isfinite(result.tuned_seconds));
+  const ResilienceStats stats = tuner.evaluator().resilience_stats();
+  EXPECT_GT(stats.compile_failures, 0u);
+  EXPECT_GT(stats.quarantined, 0u);
+  EXPECT_EQ(stats.retries, 0u);  // permanent faults are never retried
+}
+
+TEST(Resilience, EvalTimeoutBudgetFailsSlowRuns) {
+  FuncyTunerOptions options = fast_options();
+  options.retry.eval_timeout_seconds = 1e-9;  // everything exceeds this
+  FuncyTuner tuner(programs::cloverleaf(), machine::broadwell(), options);
+  const TuningResult result = tuner.run_random();
+  // Every evaluation times out; the search degrades to the default-CV
+  // fallback instead of crashing, and the JSON stays parseable.
+  EXPECT_FALSE(std::isfinite(result.tuned_seconds));
+  const ResilienceStats stats = tuner.evaluator().resilience_stats();
+  EXPECT_GT(stats.run_timeouts, 0u);
+  const std::string json =
+      tuning_result_json(result, tuner.space(), tuner.program());
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("\"tuned_seconds\":null"), std::string::npos);
+}
+
+TEST(Resilience, OutlierSpikeCannotFlipFinalScoring) {
+  // Outlier-only injection: runs complete but single reps can be
+  // inflated 3-10x. Robust (trimmed-mean) final aggregation must stay
+  // near the clean measurement while a plain mean is dragged upward.
+  FuncyTunerOptions clean = fast_options();
+  FuncyTunerOptions spiky = fast_options();
+  spiky.faults.rate = 0.0;
+  spiky.faults.outlier_rate = 0.15;
+  spiky.faults.seed = 3;
+
+  FuncyTuner reference(programs::cloverleaf(), machine::broadwell(), clean);
+  FuncyTuner tuner(programs::cloverleaf(), machine::broadwell(), spiky);
+  const double clean_baseline = reference.baseline_seconds();
+  const double robust_baseline = tuner.baseline_seconds();
+  // 20% trim of 5 reps cuts the single worst rep, so an injected spike
+  // cannot drag the aggregate: the robust estimate stays within a few
+  // noise sigma of the clean protocol's value.
+  EXPECT_NEAR(robust_baseline, clean_baseline, 0.05 * clean_baseline);
+}
+
+// ----------------------------------------------------- journal encoding ----
+
+TEST(Journal, EncodeDecodeRoundTripsSuccess) {
+  JournalRecord record;
+  record.key = 0x123456789abcdef0ull;
+  record.rep_base = 77;
+  record.repetitions = 5;
+  record.instrumented = true;
+  record.outcome.attempts = 2;
+  record.outcome.result.end_to_end = 123.45678901234567;
+  record.outcome.result.stddev = 0.001234;
+  record.outcome.result.loop_seconds = {1.1, 2.2, 0.3333333333333333};
+  record.outcome.result.derived_nonloop_seconds = 0.0;
+
+  JournalRecord decoded;
+  ASSERT_TRUE(EvalJournal::decode(EvalJournal::encode(record), &decoded));
+  EXPECT_EQ(decoded.key, record.key);
+  EXPECT_EQ(decoded.rep_base, record.rep_base);
+  EXPECT_EQ(decoded.repetitions, record.repetitions);
+  EXPECT_EQ(decoded.instrumented, record.instrumented);
+  EXPECT_EQ(decoded.outcome.attempts, record.outcome.attempts);
+  EXPECT_TRUE(decoded.outcome.ok());
+  // Bit-exact doubles: %.17g round-trips.
+  EXPECT_EQ(decoded.outcome.result.end_to_end,
+            record.outcome.result.end_to_end);
+  EXPECT_EQ(decoded.outcome.result.stddev, record.outcome.result.stddev);
+  EXPECT_EQ(decoded.outcome.result.loop_seconds,
+            record.outcome.result.loop_seconds);
+}
+
+TEST(Journal, EncodeDecodeRoundTripsFailure) {
+  JournalRecord record;
+  record.key = 42;
+  record.outcome.error.kind = EvalFault::kRunCrash;
+  record.outcome.error.detail = "0x000000000000002a";
+  record.outcome.attempts = 3;
+
+  JournalRecord decoded;
+  ASSERT_TRUE(EvalJournal::decode(EvalJournal::encode(record), &decoded));
+  EXPECT_FALSE(decoded.outcome.ok());
+  EXPECT_EQ(decoded.outcome.error.kind, EvalFault::kRunCrash);
+  EXPECT_EQ(decoded.outcome.error.detail, record.outcome.error.detail);
+  EXPECT_EQ(decoded.outcome.attempts, 3);
+}
+
+TEST(Journal, DecodeRejectsTornAndForeignLines) {
+  JournalRecord record;
+  record.key = 7;
+  record.outcome.result.end_to_end = 1.0;
+  const std::string line = EvalJournal::encode(record);
+  JournalRecord out;
+  // Any truncation of a valid line must be rejected, never misparsed.
+  for (std::size_t cut = 1; cut < line.size(); ++cut) {
+    EXPECT_FALSE(EvalJournal::decode(line.substr(0, cut), &out));
+  }
+  EXPECT_FALSE(EvalJournal::decode("", &out));
+  EXPECT_FALSE(EvalJournal::decode(
+      "{\"type\":\"snapshot\",\"records\":3,\"ok\":3,\"failed\":0}", &out));
+  EXPECT_FALSE(EvalJournal::decode(
+      "{\"type\":\"header\",\"version\":1,\"config\":\"0\"}", &out));
+}
+
+TEST(Journal, ResumeRejectsConfigMismatch) {
+  const std::string path = testing::TempDir() + "ft_journal_config.jsonl";
+  { auto journal = EvalJournal::create(path, 1111); }
+  EXPECT_THROW((void)EvalJournal::resume(path, 2222), std::runtime_error);
+  EXPECT_NO_THROW((void)EvalJournal::resume(path, 1111));
+  EXPECT_NO_THROW((void)EvalJournal::resume(path, 0));  // 0 skips the check
+}
+
+TEST(Journal, ResumeOfMissingFileThrows) {
+  EXPECT_THROW(
+      (void)EvalJournal::resume(testing::TempDir() + "ft_no_such.jsonl", 0),
+      std::runtime_error);
+}
+
+// --------------------------------------------------- checkpoint/resume ----
+
+TEST(Checkpoint, KilledCampaignResumesBitIdentically) {
+  const FuncyTunerOptions options = faulty_options(0.05);
+  const std::uint64_t fingerprint = options_fingerprint(options);
+  const std::string path = testing::TempDir() + "ft_journal_resume.jsonl";
+
+  // Reference: one uninterrupted run, no journal.
+  FuncyTuner reference(programs::cloverleaf(), machine::broadwell(), options);
+  const TuningResult expected = reference.run_cfr();
+
+  // Journaled run: must match the reference exactly (the journal only
+  // records, never perturbs).
+  FuncyTuner recorded(programs::cloverleaf(), machine::broadwell(), options);
+  recorded.evaluator().set_journal(EvalJournal::create(path, fingerprint));
+  const TuningResult journaled = recorded.run_cfr();
+  EXPECT_EQ(journaled.tuned_seconds, expected.tuned_seconds);
+  EXPECT_EQ(journaled.history, expected.history);
+
+  // Simulate a mid-campaign kill: keep the header and ~40% of the
+  // records, then cut the next line in half (a torn write).
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 10u);
+  const std::size_t keep = 1 + (lines.size() - 1) * 2 / 5;
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (std::size_t i = 0; i < keep; ++i) out << lines[i] << '\n';
+    out << lines[keep].substr(0, lines[keep].size() / 2);  // torn tail
+  }
+
+  // Resume with a fresh tuner: replay + re-evaluation must land on the
+  // exact result of the uninterrupted run, down to the serialized JSON.
+  auto journal = EvalJournal::resume(path, fingerprint);
+  EXPECT_GT(journal->loaded(), 0u);
+  EXPECT_LT(journal->loaded(), recorded.evaluator().evaluations());
+  FuncyTuner resumed(programs::cloverleaf(), machine::broadwell(), options);
+  resumed.evaluator().set_journal(journal);
+  const TuningResult result = resumed.run_cfr();
+
+  EXPECT_EQ(result.tuned_seconds, expected.tuned_seconds);
+  EXPECT_EQ(result.search_best_seconds, expected.search_best_seconds);
+  EXPECT_EQ(result.speedup, expected.speedup);
+  EXPECT_EQ(result.baseline_seconds, expected.baseline_seconds);
+  EXPECT_EQ(result.history, expected.history);
+  EXPECT_EQ(result.evaluations, expected.evaluations);
+  EXPECT_EQ(
+      tuning_result_json(result, resumed.space(), resumed.program()),
+      tuning_result_json(expected, reference.space(), reference.program()));
+  EXPECT_GT(journal->replayed(), 0u);
+  // The journal now holds the full campaign again: resuming the
+  // completed journal replays everything and re-runs nothing.
+  auto complete = EvalJournal::resume(path, fingerprint);
+  FuncyTuner replay(programs::cloverleaf(), machine::broadwell(), options);
+  replay.evaluator().set_journal(complete);
+  const TuningResult replayed = replay.run_cfr();
+  EXPECT_EQ(replayed.tuned_seconds, expected.tuned_seconds);
+  EXPECT_EQ(replayed.history, expected.history);
+}
+
+TEST(Checkpoint, CampaignGridCheckpointsSharedJournal) {
+  CampaignOptions options;
+  options.tuner = faulty_options(0.05, 40);
+  options.algorithms = {"cfr"};
+  options.checkpoint_path = testing::TempDir() + "ft_campaign.jsonl";
+
+  Campaign first({programs::cloverleaf()},
+                 {machine::broadwell(), machine::sandy_bridge()}, options);
+  first.run();
+
+  options.resume = true;
+  Campaign second({programs::cloverleaf()},
+                  {machine::broadwell(), machine::sandy_bridge()}, options);
+  second.run();
+
+  for (const CampaignCell& cell : first.cells()) {
+    const CampaignCell& other =
+        second.cell(cell.program, cell.architecture);
+    ASSERT_EQ(cell.results.size(), other.results.size());
+    for (std::size_t i = 0; i < cell.results.size(); ++i) {
+      EXPECT_EQ(cell.results[i].tuned_seconds,
+                other.results[i].tuned_seconds);
+      EXPECT_EQ(cell.results[i].history, other.results[i].history);
+    }
+  }
+}
+
+TEST(Checkpoint, OptionsFingerprintSeparatesConfigs) {
+  const FuncyTunerOptions base = fast_options();
+  FuncyTunerOptions different_seed = base;
+  different_seed.seed = 43;
+  FuncyTunerOptions different_faults = base;
+  different_faults.faults.rate = 0.1;
+  EXPECT_NE(options_fingerprint(base), options_fingerprint(different_seed));
+  EXPECT_NE(options_fingerprint(base),
+            options_fingerprint(different_faults));
+  EXPECT_EQ(options_fingerprint(base), options_fingerprint(fast_options()));
+}
+
+}  // namespace
+}  // namespace ft::core

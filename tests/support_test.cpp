@@ -175,6 +175,25 @@ TEST(Stats, MedianOddEven) {
   EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
 }
 
+TEST(Stats, TrimmedMeanCutsTails) {
+  // 20% trim on 5 values cuts floor(0.2*5)=1 from each end: the 100.0
+  // outlier spike cannot drag the aggregate.
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 100.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.2), 3.0);
+}
+
+TEST(Stats, TrimmedMeanDegeneratesToMean) {
+  // Too few values to cut anything: plain mean.
+  const std::vector<double> v = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.2), 2.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.0), 2.0);
+}
+
+TEST(Stats, MadRobustToOutlier) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 1000.0};
+  EXPECT_DOUBLE_EQ(mad(v), 1.0);  // median 3; |dev| = {2,1,0,1,997}
+}
+
 TEST(Stats, PercentileInterpolates) {
   const std::vector<double> v = {0, 10};
   EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
@@ -290,10 +309,44 @@ TEST(Cli, Positionals) {
   EXPECT_EQ(args.positionals()[1], "bar");
 }
 
-TEST(Cli, MalformedNumberFallsBack) {
+TEST(Cli, MalformedNumberThrows) {
   const CliArgs args({"--seed", "abc"});
-  EXPECT_EQ(args.get_int("seed", 7), 7);
-  EXPECT_EQ(args.get_double("seed", 2.5), 2.5);
+  // A typo must fail loudly, not silently tune with the default.
+  EXPECT_THROW((void)args.get_int("seed", 7), CliError);
+  EXPECT_THROW((void)args.get_double("seed", 2.5), CliError);
+  // Absent flags still fall back.
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Cli, PartialNumberThrows) {
+  const CliArgs args({"--samples", "10o0", "--rate", "0.5x"});
+  EXPECT_THROW((void)args.get_int("samples", 1), CliError);
+  EXPECT_THROW((void)args.get_double("rate", 0.0), CliError);
+}
+
+TEST(Cli, MalformedNumberErrorNamesOffendingToken) {
+  const CliArgs args({"--seed", "abc"});
+  try {
+    (void)args.get_int("seed", 7);
+    FAIL() << "expected CliError";
+  } catch (const CliError& error) {
+    EXPECT_NE(std::string(error.what()).find("--seed"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("abc"), std::string::npos);
+  }
+}
+
+TEST(Cli, CheckKnownRejectsUnknownFlag) {
+  const CliArgs args({"--samples", "10", "--smaples", "10"});
+  EXPECT_THROW(args.check_known({"samples"}), CliError);
+  EXPECT_NO_THROW(args.check_known({"samples", "smaples"}));
+  try {
+    args.check_known({"samples"});
+    FAIL() << "expected CliError";
+  } catch (const CliError& error) {
+    EXPECT_NE(std::string(error.what()).find("--smaples"),
+              std::string::npos);
+  }
 }
 
 // ------------------------------------------------------------ strings ----

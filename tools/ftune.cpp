@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
 #include "core/flag_importance.hpp"
 #include "core/funcy_tuner.hpp"
 #include "core/search_registry.hpp"
@@ -62,7 +63,31 @@ core::FuncyTunerOptions parse_options(const support::CliArgs& args) {
       args.get_double("attribution-sigma", defaults.attribution_sigma);
   options.patience =
       static_cast<std::size_t>(args.get_int("patience", 0));
+  options.faults.rate = args.get_double("fault-rate", 0.0);
+  options.faults.seed = static_cast<std::uint64_t>(
+      args.get_int("fault-seed",
+                   static_cast<std::int64_t>(defaults.faults.seed)));
+  options.retry.max_retries = static_cast<int>(
+      args.get_int("max-retries", defaults.retry.max_retries));
+  options.retry.eval_timeout_seconds = args.get_double(
+      "eval-timeout", defaults.retry.eval_timeout_seconds);
   return options;
+}
+
+/// Flags every subcommand accepts (parse_options + plumbing).
+std::vector<std::string> common_flags() {
+  return {"program",       "arch",          "samples",
+          "top-x",         "seed",          "hot-threshold",
+          "final-reps",    "noise-sigma",   "attribution-sigma",
+          "patience",      "threads",       "help",
+          "fault-rate",    "fault-seed",    "max-retries",
+          "eval-timeout"};
+}
+
+std::vector<std::string> with_common(std::vector<std::string> extra) {
+  std::vector<std::string> known = common_flags();
+  known.insert(known.end(), extra.begin(), extra.end());
+  return known;
 }
 
 /// "out.csv" + "cfr" -> "out.cfr.csv" (suffix appended when the path
@@ -103,6 +128,7 @@ int cmd_list() {
 }
 
 int cmd_spaces(const support::CliArgs& args) {
+  args.check_known({"compiler", "help", "threads"});
   const std::string compiler = args.get("compiler", "icc");
   const flags::FlagSpace space =
       compiler == "gcc" ? flags::gcc_space() : flags::icc_space();
@@ -126,6 +152,7 @@ int cmd_spaces(const support::CliArgs& args) {
 }
 
 int cmd_profile(const support::CliArgs& args) {
+  args.check_known(with_common({}));
   core::FuncyTuner tuner(programs::by_name(args.get("program", "CL")),
                          parse_arch(args.get("arch", "broadwell")),
                          parse_options(args));
@@ -148,6 +175,9 @@ int cmd_profile(const support::CliArgs& args) {
 }
 
 int cmd_tune(const support::CliArgs& args) {
+  args.check_known(with_common({"algorithm", "json", "history", "collection",
+                                "trace", "metrics", "pool-stats",
+                                "checkpoint", "resume"}));
   core::SearchRegistry& registry = core::SearchRegistry::global();
   const std::string algorithm = args.get("algorithm", "cfr");
   std::vector<std::string> keys;
@@ -179,6 +209,20 @@ int cmd_tune(const support::CliArgs& args) {
                          parse_arch(args.get("arch", "broadwell")),
                          options);
 
+  // Checkpoint journal: --checkpoint starts fresh, --resume replays a
+  // previous (possibly killed) run's evaluations and appends the rest.
+  std::shared_ptr<core::EvalJournal> journal;
+  if (args.has("resume")) {
+    journal = core::EvalJournal::resume(args.get("resume"),
+                                        core::options_fingerprint(options));
+    std::cout << "resuming from " << journal->path() << " ("
+              << journal->loaded() << " evaluations journaled)\n";
+  } else if (args.has("checkpoint")) {
+    journal = core::EvalJournal::create(args.get("checkpoint"),
+                                        core::options_fingerprint(options));
+  }
+  if (journal) tuner.evaluator().set_journal(journal);
+
   std::vector<core::TuningResult> results;
   {
     telemetry::Span root = telemetry::tracer().begin("tune");
@@ -207,6 +251,29 @@ int cmd_tune(const support::CliArgs& args) {
                    std::to_string(result.evaluations)});
   }
   table.print(std::cout);
+
+  if (options.faults.rate > 0 || journal ||
+      options.retry.eval_timeout_seconds > 0) {
+    const core::ResilienceStats stats = tuner.evaluator().resilience_stats();
+    support::Table resilience("Resilience");
+    resilience.set_header({"Fault", "Count"});
+    resilience.add_row({"compile ICE", std::to_string(stats.compile_failures)});
+    resilience.add_row({"run crash", std::to_string(stats.run_crashes)});
+    resilience.add_row({"run timeout", std::to_string(stats.run_timeouts)});
+    resilience.add_row({"retries", std::to_string(stats.retries)});
+    resilience.add_row(
+        {"failed evaluations", std::to_string(stats.failed_evaluations)});
+    resilience.add_row(
+        {"quarantine skips", std::to_string(stats.quarantine_hits)});
+    resilience.add_row({"quarantined", std::to_string(stats.quarantined)});
+    if (journal) {
+      resilience.add_row(
+          {"journal replayed", std::to_string(stats.journal_replayed)});
+      resilience.add_row(
+          {"journal appended", std::to_string(stats.journal_appended)});
+    }
+    resilience.print(std::cout);
+  }
 
   if (args.has("json")) {
     // One entry per algorithm: a bare object for a single algorithm
@@ -282,6 +349,7 @@ int cmd_tune(const support::CliArgs& args) {
 }
 
 int cmd_importance(const support::CliArgs& args) {
+  args.check_known(with_common({"top"}));
   core::FuncyTuner tuner(programs::by_name(args.get("program", "CL")),
                          parse_arch(args.get("arch", "broadwell")),
                          parse_options(args));
@@ -334,6 +402,16 @@ void usage() {
          "  --threads N            evaluation pool size (sets "
          "FT_THREADS)\n"
          "\n"
+         "resilience options\n"
+         "  --fault-rate F         injected fault probability per "
+         "evaluation (default 0)\n"
+         "  --fault-seed S         fault-injection RNG seed (default "
+         "1337)\n"
+         "  --max-retries N        retries for transient run faults "
+         "(default 2)\n"
+         "  --eval-timeout F       per-evaluation runtime budget in "
+         "seconds (0 = off)\n"
+         "\n"
          "tune options\n"
          "  --algorithm NAME       " +
              algorithms +
@@ -348,7 +426,11 @@ void usage() {
              "  --trace FILE           JSONL span/metric event trace\n"
              "  --metrics FILE         metrics snapshot JSON + summary "
              "table\n"
-             "  --pool-stats           print thread-pool counters\n";
+             "  --pool-stats           print thread-pool counters\n"
+             "  --checkpoint FILE      journal completed evaluations to "
+             "FILE (JSONL)\n"
+             "  --resume FILE          continue a killed run from its "
+             "journal\n";
 }
 
 }  // namespace
