@@ -5,6 +5,8 @@
 //   --csv          additionally emit CSV rows for plotting
 //   --pool-stats   append thread-pool counters (submitted/completed/
 //                  stolen tasks, queue high-water, busy seconds)
+//   --eval-cache   memoize completed evaluations (bit-identical
+//                  results; redundant modeled cost reported as saved)
 // and prints the same rows/series the paper's figure reports.
 #pragma once
 
@@ -27,6 +29,7 @@ struct BenchConfig {
   std::uint64_t seed = 42;
   bool csv = false;
   bool pool_stats = false;
+  bool eval_cache = false;
 
   static BenchConfig parse(int argc, char** argv) {
     const support::CliArgs args(argc, argv);
@@ -36,6 +39,7 @@ struct BenchConfig {
     config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
     config.csv = args.get_bool("csv", false);
     config.pool_stats = args.get_bool("pool-stats", false);
+    config.eval_cache = args.get_bool("eval-cache", false);
     return config;
   }
 
@@ -44,6 +48,7 @@ struct BenchConfig {
     core::FuncyTunerOptions options;
     options.samples = samples;
     options.seed = seed + salt;
+    options.eval_cache = eval_cache;
     return options;
   }
 };

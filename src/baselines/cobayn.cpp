@@ -211,14 +211,15 @@ void Cobayn::train() {
     const std::vector<flags::CompilationVector> cvs =
         binary_space_.sample_many(sample_rng, options_.corpus_samples);
 
-    // Training measurements are index-pure (noise keyed by k), so they
+    // Training measurements are content-addressed (noise keyed by the
+    // CV's executable fingerprint under one phase rep_base), so they
     // fan out on the shared pool like every other sweep.
     std::vector<double> seconds(cvs.size());
     support::parallel_for(cvs.size(), [&](std::size_t k) {
       const compiler::Executable exe =
           compiler.build_uniform(program, cvs[k]);
       machine::RunOptions run_options;
-      run_options.rep_base = core::rep_streams::kCobaynTraining + k;
+      run_options.rep_base = core::rep_streams::kCobaynTraining;
       seconds[k] = engine.run(exe, input, run_options).end_to_end;
     });
 

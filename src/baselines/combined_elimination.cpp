@@ -19,16 +19,20 @@ flags::CompilationVector widen(const flags::CompilationVector& cv) {
 CeResult combined_elimination(core::Evaluator& evaluator,
                               const flags::FlagSpace& space,
                               double baseline_seconds, std::uint64_t seed) {
+  // Noise streams are content-addressed now; the seed only kept the old
+  // per-call rep counter distinct and no longer influences results.
+  (void)seed;
   const flags::FlagSpace binary = space.binarized();
   const std::size_t flag_count = binary.flag_count();
   const std::size_t loop_count =
       evaluator.engine().program().loops().size();
-  std::uint64_t rep = seed;
 
+  // One phase-wide noise stream (content-addressed per CV), so CE's
+  // many re-measurements of the same configuration memoize.
   auto measure = [&](const flags::CompilationVector& cv) {
     return evaluator.evaluate(
         compiler::ModuleAssignment::uniform(widen(cv), loop_count),
-        {.rep_base = ++rep});
+        {.rep_base = core::rep_streams::kCombinedElimination});
   };
 
   CeResult result;

@@ -18,11 +18,12 @@ CriticalFlags eliminate_noncritical_flags(
     return working.loop_cvs[focus_loop_index];
   };
 
-  std::uint64_t rep = 7000;  // separate noise stream from the searches
   auto measure = [&]() {
     machine::RunOptions options;
     options.repetitions = repetitions;
-    options.rep_base = (rep += 97);
+    // Phase-wide noise stream, decorrelated from the searches by the
+    // rep_streams offset and per-variant by the executable fingerprint.
+    options.rep_base = core::rep_streams::kFlagElimination;
     // A failed measurement scores +inf: the flag under test looks
     // critical and stays, which is the conservative choice.
     return evaluator.try_run(working, options)

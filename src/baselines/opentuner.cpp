@@ -67,7 +67,7 @@ OpenTunerResult opentuner_search(core::Evaluator& evaluator,
         techniques[chosen]->propose(space, rng, best_cv);
     const double seconds = evaluator.evaluate(
         compiler::ModuleAssignment::uniform(cv, loop_count),
-        {.rep_base = iteration});
+        {.rep_base = core::rep_streams::kOpenTuner});
     const bool improved = seconds < best_seconds;
     if (improved) {
       best_seconds = seconds;

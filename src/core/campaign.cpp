@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/checkpoint.hpp"
+#include "core/eval_cache.hpp"
 #include "support/log.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
@@ -85,6 +86,17 @@ void Campaign::run() {
                   : EvalJournal::create(options_.checkpoint_path, fingerprint);
   }
 
+  // One cache for the whole grid: assignment keys fold in a
+  // program/input/arch context hash and each cell salts with its own
+  // options fingerprint, so cross-cell entries can never alias.
+  std::shared_ptr<EvalCache> cache;
+  if (options_.tuner.eval_cache) {
+    cache = std::make_shared<EvalCache>(
+        options_.tuner.eval_cache_entries != 0
+            ? options_.tuner.eval_cache_entries
+            : EvalCache::kDefaultMaxEntries);
+  }
+
   std::mutex progress_mutex;
   // Cell index c = a * |programs| + p, matching the sequential
   // (arch-major) emission order so lookups and serialization see the
@@ -94,6 +106,8 @@ void Campaign::run() {
     const std::size_t p = c % programs_.size();
     FuncyTunerOptions tuner_options = options_.tuner;
     if (options_.salt_seed_per_arch) tuner_options.seed += a;
+    // The shared cache replaces the per-tuner one the flag would build.
+    tuner_options.eval_cache = false;
     const ir::Program& program = programs_[p];
     telemetry::Span cell_span =
         campaign_span
@@ -106,6 +120,14 @@ void Campaign::run() {
     }
     FuncyTuner tuner(program, architectures_[a], tuner_options);
     if (journal) tuner.evaluator().set_journal(journal);
+    if (cache) {
+      tuner.set_eval_cache(cache);
+      // On resume, serve journaled evaluations from memory. Records
+      // from other cells warm under this cell's salt too - those
+      // entries are simply never looked up (wrong context hash) and
+      // age out of the LRU.
+      if (options_.resume) tuner.evaluator().warm_cache_from_journal();
+    }
     CampaignCell& cell = cells_[c];
     cell.program = program.name();
     cell.architecture = architectures_[a].name;

@@ -92,6 +92,9 @@ std::string EvalJournal::encode(const JournalRecord& record) {
       << ",\"ok\":" << (record.outcome.ok() ? 1 : 0) << ",\"fault\":\""
       << to_string(record.outcome.error.kind) << "\",\"attempts\":"
       << record.outcome.attempts;
+  if (record.rerun_seconds >= 0.0) {
+    oss << ",\"rerun\":" << fmt_double(record.rerun_seconds);
+  }
   if (!record.outcome.ok() && !record.outcome.error.detail.empty()) {
     oss << ",\"detail\":\"" << record.outcome.error.detail << "\"";
   }
@@ -134,6 +137,9 @@ bool EvalJournal::decode(const std::string& line, JournalRecord* out) {
     return false;  // failed record with unknown fault kind
   }
   (void)field_text(line, "detail", &record.outcome.error.detail);
+  // Optional: absent in journals written before the charged/saved
+  // overhead split existed. Leave the -1 "unknown" default then.
+  (void)field_double(line, "rerun", &record.rerun_seconds);
 
   if (ok != 0) {
     machine::RunResult& result = record.outcome.result;
@@ -211,7 +217,8 @@ std::shared_ptr<EvalJournal> EvalJournal::resume(
     // complete record before it is kept, the rest re-evaluates.
     if (!decode(line, &record)) break;
     journal->records_[Key{record.key, record.rep_base, record.repetitions,
-                          record.instrumented}] = record.outcome;
+                          record.instrumented}] =
+        Stored{record.outcome, record.rerun_seconds};
     ++journal->loaded_;
     (record.outcome.ok() ? journal->ok_count_ : journal->failed_count_)++;
   }
@@ -225,13 +232,14 @@ std::shared_ptr<EvalJournal> EvalJournal::resume(
   }
   *journal->out_ << "{\"type\":\"header\",\"version\":1,\"config\":\""
                  << config_fingerprint << "\"}\n";
-  for (const auto& [key, outcome] : journal->records_) {
+  for (const auto& [key, stored] : journal->records_) {
     JournalRecord record;
     record.key = std::get<0>(key);
     record.rep_base = std::get<1>(key);
     record.repetitions = std::get<2>(key);
     record.instrumented = std::get<3>(key);
-    record.outcome = outcome;
+    record.outcome = stored.outcome;
+    record.rerun_seconds = stored.rerun_seconds;
     *journal->out_ << encode(record) << '\n';
   }
   journal->out_->flush();
@@ -240,21 +248,38 @@ std::shared_ptr<EvalJournal> EvalJournal::resume(
 
 bool EvalJournal::lookup(std::uint64_t key, std::uint64_t rep_base,
                          int repetitions, bool instrumented,
-                         EvalOutcome* out) {
+                         EvalOutcome* out, double* rerun_seconds) {
   std::lock_guard lock(mutex_);
   const auto it =
       records_.find(Key{key, rep_base, repetitions, instrumented});
   if (it == records_.end()) return false;
-  *out = it->second;
+  *out = it->second.outcome;
+  if (rerun_seconds != nullptr) *rerun_seconds = it->second.rerun_seconds;
   ++replayed_;
   return true;
+}
+
+void EvalJournal::for_each(
+    const std::function<void(const JournalRecord&)>& visit) {
+  std::lock_guard lock(mutex_);
+  for (const auto& [key, stored] : records_) {
+    JournalRecord record;
+    record.key = std::get<0>(key);
+    record.rep_base = std::get<1>(key);
+    record.repetitions = std::get<2>(key);
+    record.instrumented = std::get<3>(key);
+    record.outcome = stored.outcome;
+    record.rerun_seconds = stored.rerun_seconds;
+    visit(record);
+  }
 }
 
 void EvalJournal::record(const JournalRecord& record) {
   const std::string line = encode(record);
   std::lock_guard lock(mutex_);
   records_[Key{record.key, record.rep_base, record.repetitions,
-               record.instrumented}] = record.outcome;
+               record.instrumented}] =
+      Stored{record.outcome, record.rerun_seconds};
   ++appended_;
   (record.outcome.ok() ? ok_count_ : failed_count_)++;
   write_locked(line);

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -43,6 +44,12 @@ struct JournalRecord {
   int repetitions = 1;
   bool instrumented = false;
   EvalOutcome outcome;  ///< caliper_report is not journaled
+  /// Modeled seconds a re-run of this exact evaluation would charge
+  /// (link + measured run time; compile objects are already pooled).
+  /// Feeds the eval cache's charged/saved overhead split when a resume
+  /// warms the cache from the journal. < 0 = unknown (legacy journal
+  /// lines without the field).
+  double rerun_seconds = -1.0;
 };
 
 class EvalJournal {
@@ -60,11 +67,17 @@ class EvalJournal {
   [[nodiscard]] static std::shared_ptr<EvalJournal> resume(
       const std::string& path, std::uint64_t config_fingerprint);
 
-  /// Replays a completed evaluation into `out`; false on miss.
-  /// Thread-safe.
+  /// Replays a completed evaluation into `out` (and its modeled re-run
+  /// cost into `rerun_seconds` when non-null; -1 when the journal line
+  /// predates the field); false on miss. Thread-safe.
   [[nodiscard]] bool lookup(std::uint64_t key, std::uint64_t rep_base,
                             int repetitions, bool instrumented,
-                            EvalOutcome* out);
+                            EvalOutcome* out,
+                            double* rerun_seconds = nullptr);
+
+  /// Visits every loaded/appended record (snapshot under the journal
+  /// lock); used to warm an EvalCache on resume. Thread-safe.
+  void for_each(const std::function<void(const JournalRecord&)>& visit);
 
   /// Appends one completed evaluation (and a snapshot line every
   /// `snapshot_interval` records) and flushes. Thread-safe.
@@ -94,10 +107,14 @@ class EvalJournal {
   void write_locked(const std::string& line);
 
   using Key = std::tuple<std::uint64_t, std::uint64_t, int, bool>;
+  struct Stored {
+    EvalOutcome outcome;
+    double rerun_seconds = -1.0;
+  };
 
   std::string path_;
   std::mutex mutex_;
-  std::map<Key, EvalOutcome> records_;
+  std::map<Key, Stored> records_;
   std::unique_ptr<std::ofstream> out_;
   std::size_t snapshot_interval_ = 64;
   std::size_t since_snapshot_ = 0;

@@ -30,7 +30,10 @@ Collection collect_per_loop_runtimes(
     machine::RunOptions options;
     options.repetitions = 1;
     options.instrumented = true;  // Caliper measures the hot loops
-    options.rep_base = rep_streams::kCollection + k;
+    // Shared phase rep_base: each CV's noise is decorrelated by its
+    // executable fingerprint, and repeat sweeps of one CV (or EvalCache
+    // hits) reproduce the identical measurement.
+    options.rep_base = rep_streams::kCollection;
     const EvalOutcome outcome = evaluator.try_run(assignment, options);
     if (!outcome.ok()) {
       // A CV that ICEs or crashes here is invalid for every module: +inf

@@ -1,0 +1,146 @@
+// Content-addressed evaluation cache: memoizes completed EvalOutcomes
+// keyed by a canonical fingerprint of (program/input/arch + per-module
+// assignment, noise rep stream, repetitions, instrumentation, and the
+// tuner's noise/fault config salt). CFR re-samples pruned top-X spaces
+// and EvoCFR recombines converged populations, so identical assignments
+// are evaluated over and over; each collision re-pays a full modeled
+// compile+link+run. Because the measurement stack is deterministic per
+// (content, rep stream) key, replaying the stored outcome is
+// bit-identical to re-running it - the cache only removes redundant
+// cost, never perturbs results.
+//
+// The cache is sharded (one mutex + LRU list per shard) so concurrent
+// evaluate_batch workers do not serialize on one lock, and bounded by
+// an LRU eviction policy per shard. Entries are compared by the full
+// key, not just its 64-bit fingerprint, so fingerprint collisions can
+// never alias two distinct evaluations.
+//
+// One cache instance may be shared by every search algorithm and every
+// campaign cell: assignment keys mix in a program/input/architecture
+// context hash and the per-tuner config salt, so cross-cell entries
+// cannot collide.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/evaluator.hpp"
+
+namespace ft::core {
+
+/// Cumulative cache counters (also mirrored into telemetry under
+/// cache.*). hits/misses depend on eviction order and in-batch racing
+/// of duplicate evaluations, so they are reporting-only - results never
+/// depend on them.
+struct EvalCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;  ///< approximate resident payload size
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class EvalCache {
+ public:
+  /// Full identity of one evaluation. `assignment` is
+  /// Evaluator::assignment_key (program/input/arch context hash folded
+  /// with every module CV); `salt` separates tuners whose options
+  /// change measured values (noise sigma, fault config, seed...).
+  struct Key {
+    std::uint64_t assignment = 0;
+    std::uint64_t rep_base = 0;
+    std::uint64_t salt = 0;
+    int repetitions = 1;
+    bool instrumented = false;
+
+    [[nodiscard]] bool operator==(const Key&) const noexcept = default;
+    /// 64-bit mix of all fields, optionally masked to `bits` low bits
+    /// (a test seam: tiny widths force fingerprint collisions so the
+    /// full-key disambiguation path is exercisable).
+    [[nodiscard]] std::uint64_t fingerprint(
+        unsigned bits = 64) const noexcept;
+  };
+
+  struct Options {
+    std::size_t max_entries = kDefaultMaxEntries;
+    std::size_t shards = 16;      ///< rounded up to a power of two
+    unsigned hash_bits = 64;      ///< fingerprint width (test seam)
+  };
+
+  static constexpr std::size_t kDefaultMaxEntries = 1u << 20;
+
+  explicit EvalCache(std::size_t max_entries = kDefaultMaxEntries)
+      : EvalCache(Options{.max_entries = max_entries}) {}
+  explicit EvalCache(const Options& options);
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Replays a completed evaluation into `out` (and the modeled seconds
+  /// a re-run would cost into `rerun_seconds`, when non-null); promotes
+  /// the entry to most-recently-used. False on miss. Thread-safe.
+  [[nodiscard]] bool lookup(const Key& key, EvalOutcome* out,
+                            double* rerun_seconds = nullptr);
+
+  /// Stores (or refreshes) one completed evaluation. `rerun_seconds`
+  /// is the modeled overhead a cache-off re-run of this exact key
+  /// would charge - it becomes the "saved" side of the charged/saved
+  /// overhead split on every future hit. Caliper reports are stripped
+  /// (exactly like the checkpoint journal) to keep entries compact.
+  /// Thread-safe.
+  void insert(const Key& key, const EvalOutcome& outcome,
+              double rerun_seconds);
+
+  [[nodiscard]] EvalCacheStats stats() const;
+  [[nodiscard]] std::size_t max_entries() const noexcept {
+    return max_entries_;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    EvalOutcome outcome;
+    double rerun_seconds = 0.0;
+    std::size_t bytes = 0;
+  };
+  using Lru = std::list<Entry>;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    Lru lru;  ///< front = most recently used
+    /// fingerprint -> entries sharing it (full-key compare resolves
+    /// genuine 64-bit collisions).
+    std::unordered_map<std::uint64_t, std::vector<Lru::iterator>> index;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t fingerprint) noexcept {
+    return shards_[(fingerprint >> 4) & shard_mask_];
+  }
+  void evict_locked(Shard& shard);
+
+  std::size_t max_entries_;
+  std::size_t per_shard_capacity_;
+  std::uint64_t shard_mask_;
+  unsigned hash_bits_;
+  std::vector<Shard> shards_;
+
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> insertions_{0};
+  std::atomic<std::size_t> evictions_{0};
+  std::atomic<std::size_t> entries_{0};
+  std::atomic<std::size_t> bytes_{0};
+};
+
+}  // namespace ft::core

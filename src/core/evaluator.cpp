@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/checkpoint.hpp"
+#include "core/eval_cache.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
@@ -84,6 +85,18 @@ void Evaluator::account_overhead(double seconds) {
   double expected = modeled_overhead_.load(std::memory_order_relaxed);
   while (!modeled_overhead_.compare_exchange_weak(
       expected, expected + seconds, std::memory_order_relaxed)) {
+  }
+}
+
+void Evaluator::account_saved(double seconds) {
+  double expected = saved_overhead_.load(std::memory_order_relaxed);
+  while (!saved_overhead_.compare_exchange_weak(
+      expected, expected + seconds, std::memory_order_relaxed)) {
+  }
+  if (telemetry::enabled()) {
+    telemetry::metrics()
+        .gauge("cache.saved_seconds", /*deterministic=*/false)
+        .set(saved_overhead_.load(std::memory_order_relaxed));
   }
 }
 
@@ -200,7 +213,7 @@ void Evaluator::promote_quarantines() {
 EvalOutcome Evaluator::try_run(const compiler::ModuleAssignment& assignment,
                                const machine::RunOptions& options) {
   const bool resilient = engine_->fault_model().enabled() ||
-                         journal_ != nullptr ||
+                         journal_ != nullptr || cache_ != nullptr ||
                          retry_policy_.eval_timeout_seconds > 0.0 ||
                          has_quarantine_.load(std::memory_order_acquire);
   EvalOutcome outcome;
@@ -218,29 +231,71 @@ EvalOutcome Evaluator::try_run(const compiler::ModuleAssignment& assignment,
   }
 
   const std::uint64_t key = assignment_key(assignment);
+  const EvalCache::Key cache_key{key, options.rep_base, cache_salt_,
+                                 options.repetitions, options.instrumented};
+  // Quarantined assignments bypass the cache: a cache-off run would
+  // quarantine-skip them (charging nothing), and replaying the cached
+  // pre-quarantine outcome instead would break the charged + saved ==
+  // cache-off invariant. attempt_run produces the identical skip.
+  if (cache_ && !is_quarantined(assignment)) {
+    double saved = 0.0;
+    if (cache_->lookup(cache_key, &outcome, &saved)) {
+      if (!outcome.ok()) {
+        // Rebuild quarantine state exactly as the re-run would have.
+        note_failure(key);
+      }
+      // The hit satisfies the same logical evaluations a re-run would
+      // have performed; only the modeled cost moves to "saved".
+      evaluations_.fetch_add(static_cast<std::size_t>(options.repetitions),
+                             std::memory_order_relaxed);
+      account_saved(saved);
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) {
+        telemetry::metrics()
+            .counter("evaluator.evaluations")
+            .add(static_cast<std::uint64_t>(options.repetitions));
+      }
+      return outcome;
+    }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  double rerun_cost = 0.0;
   if (journal_ &&
       journal_->lookup(key, options.rep_base, options.repetitions,
-                       options.instrumented, &outcome)) {
+                       options.instrumented, &outcome, &rerun_cost)) {
     if (!outcome.ok() && outcome.error.kind != EvalFault::kQuarantined) {
       // Rebuild quarantine state exactly as the original run did.
       note_failure(key);
     }
     count_metric("journal.replayed");
+    if (cache_ && outcome.error.kind != EvalFault::kQuarantined) {
+      cache_->insert(cache_key, outcome, std::max(rerun_cost, 0.0));
+    }
     return outcome;
   }
 
-  outcome = attempt_run(key, assignment, options);
+  rerun_cost = 0.0;
+  outcome = attempt_run(key, assignment, options, &rerun_cost);
   if (journal_) {
     journal_->record({key, options.rep_base, options.repetitions,
-                      options.instrumented, outcome});
+                      options.instrumented, outcome, rerun_cost});
     count_metric("journal.appended");
+  }
+  if (cache_ && outcome.error.kind != EvalFault::kQuarantined) {
+    cache_->insert(cache_key, outcome, rerun_cost);
   }
   return outcome;
 }
 
 EvalOutcome Evaluator::attempt_run(
     std::uint64_t key, const compiler::ModuleAssignment& assignment,
-    const machine::RunOptions& options) {
+    const machine::RunOptions& options, double* rerun_cost) {
+  // Accumulates what re-running this exact evaluation would charge:
+  // the object pool stays warm (0 compile seconds) and the fault/noise
+  // streams are deterministic per (key, rep_base, attempt), so every
+  // branch below knows its re-run cost exactly.
+  *rerun_cost = 0.0;
   EvalOutcome outcome;
   if (is_quarantined(assignment)) {
     quarantine_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -286,6 +341,11 @@ EvalOutcome Evaluator::attempt_run(
     if (fault == machine::FaultModel::RunFault::kNone) {
       outcome.result = run(assignment, options);
       outcome.attempts = attempt + 1;
+      // A re-run charges no compile time (objects pooled) but still
+      // pays the link and the measured runtime - even on a budget
+      // overrun, which re-measures before failing.
+      *rerun_cost += overhead_model_.link_seconds +
+                     outcome.result.end_to_end * options.repetitions;
       if (budget > 0.0 && outcome.result.end_to_end > budget) {
         // Genuine budget overrun. Measurements are deterministic per
         // rep key, so retrying would reproduce it - fail immediately.
@@ -304,11 +364,14 @@ EvalOutcome Evaluator::attempt_run(
       run_crashes_.fetch_add(1, std::memory_order_relaxed);
       count_metric("fault.run_crashes");
       account_overhead(overhead_model_.link_seconds);
+      *rerun_cost += overhead_model_.link_seconds;
     } else {
       run_timeouts_.fetch_add(1, std::memory_order_relaxed);
       count_metric("fault.run_timeouts");
-      account_overhead(budget > 0.0 ? budget
-                                    : overhead_model_.link_seconds);
+      const double burned =
+          budget > 0.0 ? budget : overhead_model_.link_seconds;
+      account_overhead(burned);
+      *rerun_cost += burned;
     }
     if (attempt >= retry_policy_.max_retries) {
       outcome.attempts = attempt + 1;
@@ -321,13 +384,35 @@ EvalOutcome Evaluator::attempt_run(
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
     count_metric("eval.retries");
-    account_overhead(retry_policy_.backoff_seconds *
-                     static_cast<double>(1 << std::min(attempt, 16)));
+    const double backoff = retry_policy_.backoff_seconds *
+                           static_cast<double>(1 << std::min(attempt, 16));
+    account_overhead(backoff);
+    *rerun_cost += backoff;
   }
 }
 
 void Evaluator::set_journal(std::shared_ptr<EvalJournal> journal) {
   journal_ = std::move(journal);
+}
+
+void Evaluator::set_eval_cache(std::shared_ptr<EvalCache> cache,
+                               std::uint64_t salt) {
+  cache_ = std::move(cache);
+  cache_salt_ = salt;
+}
+
+void Evaluator::warm_cache_from_journal() {
+  if (!cache_ || !journal_) return;
+  journal_->for_each([this](const JournalRecord& record) {
+    // Quarantine skips are never cached (see try_run); everything else
+    // replays bit-identically. Legacy journals without the rerun field
+    // warm with saved = 0 - conservatively under-reporting savings
+    // rather than inventing them.
+    if (record.outcome.error.kind == EvalFault::kQuarantined) return;
+    cache_->insert({record.key, record.rep_base, cache_salt_,
+                    record.repetitions, record.instrumented},
+                   record.outcome, std::max(record.rerun_seconds, 0.0));
+  });
 }
 
 ResilienceStats Evaluator::resilience_stats() const {
@@ -348,6 +433,10 @@ ResilienceStats Evaluator::resilience_stats() const {
     stats.journal_replayed = journal_->replayed();
     stats.journal_appended = journal_->appended();
   }
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.cache_saved_seconds =
+      saved_overhead_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -378,9 +467,11 @@ std::vector<double> Evaluator::evaluate_batch(
   // evaluation is skipped never depends on worker scheduling.
   begin_parallel_region();
   support::parallel_for(count, [&](std::size_t i) {
-    EvalContext one = worker;
-    one.rep_base = context.rep_base + i;
-    seconds[i] = evaluate(make(i), one);
+    // Every variant shares the batch's rep_base: noise keys mix in the
+    // executable fingerprint, so distinct variants stay decorrelated
+    // while duplicate assignments measure identically (the property
+    // the EvalCache's bit-identity contract rests on).
+    seconds[i] = evaluate(make(i), worker);
   });
   end_parallel_region();
   return seconds;

@@ -23,15 +23,20 @@
 
 namespace ft::core {
 
+class EvalCache;
 class EvalJournal;
 
 /// Disjoint noise-stream offsets, one per measurement phase. Every
-/// phase keys its i-th measurement at `offset + i`, so two phases that
-/// evaluate the same number of variants still draw independent noise
+/// phase keys its measurements at its own offset, so two phases that
+/// evaluate the same assignment still draw independent noise
 /// (previously Random, FR, CFR and the collection sweep all reused
-/// keys 0..N-1 and their noise was correlated index-for-index). The
-/// 1<<16 spacing holds as long as a phase evaluates fewer than 65536
-/// variants; the paper's protocol uses 1000.
+/// keys 0..N-1 and their noise was correlated index-for-index).
+///
+/// Within a phase, noise is content-addressed: the executable
+/// fingerprint is already mixed into every noise key, so distinct
+/// variants measured under one shared phase offset draw independent
+/// noise, while *identical* assignments measure identically - which is
+/// exactly what makes EvalCache hits bit-identical to re-running.
 namespace rep_streams {
 inline constexpr std::uint64_t kCollection = 0;             ///< §2.2.2 sweep
 inline constexpr std::uint64_t kRandom = 1ull << 16;        ///< Random search
@@ -40,6 +45,9 @@ inline constexpr std::uint64_t kCfr = 3ull << 16;           ///< CFR (Alg. 1)
 inline constexpr std::uint64_t kEvolution = 4ull << 16;     ///< EvoCFR
 inline constexpr std::uint64_t kCobayn = 5ull << 16;        ///< Cobayn inference
 inline constexpr std::uint64_t kCobaynTraining = 6ull << 16;///< Cobayn training
+inline constexpr std::uint64_t kOpenTuner = 7ull << 16;     ///< OpenTuner baseline
+inline constexpr std::uint64_t kCombinedElimination = 8ull << 16;  ///< CE
+inline constexpr std::uint64_t kFlagElimination = 9ull << 16;      ///< FE
 inline constexpr std::uint64_t kFinal = 1ull << 20;         ///< final_seconds
 inline constexpr std::uint64_t kCrossInput = 1ull << 21;    ///< other inputs
 }  // namespace rep_streams
@@ -118,6 +126,10 @@ struct ResilienceStats {
   std::size_t quarantined = 0;         ///< entries on the list
   std::size_t journal_replayed = 0;
   std::size_t journal_appended = 0;
+  std::size_t cache_hits = 0;    ///< evaluations served by the EvalCache
+  std::size_t cache_misses = 0;  ///< cache consults that fell through
+  /// Modeled testbed seconds cache hits avoided re-charging.
+  double cache_saved_seconds = 0.0;
 };
 
 /// Everything an evaluation needs besides the assignment itself: the
@@ -184,11 +196,14 @@ class Evaluator {
       const machine::RunOptions& options);
 
   /// Evaluates `count` variants concurrently; result[i] is produced by
-  /// `make(i)` evaluated at noise key `context.rep_base + i`.
-  /// Deterministic for a fixed rep_base. Callers pass their phase's
-  /// rep_streams offset so concurrent or successive phases draw
-  /// disjoint noise. Emits one batch-level span (from the calling
-  /// thread, so traces stay deterministic under any pool schedule).
+  /// `make(i)` evaluated at noise key `context.rep_base` (shared by the
+  /// whole batch - per-variant decorrelation comes from the executable
+  /// fingerprint mixed into every noise key, so identical assignments
+  /// measure identically and are cacheable). Deterministic for a fixed
+  /// rep_base. Callers pass their phase's rep_streams offset so
+  /// concurrent or successive phases draw disjoint noise. Emits one
+  /// batch-level span (from the calling thread, so traces stay
+  /// deterministic under any pool schedule).
   [[nodiscard]] std::vector<double> evaluate_batch(
       std::size_t count,
       const std::function<compiler::ModuleAssignment(std::size_t)>& make,
@@ -199,13 +214,23 @@ class Evaluator {
   [[nodiscard]] double final_seconds(
       const compiler::ModuleAssignment& assignment, int reps = 10);
 
-  /// Total single-run evaluations so far.
+  /// Total single-run evaluations so far (cache hits included: a hit
+  /// satisfies the same logical evaluation a re-run would have).
   [[nodiscard]] std::size_t evaluations() const noexcept {
     return evaluations_.load(std::memory_order_relaxed);
   }
-  /// Modeled testbed seconds spent compiling + running so far (§4.3).
+  /// Modeled testbed seconds actually charged so far (§4.3). With an
+  /// EvalCache attached this is the *charged* side of the split; hits
+  /// accumulate the avoided cost in saved_overhead_seconds() instead,
+  /// and charged + saved equals the cache-off total exactly (the
+  /// deterministic fault/noise streams make every avoided re-run's
+  /// cost computable at insert time).
   [[nodiscard]] double modeled_overhead_seconds() const noexcept {
     return modeled_overhead_.load(std::memory_order_relaxed);
+  }
+  /// Modeled testbed seconds EvalCache hits avoided re-charging.
+  [[nodiscard]] double saved_overhead_seconds() const noexcept {
+    return saved_overhead_.load(std::memory_order_relaxed);
   }
 
   void set_overhead_model(const OverheadModel& model) noexcept {
@@ -228,6 +253,25 @@ class Evaluator {
   [[nodiscard]] const std::shared_ptr<EvalJournal>& journal() const noexcept {
     return journal_;
   }
+
+  /// Attaches a (possibly shared) content-addressed evaluation cache:
+  /// completed evaluations are memoized and replayed bit-identically
+  /// before any modeled compile/link/run is charged. `salt` must
+  /// fingerprint every option that changes measured values (noise,
+  /// faults, seed...) so tuners with different configs sharing one
+  /// cache can never alias - pass options_fingerprint(options).
+  void set_eval_cache(std::shared_ptr<EvalCache> cache,
+                      std::uint64_t salt = 0);
+  [[nodiscard]] const std::shared_ptr<EvalCache>& eval_cache()
+      const noexcept {
+    return cache_;
+  }
+
+  /// Seeds the attached cache with every record the attached journal
+  /// holds, so a --resume run replays journaled evaluations from
+  /// memory without consulting the journal per lookup. No-op unless
+  /// both are attached.
+  void warm_cache_from_journal();
 
   /// Stable fingerprint of (program, input, architecture, assignment):
   /// the identity journal records and quarantine entries are keyed by.
@@ -252,12 +296,17 @@ class Evaluator {
   /// Adds raw modeled seconds (fault cleanup, retry backoff) to the
   /// overhead total without counting an evaluation.
   void account_overhead(double seconds);
+  /// Adds modeled seconds a cache hit avoided re-charging.
+  void account_saved(double seconds);
 
-  /// Fault/retry/timeout state machine behind try_run (journal and
-  /// fast path already handled by the caller).
+  /// Fault/retry/timeout state machine behind try_run (journal, cache
+  /// and fast path already handled by the caller). `rerun_cost`
+  /// accumulates the modeled seconds an identical re-run would charge
+  /// (object pool warm, fault stream deterministic) - the value a
+  /// cache hit later reports as "saved".
   [[nodiscard]] EvalOutcome attempt_run(
       std::uint64_t key, const compiler::ModuleAssignment& assignment,
-      const machine::RunOptions& options);
+      const machine::RunOptions& options, double* rerun_cost);
 
   /// Registers one fully-failed evaluation of `key`; queues the key
   /// for quarantine once it reaches retry_policy_.quarantine_after.
@@ -275,6 +324,11 @@ class Evaluator {
 
   RetryPolicy retry_policy_;
   std::shared_ptr<EvalJournal> journal_;
+  std::shared_ptr<EvalCache> cache_;
+  std::uint64_t cache_salt_ = 0;
+  std::atomic<double> saved_overhead_{0.0};
+  std::atomic<std::size_t> cache_hits_{0};
+  std::atomic<std::size_t> cache_misses_{0};
   std::uint64_t context_hash_ = 0;  ///< program/input/arch mix
   std::atomic<int> batch_depth_{0};
   std::atomic<bool> has_quarantine_{false};

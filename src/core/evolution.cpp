@@ -50,24 +50,27 @@ TuningResult evolutionary_search(Evaluator& evaluator,
     return genome;
   };
 
-  std::uint64_t rep = 0;
   auto record_history = [&](double seconds) {
     double best = result.history.empty()
                       ? std::numeric_limits<double>::infinity()
                       : result.history.back();
     result.history.push_back(std::min(best, seconds));
   };
+  // The whole search shares one phase rep_base: noise is
+  // content-addressed (executable fingerprint keyed), so re-evaluating
+  // a genome the population already measured reproduces the identical
+  // time - the redundancy the EvalCache elides.
   auto evaluate = [&](Individual& individual) {
     individual.seconds =
         evaluator.evaluate(make_assignment(individual.genome),
-                           {.rep_base = rep_streams::kEvolution + rep++});
+                           {.rep_base = rep_streams::kEvolution});
     record_history(individual.seconds);
   };
 
   // --- generation 0: CFR-style independent samples ------------------------
   // Gen-0 individuals are independent, so they evaluate as one parallel
-  // batch (noise keys kEvolution + 0..N-1, identical to the sequential
-  // order); history is reconstructed in index order afterwards.
+  // batch (same phase noise keys as the sequential order); history is
+  // reconstructed in index order afterwards.
   const std::size_t population_size =
       std::min(options.population, options.evaluations);
   std::vector<Individual> population(population_size);
@@ -82,7 +85,6 @@ TuningResult evolutionary_search(Evaluator& evaluator,
     population[i].seconds = gen0[i];
     record_history(gen0[i]);
   }
-  rep = population_size;
 
   auto tournament = [&]() -> const Individual& {
     const Individual& a = population[rng.next_below(population.size())];

@@ -1,5 +1,7 @@
 #include "core/funcy_tuner.hpp"
 
+#include "core/checkpoint.hpp"
+#include "core/eval_cache.hpp"
 #include "support/rng.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -25,6 +27,20 @@ FuncyTuner::FuncyTuner(ir::Program program, machine::Architecture arch,
     engine_->set_fault_model(machine::FaultModel(options_.faults));
   }
   evaluator_->set_retry_policy(options_.retry);
+  if (options_.eval_cache) {
+    set_eval_cache(std::make_shared<EvalCache>(
+        options_.eval_cache_entries != 0 ? options_.eval_cache_entries
+                                         : EvalCache::kDefaultMaxEntries));
+  }
+}
+
+void FuncyTuner::set_eval_cache(std::shared_ptr<EvalCache> cache) {
+  evaluator_->set_eval_cache(std::move(cache),
+                             options_fingerprint(options_));
+}
+
+const std::shared_ptr<EvalCache>& FuncyTuner::eval_cache() const noexcept {
+  return evaluator_->eval_cache();
 }
 
 const std::vector<flags::CompilationVector>& FuncyTuner::presampled() {

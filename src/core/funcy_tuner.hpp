@@ -39,6 +39,12 @@ struct FuncyTunerOptions {
   machine::FaultConfig faults;
   /// Retry/quarantine/timeout policy for the resilient evaluation path.
   RetryPolicy retry;
+  /// Memoize completed evaluations in a content-addressed EvalCache
+  /// (bit-identical results, redundant modeled cost moved from
+  /// "charged" to "saved"). Off by default.
+  bool eval_cache = false;
+  /// LRU bound for the cache; 0 = EvalCache::kDefaultMaxEntries.
+  std::size_t eval_cache_entries = 0;
 };
 
 class FuncyTuner {
@@ -58,6 +64,13 @@ class FuncyTuner {
     return space_;
   }
   [[nodiscard]] Evaluator& evaluator() noexcept { return *evaluator_; }
+
+  /// Attaches a (possibly cross-tuner shared) evaluation cache, salted
+  /// with this tuner's options fingerprint so tuners with different
+  /// noise/fault configs can never alias each other's entries.
+  void set_eval_cache(std::shared_ptr<EvalCache> cache);
+  [[nodiscard]] const std::shared_ptr<EvalCache>& eval_cache()
+      const noexcept;
   [[nodiscard]] machine::ExecutionEngine& engine() noexcept {
     return *engine_;
   }

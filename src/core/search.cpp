@@ -253,13 +253,14 @@ TuningResult cfr_search(Evaluator& evaluator, const Outline& outline,
     seconds = evaluator.evaluate_batch(options.iterations, make, context);
   } else {
     // Sequential with convergence-based early stop: identical results
-    // for the evaluations it does run (same per-index noise keys).
+    // for the evaluations it does run (same phase rep_base, so the
+    // same content-addressed noise keys as the batch path).
     seconds.reserve(options.iterations);
     double best = std::numeric_limits<double>::infinity();
     std::size_t since_improvement = 0;
     for (std::size_t k = 0; k < options.iterations; ++k) {
       EvalContext context;
-      context.rep_base = rep_streams::kCfr + k;
+      context.rep_base = rep_streams::kCfr;
       context.leaf_spans = true;  // sequential: per-eval spans are safe
       context.label = "cfr/eval";
       const double s = evaluator.evaluate(make(k), context);

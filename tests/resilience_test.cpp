@@ -18,6 +18,7 @@
 #include "machine/architecture.hpp"
 #include "machine/fault_model.hpp"
 #include "programs/benchmarks.hpp"
+#include "support/rng.hpp"
 
 namespace ft::core {
 namespace {
@@ -310,6 +311,140 @@ TEST(Journal, DecodeRejectsTornAndForeignLines) {
       "{\"type\":\"snapshot\",\"records\":3,\"ok\":3,\"failed\":0}", &out));
   EXPECT_FALSE(EvalJournal::decode(
       "{\"type\":\"header\",\"version\":1,\"config\":\"0\"}", &out));
+}
+
+TEST(Journal, DecodeSurvivesByteFlipFuzz) {
+  // Fuzz-style robustness: arbitrary single/multi byte corruption of a
+  // valid record line must never crash or misparse into garbage - the
+  // decoder either rejects the line or yields a record whose fields
+  // were genuinely present in the mutated text.
+  JournalRecord record;
+  record.key = 0xfeedfacecafebeefull;
+  record.rep_base = rep_streams::kCfr + 3;
+  record.repetitions = 5;
+  record.outcome.result.end_to_end = 12.5;
+  record.outcome.result.loop_seconds = {1.0, 2.0, 3.0};
+  const std::string line = EvalJournal::encode(record);
+
+  support::Rng rng(2024);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = line;
+    const std::size_t flips = 1 + rng.next_below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.next_below(mutated.size());
+      mutated[pos] = static_cast<char>(rng.next_below(256));
+    }
+    JournalRecord out;
+    (void)EvalJournal::decode(mutated, &out);  // must not crash/throw
+  }
+  // Pure garbage bytes, including NULs and non-UTF8.
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage(rng.next_below(120), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.next_below(256));
+    JournalRecord out;
+    EXPECT_FALSE(EvalJournal::decode(garbage, &out));
+  }
+}
+
+TEST(Journal, ResumeTreatsGarbageLineAsTornTail) {
+  // A corrupt line mid-file ends the trusted prefix: records before it
+  // load, everything after is discarded and re-evaluates. The rewrite
+  // drops the corruption so the NEXT resume sees a clean file.
+  const std::string path = testing::TempDir() + "ft_journal_garbage.jsonl";
+  {
+    auto journal = EvalJournal::create(path, 4242);
+    for (std::uint64_t k = 0; k < 6; ++k) {
+      JournalRecord record;
+      record.key = k;
+      record.outcome.result.end_to_end = 1.0 + static_cast<double>(k);
+      journal->record(record);
+    }
+  }
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 7u);  // header + 6 records
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (std::size_t i = 0; i < 4; ++i) out << lines[i] << '\n';
+    out << "\x01\xff{not json at all\n";  // corruption after 3 records
+    for (std::size_t i = 4; i < lines.size(); ++i) out << lines[i] << '\n';
+  }
+
+  auto journal = EvalJournal::resume(path, 4242);
+  EXPECT_EQ(journal->loaded(), 3u);
+  EvalOutcome out;
+  EXPECT_TRUE(journal->lookup(2, 0, 1, false, &out));
+  EXPECT_FALSE(journal->lookup(5, 0, 1, false, &out));  // after the tear
+
+  // The rewritten file must now resume fully, with no garbage left.
+  auto again = EvalJournal::resume(path, 4242);
+  EXPECT_EQ(again->loaded(), 3u);
+  EXPECT_EQ(read_file(path).find('\x01'), std::string::npos);
+}
+
+TEST(Journal, ResumeDeduplicatesRepeatedRecords) {
+  // Crash-during-append can leave the same evaluation journaled twice
+  // (e.g. a resume-rewrite raced a kill). The keyed map keeps one copy
+  // and the rewrite emits each record exactly once.
+  const std::string path = testing::TempDir() + "ft_journal_dup.jsonl";
+  JournalRecord record;
+  record.key = 11;
+  record.rep_base = 22;
+  record.repetitions = 3;
+  record.outcome.result.end_to_end = 7.5;
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"type\":\"header\",\"version\":1,\"config\":\"0\"}\n";
+    for (int i = 0; i < 4; ++i) out << EvalJournal::encode(record) << '\n';
+  }
+  auto journal = EvalJournal::resume(path, 0);
+  EXPECT_EQ(journal->loaded(), 4u);  // lines read...
+  EvalOutcome out;
+  ASSERT_TRUE(journal->lookup(11, 22, 3, false, &out));
+  EXPECT_DOUBLE_EQ(out.result.end_to_end, 7.5);
+
+  // ...but only one survives the rewrite.
+  auto again = EvalJournal::resume(path, 0);
+  EXPECT_EQ(again->loaded(), 1u);
+}
+
+TEST(Journal, WarmedCacheFromTornJournalNeverPoisonsResults) {
+  // The cache-poisoning scenario the warm-start path must rule out: a
+  // journal torn mid-record (plus trailing garbage) warms only fully
+  // decoded records; the tuned result still matches an uninterrupted
+  // reference bit-for-bit.
+  const FuncyTunerOptions options = faulty_options(0.05);
+  const std::uint64_t fingerprint = options_fingerprint(options);
+  const std::string path = testing::TempDir() + "ft_journal_poison.jsonl";
+
+  FuncyTuner reference(programs::cloverleaf(), machine::broadwell(), options);
+  const TuningResult expected = reference.run_cfr();
+
+  FuncyTuner recorded(programs::cloverleaf(), machine::broadwell(), options);
+  recorded.evaluator().set_journal(EvalJournal::create(path, fingerprint));
+  (void)recorded.run_cfr();
+
+  // Tear the file mid-record and append garbage "records".
+  std::string contents = read_file(path);
+  contents.resize(contents.size() * 2 / 3);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << contents << "\n{\"type\":\"eval\",\"key\":\"zzz\"}\n\xde\xad\n";
+  }
+
+  FuncyTunerOptions cached = options;
+  cached.eval_cache = true;
+  FuncyTuner resumed(programs::cloverleaf(), machine::broadwell(), cached);
+  resumed.evaluator().set_journal(EvalJournal::resume(path, fingerprint));
+  resumed.evaluator().warm_cache_from_journal();
+  const TuningResult result = resumed.run_cfr();
+
+  EXPECT_EQ(result.history, expected.history);
+  EXPECT_EQ(result.tuned_seconds, expected.tuned_seconds);
+  EXPECT_EQ(result.speedup, expected.speedup);
 }
 
 TEST(Journal, ResumeRejectsConfigMismatch) {

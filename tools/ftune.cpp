@@ -71,6 +71,9 @@ core::FuncyTunerOptions parse_options(const support::CliArgs& args) {
       args.get_int("max-retries", defaults.retry.max_retries));
   options.retry.eval_timeout_seconds = args.get_double(
       "eval-timeout", defaults.retry.eval_timeout_seconds);
+  options.eval_cache = args.get_bool("eval-cache", false);
+  options.eval_cache_entries =
+      static_cast<std::size_t>(args.get_int("eval-cache-size", 0));
   return options;
 }
 
@@ -81,7 +84,7 @@ std::vector<std::string> common_flags() {
           "final-reps",    "noise-sigma",   "attribution-sigma",
           "patience",      "threads",       "help",
           "fault-rate",    "fault-seed",    "max-retries",
-          "eval-timeout"};
+          "eval-timeout",  "eval-cache",    "eval-cache-size"};
 }
 
 std::vector<std::string> with_common(std::vector<std::string> extra) {
@@ -222,6 +225,11 @@ int cmd_tune(const support::CliArgs& args) {
                                         core::options_fingerprint(options));
   }
   if (journal) tuner.evaluator().set_journal(journal);
+  // A resumed run with the cache serves every journaled evaluation
+  // from memory instead of per-lookup journal consults.
+  if (journal && args.has("resume") && tuner.eval_cache()) {
+    tuner.evaluator().warm_cache_from_journal();
+  }
 
   std::vector<core::TuningResult> results;
   {
@@ -252,7 +260,7 @@ int cmd_tune(const support::CliArgs& args) {
   }
   table.print(std::cout);
 
-  if (options.faults.rate > 0 || journal ||
+  if (options.faults.rate > 0 || journal || options.eval_cache ||
       options.retry.eval_timeout_seconds > 0) {
     const core::ResilienceStats stats = tuner.evaluator().resilience_stats();
     support::Table resilience("Resilience");
@@ -272,7 +280,34 @@ int cmd_tune(const support::CliArgs& args) {
       resilience.add_row(
           {"journal appended", std::to_string(stats.journal_appended)});
     }
+    if (options.eval_cache) {
+      const double total =
+          static_cast<double>(stats.cache_hits + stats.cache_misses);
+      resilience.add_row({"cache hits", std::to_string(stats.cache_hits)});
+      resilience.add_row(
+          {"cache misses", std::to_string(stats.cache_misses)});
+      resilience.add_row(
+          {"cache hit rate",
+           total == 0 ? "-"
+                      : support::Table::num(
+                            100.0 * static_cast<double>(stats.cache_hits) /
+                                total,
+                            1) + "%"});
+    }
     resilience.print(std::cout);
+  }
+
+  if (options.eval_cache) {
+    // §4.3 honesty: what was actually charged vs. what hits avoided.
+    const double charged = tuner.evaluator().modeled_overhead_seconds();
+    const double saved = tuner.evaluator().saved_overhead_seconds();
+    support::Table overhead("Modeled tuning overhead");
+    overhead.set_header({"Charged [s]", "Saved by cache [s]",
+                         "Cache-off total [s]"});
+    overhead.add_row({support::Table::num(charged, 1),
+                      support::Table::num(saved, 1),
+                      support::Table::num(charged + saved, 1)});
+    overhead.print(std::cout);
   }
 
   if (args.has("json")) {
@@ -411,6 +446,12 @@ void usage() {
          "(default 2)\n"
          "  --eval-timeout F       per-evaluation runtime budget in "
          "seconds (0 = off)\n"
+         "  --eval-cache           memoize completed evaluations "
+         "(bit-identical results,\n"
+         "                         redundant modeled cost reported as "
+         "saved)\n"
+         "  --eval-cache-size N    LRU entry bound for --eval-cache "
+         "(default 1M)\n"
          "\n"
          "tune options\n"
          "  --algorithm NAME       " +
