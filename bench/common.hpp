@@ -1,5 +1,7 @@
 // Shared helpers for the figure/table reproduction binaries. Every
-// binary accepts:
+// binary declares its command line through support::OptionSet, so
+// unknown flags and malformed values are hard errors (exit 1) and
+// --help prints the generated option table. The common flags:
 //   --samples N    pre-sampled CV count / search iterations (default 1000)
 //   --seed S       top-level seed (default 42)
 //   --csv          additionally emit CSV rows for plotting
@@ -7,9 +9,12 @@
 //                  stolen tasks, queue high-water, busy seconds)
 //   --eval-cache   memoize completed evaluations (bit-identical
 //                  results; redundant modeled cost reported as saved)
-// and prints the same rows/series the paper's figure reports.
+// Binaries with extra flags chain them onto BenchConfig::option_set()
+// and feed the Parsed result to BenchConfig::from (see
+// fig5_overall.cpp for the pattern).
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -18,6 +23,7 @@
 #include "machine/architecture.hpp"
 #include "programs/benchmarks.hpp"
 #include "support/cli.hpp"
+#include "support/options.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -31,16 +37,61 @@ struct BenchConfig {
   bool pool_stats = false;
   bool eval_cache = false;
 
-  static BenchConfig parse(int argc, char** argv) {
-    const support::CliArgs args(argc, argv);
+  /// The flag table every bench binary shares. Chain binary-specific
+  /// options onto the returned set before parsing.
+  [[nodiscard]] static support::OptionSet option_set() {
+    support::OptionSet set;
+    set.integer("samples", 1000,
+                "pre-sampled CV count / search iterations",
+                [](const std::string& raw) {
+                  return raw.empty() || raw[0] == '-'
+                             ? "must be positive"
+                             : "";
+                })
+        .integer("seed", 42, "top-level seed")
+        .flag("csv", false, "additionally emit CSV rows for plotting")
+        .flag("pool-stats", false, "append thread-pool counters")
+        .flag("eval-cache", false,
+              "memoize completed evaluations (bit-identical)")
+        .flag("help", false, "print this help");
+    return set;
+  }
+
+  [[nodiscard]] static BenchConfig from(
+      const support::OptionSet::Parsed& parsed) {
     BenchConfig config;
-    config.samples =
-        static_cast<std::size_t>(args.get_int("samples", 1000));
-    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-    config.csv = args.get_bool("csv", false);
-    config.pool_stats = args.get_bool("pool-stats", false);
-    config.eval_cache = args.get_bool("eval-cache", false);
+    config.samples = static_cast<std::size_t>(parsed.integer("samples"));
+    config.seed = static_cast<std::uint64_t>(parsed.integer("seed"));
+    config.csv = parsed.flag("csv");
+    config.pool_stats = parsed.flag("pool-stats");
+    config.eval_cache = parsed.flag("eval-cache");
     return config;
+  }
+
+  /// Strict parse of the common table: exits 1 on any unknown flag or
+  /// malformed value, 0 on --help.
+  [[nodiscard]] static BenchConfig parse(int argc, char** argv) {
+    return from(parse_or_exit(option_set(), argc, argv));
+  }
+
+  /// Strict parse of an (optionally extended) option set, with the
+  /// uniform --help / usage-error behavior.
+  [[nodiscard]] static support::OptionSet::Parsed parse_or_exit(
+      const support::OptionSet& set, int argc, char** argv) {
+    try {
+      support::OptionSet::Parsed parsed = set.parse(argc - 1, argv + 1);
+      if (parsed.flag("help")) {
+        std::cout << set.help(std::string("usage: ") + argv[0] +
+                              " [options]");
+        std::exit(0);
+      }
+      return parsed;
+    } catch (const support::CliError& error) {
+      std::cerr << argv[0] << ": " << error.what() << '\n'
+                << set.help(std::string("usage: ") + argv[0] +
+                            " [options]");
+      std::exit(1);
+    }
   }
 
   [[nodiscard]] core::FuncyTunerOptions tuner_options(

@@ -7,14 +7,26 @@
 // 9.2% / 10.3% / 9.4%; Random gains only 3.4% / 5.0% / 4.6%; G.realized
 // frequently degrades below 1.0 (0.34 worst case); G.Independent is an
 // unreachable upper bound (up to 1.52/1.73).
+//
+// --remote ADDR evaluates through a running `ftuned` daemon instead of
+// in-process; results are bit-identical either way (the daemon only
+// executes raw measurements, all bookkeeping stays local).
 
 #include "bench/common.hpp"
 
 #include "core/search_registry.hpp"
+#include "service/client.hpp"
 
 int main(int argc, char** argv) {
   using namespace ft;
-  const bench::BenchConfig config = bench::BenchConfig::parse(argc, argv);
+  support::OptionSet options = bench::BenchConfig::option_set();
+  options.text("remote", "",
+               "evaluate via a running ftuned daemon at "
+               "unix:PATH or tcp:host:port");
+  const support::OptionSet::Parsed parsed =
+      bench::BenchConfig::parse_or_exit(options, argc, argv);
+  const bench::BenchConfig config = bench::BenchConfig::from(parsed);
+  const std::string remote = parsed.text("remote");
   const std::vector<std::string> algorithms =
       core::SearchRegistry::global().names();
 
@@ -35,9 +47,16 @@ int main(int argc, char** argv) {
     std::vector<std::vector<double>> series(algorithms.size());
     std::vector<double> g_independent;
     for (const auto& name : bench::benchmark_names()) {
-      core::FuncyTuner tuner(
-          programs::by_name(name), arch,
-          config.tuner_options(static_cast<std::uint64_t>(arch_index)));
+      const core::FuncyTunerOptions tuner_options =
+          config.tuner_options(static_cast<std::uint64_t>(arch_index));
+      core::FuncyTuner tuner(programs::by_name(name), arch,
+                             tuner_options);
+      if (!remote.empty()) {
+        tuner.evaluator().set_backend(
+            std::make_shared<service::RemoteBackend>(
+                service::Client::connect(remote, name, arch.name,
+                                         tuner_options)));
+      }
       for (std::size_t i = 0; i < algorithms.size(); ++i) {
         const core::TuningResult result = tuner.run(algorithms[i]);
         labels[i] = result.algorithm;

@@ -117,8 +117,10 @@ void BM_AssembledEvaluation(benchmark::State& state) {
       assignment.loop_cvs.push_back(space.sample(rng));
     }
     assignment.nonloop_cv = space.sample(rng);
-    benchmark::DoNotOptimize(
-        evaluator.evaluate(assignment, {.rep_base = ++rep}));
+    core::EvalRequest request;
+    request.assignment = std::move(assignment);
+    request.rep_base = ++rep;
+    benchmark::DoNotOptimize(evaluator.evaluate(request).seconds());
   }
 }
 BENCHMARK(BM_AssembledEvaluation);

@@ -295,13 +295,19 @@ core::TuningResult Cobayn::infer(core::Evaluator& evaluator,
   }
 
   const std::size_t loop_count = program.loops().size();
-  const std::vector<double> seconds = evaluator.evaluate_batch(
-      candidates.size(),
-      [&](std::size_t k) {
-        return compiler::ModuleAssignment::uniform(candidates[k],
-                                                   loop_count);
-      },
-      {.rep_base = core::rep_streams::kCobayn, .label = "cobayn/batch"});
+  std::vector<core::EvalRequest> requests(candidates.size());
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    requests[k].assignment =
+        compiler::ModuleAssignment::uniform(candidates[k], loop_count);
+    requests[k].rep_base = core::rep_streams::kCobayn;
+  }
+  const std::vector<core::EvalResponse> responses = evaluator.evaluate_batch(
+      requests, core::EvalTrace{.label = "cobayn/batch"});
+  std::vector<double> seconds;
+  seconds.reserve(responses.size());
+  for (const core::EvalResponse& response : responses) {
+    seconds.push_back(response.seconds());
+  }
 
   core::TuningResult result;
   result.algorithm = cobayn_model_name(model);

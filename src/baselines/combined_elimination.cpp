@@ -30,9 +30,11 @@ CeResult combined_elimination(core::Evaluator& evaluator,
   // One phase-wide noise stream (content-addressed per CV), so CE's
   // many re-measurements of the same configuration memoize.
   auto measure = [&](const flags::CompilationVector& cv) {
-    return evaluator.evaluate(
-        compiler::ModuleAssignment::uniform(widen(cv), loop_count),
-        {.rep_base = core::rep_streams::kCombinedElimination});
+    core::EvalRequest request;
+    request.assignment =
+        compiler::ModuleAssignment::uniform(widen(cv), loop_count);
+    request.rep_base = core::rep_streams::kCombinedElimination;
+    return evaluator.evaluate(request).seconds();
   };
 
   CeResult result;

@@ -19,15 +19,15 @@ CriticalFlags eliminate_noncritical_flags(
   };
 
   auto measure = [&]() {
-    machine::RunOptions options;
-    options.repetitions = repetitions;
+    core::EvalRequest request;
+    request.assignment = working;
+    request.repetitions = repetitions;
     // Phase-wide noise stream, decorrelated from the searches by the
     // rep_streams offset and per-variant by the executable fingerprint.
-    options.rep_base = core::rep_streams::kFlagElimination;
+    request.rep_base = core::rep_streams::kFlagElimination;
     // A failed measurement scores +inf: the flag under test looks
     // critical and stays, which is the conservative choice.
-    return evaluator.try_run(working, options)
-        .seconds_or(core::kInvalidSeconds);
+    return evaluator.evaluate(request).seconds();
   };
   double current_seconds = measure();
   ++result.evaluations;

@@ -65,9 +65,10 @@ OpenTunerResult opentuner_search(core::Evaluator& evaluator,
 
     const flags::CompilationVector cv =
         techniques[chosen]->propose(space, rng, best_cv);
-    const double seconds = evaluator.evaluate(
-        compiler::ModuleAssignment::uniform(cv, loop_count),
-        {.rep_base = core::rep_streams::kOpenTuner});
+    core::EvalRequest request;
+    request.assignment = compiler::ModuleAssignment::uniform(cv, loop_count);
+    request.rep_base = core::rep_streams::kOpenTuner;
+    const double seconds = evaluator.evaluate(request).seconds();
     const bool improved = seconds < best_seconds;
     if (improved) {
       best_seconds = seconds;

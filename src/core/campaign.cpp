@@ -119,6 +119,10 @@ void Campaign::run() {
           .attr("architecture", architectures_[a].name);
     }
     FuncyTuner tuner(program, architectures_[a], tuner_options);
+    if (options_.backend_factory) {
+      tuner.evaluator().set_backend(options_.backend_factory(
+          program, architectures_[a], tuner_options));
+    }
     if (journal) tuner.evaluator().set_journal(journal);
     if (cache) {
       tuner.set_eval_cache(cache);

@@ -67,6 +67,17 @@ struct CampaignOptions {
   /// truncating it: already-journaled evaluations replay instead of
   /// re-running, which continues a killed campaign bit-identically.
   bool resume = false;
+  /// Optional raw-measurement backend factory, called once per cell
+  /// with that cell's program, architecture and *effective* tuner
+  /// options (per-arch seed salt applied). The returned backend is
+  /// attached to the cell's Evaluator - this is how a campaign targets
+  /// a remote `ftuned` daemon. Results stay bit-identical: only the
+  /// raw compile+link+run moves; all resilience bookkeeping remains in
+  /// the cell's own Evaluator. Null return = evaluate in-process.
+  std::function<std::shared_ptr<EvalBackend>(
+      const ir::Program&, const machine::Architecture&,
+      const FuncyTunerOptions&)>
+      backend_factory;
 };
 
 class Campaign {

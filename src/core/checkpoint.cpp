@@ -10,6 +10,7 @@
 
 #include "core/funcy_tuner.hpp"
 #include "support/rng.hpp"
+#include "support/serialization.hpp"
 
 namespace ft::core {
 
@@ -178,7 +179,8 @@ std::shared_ptr<EvalJournal> EvalJournal::create(
   if (!*journal->out_) {
     throw std::runtime_error("cannot write journal: " + path);
   }
-  *journal->out_ << "{\"type\":\"header\",\"version\":1,\"config\":\""
+  *journal->out_ << "{\"type\":\"header\",\"version\":1,"
+                 << support::schema_version_field() << ",\"config\":\""
                  << config_fingerprint << "\"}\n";
   journal->out_->flush();
   return journal;
@@ -200,6 +202,9 @@ std::shared_ptr<EvalJournal> EvalJournal::resume(
       std::string type, config;
       if (!field_text(line, "type", &type) || type != "header") break;
       saw_header = true;
+      // Pre-versioning journals (no field) read as schema 1; a journal
+      // from a future binary is refused instead of misparsed.
+      support::require_schema_version(line, "journal " + path);
       if (config_fingerprint != 0 &&
           field_text(line, "config", &config) &&
           config != std::to_string(config_fingerprint)) {
@@ -230,7 +235,8 @@ std::shared_ptr<EvalJournal> EvalJournal::resume(
   if (!*journal->out_) {
     throw std::runtime_error("cannot write journal: " + path);
   }
-  *journal->out_ << "{\"type\":\"header\",\"version\":1,\"config\":\""
+  *journal->out_ << "{\"type\":\"header\",\"version\":1,"
+                 << support::schema_version_field() << ",\"config\":\""
                  << config_fingerprint << "\"}\n";
   for (const auto& [key, stored] : journal->records_) {
     JournalRecord record;

@@ -1,6 +1,5 @@
 #include "core/collector.hpp"
 
-#include "support/thread_pool.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ft::core {
@@ -22,20 +21,24 @@ Collection collect_per_loop_runtimes(
   collection.rest_times.assign(k_count, 0.0);
   collection.end_to_end.assign(k_count, 0.0);
 
-  evaluator.begin_parallel_region();
-  support::parallel_for(k_count, [&](std::size_t k) {
-    const compiler::ModuleAssignment assignment =
-        compiler::ModuleAssignment::uniform(
-            collection.cvs[k], outline.program->loops().size());
-    machine::RunOptions options;
-    options.repetitions = 1;
-    options.instrumented = true;  // Caliper measures the hot loops
+  std::vector<EvalRequest> requests(k_count);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    requests[k].assignment = compiler::ModuleAssignment::uniform(
+        collection.cvs[k], outline.program->loops().size());
+    requests[k].instrumented = true;  // Caliper measures the hot loops
     // Shared phase rep_base: each CV's noise is decorrelated by its
     // executable fingerprint, and repeat sweeps of one CV (or EvalCache
     // hits) reproduce the identical measurement.
-    options.rep_base = rep_streams::kCollection;
-    const EvalOutcome outcome = evaluator.try_run(assignment, options);
-    if (!outcome.ok()) {
+    requests[k].rep_base = rep_streams::kCollection;
+  }
+  EvalTrace trace;
+  trace.label = "collection/batch";
+  const std::vector<EvalResponse> responses =
+      evaluator.evaluate_batch(requests, trace);
+
+  for (std::size_t k = 0; k < k_count; ++k) {
+    const EvalResponse& response = responses[k];
+    if (!response.ok()) {
       // A CV that ICEs or crashes here is invalid for every module: +inf
       // rows keep it out of per-module winners and top-X pruning.
       collection.end_to_end[k] = kInvalidSeconds;
@@ -43,9 +46,9 @@ Collection collect_per_loop_runtimes(
         collection.loop_times[i][k] = kInvalidSeconds;
       }
       collection.rest_times[k] = kInvalidSeconds;
-      return;
+      continue;
     }
-    const machine::RunResult& result = outcome.result;
+    const machine::RunResult& result = response.outcome.result;
 
     collection.end_to_end[k] = result.end_to_end;
     double hot_sum = 0.0;
@@ -55,8 +58,7 @@ Collection collect_per_loop_runtimes(
       hot_sum += t;
     }
     collection.rest_times[k] = result.end_to_end - hot_sum;
-  });
-  evaluator.end_parallel_region();
+  }
 
   return collection;
 }

@@ -46,6 +46,16 @@ EvalFault eval_fault_from_string(std::string_view name) noexcept {
   return EvalFault::kNone;
 }
 
+std::vector<EvalBackend::RawResult> EvalBackend::run_many(
+    std::span<const EvalRequest> requests) {
+  std::vector<RawResult> results;
+  results.reserve(requests.size());
+  for (const EvalRequest& request : requests) {
+    results.push_back(run(request.assignment, request.run_options()));
+  }
+  return results;
+}
+
 Evaluator::Evaluator(machine::ExecutionEngine& engine,
                      const ir::InputSpec& input)
     : engine_(&engine), input_(&input) {
@@ -54,6 +64,10 @@ Evaluator::Evaluator(machine::ExecutionEngine& engine,
   context_hash_ = support::fnv1a64(engine.program().name()) ^
                   support::fnv1a64(input.name) * 0x9e3779b97f4a7c15ULL ^
                   support::fnv1a64(engine.arch().name) * 0xc2b2ae3d27d4eb4fULL;
+}
+
+void Evaluator::set_backend(std::shared_ptr<EvalBackend> backend) {
+  backend_ = std::move(backend);
 }
 
 void Evaluator::account(std::size_t modules_compiled, double run_seconds,
@@ -100,39 +114,10 @@ void Evaluator::account_saved(double seconds) {
   }
 }
 
-double Evaluator::evaluate(const compiler::ModuleAssignment& assignment,
-                           const EvalContext& context) {
-  return try_evaluate(assignment, context).seconds_or(kInvalidSeconds);
-}
-
-EvalOutcome Evaluator::try_evaluate(
-    const compiler::ModuleAssignment& assignment,
-    const EvalContext& context) {
-  telemetry::Span span;
-  if (context.leaf_spans && telemetry::enabled()) {
-    const std::string_view name =
-        context.label.empty() ? std::string_view("eval") : context.label;
-    span = context.parent_span != 0
-               ? telemetry::tracer().begin_under(context.parent_span, name)
-               : telemetry::tracer().begin(name);
-    span.attr("rep_base", context.rep_base)
-        .attr("instrumented", std::int64_t{context.instrumented});
-  }
-  machine::RunOptions options;
-  options.repetitions = 1;
-  options.instrumented = context.instrumented;
-  options.rep_base = context.rep_base;
-  const EvalOutcome outcome = try_run(assignment, options);
-  if (span) {
-    span.attr("seconds", outcome.seconds_or(kInvalidSeconds));
-    if (!outcome.ok()) span.attr("fault", to_string(outcome.error.kind));
-  }
-  return outcome;
-}
-
-machine::RunResult Evaluator::run(
+EvalBackend::RawResult Evaluator::raw_run(
     const compiler::ModuleAssignment& assignment,
     const machine::RunOptions& options) {
+  if (backend_) return backend_->run(assignment, options);
   // Engine and compiler are internally synchronized; this is safe from
   // evaluate_batch workers.
   compiler::Compiler& compiler = engine_->compiler();
@@ -142,10 +127,18 @@ machine::RunResult Evaluator::run(
   // Under parallel batches the delta may misattribute individual
   // misses between concurrent evaluations, but the accumulated total
   // (what §4.3 reports) stays exact.
-  const std::size_t compiled = compiler.cache_misses() - misses_before;
-  const machine::RunResult result = engine_->run(exe, *input_, options);
-  account(compiled, result.end_to_end, options.repetitions);
-  return result;
+  EvalBackend::RawResult raw;
+  raw.modules_compiled = compiler.cache_misses() - misses_before;
+  raw.result = engine_->run(exe, *input_, options);
+  return raw;
+}
+
+machine::RunResult Evaluator::run(
+    const compiler::ModuleAssignment& assignment,
+    const machine::RunOptions& options) {
+  const EvalBackend::RawResult raw = raw_run(assignment, options);
+  account(raw.modules_compiled, raw.result.end_to_end, options.repetitions);
+  return raw.result;
 }
 
 std::uint64_t Evaluator::assignment_key(
@@ -210,39 +203,41 @@ void Evaluator::promote_quarantines() {
   }
 }
 
-EvalOutcome Evaluator::try_run(const compiler::ModuleAssignment& assignment,
-                               const machine::RunOptions& options) {
+bool Evaluator::pre_evaluate(const EvalRequest& request, EvalResponse* out,
+                             PendingRun* pending) {
+  pending->options = request.run_options();
+  const machine::RunOptions& options = pending->options;
   const bool resilient = engine_->fault_model().enabled() ||
                          journal_ != nullptr || cache_ != nullptr ||
                          retry_policy_.eval_timeout_seconds > 0.0 ||
                          has_quarantine_.load(std::memory_order_acquire);
-  EvalOutcome outcome;
   if (!resilient) {
     // Fast path: bit-identical to the pre-resilience pipeline.
-    outcome.result = run(assignment, options);
-    return outcome;
+    pending->fast = true;
+    pending->needs_run = true;
+    return false;
   }
 
   // Quarantine promotion is deferred to deterministic points: between
-  // batches (evaluate_batch promotes before its parallel_for) and, for
+  // batches (evaluate_batch promotes before dispatching) and, for
   // sequential callers, before every evaluation.
   if (batch_depth_.load(std::memory_order_relaxed) == 0) {
     promote_quarantines();
   }
 
-  const std::uint64_t key = assignment_key(assignment);
-  const EvalCache::Key cache_key{key, options.rep_base, cache_salt_,
+  pending->key = assignment_key(request.assignment);
+  const EvalCache::Key cache_key{pending->key, options.rep_base, cache_salt_,
                                  options.repetitions, options.instrumented};
   // Quarantined assignments bypass the cache: a cache-off run would
   // quarantine-skip them (charging nothing), and replaying the cached
   // pre-quarantine outcome instead would break the charged + saved ==
-  // cache-off invariant. attempt_run produces the identical skip.
-  if (cache_ && !is_quarantined(assignment)) {
+  // cache-off invariant. plan_attempts produces the identical skip.
+  if (cache_ && !is_quarantined(request.assignment)) {
     double saved = 0.0;
-    if (cache_->lookup(cache_key, &outcome, &saved)) {
-      if (!outcome.ok()) {
+    if (cache_->lookup(cache_key, &out->outcome, &saved)) {
+      if (!out->outcome.ok()) {
         // Rebuild quarantine state exactly as the re-run would have.
-        note_failure(key);
+        note_failure(pending->key);
       }
       // The hit satisfies the same logical evaluations a re-run would
       // have performed; only the modeled cost moves to "saved".
@@ -255,54 +250,62 @@ EvalOutcome Evaluator::try_run(const compiler::ModuleAssignment& assignment,
             .counter("evaluator.evaluations")
             .add(static_cast<std::uint64_t>(options.repetitions));
       }
-      return outcome;
+      out->served_by = EvalServedBy::kCacheHit;
+      return true;
     }
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
 
   double rerun_cost = 0.0;
   if (journal_ &&
-      journal_->lookup(key, options.rep_base, options.repetitions,
-                       options.instrumented, &outcome, &rerun_cost)) {
-    if (!outcome.ok() && outcome.error.kind != EvalFault::kQuarantined) {
+      journal_->lookup(pending->key, options.rep_base, options.repetitions,
+                       options.instrumented, &out->outcome, &rerun_cost)) {
+    if (!out->outcome.ok() &&
+        out->outcome.error.kind != EvalFault::kQuarantined) {
       // Rebuild quarantine state exactly as the original run did.
-      note_failure(key);
+      note_failure(pending->key);
     }
     count_metric("journal.replayed");
-    if (cache_ && outcome.error.kind != EvalFault::kQuarantined) {
-      cache_->insert(cache_key, outcome, std::max(rerun_cost, 0.0));
+    if (cache_ && out->outcome.error.kind != EvalFault::kQuarantined) {
+      cache_->insert(cache_key, out->outcome, std::max(rerun_cost, 0.0));
     }
-    return outcome;
+    out->served_by = EvalServedBy::kJournalReplay;
+    return true;
   }
 
-  rerun_cost = 0.0;
-  outcome = attempt_run(key, assignment, options, &rerun_cost);
+  plan_attempts(request.assignment, pending);
+  if (pending->needs_run) return false;
+
+  // Served without a real run (quarantine skip / injected permanent
+  // failure): record it exactly as the monolithic path did.
+  out->outcome = pending->outcome;
+  out->served_by = EvalServedBy::kRun;
   if (journal_) {
-    journal_->record({key, options.rep_base, options.repetitions,
-                      options.instrumented, outcome, rerun_cost});
+    journal_->record({pending->key, options.rep_base, options.repetitions,
+                      options.instrumented, out->outcome,
+                      pending->rerun_cost});
     count_metric("journal.appended");
   }
-  if (cache_ && outcome.error.kind != EvalFault::kQuarantined) {
-    cache_->insert(cache_key, outcome, rerun_cost);
+  if (cache_ && out->outcome.error.kind != EvalFault::kQuarantined) {
+    cache_->insert(cache_key, out->outcome, pending->rerun_cost);
   }
-  return outcome;
+  return true;
 }
 
-EvalOutcome Evaluator::attempt_run(
-    std::uint64_t key, const compiler::ModuleAssignment& assignment,
-    const machine::RunOptions& options, double* rerun_cost) {
-  // Accumulates what re-running this exact evaluation would charge:
-  // the object pool stays warm (0 compile seconds) and the fault/noise
-  // streams are deterministic per (key, rep_base, attempt), so every
-  // branch below knows its re-run cost exactly.
-  *rerun_cost = 0.0;
-  EvalOutcome outcome;
+void Evaluator::plan_attempts(const compiler::ModuleAssignment& assignment,
+                              PendingRun* pending) {
+  // pending->rerun_cost accumulates what re-running this exact
+  // evaluation would charge: the object pool stays warm (0 compile
+  // seconds) and the fault/noise streams are deterministic per
+  // (key, rep_base, attempt), so every branch below knows its re-run
+  // cost exactly.
+  const std::uint64_t key = pending->key;
   if (is_quarantined(assignment)) {
     quarantine_hits_.fetch_add(1, std::memory_order_relaxed);
     count_metric("eval.quarantine_hits");
-    outcome.error = {EvalFault::kQuarantined, hex64(key)};
-    outcome.attempts = 0;
-    return outcome;
+    pending->outcome.error = {EvalFault::kQuarantined, hex64(key)};
+    pending->outcome.attempts = 0;
+    return;
   }
 
   const machine::FaultModel& faults = engine_->fault_model();
@@ -321,7 +324,7 @@ EvalOutcome Evaluator::attempt_run(
       count_metric("fault.compile_failures");
       // The ICE still burned one modeled module compile.
       account_overhead(overhead_model_.seconds_per_module_compile);
-      outcome.error = {EvalFault::kCompileFailure, hex64(cv.hash())};
+      pending->outcome.error = {EvalFault::kCompileFailure, hex64(cv.hash())};
       return true;
     };
     bool failed = ice(assignment.nonloop_cv);
@@ -330,32 +333,21 @@ EvalOutcome Evaluator::attempt_run(
     }
     if (failed) {
       note_failure(key);
-      return outcome;
+      return;
     }
   }
 
   const double budget = retry_policy_.eval_timeout_seconds;
+  const machine::RunOptions& options = pending->options;
   for (int attempt = 0;; ++attempt) {
     const machine::FaultModel::RunFault fault =
         faults.run_fault(key, options.rep_base, attempt);
     if (fault == machine::FaultModel::RunFault::kNone) {
-      outcome.result = run(assignment, options);
-      outcome.attempts = attempt + 1;
-      // A re-run charges no compile time (objects pooled) but still
-      // pays the link and the measured runtime - even on a budget
-      // overrun, which re-measures before failing.
-      *rerun_cost += overhead_model_.link_seconds +
-                     outcome.result.end_to_end * options.repetitions;
-      if (budget > 0.0 && outcome.result.end_to_end > budget) {
-        // Genuine budget overrun. Measurements are deterministic per
-        // rep key, so retrying would reproduce it - fail immediately.
-        run_timeouts_.fetch_add(1, std::memory_order_relaxed);
-        count_metric("fault.run_timeouts");
-        outcome.result = machine::RunResult{};
-        outcome.error = {EvalFault::kRunTimeout, "budget exceeded"};
-        note_failure(key);
-      }
-      return outcome;
+      // The fault stream cleared this attempt: exactly one real run
+      // settles the evaluation (post_evaluate).
+      pending->needs_run = true;
+      pending->prior_attempts = attempt;
+      return;
     }
 
     // Injected transient fault: account the modeled wall-clock it
@@ -364,31 +356,194 @@ EvalOutcome Evaluator::attempt_run(
       run_crashes_.fetch_add(1, std::memory_order_relaxed);
       count_metric("fault.run_crashes");
       account_overhead(overhead_model_.link_seconds);
-      *rerun_cost += overhead_model_.link_seconds;
+      pending->rerun_cost += overhead_model_.link_seconds;
     } else {
       run_timeouts_.fetch_add(1, std::memory_order_relaxed);
       count_metric("fault.run_timeouts");
       const double burned =
           budget > 0.0 ? budget : overhead_model_.link_seconds;
       account_overhead(burned);
-      *rerun_cost += burned;
+      pending->rerun_cost += burned;
     }
     if (attempt >= retry_policy_.max_retries) {
-      outcome.attempts = attempt + 1;
-      outcome.error = {fault == machine::FaultModel::RunFault::kCrash
-                           ? EvalFault::kRunCrash
-                           : EvalFault::kRunTimeout,
-                       "retries exhausted"};
+      pending->outcome.attempts = attempt + 1;
+      pending->outcome.error = {
+          fault == machine::FaultModel::RunFault::kCrash
+              ? EvalFault::kRunCrash
+              : EvalFault::kRunTimeout,
+          "retries exhausted"};
       note_failure(key);
-      return outcome;
+      return;
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
     count_metric("eval.retries");
     const double backoff = retry_policy_.backoff_seconds *
                            static_cast<double>(1 << std::min(attempt, 16));
     account_overhead(backoff);
-    *rerun_cost += backoff;
+    pending->rerun_cost += backoff;
   }
+}
+
+void Evaluator::post_evaluate(const EvalRequest& request, PendingRun* pending,
+                              const EvalBackend::RawResult& raw,
+                              EvalResponse* out) {
+  const machine::RunOptions& options = pending->options;
+  account(raw.modules_compiled, raw.result.end_to_end, options.repetitions);
+  out->modules_compiled = raw.modules_compiled;
+  out->served_by = EvalServedBy::kRun;
+  if (pending->fast) {
+    out->outcome.result = raw.result;
+    return;
+  }
+
+  out->outcome.result = raw.result;
+  out->outcome.attempts = pending->prior_attempts + 1;
+  // A re-run charges no compile time (objects pooled) but still pays
+  // the link and the measured runtime - even on a budget overrun,
+  // which re-measures before failing.
+  pending->rerun_cost += overhead_model_.link_seconds +
+                         raw.result.end_to_end * options.repetitions;
+  const double budget = retry_policy_.eval_timeout_seconds;
+  if (budget > 0.0 && raw.result.end_to_end > budget) {
+    // Genuine budget overrun. Measurements are deterministic per rep
+    // key, so retrying would reproduce it - fail immediately.
+    run_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    count_metric("fault.run_timeouts");
+    out->outcome.result = machine::RunResult{};
+    out->outcome.error = {EvalFault::kRunTimeout, "budget exceeded"};
+    note_failure(pending->key);
+  }
+
+  if (journal_) {
+    journal_->record({pending->key, options.rep_base, options.repetitions,
+                      options.instrumented, out->outcome,
+                      pending->rerun_cost});
+    count_metric("journal.appended");
+  }
+  if (cache_ && out->outcome.error.kind != EvalFault::kQuarantined) {
+    const EvalCache::Key cache_key{pending->key, options.rep_base,
+                                   cache_salt_, options.repetitions,
+                                   options.instrumented};
+    cache_->insert(cache_key, out->outcome, pending->rerun_cost);
+  }
+}
+
+EvalResponse Evaluator::evaluate_one(const EvalRequest& request) {
+  EvalResponse response;
+  PendingRun pending;
+  if (pre_evaluate(request, &response, &pending)) return response;
+  const EvalBackend::RawResult raw =
+      raw_run(request.assignment, pending.options);
+  post_evaluate(request, &pending, raw, &response);
+  return response;
+}
+
+EvalResponse Evaluator::evaluate(const EvalRequest& request,
+                                 const EvalTrace& trace) {
+  telemetry::Span span;
+  if (trace.leaf_spans && telemetry::enabled()) {
+    const std::string_view name =
+        trace.label.empty() ? std::string_view("eval") : trace.label;
+    span = trace.parent_span != 0
+               ? telemetry::tracer().begin_under(trace.parent_span, name)
+               : telemetry::tracer().begin(name);
+    span.attr("rep_base", request.rep_base)
+        .attr("instrumented", std::int64_t{request.instrumented});
+  }
+  const EvalResponse response = evaluate_one(request);
+  if (span) {
+    span.attr("seconds", response.seconds());
+    if (!response.ok()) {
+      span.attr("fault", to_string(response.outcome.error.kind));
+    }
+  }
+  return response;
+}
+
+std::vector<EvalResponse> Evaluator::evaluate_batch(
+    const std::vector<EvalRequest>& requests, const EvalTrace& trace) {
+  // One batch-level span from the calling thread: per-evaluation spans
+  // inside the pool would interleave non-deterministically.
+  telemetry::Span span;
+  if (telemetry::enabled()) {
+    const std::string_view name = trace.label.empty()
+                                      ? std::string_view("evaluate_batch")
+                                      : trace.label;
+    span = trace.parent_span != 0
+               ? telemetry::tracer().begin_under(trace.parent_span, name)
+               : telemetry::tracer().begin(name);
+    span.attr("count", static_cast<std::uint64_t>(requests.size()));
+    if (!requests.empty()) {
+      span.attr("rep_base", requests.front().rep_base)
+          .attr("instrumented",
+                std::int64_t{requests.front().instrumented});
+    }
+  }
+  std::vector<EvalResponse> responses(requests.size());
+  // Quarantines queued by earlier phases take effect at this
+  // deterministic boundary; none are applied mid-batch, so whether an
+  // evaluation is skipped never depends on worker scheduling.
+  begin_parallel_region();
+  if (backend_ && backend_->batches_remotely()) {
+    // Coalesced path: the sequential pre-pass resolves replays and
+    // injected faults locally, then every evaluation that still needs
+    // a real measurement rides a single run_many() wire call.
+    std::vector<PendingRun> pendings(requests.size());
+    std::vector<std::size_t> to_run;
+    std::vector<EvalRequest> raw_requests;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (!pre_evaluate(requests[i], &responses[i], &pendings[i])) {
+        to_run.push_back(i);
+        raw_requests.push_back(requests[i]);
+      }
+    }
+    if (!to_run.empty()) {
+      const std::vector<EvalBackend::RawResult> raws =
+          backend_->run_many(raw_requests);
+      for (std::size_t j = 0; j < to_run.size(); ++j) {
+        const std::size_t i = to_run[j];
+        post_evaluate(requests[i], &pendings[i], raws[j], &responses[i]);
+      }
+    }
+  } else {
+    support::parallel_for(requests.size(), [&](std::size_t i) {
+      // Every variant usually shares the batch's rep_base: noise keys
+      // mix in the executable fingerprint, so distinct variants stay
+      // decorrelated while duplicate assignments measure identically
+      // (the property the EvalCache's bit-identity contract rests on).
+      responses[i] = evaluate_one(requests[i]);
+    });
+  }
+  end_parallel_region();
+  return responses;
+}
+
+double Evaluator::evaluate(const compiler::ModuleAssignment& assignment,
+                           const EvalContext& context) {
+  return try_evaluate(assignment, context).seconds_or(kInvalidSeconds);
+}
+
+EvalOutcome Evaluator::try_evaluate(
+    const compiler::ModuleAssignment& assignment,
+    const EvalContext& context) {
+  EvalRequest request;
+  request.assignment = assignment;
+  request.rep_base = context.rep_base;
+  request.instrumented = context.instrumented;
+  EvalTrace trace = context.trace();
+  return evaluate(request, trace).outcome;
+}
+
+EvalOutcome Evaluator::try_run(const compiler::ModuleAssignment& assignment,
+                               const machine::RunOptions& options) {
+  EvalRequest request;
+  request.assignment = assignment;
+  request.rep_base = options.rep_base;
+  request.repetitions = options.repetitions;
+  request.instrumented = options.instrumented;
+  request.noise = options.noise;
+  request.aggregate = options.aggregate;
+  return evaluate_one(request).outcome;
 }
 
 void Evaluator::set_journal(std::shared_ptr<EvalJournal> journal) {
@@ -404,10 +559,10 @@ void Evaluator::set_eval_cache(std::shared_ptr<EvalCache> cache,
 void Evaluator::warm_cache_from_journal() {
   if (!cache_ || !journal_) return;
   journal_->for_each([this](const JournalRecord& record) {
-    // Quarantine skips are never cached (see try_run); everything else
-    // replays bit-identically. Legacy journals without the rerun field
-    // warm with saved = 0 - conservatively under-reporting savings
-    // rather than inventing them.
+    // Quarantine skips are never cached (see pre_evaluate); everything
+    // else replays bit-identically. Legacy journals without the rerun
+    // field warm with saved = 0 - conservatively under-reporting
+    // savings rather than inventing them.
     if (record.outcome.error.kind == EvalFault::kQuarantined) return;
     cache_->insert({record.key, record.rep_base, cache_salt_,
                     record.repetitions, record.instrumented},
@@ -444,51 +599,36 @@ std::vector<double> Evaluator::evaluate_batch(
     std::size_t count,
     const std::function<compiler::ModuleAssignment(std::size_t)>& make,
     const EvalContext& context) {
-  // One batch-level span from the calling thread: per-evaluation spans
-  // inside the pool would interleave non-deterministically.
-  telemetry::Span span;
-  if (telemetry::enabled()) {
-    const std::string_view name = context.label.empty()
-                                      ? std::string_view("evaluate_batch")
-                                      : context.label;
-    span = context.parent_span != 0
-               ? telemetry::tracer().begin_under(context.parent_span, name)
-               : telemetry::tracer().begin(name);
-    span.attr("count", static_cast<std::uint64_t>(count))
-        .attr("rep_base", context.rep_base)
-        .attr("instrumented", std::int64_t{context.instrumented});
+  // Materialize the requests up front (make() was already required to
+  // be thread-safe and order-independent) and ride the unified batch
+  // path.
+  std::vector<EvalRequest> requests(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    requests[i].assignment = make(i);
+    requests[i].rep_base = context.rep_base;
+    requests[i].instrumented = context.instrumented;
   }
+  EvalTrace trace = context.trace();
+  trace.leaf_spans = false;  // workers never emit spans
+  const std::vector<EvalResponse> responses = evaluate_batch(requests, trace);
   std::vector<double> seconds(count, 0.0);
-  EvalContext worker = context;
-  worker.leaf_spans = false;  // workers never emit spans (see above)
-  worker.parent_span = 0;
-  // Quarantines queued by earlier phases take effect at this
-  // deterministic boundary; none are applied mid-batch, so whether an
-  // evaluation is skipped never depends on worker scheduling.
-  begin_parallel_region();
-  support::parallel_for(count, [&](std::size_t i) {
-    // Every variant shares the batch's rep_base: noise keys mix in the
-    // executable fingerprint, so distinct variants stay decorrelated
-    // while duplicate assignments measure identically (the property
-    // the EvalCache's bit-identity contract rests on).
-    seconds[i] = evaluate(make(i), worker);
-  });
-  end_parallel_region();
+  for (std::size_t i = 0; i < count; ++i) seconds[i] = responses[i].seconds();
   return seconds;
 }
 
 double Evaluator::final_seconds(const compiler::ModuleAssignment& assignment,
                                 int reps) {
-  machine::RunOptions options;
-  options.repetitions = reps;
-  options.rep_base = rep_streams::kFinal;  // fresh noise vs. search runs
+  EvalRequest request;
+  request.assignment = assignment;
+  request.repetitions = reps;
+  request.rep_base = rep_streams::kFinal;  // fresh noise vs. search runs
   if (engine_->fault_model().enabled()) {
     // Outlier spikes are in play: score with the trimmed mean so one
     // contaminated rep cannot flip a winner (plain mean otherwise, the
     // paper's protocol - keeps fault-free results bit-identical).
-    options.aggregate = machine::Aggregation::kTrimmedMean;
+    request.aggregate = machine::Aggregation::kTrimmedMean;
   }
-  return try_run(assignment, options).seconds_or(kInvalidSeconds);
+  return evaluate(request).outcome.seconds_or(kInvalidSeconds);
 }
 
 }  // namespace ft::core

@@ -4,6 +4,16 @@
 // evaluator tracks both the count and the modeled wall-clock cost
 // (compile time + run time) each evaluation would have taken on the
 // paper's testbed.
+//
+// The request/response pair below is the *only* evaluation currency:
+// every search, baseline and bench tool submits EvalRequest and gets
+// EvalResponse back, and the same two structs are the wire payload of
+// the `ftuned` service (src/service/protocol.hpp serializes them
+// field-for-field). Raw measurement is abstracted behind EvalBackend,
+// so a remote daemon can execute the compile+link+run while all
+// resilience bookkeeping (retries, quarantine, journal, cache) stays
+// on the client - the key to remote runs being bit-identical to local
+// ones.
 #pragma once
 
 #include <atomic>
@@ -132,17 +142,56 @@ struct ResilienceStats {
   double cache_saved_seconds = 0.0;
 };
 
-/// Everything an evaluation needs besides the assignment itself: the
-/// phase's noise stream, the instrumentation switch and the telemetry
-/// attachment point. Replaces the old positional
-/// `evaluate(assignment, rep_base, instrumented)` parameters - call
-/// sites read as `evaluate(a, {.rep_base = rep_streams::kCfr + k})`.
-struct EvalContext {
+/// One evaluation, fully specified. This struct *is* the service wire
+/// payload: everything that determines the measured value is in here
+/// (plus the session-level options fingerprint), nothing that is
+/// presentation (spans, labels) ever is.
+struct EvalRequest {
+  compiler::ModuleAssignment assignment;
   /// Offset into the noise stream; pass the owning phase's
   /// `rep_streams` constant (plus the per-variant index for
   /// sequential loops).
   std::uint64_t rep_base = 0;
+  int repetitions = 1;
   bool instrumented = false;  ///< Caliper annotations compiled in?
+  bool noise = true;          ///< apply the measurement-noise model
+  machine::Aggregation aggregate = machine::Aggregation::kMean;
+
+  [[nodiscard]] machine::RunOptions run_options() const noexcept {
+    machine::RunOptions options;
+    options.repetitions = repetitions;
+    options.instrumented = instrumented;
+    options.noise = noise;
+    options.rep_base = rep_base;
+    options.aggregate = aggregate;
+    return options;
+  }
+};
+
+/// How an EvalResponse was produced (diagnostic only; not scored).
+enum class EvalServedBy {
+  kRun,            ///< measured now (or failed trying)
+  kCacheHit,       ///< replayed from the EvalCache
+  kJournalReplay,  ///< replayed from the checkpoint journal
+};
+
+/// The answer to one EvalRequest; also the service wire payload.
+struct EvalResponse {
+  EvalOutcome outcome;
+  EvalServedBy served_by = EvalServedBy::kRun;
+  /// Modules that actually hit the compiler (0 on replays).
+  std::size_t modules_compiled = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return outcome.ok(); }
+  [[nodiscard]] double seconds() const noexcept {
+    return outcome.seconds_or(kInvalidSeconds);
+  }
+};
+
+/// Presentation-only evaluation context: telemetry attachment and
+/// labeling. Deliberately separate from EvalRequest so the wire
+/// payload never carries trace state.
+struct EvalTrace {
   /// Span to parent telemetry under; 0 = the calling thread's
   /// innermost open span.
   telemetry::SpanId parent_span = 0;
@@ -153,6 +202,59 @@ struct EvalContext {
   /// Span label for this evaluation/batch (defaults to "eval" /
   /// "evaluate_batch").
   std::string label;
+};
+
+/// Raw measurement executor: compile + link + run, nothing else. The
+/// default (no backend attached) executes inline on this process's
+/// engine; the service client substitutes a socket round-trip to
+/// `ftuned`. Implementations carry NO tuning state - retries, fault
+/// decisions, quarantine, journal and cache bookkeeping all stay in
+/// the Evaluator, which is what makes remote results bit-identical to
+/// local ones.
+class EvalBackend {
+ public:
+  struct RawResult {
+    machine::RunResult result;
+    std::size_t modules_compiled = 0;
+  };
+
+  virtual ~EvalBackend() = default;
+
+  /// One raw measurement. Must be thread-safe (local batches call it
+  /// from pool workers).
+  [[nodiscard]] virtual RawResult run(
+      const compiler::ModuleAssignment& assignment,
+      const machine::RunOptions& options) = 0;
+
+  /// Batched raw measurements; result[i] answers requests[i]. The
+  /// default loops over run(); the remote backend coalesces the whole
+  /// span into a single wire frame.
+  [[nodiscard]] virtual std::vector<RawResult> run_many(
+      std::span<const EvalRequest> requests);
+
+  /// True when run_many() is cheaper than per-item run() calls (the
+  /// remote backend: one frame vs. N round-trips). evaluate_batch
+  /// coalesces all pending raw runs into one run_many when set.
+  [[nodiscard]] virtual bool batches_remotely() const noexcept {
+    return false;
+  }
+};
+
+/// Everything an evaluation needs besides the assignment itself: the
+/// phase's noise stream, the instrumentation switch and the telemetry
+/// attachment point. Superseded by EvalRequest + EvalTrace; kept so
+/// pre-redesign call sites (`evaluate(a, {.rep_base = ...})`) keep
+/// compiling via the shim overloads below.
+struct EvalContext {
+  std::uint64_t rep_base = 0;
+  bool instrumented = false;
+  telemetry::SpanId parent_span = 0;
+  bool leaf_spans = false;
+  std::string label;
+
+  [[nodiscard]] EvalTrace trace() const {
+    return EvalTrace{parent_span, leaf_spans, label};
+  }
 };
 
 class Evaluator {
@@ -167,43 +269,66 @@ class Evaluator {
     return *engine_;
   }
 
-  /// End-to-end seconds of one run of the given assignment (1 rep,
-  /// noise on). `context.rep_base` decorrelates repeated measurements.
-  /// Returns kInvalidSeconds when the evaluation fails under the
-  /// resilient path (fault injection / timeout budget / quarantine).
+  // --- the unified request/response API ------------------------------------
+
+  /// Evaluates one request: quarantine check, cache/journal replay,
+  /// fault injection and retries, then (at most) one raw backend run.
+  /// Never throws on evaluation failure - the fault is classified in
+  /// the response.
+  [[nodiscard]] EvalResponse evaluate(const EvalRequest& request,
+                                      const EvalTrace& trace = {});
+
+  /// Evaluates a batch concurrently; result[i] answers requests[i].
+  /// Deterministic for fixed requests: quarantine promotion happens
+  /// only at the batch boundary, and noise keys are content-addressed,
+  /// so results are independent of worker scheduling. With a remote
+  /// backend, all raw runs the batch needs coalesce into a single
+  /// run_many() wire call. Emits one batch-level span (from the
+  /// calling thread, so traces stay deterministic under any pool
+  /// schedule).
+  [[nodiscard]] std::vector<EvalResponse> evaluate_batch(
+      const std::vector<EvalRequest>& requests, const EvalTrace& trace = {});
+
+  /// Substitutes the raw measurement executor (e.g. the service
+  /// client). Pass nullptr to return to inline local execution.
+  void set_backend(std::shared_ptr<EvalBackend> backend);
+  [[nodiscard]] const std::shared_ptr<EvalBackend>& backend() const noexcept {
+    return backend_;
+  }
+
+  /// Raw compile+link+run via the current backend, with NO accounting,
+  /// resilience or caching - the primitive `ftuned` calls server-side.
+  [[nodiscard]] EvalBackend::RawResult raw_run(
+      const compiler::ModuleAssignment& assignment,
+      const machine::RunOptions& options);
+
+  // --- pre-redesign shims ---------------------------------------------------
+
+  /// End-to-end seconds of one run (1 rep, noise on); kInvalidSeconds
+  /// on failure. Shim over evaluate(EvalRequest).
   [[nodiscard]] double evaluate(const compiler::ModuleAssignment& assignment,
                                 const EvalContext& context = {});
 
   /// evaluate() with the failure classified instead of collapsed to
-  /// +inf.
+  /// +inf. Shim over evaluate(EvalRequest).
   [[nodiscard]] EvalOutcome try_evaluate(
       const compiler::ModuleAssignment& assignment,
       const EvalContext& context = {});
 
-  /// Full run result (used by the collection phase). Bypasses fault
-  /// injection, retries and the journal - prefer try_run.
+  /// Full run result (used by legacy callers). Bypasses fault
+  /// injection, retries and the journal - prefer evaluate().
   [[nodiscard]] machine::RunResult run(
       const compiler::ModuleAssignment& assignment,
       const machine::RunOptions& options);
 
-  /// Resilient run: quarantine check, fault injection (from the
-  /// engine's FaultModel), bounded retries with deterministic backoff
-  /// accounting, per-evaluation timeout budget, and journal
-  /// record/replay. Identical to run() when no fault model, journal or
-  /// timeout budget is configured.
+  /// Resilient run with positional options. Shim over
+  /// evaluate(EvalRequest).
   [[nodiscard]] EvalOutcome try_run(
       const compiler::ModuleAssignment& assignment,
       const machine::RunOptions& options);
 
-  /// Evaluates `count` variants concurrently; result[i] is produced by
-  /// `make(i)` evaluated at noise key `context.rep_base` (shared by the
-  /// whole batch - per-variant decorrelation comes from the executable
-  /// fingerprint mixed into every noise key, so identical assignments
-  /// measure identically and are cacheable). Deterministic for a fixed
-  /// rep_base. Callers pass their phase's rep_streams offset so
-  /// concurrent or successive phases draw disjoint noise. Emits one
-  /// batch-level span (from the calling thread, so traces stay
-  /// deterministic under any pool schedule).
+  /// Generator-style batch shim: result[i] = seconds of `make(i)`
+  /// at noise key `context.rep_base`.
   [[nodiscard]] std::vector<double> evaluate_batch(
       std::size_t count,
       const std::function<compiler::ModuleAssignment(std::size_t)>& make,
@@ -291,6 +416,32 @@ class Evaluator {
   [[nodiscard]] ResilienceStats resilience_stats() const;
 
  private:
+  /// State carried from the pre-run phase of one evaluation to its
+  /// post-run phase. When `needs_run` is false the response was fully
+  /// served (replay, quarantine skip, injected failure) and no raw
+  /// backend run happens; otherwise exactly one raw_run() settles it.
+  struct PendingRun {
+    machine::RunOptions options;
+    std::uint64_t key = 0;
+    bool fast = false;       ///< non-resilient fast path
+    bool needs_run = false;
+    int prior_attempts = 0;  ///< injected faults burned before the run
+    double rerun_cost = 0.0;
+    EvalOutcome outcome;     ///< valid when !needs_run (and not fast)
+  };
+
+  /// Everything before the (at most one) raw run: fast-path check,
+  /// quarantine promotion at depth 0, cache and journal replay, fault
+  /// plan. Returns true when `out` is complete and no run is needed.
+  [[nodiscard]] bool pre_evaluate(const EvalRequest& request,
+                                  EvalResponse* out, PendingRun* pending);
+  /// Settles a pending evaluation with its raw measurement: overhead
+  /// accounting, budget check, journal record, cache insert.
+  void post_evaluate(const EvalRequest& request, PendingRun* pending,
+                     const EvalBackend::RawResult& raw, EvalResponse* out);
+  /// pre_evaluate → raw_run → post_evaluate for one request.
+  [[nodiscard]] EvalResponse evaluate_one(const EvalRequest& request);
+
   void account(std::size_t modules_compiled, double run_seconds,
                int reps);
   /// Adds raw modeled seconds (fault cleanup, retry backoff) to the
@@ -299,14 +450,11 @@ class Evaluator {
   /// Adds modeled seconds a cache hit avoided re-charging.
   void account_saved(double seconds);
 
-  /// Fault/retry/timeout state machine behind try_run (journal, cache
-  /// and fast path already handled by the caller). `rerun_cost`
-  /// accumulates the modeled seconds an identical re-run would charge
-  /// (object pool warm, fault stream deterministic) - the value a
-  /// cache hit later reports as "saved".
-  [[nodiscard]] EvalOutcome attempt_run(
-      std::uint64_t key, const compiler::ModuleAssignment& assignment,
-      const machine::RunOptions& options, double* rerun_cost);
+  /// Fault/quarantine state machine up to (but excluding) the single
+  /// real run: quarantine skip, compile-ICE injection, injected
+  /// crash/timeout attempts with deterministic backoff accounting.
+  void plan_attempts(const compiler::ModuleAssignment& assignment,
+                     PendingRun* pending);
 
   /// Registers one fully-failed evaluation of `key`; queues the key
   /// for quarantine once it reaches retry_policy_.quarantine_after.
@@ -319,6 +467,7 @@ class Evaluator {
   machine::ExecutionEngine* engine_;
   const ir::InputSpec* input_;
   OverheadModel overhead_model_;
+  std::shared_ptr<EvalBackend> backend_;
   std::atomic<std::size_t> evaluations_{0};
   std::atomic<double> modeled_overhead_{0.0};
 

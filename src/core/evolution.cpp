@@ -61,9 +61,10 @@ TuningResult evolutionary_search(Evaluator& evaluator,
   // a genome the population already measured reproduces the identical
   // time - the redundancy the EvalCache elides.
   auto evaluate = [&](Individual& individual) {
-    individual.seconds =
-        evaluator.evaluate(make_assignment(individual.genome),
-                           {.rep_base = rep_streams::kEvolution});
+    EvalRequest request;
+    request.assignment = make_assignment(individual.genome);
+    request.rep_base = rep_streams::kEvolution;
+    individual.seconds = evaluator.evaluate(request).seconds();
     record_history(individual.seconds);
   };
 
@@ -77,13 +78,16 @@ TuningResult evolutionary_search(Evaluator& evaluator,
   for (Individual& individual : population) {
     individual.genome = random_genome();
   }
-  const std::vector<double> gen0 = evaluator.evaluate_batch(
-      population_size,
-      [&](std::size_t i) { return make_assignment(population[i].genome); },
-      {.rep_base = rep_streams::kEvolution, .label = "evolution/gen0"});
+  std::vector<EvalRequest> gen0_requests(population_size);
   for (std::size_t i = 0; i < population_size; ++i) {
-    population[i].seconds = gen0[i];
-    record_history(gen0[i]);
+    gen0_requests[i].assignment = make_assignment(population[i].genome);
+    gen0_requests[i].rep_base = rep_streams::kEvolution;
+  }
+  const std::vector<EvalResponse> gen0 = evaluator.evaluate_batch(
+      gen0_requests, EvalTrace{.label = "evolution/gen0"});
+  for (std::size_t i = 0; i < population_size; ++i) {
+    population[i].seconds = gen0[i].seconds();
+    record_history(population[i].seconds);
   }
 
   auto tournament = [&]() -> const Individual& {

@@ -22,6 +22,30 @@ bool any_valid(const std::vector<double>& seconds) {
                      [](double s) { return std::isfinite(s); });
 }
 
+/// Scores (kInvalidSeconds for failures) from a batch of responses.
+std::vector<double> seconds_of(const std::vector<EvalResponse>& responses) {
+  std::vector<double> seconds;
+  seconds.reserve(responses.size());
+  for (const EvalResponse& response : responses) {
+    seconds.push_back(response.seconds());
+  }
+  return seconds;
+}
+
+/// Materializes `count` generator-built assignments into requests on
+/// one shared phase rep_base (content-addressed noise keeps distinct
+/// variants decorrelated).
+std::vector<EvalRequest> batch_requests(
+    std::size_t count, std::uint64_t rep_base,
+    const std::function<compiler::ModuleAssignment(std::size_t)>& make) {
+  std::vector<EvalRequest> requests(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    requests[k].assignment = make(k);
+    requests[k].rep_base = rep_base;
+  }
+  return requests;
+}
+
 compiler::ModuleAssignment default_assignment(Evaluator& evaluator,
                                               std::size_t loop_count) {
   return compiler::ModuleAssignment::uniform(
@@ -67,15 +91,15 @@ TuningResult random_search(Evaluator& evaluator,
   const std::size_t loop_count =
       evaluator.engine().program().loops().size();
 
-  EvalContext context;
-  context.rep_base = rep_streams::kRandom;
-  context.label = "random/batch";
-  const std::vector<double> seconds = evaluator.evaluate_batch(
-      cvs.size(),
-      [&](std::size_t k) {
-        return compiler::ModuleAssignment::uniform(cvs[k], loop_count);
-      },
-      context);
+  EvalTrace trace;
+  trace.label = "random/batch";
+  const std::vector<double> seconds = seconds_of(evaluator.evaluate_batch(
+      batch_requests(cvs.size(), rep_streams::kRandom,
+                     [&](std::size_t k) {
+                       return compiler::ModuleAssignment::uniform(cvs[k],
+                                                                  loop_count);
+                     }),
+      trace));
 
   finish_from_history(result, seconds);
   if (any_valid(seconds)) {
@@ -121,11 +145,10 @@ TuningResult function_random_search(
                                    presampled[picks[k].back()]);
   };
 
-  EvalContext context;
-  context.rep_base = rep_streams::kFunctionRandom;
-  context.label = "fr/batch";
-  const std::vector<double> seconds =
-      evaluator.evaluate_batch(iterations, make, context);
+  EvalTrace trace;
+  trace.label = "fr/batch";
+  const std::vector<double> seconds = seconds_of(evaluator.evaluate_batch(
+      batch_requests(iterations, rep_streams::kFunctionRandom, make), trace));
   finish_from_history(result, seconds);
   result.best_assignment =
       any_valid(seconds)
@@ -247,10 +270,10 @@ TuningResult cfr_search(Evaluator& evaluator, const Outline& outline,
 
   std::vector<double> seconds;
   if (options.patience == 0) {
-    EvalContext context;
-    context.rep_base = rep_streams::kCfr;
-    context.label = "cfr/batch";
-    seconds = evaluator.evaluate_batch(options.iterations, make, context);
+    EvalTrace trace;
+    trace.label = "cfr/batch";
+    seconds = seconds_of(evaluator.evaluate_batch(
+        batch_requests(options.iterations, rep_streams::kCfr, make), trace));
   } else {
     // Sequential with convergence-based early stop: identical results
     // for the evaluations it does run (same phase rep_base, so the
@@ -259,11 +282,13 @@ TuningResult cfr_search(Evaluator& evaluator, const Outline& outline,
     double best = std::numeric_limits<double>::infinity();
     std::size_t since_improvement = 0;
     for (std::size_t k = 0; k < options.iterations; ++k) {
-      EvalContext context;
-      context.rep_base = rep_streams::kCfr;
-      context.leaf_spans = true;  // sequential: per-eval spans are safe
-      context.label = "cfr/eval";
-      const double s = evaluator.evaluate(make(k), context);
+      EvalRequest request;
+      request.assignment = make(k);
+      request.rep_base = rep_streams::kCfr;
+      EvalTrace trace;
+      trace.leaf_spans = true;  // sequential: per-eval spans are safe
+      trace.label = "cfr/eval";
+      const double s = evaluator.evaluate(request, trace).seconds();
       seconds.push_back(s);
       if (s < best) {
         best = s;

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "support/serialization.hpp"
+
 namespace ft::core {
 
 namespace {
@@ -57,7 +59,8 @@ std::string tuning_result_json(const TuningResult& result,
                                const flags::FlagSpace& space,
                                const ir::Program& program) {
   std::ostringstream oss;
-  oss << "{\"algorithm\":\"" << json_escape(result.algorithm) << "\""
+  oss << "{" << support::schema_version_field()
+      << ",\"algorithm\":\"" << json_escape(result.algorithm) << "\""
       << ",\"speedup\":" << json_number(result.speedup)
       << ",\"tuned_seconds\":" << json_number(result.tuned_seconds)
       << ",\"baseline_seconds\":" << json_number(result.baseline_seconds)

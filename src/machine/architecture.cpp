@@ -1,5 +1,7 @@
 #include "machine/architecture.hpp"
 
+#include <stdexcept>
+
 namespace ft::machine {
 
 Architecture opteron() {
@@ -90,6 +92,18 @@ Architecture broadwell() {
 
 std::vector<Architecture> all_architectures() {
   return {opteron(), sandy_bridge(), broadwell()};
+}
+
+Architecture architecture_by_name(const std::string& name) {
+  if (name == "opteron") return opteron();
+  if (name == "sandybridge") return sandy_bridge();
+  if (name == "broadwell") return broadwell();
+  for (Architecture& arch : all_architectures()) {
+    if (arch.name == name) return arch;
+  }
+  throw std::invalid_argument(
+      "unknown architecture '" + name +
+      "' (expected opteron|sandybridge|broadwell)");
 }
 
 }  // namespace ft::machine

@@ -71,4 +71,9 @@ struct Architecture {
 /// The three platforms in the paper's order.
 [[nodiscard]] std::vector<Architecture> all_architectures();
 
+/// Looks up a platform by its short CLI key ("opteron", "sandybridge",
+/// "broadwell") or its display name ("Intel Broadwell"). Throws
+/// std::invalid_argument for unknown names, listing the valid keys.
+[[nodiscard]] Architecture architecture_by_name(const std::string& name);
+
 }  // namespace ft::machine

@@ -1,0 +1,199 @@
+#include "service/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "service/framing.hpp"
+
+namespace ft::service {
+
+namespace {
+
+/// Bounded backoff for retryable "overloaded" refusals: ~2.5 s of
+/// total patience before giving up loudly.
+constexpr int kMaxOverloadRetries = 50;
+constexpr int kOverloadSleepMs = 10;
+
+[[noreturn]] void throw_error_frame(const ErrorFrame& error) {
+  throw ServiceError(error.code.empty() ? "error" : error.code,
+                     "ftuned refused: " + error.code +
+                         (error.detail.empty() ? "" : ": " + error.detail));
+}
+
+}  // namespace
+
+std::unique_ptr<Client> Client::connect(
+    const std::string& address, const std::string& program,
+    const std::string& arch, const core::FuncyTunerOptions& options,
+    compiler::Personality personality) {
+  auto client = std::unique_ptr<Client>(new Client());
+  client->socket_ = Socket::connect(Address::parse(address));
+
+  HelloFrame hello;
+  hello.program = program;
+  hello.arch = arch;
+  hello.personality =
+      personality == compiler::Personality::kGcc ? "gcc" : "icc";
+  hello.options = options;
+  if (!write_frame(client->socket_.fd(), encode_hello(hello))) {
+    throw ServiceError("connect", "cannot send hello to " + address);
+  }
+
+  std::string payload;
+  if (read_frame(client->socket_.fd(), &payload) != FrameStatus::kOk) {
+    throw ServiceError("connect",
+                       "connection closed during handshake with " +
+                           address);
+  }
+  support::JsonValue frame;
+  std::string error;
+  if (!support::JsonValue::parse(payload, &frame, &error)) {
+    throw ServiceError("bad_frame",
+                       "unparseable handshake reply: " + error);
+  }
+  ErrorFrame refusal;
+  if (frame_type(frame) == "error" && decode_error(frame, &refusal)) {
+    throw_error_frame(refusal);
+  }
+  if (frame_type(frame) != "welcome" ||
+      !decode_welcome(frame, &client->welcome_, &error)) {
+    throw ServiceError("bad_frame", "expected a welcome frame: " + error);
+  }
+  return client;
+}
+
+Client::~Client() {
+  if (socket_.valid()) {
+    (void)write_frame(socket_.fd(), encode_bye());
+  }
+}
+
+support::JsonValue Client::roundtrip_locked(const std::string& frame) {
+  for (int attempt = 0;; ++attempt) {
+    if (!write_frame(socket_.fd(), frame)) {
+      throw ServiceError("io", "connection to ftuned lost (send)");
+    }
+    std::string payload;
+    const FrameStatus status = read_frame(socket_.fd(), &payload);
+    if (status != FrameStatus::kOk) {
+      throw ServiceError("io", "connection to ftuned lost (recv)");
+    }
+    support::JsonValue reply;
+    std::string error;
+    if (!support::JsonValue::parse(payload, &reply, &error)) {
+      throw ServiceError("bad_frame",
+                         "unparseable reply from ftuned: " + error);
+    }
+    if (frame_type(reply) != "error") return reply;
+    ErrorFrame refusal;
+    if (!decode_error(reply, &refusal)) {
+      throw ServiceError("bad_frame", "malformed error frame");
+    }
+    if (!refusal.retryable || attempt >= kMaxOverloadRetries) {
+      throw_error_frame(refusal);
+    }
+    // Backpressure: the daemon is at max_inflight. Ease off and
+    // resend the identical frame (results are deterministic, so a
+    // retry can never change the answer).
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(kOverloadSleepMs * (attempt + 1)));
+  }
+}
+
+core::EvalResponse Client::call(const core::EvalRequest& request) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  const support::JsonValue reply =
+      roundtrip_locked(encode_eval(seq, request));
+  std::vector<core::EvalResponse> responses;
+  std::string error;
+  if (!decode_result(reply, &responses, &error) ||
+      responses.size() != 1) {
+    throw ServiceError("bad_frame",
+                       "malformed result from ftuned: " + error);
+  }
+  if (frame_seq(reply) != seq) {
+    throw ServiceError("bad_frame", "result sequence mismatch");
+  }
+  return std::move(responses.front());
+}
+
+std::vector<core::EvalResponse> Client::call_many(
+    std::span<const core::EvalRequest> requests) {
+  std::vector<core::EvalResponse> all;
+  all.reserve(requests.size());
+  std::lock_guard lock(mutex_);
+  const std::size_t chunk_limit =
+      welcome_.max_batch > 0 ? welcome_.max_batch : requests.size();
+  for (std::size_t begin = 0; begin < requests.size();
+       begin += chunk_limit) {
+    const std::size_t count =
+        std::min(chunk_limit, requests.size() - begin);
+    const std::uint64_t seq = next_seq_++;
+    const support::JsonValue reply = roundtrip_locked(
+        encode_eval_batch(seq, requests.subspan(begin, count)));
+    std::vector<core::EvalResponse> responses;
+    std::string error;
+    if (!decode_result(reply, &responses, &error) ||
+        responses.size() != count) {
+      throw ServiceError("bad_frame",
+                         "malformed result batch from ftuned: " + error);
+    }
+    if (frame_seq(reply) != seq) {
+      throw ServiceError("bad_frame", "result sequence mismatch");
+    }
+    for (core::EvalResponse& response : responses) {
+      all.push_back(std::move(response));
+    }
+  }
+  return all;
+}
+
+void Client::ping() {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  const support::JsonValue reply =
+      roundtrip_locked(encode_ping(seq));
+  if (frame_type(reply) != "pong" || frame_seq(reply) != seq) {
+    throw ServiceError("bad_frame", "expected a pong frame");
+  }
+}
+
+core::EvalBackend::RawResult RemoteBackend::run(
+    const compiler::ModuleAssignment& assignment,
+    const machine::RunOptions& options) {
+  core::EvalRequest request;
+  request.assignment = assignment;
+  request.rep_base = options.rep_base;
+  request.repetitions = options.repetitions;
+  request.instrumented = options.instrumented;
+  request.noise = options.noise;
+  request.aggregate = options.aggregate;
+  const core::EvalResponse response = client_->call(request);
+  if (!response.ok()) {
+    throw ServiceError("remote_fault",
+                       "daemon-side raw run failed: " +
+                           response.outcome.error.detail);
+  }
+  return RawResult{response.outcome.result, response.modules_compiled};
+}
+
+std::vector<core::EvalBackend::RawResult> RemoteBackend::run_many(
+    std::span<const core::EvalRequest> requests) {
+  const std::vector<core::EvalResponse> responses =
+      client_->call_many(requests);
+  std::vector<RawResult> results;
+  results.reserve(responses.size());
+  for (const core::EvalResponse& response : responses) {
+    if (!response.ok()) {
+      throw ServiceError("remote_fault",
+                         "daemon-side raw run failed: " +
+                             response.outcome.error.detail);
+    }
+    results.push_back(
+        RawResult{response.outcome.result, response.modules_compiled});
+  }
+  return results;
+}
+
+}  // namespace ft::service

@@ -1,0 +1,101 @@
+// Client side of the ftuned evaluation service: a framed-RPC session
+// plus the EvalBackend adapter that plugs it into an Evaluator. With
+// `RemoteBackend` attached, every raw measurement a tuning run needs
+// travels to the daemon (batches as ONE frame) while all resilience
+// bookkeeping stays local - `ftune --remote ADDR` is bit-identical to
+// a plain `ftune` run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/funcy_tuner.hpp"
+#include "service/protocol.hpp"
+#include "service/socket.hpp"
+
+namespace ft::service {
+
+/// One connected, greeted session. Methods are serialized by an
+/// internal mutex (the wire is strictly request -> response), so one
+/// Client may back a many-worker Evaluator. Throws ServiceError with
+/// the server's error code on refusals; retries "overloaded" refusals
+/// itself with a bounded backoff.
+class Client {
+ public:
+  /// Connects and handshakes; throws ServiceError on refusal.
+  /// `options` must be the same FuncyTunerOptions the local tuner was
+  /// built with - the measurement-relevant subset is what selects the
+  /// daemon workspace.
+  [[nodiscard]] static std::unique_ptr<Client> connect(
+      const std::string& address, const std::string& program,
+      const std::string& arch, const core::FuncyTunerOptions& options,
+      compiler::Personality personality =
+          compiler::Personality::kIcc);
+
+  ~Client();  // best-effort bye
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One evaluation round-trip.
+  [[nodiscard]] core::EvalResponse call(
+      const core::EvalRequest& request);
+  /// Batched round-trip; result[i] answers requests[i]. Transparently
+  /// splits into max_batch()-sized frames.
+  [[nodiscard]] std::vector<core::EvalResponse> call_many(
+      std::span<const core::EvalRequest> requests);
+  /// Liveness probe; throws ServiceError when the daemon is gone.
+  void ping();
+
+  [[nodiscard]] std::size_t max_batch() const noexcept {
+    return welcome_.max_batch;
+  }
+  [[nodiscard]] const WelcomeFrame& welcome() const noexcept {
+    return welcome_;
+  }
+
+ private:
+  Client() = default;
+  /// Sends one frame and returns the parsed reply, absorbing retryable
+  /// "overloaded" refusals (bounded retries with growing sleep).
+  /// Caller holds mutex_.
+  [[nodiscard]] support::JsonValue roundtrip_locked(
+      const std::string& frame);
+
+  Socket socket_;
+  std::mutex mutex_;
+  std::uint64_t next_seq_ = 1;
+  WelcomeFrame welcome_;
+};
+
+/// EvalBackend over a Client: substitutes the daemon for the local
+/// engine as the raw measurement executor. batches_remotely() makes
+/// Evaluator::evaluate_batch coalesce all pending raw runs of a batch
+/// into one run_many() -> one eval_batch frame.
+class RemoteBackend final : public core::EvalBackend {
+ public:
+  explicit RemoteBackend(std::shared_ptr<Client> client)
+      : client_(std::move(client)) {}
+
+  [[nodiscard]] RawResult run(
+      const compiler::ModuleAssignment& assignment,
+      const machine::RunOptions& options) override;
+  [[nodiscard]] std::vector<RawResult> run_many(
+      std::span<const core::EvalRequest> requests) override;
+  [[nodiscard]] bool batches_remotely() const noexcept override {
+    return true;
+  }
+
+  [[nodiscard]] const std::shared_ptr<Client>& client() const noexcept {
+    return client_;
+  }
+
+ private:
+  std::shared_ptr<Client> client_;
+};
+
+}  // namespace ft::service

@@ -1,0 +1,80 @@
+#include "service/framing.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace ft::service {
+
+namespace {
+
+/// Reads exactly `count` bytes. 1 = ok, 0 = clean EOF before any byte,
+/// -1 = EOF/error mid-read.
+int read_exact(int fd, char* buffer, std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    const ssize_t got = ::recv(fd, buffer + done, count - done, 0);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return (got == 0 && done == 0) ? 0 : -1;
+  }
+  return 1;
+}
+
+bool write_exact(int fd, const char* buffer, std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    const ssize_t put =
+        ::send(fd, buffer + done, count - done, MSG_NOSIGNAL);
+    if (put > 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FrameStatus read_frame(int fd, std::string* payload,
+                       std::size_t max_bytes) {
+  unsigned char prefix[4];
+  const int head =
+      read_exact(fd, reinterpret_cast<char*>(prefix), sizeof(prefix));
+  if (head == 0) return FrameStatus::kClosed;
+  if (head < 0) return FrameStatus::kTorn;
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(prefix[0]) << 24) |
+      (static_cast<std::uint32_t>(prefix[1]) << 16) |
+      (static_cast<std::uint32_t>(prefix[2]) << 8) |
+      static_cast<std::uint32_t>(prefix[3]);
+  if (length > max_bytes) return FrameStatus::kTooLarge;
+  payload->resize(length);
+  if (length > 0 && read_exact(fd, payload->data(), length) != 1) {
+    return FrameStatus::kTorn;
+  }
+  return FrameStatus::kOk;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > 0xffffffffu) return false;
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  // Prefix and payload go out as ONE send: a separate 4-byte segment
+  // would trip TCP's Nagle/delayed-ACK interaction and stall every
+  // request/response round-trip by tens of milliseconds.
+  std::string frame;
+  frame.reserve(sizeof(std::uint32_t) + payload.size());
+  frame.push_back(static_cast<char>(length >> 24));
+  frame.push_back(static_cast<char>(length >> 16));
+  frame.push_back(static_cast<char>(length >> 8));
+  frame.push_back(static_cast<char>(length));
+  frame.append(payload);
+  return write_exact(fd, frame.data(), frame.size());
+}
+
+}  // namespace ft::service

@@ -1,0 +1,39 @@
+// Wire framing for the ftuned evaluation service: every message is one
+// length-prefixed JSON document. The prefix is a 4-byte big-endian
+// payload length, so frames are self-delimiting regardless of payload
+// content and a reader can reject an oversized frame before allocating
+// for it. Framing is transport-agnostic (any stream socket fd).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ft::service {
+
+/// Upper bound on one frame's payload. 16 MiB comfortably holds a
+/// maximal eval_batch (1000+ requests with hundreds of loop CVs each)
+/// while bounding what a malicious or corrupted peer can make the
+/// server allocate.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class FrameStatus {
+  kOk,        ///< one complete frame read
+  kClosed,    ///< orderly EOF on a frame boundary
+  kTooLarge,  ///< declared length exceeds the cap (stream unusable)
+  kTorn,      ///< EOF or I/O error mid-frame (stream unusable)
+};
+
+/// Reads exactly one frame. On kOk, `*payload` holds the JSON text.
+/// kTooLarge and kTorn leave the stream unsynchronized: the caller
+/// must close the connection (after an error frame, if it can).
+[[nodiscard]] FrameStatus read_frame(
+    int fd, std::string* payload,
+    std::size_t max_bytes = kDefaultMaxFrameBytes);
+
+/// Writes one frame (prefix + payload). False on any I/O error; short
+/// writes are retried internally. Never raises SIGPIPE.
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+
+}  // namespace ft::service

@@ -1,0 +1,530 @@
+#include "service/protocol.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/serialization.hpp"
+
+namespace ft::service {
+
+namespace {
+
+/// %.17g round-trips every finite double bit-exactly - the reason a
+/// remote measurement is indistinguishable from a local one.
+std::string fmt_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (byte < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", byte);
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void append_u64(std::ostringstream& oss, const char* name,
+                std::uint64_t value) {
+  oss << '"' << name << "\":\"" << value << '"';
+}
+
+const char* aggregation_name(machine::Aggregation aggregate) {
+  switch (aggregate) {
+    case machine::Aggregation::kMean:
+      return "mean";
+    case machine::Aggregation::kMedian:
+      return "median";
+    case machine::Aggregation::kTrimmedMean:
+      return "trimmed";
+  }
+  return "mean";
+}
+
+bool aggregation_from_name(const std::string& name,
+                           machine::Aggregation* out) {
+  if (name == "mean") {
+    *out = machine::Aggregation::kMean;
+  } else if (name == "median") {
+    *out = machine::Aggregation::kMedian;
+  } else if (name == "trimmed") {
+    *out = machine::Aggregation::kTrimmedMean;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* served_name(core::EvalServedBy served) {
+  switch (served) {
+    case core::EvalServedBy::kRun:
+      return "run";
+    case core::EvalServedBy::kCacheHit:
+      return "cache";
+    case core::EvalServedBy::kJournalReplay:
+      return "journal";
+  }
+  return "run";
+}
+
+bool served_from_name(const std::string& name,
+                      core::EvalServedBy* out) {
+  if (name == "run") {
+    *out = core::EvalServedBy::kRun;
+  } else if (name == "cache") {
+    *out = core::EvalServedBy::kCacheHit;
+  } else if (name == "journal") {
+    *out = core::EvalServedBy::kJournalReplay;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void append_cv(std::ostringstream& oss,
+               const flags::CompilationVector& cv) {
+  oss << '[';
+  for (std::size_t i = 0; i < cv.size(); ++i) {
+    if (i) oss << ',';
+    oss << static_cast<unsigned>(cv[i]);
+  }
+  oss << ']';
+}
+
+bool parse_cv(const support::JsonValue& value,
+              flags::CompilationVector* out, std::string* error) {
+  if (!value.is_array()) {
+    *error = "compilation vector is not an array";
+    return false;
+  }
+  std::vector<std::uint8_t> choices;
+  choices.reserve(value.array().size());
+  for (const support::JsonValue& item : value.array()) {
+    if (!item.is_number() || item.number() < 0 ||
+        item.number() > 255 ||
+        item.number() != std::floor(item.number())) {
+      *error = "compilation vector entry is not a byte";
+      return false;
+    }
+    choices.push_back(static_cast<std::uint8_t>(item.number()));
+  }
+  *out = flags::CompilationVector(std::move(choices));
+  return true;
+}
+
+bool fail(std::string* error, const char* reason) {
+  *error = reason;
+  return false;
+}
+
+}  // namespace
+
+std::string frame_type(const support::JsonValue& frame) {
+  std::string type;
+  if (!frame.is_object() || !frame.get("type", &type)) return "";
+  return type;
+}
+
+std::uint64_t frame_seq(const support::JsonValue& frame) {
+  std::uint64_t seq = 0;
+  if (!frame.is_object() || !frame.get("seq", &seq)) return 0;
+  return seq;
+}
+
+std::string encode_hello(const HelloFrame& hello) {
+  const machine::FaultConfig& faults = hello.options.faults;
+  std::ostringstream oss;
+  oss << "{\"type\":\"hello\"," << support::schema_version_field()
+      << ",\"protocol\":" << kProtocolVersion << ",\"program\":\""
+      << json_escape(hello.program) << "\",\"arch\":\""
+      << json_escape(hello.arch) << "\",\"personality\":\""
+      << json_escape(hello.personality) << "\",\"options\":{";
+  append_u64(oss, "seed", hello.options.seed);
+  oss << ",\"noise_sigma\":" << fmt_double(hello.options.noise_sigma_rel)
+      << ",\"attribution_sigma\":"
+      << fmt_double(hello.options.attribution_sigma)
+      << ",\"faults\":{\"rate\":" << fmt_double(faults.rate) << ',';
+  append_u64(oss, "seed", faults.seed);
+  oss << ",\"compile_share\":" << fmt_double(faults.compile_share)
+      << ",\"crash_share\":" << fmt_double(faults.crash_share)
+      << ",\"timeout_share\":" << fmt_double(faults.timeout_share)
+      << ",\"outlier_rate\":" << fmt_double(faults.outlier_rate)
+      << ",\"outlier_min_scale\":" << fmt_double(faults.outlier_min_scale)
+      << ",\"outlier_max_scale\":" << fmt_double(faults.outlier_max_scale)
+      << "}}}";
+  return oss.str();
+}
+
+bool decode_hello(const support::JsonValue& frame, HelloFrame* out,
+                  std::string* error) {
+  if (!frame.is_object()) return fail(error, "hello is not an object");
+  std::int64_t protocol = 0;
+  if (!frame.get("protocol", &protocol)) {
+    return fail(error, "hello lacks a protocol version");
+  }
+  out->protocol = static_cast<int>(protocol);
+  if (!frame.get("program", &out->program) || out->program.empty()) {
+    return fail(error, "hello lacks a program name");
+  }
+  if (!frame.get("arch", &out->arch) || out->arch.empty()) {
+    return fail(error, "hello lacks an architecture name");
+  }
+  if (!frame.get("personality", &out->personality) ||
+      (out->personality != "icc" && out->personality != "gcc")) {
+    return fail(error, "hello personality must be icc or gcc");
+  }
+  const support::JsonValue* options = frame.find("options");
+  if (options == nullptr || !options->is_object()) {
+    return fail(error, "hello lacks an options object");
+  }
+  if (!options->get("seed", &out->options.seed) ||
+      !options->get("noise_sigma", &out->options.noise_sigma_rel) ||
+      !options->get("attribution_sigma",
+                    &out->options.attribution_sigma)) {
+    return fail(error, "hello options are incomplete");
+  }
+  const support::JsonValue* faults = options->find("faults");
+  if (faults == nullptr || !faults->is_object()) {
+    return fail(error, "hello options lack a faults object");
+  }
+  machine::FaultConfig& config = out->options.faults;
+  if (!faults->get("rate", &config.rate) ||
+      !faults->get("seed", &config.seed) ||
+      !faults->get("compile_share", &config.compile_share) ||
+      !faults->get("crash_share", &config.crash_share) ||
+      !faults->get("timeout_share", &config.timeout_share) ||
+      !faults->get("outlier_rate", &config.outlier_rate) ||
+      !faults->get("outlier_min_scale", &config.outlier_min_scale) ||
+      !faults->get("outlier_max_scale", &config.outlier_max_scale)) {
+    return fail(error, "hello fault config is incomplete");
+  }
+  return true;
+}
+
+std::string encode_welcome(const WelcomeFrame& welcome) {
+  std::ostringstream oss;
+  oss << "{\"type\":\"welcome\"," << support::schema_version_field()
+      << ",\"server\":\"" << json_escape(welcome.server) << "\",";
+  append_u64(oss, "session", welcome.session);
+  oss << ",\"max_batch\":" << welcome.max_batch << '}';
+  return oss.str();
+}
+
+bool decode_welcome(const support::JsonValue& frame, WelcomeFrame* out,
+                    std::string* error) {
+  if (!frame.is_object()) {
+    return fail(error, "welcome is not an object");
+  }
+  std::uint64_t max_batch = 0;
+  if (!frame.get("server", &out->server) ||
+      !frame.get("session", &out->session) ||
+      !frame.get("max_batch", &max_batch) || max_batch == 0) {
+    return fail(error, "welcome frame is incomplete");
+  }
+  out->max_batch = static_cast<std::size_t>(max_batch);
+  return true;
+}
+
+std::string encode_error(const ErrorFrame& error) {
+  std::ostringstream oss;
+  oss << "{\"type\":\"error\",\"code\":\"" << json_escape(error.code)
+      << "\",\"detail\":\"" << json_escape(error.detail) << "\",";
+  append_u64(oss, "seq", error.seq);
+  oss << ",\"retryable\":" << (error.retryable ? 1 : 0)
+      << ",\"fatal\":" << (error.fatal ? 1 : 0) << '}';
+  return oss.str();
+}
+
+bool decode_error(const support::JsonValue& frame, ErrorFrame* out) {
+  if (!frame.is_object() || !frame.get("code", &out->code)) {
+    return false;
+  }
+  (void)frame.get("detail", &out->detail);
+  out->seq = frame_seq(frame);
+  (void)frame.get("retryable", &out->retryable);
+  (void)frame.get("fatal", &out->fatal);
+  return true;
+}
+
+std::string eval_request_json(const core::EvalRequest& request) {
+  std::ostringstream oss;
+  oss << "{\"loops\":[";
+  for (std::size_t j = 0; j < request.assignment.loop_cvs.size(); ++j) {
+    if (j) oss << ',';
+    append_cv(oss, request.assignment.loop_cvs[j]);
+  }
+  oss << "],\"nonloop\":";
+  append_cv(oss, request.assignment.nonloop_cv);
+  oss << ',';
+  append_u64(oss, "rep", request.rep_base);
+  oss << ",\"reps\":" << request.repetitions
+      << ",\"instr\":" << (request.instrumented ? 1 : 0)
+      << ",\"noise\":" << (request.noise ? 1 : 0) << ",\"agg\":\""
+      << aggregation_name(request.aggregate) << "\"}";
+  return oss.str();
+}
+
+bool parse_eval_request(const support::JsonValue& value,
+                        core::EvalRequest* out, std::string* error) {
+  if (!value.is_object()) {
+    return fail(error, "request is not an object");
+  }
+  const support::JsonValue* loops = value.find("loops");
+  if (loops == nullptr || !loops->is_array()) {
+    return fail(error, "request lacks a loops array");
+  }
+  out->assignment.loop_cvs.clear();
+  out->assignment.loop_cvs.reserve(loops->array().size());
+  for (const support::JsonValue& loop : loops->array()) {
+    flags::CompilationVector cv;
+    if (!parse_cv(loop, &cv, error)) return false;
+    out->assignment.loop_cvs.push_back(std::move(cv));
+  }
+  const support::JsonValue* nonloop = value.find("nonloop");
+  if (nonloop == nullptr) {
+    return fail(error, "request lacks a nonloop CV");
+  }
+  if (!parse_cv(*nonloop, &out->assignment.nonloop_cv, error)) {
+    return false;
+  }
+  std::int64_t reps = 0;
+  if (!value.get("rep", &out->rep_base) ||
+      !value.get("reps", &reps) || reps < 1 || reps > 1000000) {
+    return fail(error, "request rep/reps fields are malformed");
+  }
+  out->repetitions = static_cast<int>(reps);
+  std::string aggregate;
+  if (!value.get("instr", &out->instrumented) ||
+      !value.get("noise", &out->noise) ||
+      !value.get("agg", &aggregate) ||
+      !aggregation_from_name(aggregate, &out->aggregate)) {
+    return fail(error, "request instr/noise/agg fields are malformed");
+  }
+  return true;
+}
+
+std::string eval_response_json(const core::EvalResponse& response) {
+  std::ostringstream oss;
+  oss << "{\"ok\":" << (response.ok() ? 1 : 0) << ",\"served\":\""
+      << served_name(response.served_by)
+      << "\",\"attempts\":" << response.outcome.attempts
+      << ",\"compiled\":" << response.modules_compiled;
+  if (response.ok()) {
+    // caliper_report is deliberately never serialized (it is bulky and
+    // consumed only by the profiling phase, which always runs
+    // locally); derived_nonloop_seconds is recomputed by the parser
+    // exactly as the engine derives it.
+    const machine::RunResult& result = response.outcome.result;
+    oss << ",\"end\":" << fmt_double(result.end_to_end)
+        << ",\"stddev\":" << fmt_double(result.stddev) << ",\"loops\":[";
+    for (std::size_t j = 0; j < result.loop_seconds.size(); ++j) {
+      if (j) oss << ',';
+      oss << fmt_double(result.loop_seconds[j]);
+    }
+    oss << ']';
+  } else {
+    oss << ",\"fault\":\""
+        << core::to_string(response.outcome.error.kind)
+        << "\",\"detail\":\""
+        << json_escape(response.outcome.error.detail) << '"';
+  }
+  oss << '}';
+  return oss.str();
+}
+
+bool parse_eval_response(const support::JsonValue& value,
+                         core::EvalResponse* out, std::string* error) {
+  if (!value.is_object()) {
+    return fail(error, "result is not an object");
+  }
+  bool ok = false;
+  std::string served;
+  std::int64_t attempts = 0;
+  std::uint64_t compiled = 0;
+  if (!value.get("ok", &ok) || !value.get("served", &served) ||
+      !served_from_name(served, &out->served_by) ||
+      !value.get("attempts", &attempts) ||
+      !value.get("compiled", &compiled)) {
+    return fail(error, "result frame is incomplete");
+  }
+  out->outcome.attempts = static_cast<int>(attempts);
+  out->modules_compiled = static_cast<std::size_t>(compiled);
+  if (!ok) {
+    std::string fault;
+    if (!value.get("fault", &fault)) {
+      return fail(error, "failed result lacks a fault kind");
+    }
+    out->outcome.error.kind = core::eval_fault_from_string(fault);
+    if (out->outcome.error.kind == core::EvalFault::kNone) {
+      return fail(error, "failed result has an unknown fault kind");
+    }
+    (void)value.get("detail", &out->outcome.error.detail);
+    return true;
+  }
+  out->outcome.error = core::EvalError{};
+  machine::RunResult& result = out->outcome.result;
+  if (!value.get("end", &result.end_to_end) ||
+      !value.get("stddev", &result.stddev)) {
+    return fail(error, "result lacks end/stddev measurements");
+  }
+  const support::JsonValue* loops = value.find("loops");
+  if (loops == nullptr || !loops->is_array()) {
+    return fail(error, "result lacks a loops array");
+  }
+  result.loop_seconds.clear();
+  result.loop_seconds.reserve(loops->array().size());
+  double loop_sum = 0.0;
+  for (const support::JsonValue& loop : loops->array()) {
+    if (!loop.is_number()) {
+      return fail(error, "result loop entry is not a number");
+    }
+    result.loop_seconds.push_back(loop.number());
+    loop_sum += loop.number();
+  }
+  // Not transmitted; recompute exactly as the engine (and the
+  // checkpoint journal decoder) derive it.
+  result.derived_nonloop_seconds = result.end_to_end - loop_sum;
+  return true;
+}
+
+std::string encode_eval(std::uint64_t seq,
+                        const core::EvalRequest& request) {
+  std::ostringstream oss;
+  oss << "{\"type\":\"eval\",";
+  append_u64(oss, "seq", seq);
+  oss << ",\"request\":" << eval_request_json(request) << '}';
+  return oss.str();
+}
+
+std::string encode_eval_batch(
+    std::uint64_t seq, std::span<const core::EvalRequest> requests) {
+  std::ostringstream oss;
+  oss << "{\"type\":\"eval_batch\",";
+  append_u64(oss, "seq", seq);
+  oss << ",\"requests\":[";
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (i) oss << ',';
+    oss << eval_request_json(requests[i]);
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+std::string encode_result(std::uint64_t seq,
+                          const core::EvalResponse& response) {
+  std::ostringstream oss;
+  oss << "{\"type\":\"result\",";
+  append_u64(oss, "seq", seq);
+  oss << ",\"result\":" << eval_response_json(response) << '}';
+  return oss.str();
+}
+
+std::string encode_result_batch(
+    std::uint64_t seq, std::span<const core::EvalResponse> responses) {
+  std::ostringstream oss;
+  oss << "{\"type\":\"result_batch\",";
+  append_u64(oss, "seq", seq);
+  oss << ",\"results\":[";
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (i) oss << ',';
+    oss << eval_response_json(responses[i]);
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+bool decode_eval(const support::JsonValue& frame,
+                 std::vector<core::EvalRequest>* out,
+                 std::string* error) {
+  out->clear();
+  const std::string type = frame_type(frame);
+  if (type == "eval") {
+    const support::JsonValue* request = frame.find("request");
+    if (request == nullptr) {
+      return fail(error, "eval frame lacks a request");
+    }
+    core::EvalRequest parsed;
+    if (!parse_eval_request(*request, &parsed, error)) return false;
+    out->push_back(std::move(parsed));
+    return true;
+  }
+  if (type == "eval_batch") {
+    const support::JsonValue* requests = frame.find("requests");
+    if (requests == nullptr || !requests->is_array()) {
+      return fail(error, "eval_batch frame lacks a requests array");
+    }
+    out->reserve(requests->array().size());
+    for (const support::JsonValue& request : requests->array()) {
+      core::EvalRequest parsed;
+      if (!parse_eval_request(request, &parsed, error)) return false;
+      out->push_back(std::move(parsed));
+    }
+    return true;
+  }
+  return fail(error, "not an eval frame");
+}
+
+bool decode_result(const support::JsonValue& frame,
+                   std::vector<core::EvalResponse>* out,
+                   std::string* error) {
+  out->clear();
+  const std::string type = frame_type(frame);
+  if (type == "result") {
+    const support::JsonValue* result = frame.find("result");
+    if (result == nullptr) {
+      return fail(error, "result frame lacks a result");
+    }
+    core::EvalResponse parsed;
+    if (!parse_eval_response(*result, &parsed, error)) return false;
+    out->push_back(std::move(parsed));
+    return true;
+  }
+  if (type == "result_batch") {
+    const support::JsonValue* results = frame.find("results");
+    if (results == nullptr || !results->is_array()) {
+      return fail(error, "result_batch frame lacks a results array");
+    }
+    out->reserve(results->array().size());
+    for (const support::JsonValue& result : results->array()) {
+      core::EvalResponse parsed;
+      if (!parse_eval_response(result, &parsed, error)) return false;
+      out->push_back(std::move(parsed));
+    }
+    return true;
+  }
+  return fail(error, "not a result frame");
+}
+
+std::string encode_ping(std::uint64_t seq) {
+  std::ostringstream oss;
+  oss << "{\"type\":\"ping\",";
+  append_u64(oss, "seq", seq);
+  oss << '}';
+  return oss.str();
+}
+
+std::string encode_pong(std::uint64_t seq) {
+  std::ostringstream oss;
+  oss << "{\"type\":\"pong\",";
+  append_u64(oss, "seq", seq);
+  oss << '}';
+  return oss.str();
+}
+
+std::string encode_bye() { return "{\"type\":\"bye\"}"; }
+
+}  // namespace ft::service

@@ -1,0 +1,121 @@
+// The ftuned wire protocol: typed frames over service/framing. Every
+// frame is a JSON object with a "type" member; doubles travel as
+// %.17g (bit-exact round-trip) and 64-bit integers as decimal strings,
+// the same conventions as the checkpoint journal. EvalRequest /
+// EvalResponse from core/evaluator.hpp are serialized field-for-field:
+// the in-process evaluation currency IS the wire payload, so remote
+// evaluation cannot drift from local semantics.
+//
+// Frame inventory (client -> server / server -> client):
+//   hello       -> welcome | error      session setup + options
+//   eval        -> result | error       one raw evaluation
+//   eval_batch  -> result_batch | error coalesced batch
+//   ping        -> pong                 liveness probe
+//   bye         -> (close)              orderly shutdown
+//
+// An error frame carries a stable code, the offending seq (0 for
+// session-level errors), and retryable/fatal bits. After a fatal
+// error the server closes the connection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/funcy_tuner.hpp"
+#include "support/json.hpp"
+
+namespace ft::service {
+
+/// Bumped on any incompatible frame change; a hello with a different
+/// version is refused with "unsupported_version".
+inline constexpr int kProtocolVersion = 1;
+
+/// Session opener: names the workspace the client wants to evaluate
+/// in. `options` carries only the measurement-relevant fields (seed,
+/// noise, attribution, faults) - retries/cache/journal policy stays
+/// client-side and is never transmitted.
+struct HelloFrame {
+  int protocol = kProtocolVersion;  ///< filled by decode_hello
+  std::string program;      ///< benchmark name (programs::by_name)
+  std::string arch;         ///< machine::architecture_by_name key
+  std::string personality = "icc";  ///< "icc" | "gcc"
+  core::FuncyTunerOptions options;
+};
+
+struct WelcomeFrame {
+  std::string server = "ftuned";
+  std::uint64_t session = 0;
+  std::size_t max_batch = 0;  ///< requests the server accepts per frame
+};
+
+struct ErrorFrame {
+  std::string code;    ///< bad_frame, bad_request, unknown_program,
+                       ///< unknown_architecture, overloaded,
+                       ///< oversized_frame, not_ready,
+                       ///< unsupported_version
+  std::string detail;
+  std::uint64_t seq = 0;
+  bool retryable = false;  ///< resend later (backpressure)
+  bool fatal = false;      ///< server closes the connection after this
+};
+
+// --- encoders (exact, deterministic text) ----------------------------------
+
+[[nodiscard]] std::string encode_hello(const HelloFrame& hello);
+[[nodiscard]] std::string encode_welcome(const WelcomeFrame& welcome);
+[[nodiscard]] std::string encode_error(const ErrorFrame& error);
+[[nodiscard]] std::string encode_eval(std::uint64_t seq,
+                                      const core::EvalRequest& request);
+[[nodiscard]] std::string encode_eval_batch(
+    std::uint64_t seq, std::span<const core::EvalRequest> requests);
+[[nodiscard]] std::string encode_result(
+    std::uint64_t seq, const core::EvalResponse& response);
+[[nodiscard]] std::string encode_result_batch(
+    std::uint64_t seq, std::span<const core::EvalResponse> responses);
+[[nodiscard]] std::string encode_ping(std::uint64_t seq);
+[[nodiscard]] std::string encode_pong(std::uint64_t seq);
+[[nodiscard]] std::string encode_bye();
+
+// --- decoders --------------------------------------------------------------
+// Each returns false (with a human-readable reason in `error`) for a
+// structurally valid JSON object that is not a valid frame of that
+// type. Callers parse the JSON first and dispatch on frame_type().
+
+/// The "type" member, or "" when absent / not an object.
+[[nodiscard]] std::string frame_type(const support::JsonValue& frame);
+/// The "seq" member, or 0 when absent.
+[[nodiscard]] std::uint64_t frame_seq(const support::JsonValue& frame);
+
+[[nodiscard]] bool decode_hello(const support::JsonValue& frame,
+                                HelloFrame* out, std::string* error);
+[[nodiscard]] bool decode_welcome(const support::JsonValue& frame,
+                                  WelcomeFrame* out, std::string* error);
+[[nodiscard]] bool decode_error(const support::JsonValue& frame,
+                                ErrorFrame* out);
+
+/// Request/response payloads (the "request"/"result" members of
+/// eval/result frames). Exposed directly for the round-trip tests.
+[[nodiscard]] std::string eval_request_json(
+    const core::EvalRequest& request);
+[[nodiscard]] bool parse_eval_request(const support::JsonValue& value,
+                                      core::EvalRequest* out,
+                                      std::string* error);
+[[nodiscard]] std::string eval_response_json(
+    const core::EvalResponse& response);
+[[nodiscard]] bool parse_eval_response(const support::JsonValue& value,
+                                       core::EvalResponse* out,
+                                       std::string* error);
+
+/// Decodes the request payload(s) of an eval / eval_batch frame.
+[[nodiscard]] bool decode_eval(const support::JsonValue& frame,
+                               std::vector<core::EvalRequest>* out,
+                               std::string* error);
+/// Decodes the response payload(s) of a result / result_batch frame.
+[[nodiscard]] bool decode_result(const support::JsonValue& frame,
+                                 std::vector<core::EvalResponse>* out,
+                                 std::string* error);
+
+}  // namespace ft::service

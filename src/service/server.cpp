@@ -1,0 +1,423 @@
+#include "service/server.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "machine/architecture.hpp"
+#include "programs/benchmarks.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ft::service {
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+std::string fmt_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Stable identity of an evaluation context: everything that changes
+/// what a raw run measures. Two hellos with the same key share one
+/// engine (and its compiled-module cache).
+std::uint64_t workspace_key(const HelloFrame& hello) {
+  const machine::FaultConfig& faults = hello.options.faults;
+  std::ostringstream oss;
+  oss << hello.program << '|' << hello.arch << '|' << hello.personality
+      << '|' << hello.options.seed << '|'
+      << fmt_double(hello.options.noise_sigma_rel) << '|'
+      << fmt_double(hello.options.attribution_sigma) << '|'
+      << fmt_double(faults.rate) << '|' << faults.seed << '|'
+      << fmt_double(faults.compile_share) << '|'
+      << fmt_double(faults.crash_share) << '|'
+      << fmt_double(faults.timeout_share) << '|'
+      << fmt_double(faults.outlier_rate) << '|'
+      << fmt_double(faults.outlier_min_scale) << '|'
+      << fmt_double(faults.outlier_max_scale);
+  return support::fnv1a64(oss.str());
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  listener_ = Listener::bind(Address::parse(options_.listen));
+  stopping_.store(false, std::memory_order_release);
+  touch();
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+int Server::serve() {
+  start();
+  wait();
+  return 0;
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop is done (idle timeout or stop()); tear down any
+  // sessions that are still alive and join every session thread.
+  {
+    std::lock_guard lock(sessions_mutex_);
+    for (const std::unique_ptr<Session>& session : sessions_) {
+      session->socket.shutdown_both();
+    }
+  }
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    std::lock_guard lock(sessions_mutex_);
+    finished.swap(sessions_);
+  }
+  for (const std::unique_ptr<Session>& session : finished) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+  listener_.close();
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::stop() {
+  stopping_.store(true, std::memory_order_release);
+  wait();
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+void Server::touch() noexcept {
+  last_activity_.store(now_seconds(), std::memory_order_release);
+}
+
+void Server::reap_finished_sessions() {
+  std::lock_guard lock(sessions_mutex_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Socket socket = listener_.accept_within(/*timeout_ms=*/200);
+    if (!socket.valid()) {
+      reap_finished_sessions();
+      if (options_.idle_timeout_seconds > 0 &&
+          active_sessions_.load(std::memory_order_acquire) == 0 &&
+          now_seconds() - last_activity_.load(std::memory_order_acquire) >
+              options_.idle_timeout_seconds) {
+        break;  // idle shutdown
+      }
+      continue;
+    }
+    touch();
+    auto session = std::make_unique<Session>();
+    session->socket = std::move(socket);
+    Session* raw = session.get();
+    {
+      std::lock_guard lock(sessions_mutex_);
+      raw->id = next_session_id_++;
+      sessions_.push_back(std::move(session));
+    }
+    active_sessions_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.sessions_accepted;
+    }
+    raw->thread = std::thread([this, raw] { session_loop(raw); });
+  }
+}
+
+bool Server::send_error(Session* session, const ErrorFrame& error) {
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.errors_sent;
+  }
+  return write_frame(session->socket.fd(), encode_error(error));
+}
+
+Server::Workspace* Server::workspace_for(const HelloFrame& hello) {
+  const std::uint64_t key = workspace_key(hello);
+  std::lock_guard lock(workspaces_mutex_);
+  auto it = workspaces_.find(key);
+  if (it != workspaces_.end()) return it->second.get();
+
+  core::FuncyTunerOptions options;
+  options.seed = hello.options.seed;
+  options.noise_sigma_rel = hello.options.noise_sigma_rel;
+  options.attribution_sigma = hello.options.attribution_sigma;
+  options.faults = hello.options.faults;
+  // The daemon never caches through the Evaluator (that cache belongs
+  // to the client's bookkeeping); its own raw-result cache is separate.
+  options.eval_cache = false;
+
+  auto workspace = std::make_unique<Workspace>();
+  workspace->tuner = std::make_unique<core::FuncyTuner>(
+      programs::by_name(hello.program),
+      machine::architecture_by_name(hello.arch), options,
+      hello.personality == "gcc" ? compiler::Personality::kGcc
+                                 : compiler::Personality::kIcc);
+  if (options_.cache_entries > 0) {
+    workspace->cache =
+        std::make_unique<core::EvalCache>(options_.cache_entries);
+  }
+  workspace->salt = key;
+  Workspace* raw = workspace.get();
+  workspaces_.emplace(key, std::move(workspace));
+  return raw;
+}
+
+Server::Workspace* Server::handshake(Session* session) {
+  std::string payload;
+  const FrameStatus status = read_frame(session->socket.fd(), &payload,
+                                        options_.max_frame_bytes);
+  if (status == FrameStatus::kTooLarge) {
+    (void)send_error(session, ErrorFrame{"oversized_frame",
+                                         "hello frame exceeds the cap",
+                                         0, false, true});
+    return nullptr;
+  }
+  if (status != FrameStatus::kOk) return nullptr;
+  touch();
+
+  support::JsonValue frame;
+  std::string error;
+  if (!support::JsonValue::parse(payload, &frame, &error)) {
+    (void)send_error(session,
+                     ErrorFrame{"bad_frame", error, 0, false, true});
+    return nullptr;
+  }
+  if (frame_type(frame) != "hello") {
+    (void)send_error(
+        session, ErrorFrame{"bad_request", "expected a hello frame", 0,
+                            false, true});
+    return nullptr;
+  }
+  HelloFrame hello;
+  if (!decode_hello(frame, &hello, &error)) {
+    (void)send_error(session,
+                     ErrorFrame{"bad_request", error, 0, false, true});
+    return nullptr;
+  }
+  if (hello.protocol != kProtocolVersion) {
+    (void)send_error(
+        session,
+        ErrorFrame{"unsupported_version",
+                   "server speaks protocol version " +
+                       std::to_string(kProtocolVersion),
+                   0, false, true});
+    return nullptr;
+  }
+  try {
+    (void)programs::by_name(hello.program);
+  } catch (const std::exception& reason) {
+    (void)send_error(session, ErrorFrame{"unknown_program",
+                                         reason.what(), 0, false, true});
+    return nullptr;
+  }
+  try {
+    (void)machine::architecture_by_name(hello.arch);
+  } catch (const std::exception& reason) {
+    (void)send_error(session, ErrorFrame{"unknown_architecture",
+                                         reason.what(), 0, false, true});
+    return nullptr;
+  }
+
+  Workspace* workspace = workspace_for(hello);
+  WelcomeFrame welcome;
+  welcome.session = session->id;
+  welcome.max_batch = options_.max_batch;
+  if (!write_frame(session->socket.fd(), encode_welcome(welcome))) {
+    return nullptr;
+  }
+  return workspace;
+}
+
+core::EvalResponse Server::serve_one(Workspace& workspace,
+                                     const core::EvalRequest& request) {
+  core::Evaluator& evaluator = workspace.tuner->evaluator();
+  core::EvalResponse response;
+  core::EvalCache::Key key;
+  if (workspace.cache) {
+    key.assignment = evaluator.assignment_key(request.assignment);
+    key.rep_base = request.rep_base;
+    // EvalCache::Key carries no aggregate/noise fields; fold them into
+    // the per-workspace salt so requests differing only there can
+    // never alias.
+    key.salt = workspace.salt ^
+               ((static_cast<std::uint64_t>(request.aggregate) * 2 +
+                 (request.noise ? 1 : 0) + 1) *
+                0x9e3779b97f4a7c15ull);
+    key.repetitions = request.repetitions;
+    key.instrumented = request.instrumented;
+    core::EvalOutcome outcome;
+    if (workspace.cache->lookup(key, &outcome)) {
+      response.outcome = std::move(outcome);
+      response.served_by = core::EvalServedBy::kCacheHit;
+      response.modules_compiled = 0;
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.cache_hits;
+      return response;
+    }
+  }
+  const core::EvalBackend::RawResult raw =
+      evaluator.raw_run(request.assignment, request.run_options());
+  response.outcome.result = raw.result;
+  response.outcome.attempts = 1;
+  response.served_by = core::EvalServedBy::kRun;
+  response.modules_compiled = raw.modules_compiled;
+  if (workspace.cache) {
+    workspace.cache->insert(key, response.outcome, /*rerun_seconds=*/0.0);
+  }
+  return response;
+}
+
+std::vector<core::EvalResponse> Server::serve_requests(
+    Workspace& workspace,
+    const std::vector<core::EvalRequest>& requests) {
+  std::vector<core::EvalResponse> responses(requests.size());
+  if (requests.size() == 1) {
+    responses[0] = serve_one(workspace, requests[0]);
+    return responses;
+  }
+  // One task-group submission for the whole frame: this is the
+  // "batched worker shards" half of the coalescing bargain (the client
+  // coalesced N evaluations into one frame; the server fans them back
+  // out across the shared pool).
+  support::parallel_for(requests.size(), [&](std::size_t i) {
+    responses[i] = serve_one(workspace, requests[i]);
+  });
+  return responses;
+}
+
+void Server::session_loop(Session* session) {
+  Workspace* workspace = handshake(session);
+  if (workspace != nullptr) {
+    std::string payload;
+    while (!stopping_.load(std::memory_order_acquire)) {
+      const FrameStatus status = read_frame(
+          session->socket.fd(), &payload, options_.max_frame_bytes);
+      if (status == FrameStatus::kClosed ||
+          status == FrameStatus::kTorn) {
+        break;
+      }
+      touch();
+      if (status == FrameStatus::kTooLarge) {
+        // The stream is unsynchronized past the declared length;
+        // nothing to do but refuse and hang up.
+        (void)send_error(
+            session, ErrorFrame{"oversized_frame",
+                                "frame exceeds max_frame_bytes", 0,
+                                false, true});
+        break;
+      }
+
+      support::JsonValue frame;
+      std::string error;
+      if (!support::JsonValue::parse(payload, &frame, &error)) {
+        // Length framing is still synchronized, so a garbage payload
+        // costs only this frame - the session survives.
+        (void)send_error(session,
+                         ErrorFrame{"bad_frame", error, 0, false, false});
+        continue;
+      }
+      const std::string type = frame_type(frame);
+      const std::uint64_t seq = frame_seq(frame);
+      if (type == "bye") break;
+      if (type == "ping") {
+        if (!write_frame(session->socket.fd(), encode_pong(seq))) break;
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.frames_served;
+        continue;
+      }
+      if (type == "eval" || type == "eval_batch") {
+        std::vector<core::EvalRequest> requests;
+        if (!decode_eval(frame, &requests, &error) ||
+            requests.empty()) {
+          (void)send_error(
+              session,
+              ErrorFrame{"bad_request",
+                         error.empty() ? "empty batch" : error, seq,
+                         false, false});
+          continue;
+        }
+        if (requests.size() > options_.max_batch) {
+          (void)send_error(
+              session,
+              ErrorFrame{"bad_request",
+                         "batch exceeds the advertised max_batch", seq,
+                         false, false});
+          continue;
+        }
+        // Admission control: refuse (retryably) instead of queueing
+        // without bound.
+        const std::size_t admitted = requests.size();
+        const std::size_t before =
+            inflight_.fetch_add(admitted, std::memory_order_acq_rel);
+        if (before + admitted > options_.max_inflight) {
+          inflight_.fetch_sub(admitted, std::memory_order_acq_rel);
+          {
+            std::lock_guard lock(stats_mutex_);
+            ++stats_.overloads;
+          }
+          (void)send_error(
+              session, ErrorFrame{"overloaded",
+                                  "max_inflight evaluations reached",
+                                  seq, true, false});
+          continue;
+        }
+        std::vector<core::EvalResponse> responses;
+        bool served = true;
+        try {
+          responses = serve_requests(*workspace, requests);
+        } catch (const std::exception& reason) {
+          served = false;
+          (void)send_error(session, ErrorFrame{"bad_request",
+                                               reason.what(), seq,
+                                               false, false});
+        }
+        inflight_.fetch_sub(admitted, std::memory_order_acq_rel);
+        if (!served) continue;
+        const std::string reply =
+            type == "eval"
+                ? encode_result(seq, responses.front())
+                : encode_result_batch(seq, responses);
+        if (!write_frame(session->socket.fd(), reply)) break;
+        touch();
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.frames_served;
+        stats_.evaluations += admitted;
+        if (type == "eval_batch") ++stats_.batch_frames;
+        continue;
+      }
+      (void)send_error(
+          session, ErrorFrame{"bad_request",
+                              "unknown frame type '" + type + "'", seq,
+                              false, false});
+    }
+  }
+  session->socket.close();
+  active_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+  touch();  // idle countdown starts when the last session leaves
+  session->done.store(true, std::memory_order_release);
+}
+
+}  // namespace ft::service

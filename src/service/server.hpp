@@ -1,0 +1,158 @@
+// The ftuned evaluation daemon. One Server owns a listening socket,
+// an accept thread and one session thread per connected client; each
+// session speaks the framed protocol of service/protocol.hpp.
+//
+// Division of labor (the bit-identity invariant): the daemon executes
+// *raw* measurements only - compile + link + run on a workspace whose
+// engine is constructed exactly like a local FuncyTuner's (same seed,
+// noise model, attribution sigma and fault config, so engine-side
+// outlier spikes reproduce too). All tuning-state bookkeeping (fault
+// injection decisions, retries, quarantine, checkpoint journal, the
+// client's EvalCache) stays in the *client's* Evaluator. Because the
+// measurement stack is deterministic per (content, noise key), the
+// daemon's answers are bit-identical to what the client's own engine
+// would have produced.
+//
+// Workspaces are keyed by (program, arch, personality, measurement
+// options), so any number of clients tuning the same cell share one
+// ExecutionEngine (and its compiled-module cache) and one optional
+// daemon-side result cache. A batch frame becomes ONE task-group
+// submission over the shared pool (request batching), results return
+// in request order. Backpressure: when admitted-but-unfinished
+// requests would exceed max_inflight, the frame is refused with a
+// retryable "overloaded" error instead of queueing unboundedly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/eval_cache.hpp"
+#include "core/funcy_tuner.hpp"
+#include "service/framing.hpp"
+#include "service/protocol.hpp"
+#include "service/socket.hpp"
+
+namespace ft::service {
+
+struct ServerOptions {
+  std::string listen = "unix:/tmp/ftuned.sock";
+  /// Exit serve() after this many seconds with no connected sessions
+  /// and no frame activity; 0 = run until stop().
+  double idle_timeout_seconds = 0.0;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Admitted-but-unfinished evaluation requests across all sessions;
+  /// a frame that would exceed it is refused with "overloaded".
+  std::size_t max_inflight = 256;
+  /// Requests accepted per eval_batch frame (advertised in welcome).
+  std::size_t max_batch = 1024;
+  /// Daemon-side raw-result cache entries per workspace; 0 disables.
+  /// Purely a cost optimization: replayed results are bit-identical
+  /// (the reason an EvalCache may memoize at all).
+  std::size_t cache_entries = 0;
+};
+
+class Server {
+ public:
+  struct Stats {
+    std::size_t sessions_accepted = 0;
+    std::size_t frames_served = 0;
+    std::size_t evaluations = 0;
+    std::size_t batch_frames = 0;
+    std::size_t cache_hits = 0;
+    std::size_t errors_sent = 0;
+    std::size_t overloads = 0;
+  };
+
+  explicit Server(ServerOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener and starts the accept thread. Throws
+  /// ServiceError on bind failure.
+  void start();
+  /// start() + block until idle timeout or stop(). Returns 0.
+  int serve();
+  /// Asynchronously shuts down: closes the listener, wakes every
+  /// session, joins all threads. Idempotent.
+  void stop();
+  /// Blocks until the accept loop exits (idle timeout or stop()).
+  void wait();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// Actual bound address (tcp port 0 resolves to the ephemeral port).
+  [[nodiscard]] const Address& address() const noexcept {
+    return listener_.address();
+  }
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  /// One (program, arch, personality, measurement options) evaluation
+  /// context, shared by every session that greets with the same key.
+  struct Workspace {
+    std::unique_ptr<core::FuncyTuner> tuner;
+    std::unique_ptr<core::EvalCache> cache;  ///< optional (cache_entries)
+    /// Folded into cache keys: EvalCache::Key has no aggregate/noise
+    /// fields, so those request bits must live in the salt.
+    std::uint64_t salt = 0;
+  };
+
+  struct Session {
+    Socket socket;
+    std::thread thread;
+    std::uint64_t id = 0;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void session_loop(Session* session);
+  /// Handshake: reads hello, resolves/creates the workspace, sends
+  /// welcome. Returns nullptr (after an error frame) on failure.
+  Workspace* handshake(Session* session);
+  /// Serves one eval/eval_batch frame worth of requests as a single
+  /// parallel submission; results are in request order.
+  [[nodiscard]] std::vector<core::EvalResponse> serve_requests(
+      Workspace& workspace,
+      const std::vector<core::EvalRequest>& requests);
+  [[nodiscard]] core::EvalResponse serve_one(
+      Workspace& workspace, const core::EvalRequest& request);
+  Workspace* workspace_for(const HelloFrame& hello);
+  bool send_error(Session* session, const ErrorFrame& error);
+  void touch() noexcept;
+  void reap_finished_sessions();
+
+  ServerOptions options_;
+  Listener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::atomic<std::size_t> active_sessions_{0};
+  std::uint64_t next_session_id_ = 1;
+
+  std::mutex workspaces_mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Workspace>>
+      workspaces_;
+
+  std::atomic<std::size_t> inflight_{0};
+  /// Monotonic activity clock for the idle timeout (seconds).
+  std::atomic<double> last_activity_{0.0};
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace ft::service

@@ -1,0 +1,310 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ft::support {
+
+namespace {
+
+/// Nesting bound: deeper documents are rejected, which keeps the
+/// recursive parser safe against "[[[[..." stack-growth attacks from
+/// the service socket.
+constexpr int kMaxDepth = 64;
+/// Container size bound per level (a 16 MiB frame cannot hold more
+/// elements anyway; this just fails fast on pathological input).
+constexpr std::size_t kMaxElements = 1u << 22;
+
+}  // namespace
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool run(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const char* what) {
+    if (error_ != nullptr) {
+      *error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char expected, const char* what) {
+    if (at_end() || text_[pos_] != expected) return fail(what);
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        out->kind_ = JsonValue::Kind::kString;
+        return parse_string(&out->text_);
+      }
+      case 't':
+      case 'f': return parse_bool(out);
+      case 'n': return parse_literal("null", out, JsonValue::Kind::kNull);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(std::string_view word, JsonValue* out,
+                     JsonValue::Kind kind) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    out->kind_ = kind;
+    return true;
+  }
+
+  bool parse_bool(JsonValue* out) {
+    const bool is_true = peek() == 't';
+    if (!parse_literal(is_true ? "true" : "false", out,
+                       JsonValue::Kind::kBool)) {
+      return false;
+    }
+    out->number_ = is_true ? 1.0 : 0.0;
+    return true;
+  }
+
+  bool parse_number(JsonValue* out) {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) return fail("bad value");
+    if (!std::isfinite(value)) return fail("non-finite number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = value;
+    // Raw text kept so 64-bit integers exceeding double precision can
+    // still be read exactly via get(key, uint64*).
+    out->text_.assign(begin, static_cast<std::size_t>(end - begin));
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"', "expected string")) return false;
+    out->clear();
+    while (!at_end()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (at_end()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          // No artifact in this repo emits \u escapes; decode the code
+          // unit's low byte so hostile frames still parse defensively.
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (at_end()) return fail("bad \\u escape");
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          out->push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind_ = JsonValue::Kind::kArray;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (out->array_.size() >= kMaxElements) return fail("array too large");
+      JsonValue element;
+      skip_ws();
+      if (!parse_value(&element, depth + 1)) return false;
+      out->array_.push_back(std::move(element));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']', "expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind_ = JsonValue::Kind::kObject;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (out->members_.size() >= kMaxElements) {
+        return fail("object too large");
+      }
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':', "expected ':'")) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value, depth + 1)) return false;
+      out->members_.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}', "expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool JsonValue::get(std::string_view key, std::string* out) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr || !value->is_string()) return false;
+  *out = value->string();
+  return true;
+}
+
+bool JsonValue::get(std::string_view key, double* out) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr || !value->is_number()) return false;
+  *out = value->number();
+  return true;
+}
+
+bool JsonValue::get(std::string_view key, bool* out) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) return false;
+  if (value->is_bool()) {
+    *out = value->boolean();
+    return true;
+  }
+  if (value->is_number()) {  // 0/1 convention of the journal lines
+    *out = value->number() != 0.0;
+    return true;
+  }
+  return false;
+}
+
+bool JsonValue::get(std::string_view key, std::uint64_t* out) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) return false;
+  // 64-bit hashes travel as decimal strings (double cannot hold them);
+  // small integers may arrive as plain numbers. The raw number text is
+  // reparsed so no precision is lost either way.
+  const std::string* text = nullptr;
+  if (value->is_string()) text = &value->string();
+  else if (value->is_number()) text = &value->text_;
+  else
+    return false;
+  if (text->empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(text->c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool JsonValue::get(std::string_view key, std::int64_t* out) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) return false;
+  const std::string* text = nullptr;
+  if (value->is_string()) text = &value->string();
+  else if (value->is_number()) text = &value->text_;
+  else
+    return false;
+  if (text->empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(text->c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool JsonValue::parse(std::string_view text, JsonValue* out,
+                      std::string* error) {
+  JsonParser parser(text, error);
+  *out = JsonValue();
+  return parser.run(out);
+}
+
+JsonValue JsonValue::make_bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.number_ = value ? 1.0 : 0.0;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  v.text_ = std::to_string(value);
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.text_ = std::move(value);
+  return v;
+}
+
+}  // namespace ft::support

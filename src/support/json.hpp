@@ -1,0 +1,86 @@
+// Minimal JSON document model + strict recursive-descent parser, for
+// the places that must *read* JSON (the service wire protocol, tests):
+// writers throughout the repo stay hand-rolled ostreams for exact
+// field ordering and %.17g number round-tripping. The parser is
+// depth-limited and allocation-bounded so hostile input (the fuzz
+// suite feeds it garbage frames) degrades to a parse error, never a
+// crash or runaway allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ft::support {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  /// Object members keep document order (deterministic re-encoding).
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return kind_ == Kind::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  [[nodiscard]] bool boolean() const noexcept { return number_ != 0.0; }
+  [[nodiscard]] double number() const noexcept { return number_; }
+  [[nodiscard]] const std::string& string() const noexcept { return text_; }
+  [[nodiscard]] const std::vector<JsonValue>& array() const noexcept {
+    return array_;
+  }
+  [[nodiscard]] const Members& members() const noexcept { return members_; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  // Typed member readers: false when the member is absent or has the
+  // wrong shape, so decoders can reject malformed frames field by
+  // field instead of crashing on a bad cast.
+  [[nodiscard]] bool get(std::string_view key, std::string* out) const;
+  [[nodiscard]] bool get(std::string_view key, double* out) const;
+  [[nodiscard]] bool get(std::string_view key, bool* out) const;
+  /// Accepts a number or (for values exceeding double precision, the
+  /// convention every artifact in this repo uses for 64-bit hashes) a
+  /// decimal string.
+  [[nodiscard]] bool get(std::string_view key, std::uint64_t* out) const;
+  [[nodiscard]] bool get(std::string_view key, std::int64_t* out) const;
+
+  /// Parses exactly one JSON document (trailing garbage rejected).
+  /// On failure returns false and describes the problem in `error`.
+  [[nodiscard]] static bool parse(std::string_view text, JsonValue* out,
+                                  std::string* error = nullptr);
+
+  // Construction helpers (tests build expected documents with these).
+  [[nodiscard]] static JsonValue make_null() { return JsonValue(); }
+  [[nodiscard]] static JsonValue make_bool(bool value);
+  [[nodiscard]] static JsonValue make_number(double value);
+  [[nodiscard]] static JsonValue make_string(std::string value);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  double number_ = 0.0;
+  std::string text_;
+  std::vector<JsonValue> array_;
+  Members members_;
+};
+
+}  // namespace ft::support

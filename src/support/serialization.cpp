@@ -1,0 +1,41 @@
+#include "support/serialization.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ft::support {
+
+std::string schema_version_field() {
+  return "\"schema_version\":" + std::to_string(kSchemaVersion);
+}
+
+int read_schema_version(std::string_view text) {
+  constexpr std::string_view kNeedle = "\"schema_version\":";
+  const std::size_t at = text.find(kNeedle);
+  if (at == std::string_view::npos) return 1;  // pre-versioning artifact
+  std::size_t begin = at + kNeedle.size();
+  while (begin < text.size() && text[begin] == ' ') ++begin;
+  int value = 0;
+  bool any = false;
+  while (begin < text.size() && text[begin] >= '0' && text[begin] <= '9') {
+    value = value * 10 + (text[begin] - '0');
+    ++begin;
+    any = true;
+  }
+  return any ? value : 0;
+}
+
+void require_schema_version(std::string_view text, const std::string& what) {
+  const int version = read_schema_version(text);
+  if (version <= 0) {
+    throw std::runtime_error(what + ": malformed schema_version field");
+  }
+  if (version > kSchemaVersion) {
+    throw std::runtime_error(
+        what + ": schema_version " + std::to_string(version) +
+        " is newer than this binary understands (max " +
+        std::to_string(kSchemaVersion) + "); upgrade to read it");
+  }
+}
+
+}  // namespace ft::support

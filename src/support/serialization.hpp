@@ -1,0 +1,35 @@
+// Artifact schema versioning. Every JSON artifact the repo emits
+// (TuningResult json, checkpoint journal headers, telemetry JSONL
+// traces, metrics snapshots, service frames) carries a
+// "schema_version" field written and validated through this one
+// helper, so readers can reject artifacts from a future format
+// instead of silently misparsing them. Artifacts written before
+// versioning existed have no field and read back as version 1.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ft::support {
+
+/// Current artifact schema. History:
+///   1 - implicit; everything written before the field existed.
+///   2 - the field itself (tuning json, journal header, telemetry
+///       meta line, metrics snapshot, service hello/welcome).
+inline constexpr int kSchemaVersion = 2;
+
+/// The literal member to splice into a JSON object:
+/// `"schema_version":2`.
+[[nodiscard]] std::string schema_version_field();
+
+/// Schema version declared by a JSON artifact; 1 when the field is
+/// absent (pre-versioning artifact), 0 when the field is present but
+/// malformed.
+[[nodiscard]] int read_schema_version(std::string_view text);
+
+/// Throws std::runtime_error naming `what` when `text` declares a
+/// schema newer than this binary understands (older versions are
+/// accepted - readers stay backward compatible).
+void require_schema_version(std::string_view text, const std::string& what);
+
+}  // namespace ft::support

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "support/serialization.hpp"
 #include "support/table.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -84,10 +85,20 @@ std::string metric_json(const MetricSample& sample) {
   return oss.str();
 }
 
-JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) { write_meta(); }
 
 JsonlSink::JsonlSink(std::unique_ptr<std::ostream> out)
-    : owned_(std::move(out)), out_(owned_.get()) {}
+    : owned_(std::move(out)), out_(owned_.get()) {
+  write_meta();
+}
+
+void JsonlSink::write_meta() {
+  // Schema header line. Deliberately NOT counted in lines(): lines()
+  // reports events, and trace consumers that predate the header keep
+  // working by skipping "meta" objects.
+  *out_ << "{\"type\":\"meta\"," << support::schema_version_field()
+        << "}\n";
+}
 
 std::shared_ptr<JsonlSink> JsonlSink::open(const std::string& path) {
   auto file = std::make_unique<std::ofstream>(path);
@@ -123,7 +134,7 @@ std::size_t JsonlSink::lines() const noexcept {
 
 void write_metrics_json(std::ostream& os,
                         const std::vector<MetricSample>& samples) {
-  os << "{\"metrics\":[";
+  os << "{" << support::schema_version_field() << ",\"metrics\":[";
   bool first = true;
   for (const MetricSample& sample : samples) {
     if (!first) os << ',';

@@ -3,6 +3,7 @@
 // its results) and a human summary table of the metrics snapshot.
 //
 // JSONL schema (one object per line):
+//   {"type":"meta","schema_version":N}    always the first line
 //   {"type":"span","id":N,"parent":N,"name":S,"t0":T,"t1":T,
 //    "attrs":{...}}                       t0/t1 are the only
 //                                         non-deterministic fields
@@ -42,9 +43,12 @@ class JsonlSink final : public Sink {
   void on_metric(const MetricSample& sample) override;
   void flush() override;
 
+  /// Event lines written (the leading "meta" schema line is excluded).
   [[nodiscard]] std::size_t lines() const noexcept;
 
  private:
+  void write_meta();
+
   mutable std::mutex mutex_;
   std::unique_ptr<std::ostream> owned_;
   std::ostream* out_;

@@ -1,0 +1,773 @@
+// Tests for the ftuned evaluation service: frame protocol round-trips
+// (every frame type, %.17g bit-exact doubles), length-prefixed framing
+// over a socketpair, live-server error semantics, a >=1000-frame
+// garbage fuzz that must leave the daemon serving, and the property
+// the whole subsystem rests on - remote tuning runs are bit-identical
+// to in-process ones, faults and all.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/funcy_tuner.hpp"
+#include "core/serialization.hpp"
+#include "flags/spaces.hpp"
+#include "machine/architecture.hpp"
+#include "programs/benchmarks.hpp"
+#include "service/client.hpp"
+#include "service/framing.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+#include "support/json.hpp"
+
+namespace ft::service {
+namespace {
+
+// --- protocol round-trips ---------------------------------------------------
+
+support::JsonValue parse_or_fail(const std::string& text) {
+  support::JsonValue value;
+  std::string error;
+  EXPECT_TRUE(support::JsonValue::parse(text, &value, &error))
+      << error << " in: " << text;
+  return value;
+}
+
+TEST(Protocol, HelloRoundTripIsBitExact) {
+  HelloFrame hello;
+  hello.program = "LULESH";
+  hello.arch = "sandybridge";
+  hello.personality = "gcc";
+  hello.options.seed = 0x0123456789abcdefull;
+  hello.options.noise_sigma_rel = 0.1 + 0.2;  // not exactly 0.3
+  hello.options.attribution_sigma = 1e-17;
+  hello.options.faults.rate = 1.0 / 3.0;
+  hello.options.faults.seed = 0xffffffffffffffffull;
+  hello.options.faults.compile_share = 0.7;
+  hello.options.faults.crash_share = 0.2;
+  hello.options.faults.timeout_share = 0.1;
+  hello.options.faults.outlier_rate = 0.015625;
+  hello.options.faults.outlier_min_scale = 1.5;
+  hello.options.faults.outlier_max_scale = 9.999999999999998;
+
+  const support::JsonValue frame = parse_or_fail(encode_hello(hello));
+  EXPECT_EQ(frame_type(frame), "hello");
+  HelloFrame out;
+  std::string error;
+  ASSERT_TRUE(decode_hello(frame, &out, &error)) << error;
+  EXPECT_EQ(out.protocol, kProtocolVersion);
+  EXPECT_EQ(out.program, hello.program);
+  EXPECT_EQ(out.arch, hello.arch);
+  EXPECT_EQ(out.personality, hello.personality);
+  EXPECT_EQ(out.options.seed, hello.options.seed);
+  // EXPECT_EQ on doubles is exact equality: %.17g must round-trip bits.
+  EXPECT_EQ(out.options.noise_sigma_rel, hello.options.noise_sigma_rel);
+  EXPECT_EQ(out.options.attribution_sigma,
+            hello.options.attribution_sigma);
+  EXPECT_EQ(out.options.faults.rate, hello.options.faults.rate);
+  EXPECT_EQ(out.options.faults.seed, hello.options.faults.seed);
+  EXPECT_EQ(out.options.faults.compile_share,
+            hello.options.faults.compile_share);
+  EXPECT_EQ(out.options.faults.crash_share,
+            hello.options.faults.crash_share);
+  EXPECT_EQ(out.options.faults.timeout_share,
+            hello.options.faults.timeout_share);
+  EXPECT_EQ(out.options.faults.outlier_rate,
+            hello.options.faults.outlier_rate);
+  EXPECT_EQ(out.options.faults.outlier_min_scale,
+            hello.options.faults.outlier_min_scale);
+  EXPECT_EQ(out.options.faults.outlier_max_scale,
+            hello.options.faults.outlier_max_scale);
+}
+
+TEST(Protocol, WelcomeRoundTrip) {
+  WelcomeFrame welcome;
+  welcome.session = 0xdeadbeefcafef00dull;
+  welcome.max_batch = 512;
+  const support::JsonValue frame = parse_or_fail(encode_welcome(welcome));
+  EXPECT_EQ(frame_type(frame), "welcome");
+  WelcomeFrame out;
+  std::string error;
+  ASSERT_TRUE(decode_welcome(frame, &out, &error)) << error;
+  EXPECT_EQ(out.server, "ftuned");
+  EXPECT_EQ(out.session, welcome.session);
+  EXPECT_EQ(out.max_batch, welcome.max_batch);
+}
+
+TEST(Protocol, ErrorRoundTrip) {
+  ErrorFrame error_frame{"overloaded", "max_inflight \"quoted\"\n", 42,
+                         true, false};
+  const support::JsonValue frame =
+      parse_or_fail(encode_error(error_frame));
+  EXPECT_EQ(frame_type(frame), "error");
+  ErrorFrame out;
+  ASSERT_TRUE(decode_error(frame, &out));
+  EXPECT_EQ(out.code, error_frame.code);
+  EXPECT_EQ(out.detail, error_frame.detail);
+  EXPECT_EQ(out.seq, 42u);
+  EXPECT_TRUE(out.retryable);
+  EXPECT_FALSE(out.fatal);
+}
+
+core::EvalRequest make_request() {
+  core::EvalRequest request;
+  request.assignment.loop_cvs = {
+      flags::CompilationVector({0, 3, 255, 17}),
+      flags::CompilationVector({1, 1, 2}),
+  };
+  request.assignment.nonloop_cv = flags::CompilationVector({9, 0, 7});
+  request.rep_base = (1ull << 40) + 12345;
+  request.repetitions = 7;
+  request.instrumented = true;
+  request.noise = false;
+  request.aggregate = machine::Aggregation::kTrimmedMean;
+  return request;
+}
+
+void expect_request_eq(const core::EvalRequest& got,
+                       const core::EvalRequest& want) {
+  EXPECT_EQ(got.assignment.loop_cvs, want.assignment.loop_cvs);
+  EXPECT_EQ(got.assignment.nonloop_cv, want.assignment.nonloop_cv);
+  EXPECT_EQ(got.rep_base, want.rep_base);
+  EXPECT_EQ(got.repetitions, want.repetitions);
+  EXPECT_EQ(got.instrumented, want.instrumented);
+  EXPECT_EQ(got.noise, want.noise);
+  EXPECT_EQ(got.aggregate, want.aggregate);
+}
+
+TEST(Protocol, EvalRequestRoundTrip) {
+  const core::EvalRequest request = make_request();
+  const support::JsonValue value =
+      parse_or_fail(eval_request_json(request));
+  core::EvalRequest out;
+  std::string error;
+  ASSERT_TRUE(parse_eval_request(value, &out, &error)) << error;
+  expect_request_eq(out, request);
+}
+
+TEST(Protocol, EvalFrameRoundTrip) {
+  const core::EvalRequest request = make_request();
+  const support::JsonValue frame =
+      parse_or_fail(encode_eval(17, request));
+  EXPECT_EQ(frame_type(frame), "eval");
+  EXPECT_EQ(frame_seq(frame), 17u);
+  std::vector<core::EvalRequest> out;
+  std::string error;
+  ASSERT_TRUE(decode_eval(frame, &out, &error)) << error;
+  ASSERT_EQ(out.size(), 1u);
+  expect_request_eq(out[0], request);
+}
+
+TEST(Protocol, EvalBatchFrameRoundTrip) {
+  std::vector<core::EvalRequest> requests(3, make_request());
+  requests[1].rep_base = 2;
+  requests[1].aggregate = machine::Aggregation::kMedian;
+  requests[2].repetitions = 1;
+  requests[2].noise = true;
+  const support::JsonValue frame =
+      parse_or_fail(encode_eval_batch(99, requests));
+  EXPECT_EQ(frame_type(frame), "eval_batch");
+  EXPECT_EQ(frame_seq(frame), 99u);
+  std::vector<core::EvalRequest> out;
+  std::string error;
+  ASSERT_TRUE(decode_eval(frame, &out, &error)) << error;
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) expect_request_eq(out[i], requests[i]);
+}
+
+core::EvalResponse make_ok_response() {
+  core::EvalResponse response;
+  machine::RunResult& result = response.outcome.result;
+  result.end_to_end = 3.141592653589793;
+  result.loop_seconds = {1.0 / 3.0, 0.1, 4.450147717014403e-308};
+  double loops = 0.0;
+  for (const double s : result.loop_seconds) loops += s;
+  // The wire never carries derived_nonloop; the decoder recomputes it
+  // the same way the engine does.
+  result.derived_nonloop_seconds = result.end_to_end - loops;
+  result.stddev = 0.0078125;
+  response.outcome.attempts = 2;
+  response.served_by = core::EvalServedBy::kCacheHit;
+  response.modules_compiled = 5;
+  return response;
+}
+
+TEST(Protocol, EvalResponseRoundTripIsBitExact) {
+  const core::EvalResponse response = make_ok_response();
+  const support::JsonValue value =
+      parse_or_fail(eval_response_json(response));
+  core::EvalResponse out;
+  std::string error;
+  ASSERT_TRUE(parse_eval_response(value, &out, &error)) << error;
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.outcome.result.end_to_end,
+            response.outcome.result.end_to_end);
+  EXPECT_EQ(out.outcome.result.loop_seconds,
+            response.outcome.result.loop_seconds);
+  EXPECT_EQ(out.outcome.result.derived_nonloop_seconds,
+            response.outcome.result.derived_nonloop_seconds);
+  EXPECT_EQ(out.outcome.result.stddev, response.outcome.result.stddev);
+  EXPECT_EQ(out.outcome.attempts, 2);
+  EXPECT_EQ(out.served_by, core::EvalServedBy::kCacheHit);
+  EXPECT_EQ(out.modules_compiled, 5u);
+}
+
+TEST(Protocol, FailedEvalResponseRoundTrip) {
+  core::EvalResponse response;
+  response.outcome.error.kind = core::EvalFault::kCompileFailure;
+  response.outcome.error.detail = "cv 0xdeadbeef ICEd";
+  response.outcome.attempts = 3;
+  const support::JsonValue value =
+      parse_or_fail(eval_response_json(response));
+  core::EvalResponse out;
+  std::string error;
+  ASSERT_TRUE(parse_eval_response(value, &out, &error)) << error;
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.outcome.error.kind, core::EvalFault::kCompileFailure);
+  EXPECT_EQ(out.outcome.error.detail, response.outcome.error.detail);
+  EXPECT_EQ(out.outcome.attempts, 3);
+}
+
+TEST(Protocol, ResultBatchFrameRoundTrip) {
+  std::vector<core::EvalResponse> responses(2, make_ok_response());
+  responses[1].outcome.result.end_to_end = 2.718281828459045;
+  responses[1].served_by = core::EvalServedBy::kRun;
+  const support::JsonValue frame =
+      parse_or_fail(encode_result_batch(7, responses));
+  EXPECT_EQ(frame_type(frame), "result_batch");
+  EXPECT_EQ(frame_seq(frame), 7u);
+  std::vector<core::EvalResponse> out;
+  std::string error;
+  ASSERT_TRUE(decode_result(frame, &out, &error)) << error;
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].outcome.result.end_to_end,
+            responses[0].outcome.result.end_to_end);
+  EXPECT_EQ(out[1].outcome.result.end_to_end,
+            responses[1].outcome.result.end_to_end);
+  EXPECT_EQ(out[1].served_by, core::EvalServedBy::kRun);
+}
+
+TEST(Protocol, ResultFrameRoundTrip) {
+  const support::JsonValue frame =
+      parse_or_fail(encode_result(3, make_ok_response()));
+  EXPECT_EQ(frame_type(frame), "result");
+  EXPECT_EQ(frame_seq(frame), 3u);
+  std::vector<core::EvalResponse> out;
+  std::string error;
+  ASSERT_TRUE(decode_result(frame, &out, &error)) << error;
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(Protocol, PingPongByeFrames) {
+  support::JsonValue ping = parse_or_fail(encode_ping(42));
+  EXPECT_EQ(frame_type(ping), "ping");
+  EXPECT_EQ(frame_seq(ping), 42u);
+  support::JsonValue pong = parse_or_fail(encode_pong(42));
+  EXPECT_EQ(frame_type(pong), "pong");
+  EXPECT_EQ(frame_seq(pong), 42u);
+  support::JsonValue bye = parse_or_fail(encode_bye());
+  EXPECT_EQ(frame_type(bye), "bye");
+}
+
+TEST(Protocol, DecodersRejectMalformedFrames) {
+  std::string error;
+  HelloFrame hello;
+  EXPECT_FALSE(
+      decode_hello(parse_or_fail(R"({"type":"hello"})"), &hello, &error));
+  EXPECT_FALSE(error.empty());
+  std::vector<core::EvalRequest> requests;
+  error.clear();
+  EXPECT_FALSE(decode_eval(
+      parse_or_fail(R"({"type":"eval","seq":"1"})"), &requests, &error));
+  error.clear();
+  EXPECT_FALSE(decode_eval(
+      parse_or_fail(
+          R"({"type":"eval","seq":"1","request":{"loops":[[300]],"nonloop":[],"rep":"0","reps":1,"instr":0,"noise":1,"agg":"mean"}})"),
+      &requests, &error))
+      << "CV bytes above 255 must be rejected";
+  std::vector<core::EvalResponse> responses;
+  error.clear();
+  EXPECT_FALSE(decode_result(
+      parse_or_fail(R"({"type":"result","seq":"1","result":{"ok":1}})"),
+      &responses, &error));
+}
+
+// --- framing over a socketpair ----------------------------------------------
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+};
+
+TEST(Framing, RoundTripsPayloads) {
+  SocketPair pair;
+  ASSERT_TRUE(write_frame(pair.fds[0], R"({"type":"ping","seq":"1"})"));
+  ASSERT_TRUE(write_frame(pair.fds[0], ""));  // empty payload is legal
+  std::string payload;
+  EXPECT_EQ(read_frame(pair.fds[1], &payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, R"({"type":"ping","seq":"1"})");
+  EXPECT_EQ(read_frame(pair.fds[1], &payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "");
+}
+
+TEST(Framing, LargePayloadRoundTrips) {
+  SocketPair pair;
+  // Bigger than a socket buffer, so both sides must loop on partial
+  // reads/writes; a writer thread keeps the pipe draining.
+  const std::string big(512 * 1024, 'x');
+  std::thread writer(
+      [&] { EXPECT_TRUE(write_frame(pair.fds[0], big)); });
+  std::string payload;
+  EXPECT_EQ(read_frame(pair.fds[1], &payload), FrameStatus::kOk);
+  writer.join();
+  EXPECT_EQ(payload, big);
+}
+
+TEST(Framing, OversizedDeclaredLengthIsRefusedBeforeAllocation) {
+  SocketPair pair;
+  ASSERT_TRUE(write_frame(pair.fds[0], std::string(64, 'x')));
+  std::string payload;
+  EXPECT_EQ(read_frame(pair.fds[1], &payload, /*max_bytes=*/16),
+            FrameStatus::kTooLarge);
+}
+
+TEST(Framing, TornFrameIsDetected) {
+  SocketPair pair;
+  const unsigned char prefix[4] = {0, 0, 0, 100};  // declares 100 bytes
+  ASSERT_EQ(send(pair.fds[0], prefix, 4, 0), 4);
+  ASSERT_EQ(send(pair.fds[0], "abc", 3, 0), 3);
+  ::close(pair.fds[0]);
+  pair.fds[0] = -1;
+  std::string payload;
+  EXPECT_EQ(read_frame(pair.fds[1], &payload), FrameStatus::kTorn);
+}
+
+TEST(Framing, CleanEofIsClosed) {
+  SocketPair pair;
+  ::close(pair.fds[0]);
+  pair.fds[0] = -1;
+  std::string payload;
+  EXPECT_EQ(read_frame(pair.fds[1], &payload), FrameStatus::kClosed);
+}
+
+// --- live server ------------------------------------------------------------
+
+ServerOptions test_server_options() {
+  ServerOptions options;
+  options.listen = "tcp:127.0.0.1:0";  // ephemeral: parallel-test safe
+  return options;
+}
+
+/// Writes `frame`, reads one reply, parses it. Raw-socket counterpart
+/// of Client for the error-path tests.
+support::JsonValue roundtrip(int fd, const std::string& frame) {
+  EXPECT_TRUE(write_frame(fd, frame));
+  std::string payload;
+  EXPECT_EQ(read_frame(fd, &payload), FrameStatus::kOk);
+  return parse_or_fail(payload);
+}
+
+/// Connects and handshakes a raw session for program CL on broadwell.
+Socket greet(const Server& server) {
+  Socket socket = Socket::connect(server.address());
+  HelloFrame hello;
+  hello.program = "CL";
+  hello.arch = "broadwell";
+  const support::JsonValue reply =
+      roundtrip(socket.fd(), encode_hello(hello));
+  EXPECT_EQ(frame_type(reply), "welcome");
+  return socket;
+}
+
+core::EvalRequest valid_request() {
+  core::EvalRequest request;
+  const flags::FlagSpace space = flags::icc_space();
+  request.assignment = compiler::ModuleAssignment::uniform(
+      space.default_cv(), programs::by_name("CL").loops().size());
+  return request;
+}
+
+TEST(Server, RejectsUnknownProgramAndArchitecture) {
+  Server server(test_server_options());
+  server.start();
+  {
+    Socket socket = Socket::connect(server.address());
+    HelloFrame hello;
+    hello.program = "no-such-benchmark";
+    hello.arch = "broadwell";
+    const support::JsonValue reply =
+        roundtrip(socket.fd(), encode_hello(hello));
+    EXPECT_EQ(frame_type(reply), "error");
+    ErrorFrame error;
+    ASSERT_TRUE(decode_error(reply, &error));
+    EXPECT_EQ(error.code, "unknown_program");
+    EXPECT_TRUE(error.fatal);
+  }
+  {
+    Socket socket = Socket::connect(server.address());
+    HelloFrame hello;
+    hello.program = "CL";
+    hello.arch = "m68k";
+    const support::JsonValue reply =
+        roundtrip(socket.fd(), encode_hello(hello));
+    ErrorFrame error;
+    ASSERT_TRUE(decode_error(reply, &error));
+    EXPECT_EQ(error.code, "unknown_architecture");
+  }
+  server.stop();
+}
+
+TEST(Server, RejectsUnsupportedProtocolVersion) {
+  Server server(test_server_options());
+  server.start();
+  Socket socket = Socket::connect(server.address());
+  HelloFrame hello;
+  hello.program = "CL";
+  hello.arch = "broadwell";
+  std::string text = encode_hello(hello);
+  const std::string needle = "\"protocol\":" +
+                             std::to_string(kProtocolVersion);
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size(), "\"protocol\":999");
+  const support::JsonValue reply = roundtrip(socket.fd(), text);
+  ErrorFrame error;
+  ASSERT_TRUE(decode_error(reply, &error));
+  EXPECT_EQ(error.code, "unsupported_version");
+  server.stop();
+}
+
+TEST(Server, GarbagePayloadIsNonFatalButOversizedFrameHangsUp) {
+  ServerOptions options = test_server_options();
+  options.max_frame_bytes = 4096;
+  Server server(options);
+  server.start();
+  Socket socket = greet(server);
+
+  // Garbage JSON: framing stays synchronized, session survives.
+  const support::JsonValue garbage_reply =
+      roundtrip(socket.fd(), "{not json!!");
+  ErrorFrame error;
+  ASSERT_TRUE(decode_error(garbage_reply, &error));
+  EXPECT_EQ(error.code, "bad_frame");
+  EXPECT_FALSE(error.fatal);
+  // Unknown frame type: refused per-frame, session survives.
+  const support::JsonValue unknown_reply =
+      roundtrip(socket.fd(), R"({"type":"launch_missiles","seq":"9"})");
+  ASSERT_TRUE(decode_error(unknown_reply, &error));
+  EXPECT_EQ(error.code, "bad_request");
+  EXPECT_EQ(error.seq, 9u);
+  // ...still serving:
+  const support::JsonValue pong = roundtrip(socket.fd(), encode_ping(5));
+  EXPECT_EQ(frame_type(pong), "pong");
+  EXPECT_EQ(frame_seq(pong), 5u);
+
+  // Oversized frame: stream unsynchronized -> fatal error, then EOF.
+  const support::JsonValue oversized_reply =
+      roundtrip(socket.fd(), std::string(8192, ' '));
+  ASSERT_TRUE(decode_error(oversized_reply, &error));
+  EXPECT_EQ(error.code, "oversized_frame");
+  EXPECT_TRUE(error.fatal);
+  // Hang-up may surface as a clean FIN or (when the server closes with
+  // our unread payload still in flight) a TCP reset; either way, no
+  // further frame is served.
+  std::string payload;
+  EXPECT_NE(read_frame(socket.fd(), &payload), FrameStatus::kOk);
+  server.stop();
+}
+
+TEST(Server, OverloadedRefusalIsRetryable) {
+  ServerOptions options = test_server_options();
+  options.max_inflight = 0;  // every admission must be refused
+  Server server(options);
+  server.start();
+  Socket socket = greet(server);
+  const support::JsonValue reply =
+      roundtrip(socket.fd(), encode_eval(11, valid_request()));
+  ErrorFrame error;
+  ASSERT_TRUE(decode_error(reply, &error));
+  EXPECT_EQ(error.code, "overloaded");
+  EXPECT_EQ(error.seq, 11u);
+  EXPECT_TRUE(error.retryable);
+  EXPECT_FALSE(error.fatal);
+  // The refusal is per-frame: the session still answers pings.
+  EXPECT_EQ(frame_type(roundtrip(socket.fd(), encode_ping(12))), "pong");
+  EXPECT_EQ(server.stats().overloads, 1u);
+  server.stop();
+}
+
+TEST(Server, BatchBeyondMaxBatchIsRefused) {
+  ServerOptions options = test_server_options();
+  options.max_batch = 2;
+  Server server(options);
+  server.start();
+  Socket socket = greet(server);
+  const std::vector<core::EvalRequest> requests(3, valid_request());
+  const support::JsonValue reply =
+      roundtrip(socket.fd(), encode_eval_batch(4, requests));
+  ErrorFrame error;
+  ASSERT_TRUE(decode_error(reply, &error));
+  EXPECT_EQ(error.code, "bad_request");
+  EXPECT_FALSE(error.fatal);
+  server.stop();
+}
+
+TEST(Server, ServesEvalAndBatchFrames) {
+  Server server(test_server_options());
+  server.start();
+  Socket socket = greet(server);
+  const support::JsonValue single =
+      roundtrip(socket.fd(), encode_eval(1, valid_request()));
+  EXPECT_EQ(frame_type(single), "result");
+  std::vector<core::EvalResponse> responses;
+  std::string error;
+  ASSERT_TRUE(decode_result(single, &responses, &error)) << error;
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_GT(responses[0].seconds(), 0.0);
+
+  std::vector<core::EvalRequest> batch(4, valid_request());
+  for (std::size_t i = 0; i < batch.size(); ++i) batch[i].rep_base = i;
+  const support::JsonValue reply =
+      roundtrip(socket.fd(), encode_eval_batch(2, batch));
+  EXPECT_EQ(frame_type(reply), "result_batch");
+  responses.clear();
+  ASSERT_TRUE(decode_result(reply, &responses, &error)) << error;
+  ASSERT_EQ(responses.size(), 4u);
+  // Identical assignments under different noise keys: all valid, not
+  // all equal (the noise model is keyed by rep_base).
+  EXPECT_NE(responses[0].outcome.result.end_to_end,
+            responses[1].outcome.result.end_to_end);
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.evaluations, 5u);
+  EXPECT_EQ(stats.batch_frames, 1u);
+  server.stop();
+}
+
+TEST(Client, SurfacesServerRefusalsAsServiceErrors) {
+  Server server(test_server_options());
+  server.start();
+  core::FuncyTunerOptions options;
+  EXPECT_THROW(
+      {
+        try {
+          (void)Client::connect(server.address().display(),
+                                "no-such-benchmark", "broadwell", options);
+        } catch (const ServiceError& error) {
+          EXPECT_EQ(error.code(), "unknown_program");
+          throw;
+        }
+      },
+      ServiceError);
+  server.stop();
+}
+
+TEST(Client, PingAndBatchedCalls) {
+  Server server(test_server_options());
+  server.start();
+  core::FuncyTunerOptions options;
+  std::shared_ptr<Client> client = Client::connect(
+      server.address().display(), "CL", "broadwell", options);
+  client->ping();
+  EXPECT_GT(client->max_batch(), 0u);
+  std::vector<core::EvalRequest> requests(3, valid_request());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].rep_base = 100 + i;
+  }
+  const std::vector<core::EvalResponse> responses =
+      client->call_many(requests);
+  ASSERT_EQ(responses.size(), 3u);
+  for (const core::EvalResponse& response : responses) {
+    EXPECT_TRUE(response.ok());
+  }
+  const core::EvalResponse solo = client->call(requests[0]);
+  // Same request, same noise key: the remote measurement is
+  // reproducible down to the bit.
+  EXPECT_EQ(solo.outcome.result.end_to_end,
+            responses[0].outcome.result.end_to_end);
+  server.stop();
+}
+
+// --- the headline property: remote == local, bit for bit --------------------
+
+std::string tune_json(const std::string& algorithm,
+                      const core::FuncyTunerOptions& options,
+                      const Server* server,
+                      core::TuningResult* result_out = nullptr) {
+  core::FuncyTuner tuner(programs::by_name("CL"), machine::broadwell(),
+                         options);
+  if (server != nullptr) {
+    tuner.evaluator().set_backend(std::make_shared<RemoteBackend>(
+        Client::connect(server->address().display(), "CL", "broadwell",
+                        options)));
+  }
+  const core::TuningResult result = tuner.run(algorithm);
+  if (result_out != nullptr) *result_out = result;
+  return core::tuning_result_json(result, tuner.space(), tuner.program());
+}
+
+TEST(Service, RemoteTuningIsBitIdenticalToLocal) {
+  Server server(test_server_options());
+  server.start();
+  core::FuncyTunerOptions options;
+  options.samples = 25;
+  options.seed = 11;
+  core::TuningResult local_result, remote_result;
+  const std::string local = tune_json("cfr", options, nullptr, &local_result);
+  const std::string remote =
+      tune_json("cfr", options, &server, &remote_result);
+  EXPECT_EQ(local, remote);
+  EXPECT_EQ(local_result.speedup, remote_result.speedup);
+  EXPECT_EQ(local_result.evaluations, remote_result.evaluations);
+  const Server::Stats stats = server.stats();
+  EXPECT_GT(stats.evaluations, 0u);
+  EXPECT_GT(stats.batch_frames, 0u);  // coalescing actually happened
+  server.stop();
+}
+
+TEST(Service, RemoteTuningIsBitIdenticalUnderFaultInjection) {
+  // The resilience split in one test: fault decisions, retries and
+  // quarantine run CLIENT-side; the daemon's engine carries the same
+  // FaultConfig so engine-keyed outlier spikes reproduce. If any of
+  // that bookkeeping leaked server-side, these strings would differ.
+  Server server(test_server_options());
+  server.start();
+  core::FuncyTunerOptions options;
+  options.samples = 30;
+  options.seed = 5;
+  options.faults.rate = 0.25;
+  EXPECT_EQ(tune_json("cfr", options, nullptr),
+            tune_json("cfr", options, &server));
+  server.stop();
+}
+
+TEST(Service, DaemonSideCacheStaysBitIdentical) {
+  ServerOptions server_options = test_server_options();
+  server_options.cache_entries = 4096;
+  Server server(server_options);
+  server.start();
+  core::FuncyTunerOptions options;
+  options.samples = 20;
+  options.seed = 3;
+  const std::string first = tune_json("cfr", options, &server);
+  const std::string second = tune_json("cfr", options, &server);
+  EXPECT_EQ(first, second);
+  // The second client's identical requests were served from the
+  // daemon's raw-result cache, not re-measured.
+  EXPECT_GT(server.stats().cache_hits, 0u);
+  EXPECT_EQ(first, tune_json("cfr", options, nullptr));
+  server.stop();
+}
+
+TEST(Service, IdleTimeoutShutsTheServerDown) {
+  ServerOptions options = test_server_options();
+  options.idle_timeout_seconds = 0.3;
+  Server server(options);
+  server.start();
+  {
+    Socket socket = greet(server);
+    EXPECT_EQ(frame_type(roundtrip(socket.fd(), encode_ping(1))), "pong");
+    ASSERT_TRUE(write_frame(socket.fd(), encode_bye()));
+  }
+  server.wait();  // must return on its own - no stop() call
+  EXPECT_FALSE(server.running());
+}
+
+// --- fuzz: the daemon survives >=1000 hostile frames ------------------------
+
+TEST(ServiceFuzz, ThousandGarbageFramesLeaveTheDaemonServing) {
+  ServerOptions server_options = test_server_options();
+  server_options.max_frame_bytes = 4096;
+  Server server(server_options);
+  server.start();
+  std::mt19937_64 rng(20260807);  // deterministic corpus
+  std::size_t frames_sent = 0;
+
+  // Phase 1: one long-lived session eats garbage payloads (valid
+  // framing, hostile content). Every one must earn a non-fatal error
+  // frame; interleaved pings prove the session keeps serving.
+  {
+    Socket socket = greet(server);
+    for (int i = 0; i < 700; ++i) {
+      std::string payload(rng() % 64, '\0');
+      for (char& byte : payload) {
+        byte = static_cast<char>(rng() & 0xff);
+      }
+      const support::JsonValue reply = roundtrip(socket.fd(), payload);
+      ++frames_sent;
+      ASSERT_EQ(frame_type(reply), "error") << "frame " << i;
+      ErrorFrame error;
+      ASSERT_TRUE(decode_error(reply, &error));
+      ASSERT_FALSE(error.fatal) << "frame " << i;
+      if (i % 100 == 0) {
+        ASSERT_EQ(frame_type(roundtrip(socket.fd(), encode_ping(1))),
+                  "pong");
+        ++frames_sent;
+      }
+    }
+  }
+
+  // Phase 2: hostile connections - truncated handshakes, oversized
+  // declared lengths, raw garbage. The server must shed every one
+  // without wedging the accept loop.
+  for (int i = 0; i < 320; ++i) {
+    Socket socket = Socket::connect(server.address());
+    switch (i % 4) {
+      case 0: {  // garbage hello payload
+        std::string payload(1 + rng() % 32, '\0');
+        for (char& byte : payload) {
+          byte = static_cast<char>(rng() & 0xff);
+        }
+        ASSERT_TRUE(write_frame(socket.fd(), payload));
+        break;
+      }
+      case 1: {  // oversized declared length
+        const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};
+        ASSERT_EQ(send(socket.fd(), prefix, 4, 0), 4);
+        break;
+      }
+      case 2: {  // torn frame: declare 64 bytes, send 5, hang up
+        const unsigned char prefix[4] = {0, 0, 0, 64};
+        ASSERT_EQ(send(socket.fd(), prefix, 4, 0), 4);
+        ASSERT_EQ(send(socket.fd(), "trunc", 5, 0), 5);
+        break;
+      }
+      case 3: {  // structurally valid JSON that is not a hello
+        ASSERT_TRUE(write_frame(socket.fd(), R"([1,2,3])"));
+        break;
+      }
+    }
+    ++frames_sent;
+    socket.close();
+  }
+  EXPECT_GE(frames_sent, 1000u);
+
+  // The daemon is still accepting, greeting and evaluating, and
+  // stop() joining every session thread proves none leaked.
+  core::FuncyTunerOptions options;
+  std::shared_ptr<Client> client = Client::connect(
+      server.address().display(), "CL", "broadwell", options);
+  client->ping();
+  const core::EvalResponse response = client->call(valid_request());
+  EXPECT_TRUE(response.ok());
+  EXPECT_TRUE(server.running());
+  EXPECT_GE(server.stats().sessions_accepted, 322u);
+  client.reset();
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace ft::service

@@ -14,7 +14,10 @@
 #include <vector>
 
 #include "support/cli.hpp"
+#include "support/json.hpp"
+#include "support/options.hpp"
 #include "support/rng.hpp"
+#include "support/serialization.hpp"
 #include "support/stats.hpp"
 #include "support/string_utils.hpp"
 #include "support/table.hpp"
@@ -593,6 +596,157 @@ TEST(ThreadPool, BusySecondsAccumulate) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }, &pool);
   EXPECT_GT(pool.stats().worker_busy_seconds, 0.0);
+}
+
+// ---------------------------------------------------------- OptionSet ----
+
+OptionSet demo_options() {
+  OptionSet set;
+  set.integer("samples", 1000, "iteration budget",
+              [](const std::string& raw) {
+                return raw.empty() || raw[0] == '-' ? "must be positive"
+                                                   : "";
+              })
+      .real("sigma", 0.008, "noise sigma")
+      .text("out", "", "output path")
+      .flag("csv", false, "emit CSV")
+      .flag("help", false, "print this help");
+  return set;
+}
+
+TEST(OptionSet, ResolvesDefaultsAndGivenValues) {
+  const OptionSet set = demo_options();
+  // "--csv file.txt" would read as csv="file.txt" (CliArgs' greedy
+  // value rule), so the positional leads and the switch trails.
+  const OptionSet::Parsed parsed =
+      set.parse({"file.txt", "--samples", "42", "--csv"});
+  EXPECT_EQ(parsed.integer("samples"), 42);
+  EXPECT_TRUE(parsed.given("samples"));
+  EXPECT_EQ(parsed.real("sigma"), 0.008);
+  EXPECT_FALSE(parsed.given("sigma"));
+  EXPECT_EQ(parsed.text("out"), "");
+  EXPECT_TRUE(parsed.flag("csv"));
+  ASSERT_EQ(parsed.positionals().size(), 1u);
+  EXPECT_EQ(parsed.positionals()[0], "file.txt");
+}
+
+TEST(OptionSet, ArgcParseConsumesEveryToken) {
+  // Unlike the CliArgs argc/argv constructor, OptionSet::parse does
+  // NOT skip a program name: callers pass the shifted tail. A first
+  // flag silently swallowed as argv[0] was exactly the bug this
+  // pins down.
+  const char* argv[] = {"--samples", "7"};
+  const OptionSet::Parsed parsed = demo_options().parse(2, argv);
+  EXPECT_EQ(parsed.integer("samples"), 7);
+}
+
+TEST(OptionSet, RejectsUnknownFlags) {
+  EXPECT_THROW((void)demo_options().parse({"--bogus"}), CliError);
+  EXPECT_THROW((void)demo_options().parse({"--samples", "9", "--bogus=1"}),
+               CliError);
+}
+
+TEST(OptionSet, RejectsMalformedValues) {
+  EXPECT_THROW((void)demo_options().parse({"--samples", "10o0"}), CliError);
+  EXPECT_THROW((void)demo_options().parse({"--sigma", "fast"}), CliError);
+  EXPECT_THROW((void)demo_options().parse({"--csv", "maybe"}), CliError);
+  // Validator veto: well-formed integer, refused value.
+  EXPECT_THROW((void)demo_options().parse({"--samples", "-5"}), CliError);
+}
+
+TEST(OptionSet, UndeclaredAccessIsALogicError) {
+  const OptionSet::Parsed parsed = demo_options().parse({});
+  EXPECT_THROW((void)parsed.integer("nope"), std::logic_error);
+  // Wrong-type access is a programming error too, not a silent 0.
+  EXPECT_THROW((void)parsed.text("samples"), std::logic_error);
+}
+
+TEST(OptionSet, HelpListsEveryOptionWithDefaults) {
+  const std::string help = demo_options().help("usage: demo [options]");
+  EXPECT_NE(help.find("usage: demo [options]"), std::string::npos);
+  EXPECT_NE(help.find("--samples N"), std::string::npos);
+  EXPECT_NE(help.find("[default: 1000]"), std::string::npos);
+  EXPECT_NE(help.find("--sigma X"), std::string::npos);
+  EXPECT_NE(help.find("--csv"), std::string::npos);
+}
+
+// ---------------------------------------------------------- JsonValue ----
+
+TEST(Json, ParsesNestedDocuments) {
+  JsonValue value;
+  std::string error;
+  ASSERT_TRUE(JsonValue::parse(
+      R"({"a":[1,2.5,-3e2],"b":{"c":"x\n\"y\""},"d":true,"e":null})",
+      &value, &error))
+      << error;
+  ASSERT_TRUE(value.is_object());
+  const JsonValue* a = value.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_EQ(a->array()[1].number(), 2.5);
+  std::string c;
+  ASSERT_TRUE(value.find("b")->get("c", &c));
+  EXPECT_EQ(c, "x\n\"y\"");
+  bool d = false;
+  ASSERT_TRUE(value.get("d", &d));
+  EXPECT_TRUE(d);
+  EXPECT_TRUE(value.find("e")->is_null());
+}
+
+TEST(Json, Reads64BitIntegersFromDecimalStrings) {
+  // The repo-wide convention: hashes/seeds exceeding double precision
+  // travel as quoted decimal strings.
+  JsonValue value;
+  ASSERT_TRUE(JsonValue::parse(R"({"h":"18446744073709551615","n":7})",
+                               &value));
+  std::uint64_t h = 0;
+  ASSERT_TRUE(value.get("h", &h));
+  EXPECT_EQ(h, 18446744073709551615ull);
+  std::uint64_t n = 0;
+  ASSERT_TRUE(value.get("n", &n));
+  EXPECT_EQ(n, 7u);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse("", &value, &error));
+  EXPECT_FALSE(JsonValue::parse("{", &value, &error));
+  EXPECT_FALSE(JsonValue::parse("{} trailing", &value, &error));
+  EXPECT_FALSE(JsonValue::parse(R"({"a":1e999})", &value, &error));
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1,}", &value, &error));
+}
+
+TEST(Json, DepthLimitStopsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 10000; ++i) deep += '[';
+  for (int i = 0; i < 10000; ++i) deep += ']';
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse(deep, &value, &error));
+}
+
+// ------------------------------------------------------ schema version ----
+
+TEST(SchemaVersion, FieldMatchesCurrentVersion) {
+  EXPECT_EQ(schema_version_field(),
+            "\"schema_version\":" + std::to_string(kSchemaVersion));
+}
+
+TEST(SchemaVersion, ReadsDeclaredAbsentAndMalformed) {
+  EXPECT_EQ(read_schema_version(R"({"schema_version":2,"x":1})"), 2);
+  // Pre-versioning artifacts read as version 1.
+  EXPECT_EQ(read_schema_version(R"({"x":1})"), 1);
+  EXPECT_EQ(read_schema_version(R"({"schema_version":"two"})"), 0);
+}
+
+TEST(SchemaVersion, RequireAcceptsOlderRejectsNewer) {
+  EXPECT_NO_THROW(require_schema_version(R"({"x":1})", "artifact"));
+  EXPECT_NO_THROW(
+      require_schema_version(R"({"schema_version":2})", "artifact"));
+  EXPECT_THROW(
+      require_schema_version(R"({"schema_version":999})", "artifact"),
+      std::runtime_error);
 }
 
 }  // namespace

@@ -211,10 +211,12 @@ TEST(Telemetry, JsonlSinkWritesOneLinePerEvent) {
   telemetry::MetricSample sample;
   sample.name = "m";
   sink.on_metric(sample);
-  EXPECT_EQ(sink.lines(), 2u);
+  EXPECT_EQ(sink.lines(), 2u);  // the meta schema line is not an event
   const std::string text = out.str();
-  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
-  EXPECT_EQ(text.find("\"type\":\"span\""), text.find('{') + 1);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  // First line declares the artifact schema, then the events follow.
+  EXPECT_EQ(text.find("{\"type\":\"meta\",\"schema_version\":"), 0u);
+  EXPECT_NE(text.find("\"type\":\"span\""), std::string::npos);
 }
 
 /// Strips "t0":... and "t1":... (the only nondeterministic span

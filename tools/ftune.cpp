@@ -10,7 +10,12 @@
 //   ftune importance --program P [--arch A] [--top K]
 //                                      per-module flag main effects
 //
-// `ftune tune --help` (or any bad flag) prints the full option list.
+// Every subcommand declares its flags through support::OptionSet, so
+// unknown flags and malformed values are hard errors and
+// `ftune <cmd> --help` prints that subcommand's generated option
+// table. With --remote ADDR the evaluating subcommands (profile, tune,
+// importance) execute their raw measurements on a running `ftuned`
+// daemon; results are bit-identical to in-process runs.
 // Exit status: 0 on success, 1 on usage errors.
 
 #include <cstdlib>
@@ -26,7 +31,9 @@
 #include "flags/spaces.hpp"
 #include "machine/architecture.hpp"
 #include "programs/benchmarks.hpp"
+#include "service/client.hpp"
 #include "support/cli.hpp"
+#include "support/options.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
@@ -37,60 +44,117 @@ namespace {
 
 using namespace ft;
 
-machine::Architecture parse_arch(const std::string& name) {
-  if (name == "opteron") return machine::opteron();
-  if (name == "sandybridge") return machine::sandy_bridge();
-  if (name == "broadwell") return machine::broadwell();
-  throw std::invalid_argument(
-      "unknown --arch '" + name +
-      "' (expected opteron|sandybridge|broadwell)");
+/// The flag table every evaluating subcommand (profile, tune,
+/// importance) shares. Subcommands chain their extra flags onto the
+/// returned set before parsing.
+support::OptionSet common_options() {
+  const core::FuncyTunerOptions defaults;
+  support::OptionSet set;
+  set.text("program", "CL", "benchmark name (see `ftune list`)")
+      .text("arch", "broadwell", "opteron|sandybridge|broadwell")
+      .integer("samples", 1000,
+               "pre-sampled CVs / search iterations",
+               [](const std::string& raw) {
+                 return raw.empty() || raw[0] == '-' ? "must be positive"
+                                                    : "";
+               })
+      .integer("top-x", 10, "CFR pruned-space size per module")
+      .integer("seed", 42, "master seed")
+      .real("hot-threshold", defaults.hot_threshold,
+            "outline loops >= this runtime share")
+      .integer("final-reps", defaults.final_reps,
+               "reps for baseline/final measurement")
+      .real("noise-sigma", defaults.noise_sigma_rel,
+            "relative run-to-run noise sigma")
+      .real("attribution-sigma", defaults.attribution_sigma,
+            "extra per-region Caliper error")
+      .integer("patience", 0,
+               "CFR early stop after N non-improving evals (0 = off)")
+      .integer("threads", 0,
+               "evaluation pool size (sets FT_THREADS; 0 = auto)")
+      .real("fault-rate", 0.0,
+            "injected fault probability per evaluation")
+      .integer("fault-seed",
+               static_cast<std::int64_t>(defaults.faults.seed),
+               "fault-injection RNG seed")
+      .integer("max-retries", defaults.retry.max_retries,
+               "retries for transient run faults")
+      .real("eval-timeout", defaults.retry.eval_timeout_seconds,
+            "per-evaluation runtime budget in seconds (0 = off)")
+      .flag("eval-cache", false,
+            "memoize completed evaluations (bit-identical results, "
+            "redundant modeled cost reported as saved)")
+      .integer("eval-cache-size", 0,
+               "LRU entry bound for --eval-cache (default 1M)")
+      .text("remote", "",
+            "evaluate via a running ftuned daemon at unix:PATH or "
+            "tcp:host:port")
+      .flag("help", false, "print this help");
+  return set;
 }
 
-core::FuncyTunerOptions parse_options(const support::CliArgs& args) {
-  core::FuncyTunerOptions defaults;
+core::FuncyTunerOptions parse_options(
+    const support::OptionSet::Parsed& args) {
   core::FuncyTunerOptions options;
-  options.samples =
-      static_cast<std::size_t>(args.get_int("samples", 1000));
-  options.top_x = static_cast<std::size_t>(args.get_int("top-x", 10));
-  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  options.hot_threshold =
-      args.get_double("hot-threshold", defaults.hot_threshold);
-  options.final_reps = static_cast<int>(
-      args.get_int("final-reps", defaults.final_reps));
-  options.noise_sigma_rel =
-      args.get_double("noise-sigma", defaults.noise_sigma_rel);
-  options.attribution_sigma =
-      args.get_double("attribution-sigma", defaults.attribution_sigma);
-  options.patience =
-      static_cast<std::size_t>(args.get_int("patience", 0));
-  options.faults.rate = args.get_double("fault-rate", 0.0);
-  options.faults.seed = static_cast<std::uint64_t>(
-      args.get_int("fault-seed",
-                   static_cast<std::int64_t>(defaults.faults.seed)));
-  options.retry.max_retries = static_cast<int>(
-      args.get_int("max-retries", defaults.retry.max_retries));
-  options.retry.eval_timeout_seconds = args.get_double(
-      "eval-timeout", defaults.retry.eval_timeout_seconds);
-  options.eval_cache = args.get_bool("eval-cache", false);
+  options.samples = static_cast<std::size_t>(args.integer("samples"));
+  options.top_x = static_cast<std::size_t>(args.integer("top-x"));
+  options.seed = static_cast<std::uint64_t>(args.integer("seed"));
+  options.hot_threshold = args.real("hot-threshold");
+  options.final_reps = static_cast<int>(args.integer("final-reps"));
+  options.noise_sigma_rel = args.real("noise-sigma");
+  options.attribution_sigma = args.real("attribution-sigma");
+  options.patience = static_cast<std::size_t>(args.integer("patience"));
+  options.faults.rate = args.real("fault-rate");
+  options.faults.seed =
+      static_cast<std::uint64_t>(args.integer("fault-seed"));
+  options.retry.max_retries =
+      static_cast<int>(args.integer("max-retries"));
+  options.retry.eval_timeout_seconds = args.real("eval-timeout");
+  options.eval_cache = args.flag("eval-cache");
   options.eval_cache_entries =
-      static_cast<std::size_t>(args.get_int("eval-cache-size", 0));
+      static_cast<std::size_t>(args.integer("eval-cache-size"));
   return options;
 }
 
-/// Flags every subcommand accepts (parse_options + plumbing).
-std::vector<std::string> common_flags() {
-  return {"program",       "arch",          "samples",
-          "top-x",         "seed",          "hot-threshold",
-          "final-reps",    "noise-sigma",   "attribution-sigma",
-          "patience",      "threads",       "help",
-          "fault-rate",    "fault-seed",    "max-retries",
-          "eval-timeout",  "eval-cache",    "eval-cache-size"};
+/// Strict parse with the uniform --help / usage-error behavior. argv
+/// points past the subcommand token.
+support::OptionSet::Parsed parse_or_exit(const support::OptionSet& set,
+                                         const std::string& command,
+                                         int argc, char** argv) {
+  const std::string usage = "usage: ftune " + command + " [options]";
+  try {
+    support::OptionSet::Parsed parsed = set.parse(argc, argv);
+    if (parsed.flag("help")) {
+      std::cout << set.help(usage);
+      std::exit(0);
+    }
+    if (parsed.given("threads")) {
+      // Must happen before the first global_pool() use; the pool
+      // reads FT_THREADS once, at construction.
+      setenv("FT_THREADS",
+             std::to_string(parsed.integer("threads")).c_str(),
+             /*overwrite=*/1);
+    }
+    return parsed;
+  } catch (const support::CliError& error) {
+    std::cerr << "ftune " << command << ": " << error.what() << '\n'
+              << set.help(usage);
+    std::exit(1);
+  }
 }
 
-std::vector<std::string> with_common(std::vector<std::string> extra) {
-  std::vector<std::string> known = common_flags();
-  known.insert(known.end(), extra.begin(), extra.end());
-  return known;
+/// Routes the tuner's raw measurements through an ftuned daemon when
+/// --remote was given. The daemon only executes compile+link+run;
+/// retries, fault handling, caching and journaling stay local, so the
+/// results are bit-identical to the in-process path.
+void attach_remote(core::FuncyTuner& tuner,
+                   const support::OptionSet::Parsed& args,
+                   const core::FuncyTunerOptions& options) {
+  const std::string& remote = args.text("remote");
+  if (remote.empty()) return;
+  tuner.evaluator().set_backend(std::make_shared<service::RemoteBackend>(
+      service::Client::connect(remote, tuner.program().name(),
+                               tuner.engine().arch().name, options)));
 }
 
 /// "out.csv" + "cfr" -> "out.cfr.csv" (suffix appended when the path
@@ -106,7 +170,10 @@ std::string suffixed_path(const std::string& path, const std::string& key) {
   return path.substr(0, dot) + "." + key + path.substr(dot);
 }
 
-int cmd_list() {
+int cmd_list(int argc, char** argv) {
+  support::OptionSet set;
+  set.flag("help", false, "print this help");
+  (void)parse_or_exit(set, "list", argc, argv);
   support::Table programs_table("Benchmarks (Table 1)");
   programs_table.set_header({"Name", "Language", "kLOC", "Hot loops"});
   for (const auto& program : programs::suite()) {
@@ -130,11 +197,15 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_spaces(const support::CliArgs& args) {
-  args.check_known({"compiler", "help", "threads"});
-  const std::string compiler = args.get("compiler", "icc");
-  const flags::FlagSpace space =
-      compiler == "gcc" ? flags::gcc_space() : flags::icc_space();
+int cmd_spaces(int argc, char** argv) {
+  support::OptionSet set;
+  set.text("compiler", "icc", "icc|gcc")
+      .flag("help", false, "print this help");
+  const support::OptionSet::Parsed args =
+      parse_or_exit(set, "spaces", argc, argv);
+  const flags::FlagSpace space = args.text("compiler") == "gcc"
+                                     ? flags::gcc_space()
+                                     : flags::icc_space();
   support::Table table("Optimization space '" + space.compiler_name() +
                        "' (" + std::to_string(space.flag_count()) +
                        " flags, |COS| = " +
@@ -154,11 +225,14 @@ int cmd_spaces(const support::CliArgs& args) {
   return 0;
 }
 
-int cmd_profile(const support::CliArgs& args) {
-  args.check_known(with_common({}));
-  core::FuncyTuner tuner(programs::by_name(args.get("program", "CL")),
-                         parse_arch(args.get("arch", "broadwell")),
-                         parse_options(args));
+int cmd_profile(int argc, char** argv) {
+  const support::OptionSet::Parsed args =
+      parse_or_exit(common_options(), "profile", argc, argv);
+  const core::FuncyTunerOptions options = parse_options(args);
+  core::FuncyTuner tuner(programs::by_name(args.text("program")),
+                         machine::architecture_by_name(args.text("arch")),
+                         options);
+  attach_remote(tuner, args, options);
   const core::Outline& outline = tuner.outline();
   support::Table table("O3 Caliper profile of " + tuner.program().name() +
                        " on " + tuner.engine().arch().name + " (" +
@@ -177,12 +251,25 @@ int cmd_profile(const support::CliArgs& args) {
   return 0;
 }
 
-int cmd_tune(const support::CliArgs& args) {
-  args.check_known(with_common({"algorithm", "json", "history", "collection",
-                                "trace", "metrics", "pool-stats",
-                                "checkpoint", "resume"}));
+int cmd_tune(int argc, char** argv) {
+  support::OptionSet set = common_options();
+  set.text("algorithm", "cfr", "registry key or `all`")
+      .text("json", "",
+            "result JSON (array when tuning several algorithms)")
+      .text("history", "",
+            "best-so-far CSV (per-algorithm suffixes for `all`)")
+      .text("collection", "", "per-loop collection matrix CSV")
+      .text("trace", "", "JSONL span/metric event trace")
+      .text("metrics", "", "metrics snapshot JSON + summary table")
+      .flag("pool-stats", false, "print thread-pool counters")
+      .text("checkpoint", "",
+            "journal completed evaluations to FILE (JSONL)")
+      .text("resume", "", "continue a killed run from its journal");
+  const support::OptionSet::Parsed args =
+      parse_or_exit(set, "tune", argc, argv);
+
   core::SearchRegistry& registry = core::SearchRegistry::global();
-  const std::string algorithm = args.get("algorithm", "cfr");
+  const std::string algorithm = args.text("algorithm");
   std::vector<std::string> keys;
   if (algorithm == "all") {
     keys = registry.names();
@@ -201,33 +288,35 @@ int cmd_tune(const support::CliArgs& args) {
   // Telemetry: a JSONL trace sink and/or a metrics snapshot, both
   // off (and zero-cost) by default.
   std::shared_ptr<telemetry::JsonlSink> trace;
-  if (args.has("trace")) {
-    trace = telemetry::JsonlSink::open(args.get("trace"));
+  if (!args.text("trace").empty()) {
+    trace = telemetry::JsonlSink::open(args.text("trace"));
     telemetry::set_sink(trace);
   }
-  if (args.has("metrics")) telemetry::enable_metrics(true);
+  const bool want_metrics = !args.text("metrics").empty();
+  if (want_metrics) telemetry::enable_metrics(true);
 
-  core::FuncyTunerOptions options = parse_options(args);
-  core::FuncyTuner tuner(programs::by_name(args.get("program", "CL")),
-                         parse_arch(args.get("arch", "broadwell")),
+  const core::FuncyTunerOptions options = parse_options(args);
+  core::FuncyTuner tuner(programs::by_name(args.text("program")),
+                         machine::architecture_by_name(args.text("arch")),
                          options);
+  attach_remote(tuner, args, options);
 
   // Checkpoint journal: --checkpoint starts fresh, --resume replays a
   // previous (possibly killed) run's evaluations and appends the rest.
   std::shared_ptr<core::EvalJournal> journal;
-  if (args.has("resume")) {
-    journal = core::EvalJournal::resume(args.get("resume"),
+  if (!args.text("resume").empty()) {
+    journal = core::EvalJournal::resume(args.text("resume"),
                                         core::options_fingerprint(options));
     std::cout << "resuming from " << journal->path() << " ("
               << journal->loaded() << " evaluations journaled)\n";
-  } else if (args.has("checkpoint")) {
-    journal = core::EvalJournal::create(args.get("checkpoint"),
+  } else if (!args.text("checkpoint").empty()) {
+    journal = core::EvalJournal::create(args.text("checkpoint"),
                                         core::options_fingerprint(options));
   }
   if (journal) tuner.evaluator().set_journal(journal);
   // A resumed run with the cache serves every journaled evaluation
   // from memory instead of per-lookup journal consults.
-  if (journal && args.has("resume") && tuner.eval_cache()) {
+  if (journal && !args.text("resume").empty() && tuner.eval_cache()) {
     tuner.evaluator().warm_cache_from_journal();
   }
 
@@ -310,10 +399,10 @@ int cmd_tune(const support::CliArgs& args) {
     overhead.print(std::cout);
   }
 
-  if (args.has("json")) {
+  if (!args.text("json").empty()) {
     // One entry per algorithm: a bare object for a single algorithm
     // (backwards compatible), a JSON array for --algorithm all.
-    std::ofstream out(args.get("json"));
+    std::ofstream out(args.text("json"));
     if (results.size() == 1) {
       out << core::tuning_result_json(results.front(), tuner.space(),
                                       tuner.program())
@@ -328,26 +417,26 @@ int cmd_tune(const support::CliArgs& args) {
       }
       out << "]\n";
     }
-    std::cout << "wrote " << args.get("json") << '\n';
+    std::cout << "wrote " << args.text("json") << '\n';
   }
-  if (args.has("history")) {
+  if (!args.text("history").empty()) {
     // Per-algorithm files ("conv.cfr.csv") when tuning more than one.
     for (std::size_t i = 0; i < results.size(); ++i) {
       const std::string path =
           results.size() == 1
-              ? args.get("history")
-              : suffixed_path(args.get("history"), keys[i]);
+              ? args.text("history")
+              : suffixed_path(args.text("history"), keys[i]);
       std::ofstream out(path);
       core::write_history_csv(out, results[i]);
       std::cout << "wrote " << path << '\n';
     }
   }
-  if (args.has("collection")) {
-    std::ofstream out(args.get("collection"));
+  if (!args.text("collection").empty()) {
+    std::ofstream out(args.text("collection"));
     core::write_collection_csv(out, tuner.outline(), tuner.collection());
-    std::cout << "wrote " << args.get("collection") << '\n';
+    std::cout << "wrote " << args.text("collection") << '\n';
   }
-  if (args.get_bool("pool-stats", false)) {
+  if (args.flag("pool-stats")) {
     const support::ThreadPool::Stats stats =
         support::global_pool().stats();
     support::Table pool_table(
@@ -362,34 +451,38 @@ int cmd_tune(const support::CliArgs& args) {
     pool_table.print(std::cout);
   }
 
-  if (args.has("metrics") || trace) {
+  if (want_metrics || trace) {
     telemetry::bridge_pool_stats(support::global_pool().stats());
     // Appends the deterministic metric samples to the trace.
     telemetry::flush_metrics();
   }
-  if (args.has("metrics")) {
+  if (want_metrics) {
     const std::vector<telemetry::MetricSample> snapshot =
         telemetry::metrics().snapshot();
-    std::ofstream out(args.get("metrics"));
+    std::ofstream out(args.text("metrics"));
     telemetry::write_metrics_json(out, snapshot);
-    std::cout << "wrote " << args.get("metrics") << '\n';
+    std::cout << "wrote " << args.text("metrics") << '\n';
     telemetry::metrics_summary_table(snapshot).print(std::cout);
   }
   if (trace) {
     telemetry::set_sink(nullptr);
-    std::cout << "wrote " << args.get("trace") << " (" << trace->lines()
+    std::cout << "wrote " << args.text("trace") << " (" << trace->lines()
               << " events)\n";
   }
   return 0;
 }
 
-int cmd_importance(const support::CliArgs& args) {
-  args.check_known(with_common({"top"}));
-  core::FuncyTuner tuner(programs::by_name(args.get("program", "CL")),
-                         parse_arch(args.get("arch", "broadwell")),
-                         parse_options(args));
-  const std::size_t top_k =
-      static_cast<std::size_t>(args.get_int("top", 3));
+int cmd_importance(int argc, char** argv) {
+  support::OptionSet set = common_options();
+  set.integer("top", 3, "flags shown per module");
+  const support::OptionSet::Parsed args =
+      parse_or_exit(set, "importance", argc, argv);
+  const core::FuncyTunerOptions options = parse_options(args);
+  core::FuncyTuner tuner(programs::by_name(args.text("program")),
+                         machine::architecture_by_name(args.text("arch")),
+                         options);
+  attach_remote(tuner, args, options);
+  const std::size_t top_k = static_cast<std::size_t>(args.integer("top"));
   const auto importance = core::analyze_flag_importance(
       tuner.space(), tuner.outline(), tuner.collection());
   support::Table table("Flag main effects for " + tuner.program().name());
@@ -407,98 +500,39 @@ int cmd_importance(const support::CliArgs& args) {
   return 0;
 }
 
-void usage() {
-  std::string algorithms;
-  for (const std::string& name :
-       core::SearchRegistry::global().names()) {
-    algorithms += name + "|";
-  }
-  std::cerr
-      << "usage: ftune <list|spaces|profile|tune|importance> [options]\n"
+void usage(std::ostream& out) {
+  out << "usage: ftune <list|spaces|profile|tune|importance> [options]\n"
          "\n"
-         "common options\n"
-         "  --program P            benchmark name (see `ftune list`; "
-         "default CL)\n"
-         "  --arch A               opteron|sandybridge|broadwell "
-         "(default broadwell)\n"
-         "  --samples N            pre-sampled CVs / search iterations "
-         "(default 1000)\n"
-         "  --top-x X              CFR pruned-space size per module "
-         "(default 10)\n"
-         "  --seed S               master seed (default 42)\n"
-         "  --hot-threshold F      outline loops >= this runtime share "
-         "(default 0.01)\n"
-         "  --final-reps N         reps for baseline/final measurement "
-         "(default 10)\n"
-         "  --noise-sigma F        relative run-to-run noise sigma "
-         "(default 0.008)\n"
-         "  --attribution-sigma F  extra per-region Caliper error "
-         "(default 0.03)\n"
-         "  --threads N            evaluation pool size (sets "
-         "FT_THREADS)\n"
+         "  list        benchmarks and architectures\n"
+         "  spaces      print the optimization space\n"
+         "  profile     Caliper profile of the O3 build\n"
+         "  tune        run a tuning campaign cell\n"
+         "  importance  per-module flag main effects\n"
          "\n"
-         "resilience options\n"
-         "  --fault-rate F         injected fault probability per "
-         "evaluation (default 0)\n"
-         "  --fault-seed S         fault-injection RNG seed (default "
-         "1337)\n"
-         "  --max-retries N        retries for transient run faults "
-         "(default 2)\n"
-         "  --eval-timeout F       per-evaluation runtime budget in "
-         "seconds (0 = off)\n"
-         "  --eval-cache           memoize completed evaluations "
-         "(bit-identical results,\n"
-         "                         redundant modeled cost reported as "
-         "saved)\n"
-         "  --eval-cache-size N    LRU entry bound for --eval-cache "
-         "(default 1M)\n"
-         "\n"
-         "tune options\n"
-         "  --algorithm NAME       " +
-             algorithms +
-             "all (default cfr)\n"
-             "  --patience N           CFR early stop after N "
-             "non-improving evals (0 = off)\n"
-             "  --json FILE            result JSON (array when tuning "
-             "several algorithms)\n"
-             "  --history FILE         best-so-far CSV (per-algorithm "
-             "suffixes for `all`)\n"
-             "  --collection FILE      per-loop collection matrix CSV\n"
-             "  --trace FILE           JSONL span/metric event trace\n"
-             "  --metrics FILE         metrics snapshot JSON + summary "
-             "table\n"
-             "  --pool-stats           print thread-pool counters\n"
-             "  --checkpoint FILE      journal completed evaluations to "
-             "FILE (JSONL)\n"
-             "  --resume FILE          continue a killed run from its "
-             "journal\n";
+         "`ftune <cmd> --help` prints that subcommand's option table.\n"
+         "--remote ADDR evaluates on a running ftuned daemon.\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
+    usage(std::cerr);
     return 1;
   }
   const std::string command = argv[1];
-  const support::CliArgs args(argc - 1, argv + 1);
-  if (args.has("help")) {
-    usage();
+  if (command == "--help" || command == "help") {
+    usage(std::cout);
     return 0;
   }
-  if (args.has("threads")) {
-    // Must happen before the first global_pool() use; the pool reads
-    // FT_THREADS once, at construction.
-    setenv("FT_THREADS", args.get("threads").c_str(), /*overwrite=*/1);
-  }
   try {
-    if (command == "list") return cmd_list();
-    if (command == "spaces") return cmd_spaces(args);
-    if (command == "profile") return cmd_profile(args);
-    if (command == "tune") return cmd_tune(args);
-    if (command == "importance") return cmd_importance(args);
-    usage();
+    if (command == "list") return cmd_list(argc - 2, argv + 2);
+    if (command == "spaces") return cmd_spaces(argc - 2, argv + 2);
+    if (command == "profile") return cmd_profile(argc - 2, argv + 2);
+    if (command == "tune") return cmd_tune(argc - 2, argv + 2);
+    if (command == "importance") return cmd_importance(argc - 2, argv + 2);
+    std::cerr << "ftune: unknown subcommand '" << command << "'\n";
+    usage(std::cerr);
     return 1;
   } catch (const std::exception& error) {
     std::cerr << "ftune: " << error.what() << '\n';

@@ -1,0 +1,105 @@
+// ftuned - the FuncyTuner evaluation daemon.
+//
+// Serves raw compile+link+run measurements over a framed JSON RPC
+// socket (see src/service/): any `ftune --remote ADDR` run, campaign
+// or bench tool can offload its evaluations here. One daemon holds a
+// workspace (execution engine + compiled-module cache) per distinct
+// (program, architecture, personality, measurement options) hello, so
+// concurrent clients tuning the same cell share compiled state.
+//
+// Results are bit-identical to in-process evaluation: the daemon only
+// executes the deterministic raw measurement; every piece of tuning
+// bookkeeping (retries, fault decisions, quarantine, journal, client
+// cache) stays in the caller's Evaluator.
+//
+// Typical use:
+//   ftuned --listen unix:/tmp/ftuned.sock --idle-timeout 60 &
+//   ftune tune --program CL --remote unix:/tmp/ftuned.sock
+// The daemon exits on its own once idle for --idle-timeout seconds
+// (0 = run until killed).
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "service/server.hpp"
+#include "support/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ft;
+  support::OptionSet options;
+  options
+      .text("listen", "unix:/tmp/ftuned.sock",
+            "bind address: unix:PATH or tcp:host:port (port 0 = "
+            "ephemeral)")
+      .real("idle-timeout", 0.0,
+            "exit after this many seconds with no sessions (0 = never)")
+      .integer("max-inflight", 256,
+               "admitted-but-unfinished evaluations before refusing "
+               "with `overloaded`")
+      .integer("max-batch", 1024,
+               "requests accepted per eval_batch frame")
+      .integer("cache-size", 0,
+               "daemon-side raw-result cache entries per workspace "
+               "(0 = off)")
+      .integer("max-frame-bytes",
+               static_cast<std::int64_t>(service::kDefaultMaxFrameBytes),
+               "largest accepted wire frame")
+      .integer("threads", 0,
+               "evaluation pool size (sets FT_THREADS; 0 = auto)")
+      .flag("help", false, "print this help");
+
+  support::OptionSet::Parsed parsed;
+  try {
+    parsed = options.parse(argc - 1, argv + 1);
+  } catch (const support::CliError& error) {
+    std::cerr << "ftuned: " << error.what() << '\n'
+              << options.help("usage: ftuned [options]");
+    return 1;
+  }
+  if (parsed.flag("help")) {
+    std::cout << options.help("usage: ftuned [options]");
+    return 0;
+  }
+  if (parsed.given("threads")) {
+    // Must precede the first global_pool() use; the pool reads
+    // FT_THREADS once, at construction.
+    setenv("FT_THREADS", std::to_string(parsed.integer("threads")).c_str(),
+           /*overwrite=*/1);
+  }
+
+  service::ServerOptions server_options;
+  server_options.listen = parsed.text("listen");
+  server_options.idle_timeout_seconds = parsed.real("idle-timeout");
+  server_options.max_inflight =
+      static_cast<std::size_t>(parsed.integer("max-inflight"));
+  server_options.max_batch =
+      static_cast<std::size_t>(parsed.integer("max-batch"));
+  server_options.cache_entries =
+      static_cast<std::size_t>(parsed.integer("cache-size"));
+  server_options.max_frame_bytes =
+      static_cast<std::size_t>(parsed.integer("max-frame-bytes"));
+
+  try {
+    service::Server server(server_options);
+    server.start();
+    std::ostringstream idle;
+    if (server_options.idle_timeout_seconds > 0) {
+      idle << " (idle timeout " << server_options.idle_timeout_seconds
+           << " s)";
+    }
+    std::cout << "ftuned listening on " << server.address().display()
+              << idle.str() << std::endl;
+    server.wait();
+    const service::Server::Stats stats = server.stats();
+    std::cout << "ftuned exiting: " << stats.sessions_accepted
+              << " sessions, " << stats.frames_served << " frames, "
+              << stats.evaluations << " evaluations ("
+              << stats.cache_hits << " cache hits, " << stats.overloads
+              << " overload refusals)\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "ftuned: " << error.what() << '\n';
+    return 1;
+  }
+}
