@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "core/funcy_tuner.hpp"
+#include "support/parse_number.hpp"
 #include "support/rng.hpp"
 #include "support/serialization.hpp"
 
@@ -63,9 +64,7 @@ bool field_double(const std::string& line, const std::string& name,
                   double* out) {
   std::string text;
   if (!field_text(line, name, &text) || text.empty()) return false;
-  char* end = nullptr;
-  *out = std::strtod(text.c_str(), &end);
-  return end != nullptr && *end == '\0';
+  return support::parse_double(text, out);
 }
 
 }  // namespace
@@ -154,12 +153,16 @@ bool EvalJournal::decode(const std::string& line, JournalRecord* out) {
     const std::size_t close = line.find(']', at);
     if (close == std::string::npos) return false;
     while (at < close) {
-      char* end = nullptr;
-      const double value = std::strtod(line.c_str() + at, &end);
-      const auto parsed = static_cast<std::size_t>(end - line.c_str());
-      if (end == nullptr || parsed <= at || parsed > close) return false;
+      double value = 0.0;
+      std::size_t consumed = 0;
+      if (!support::parse_double_prefix(
+              std::string_view(line).substr(at, close - at), &value,
+              &consumed) ||
+          consumed == 0) {
+        return false;
+      }
       result.loop_seconds.push_back(value);
-      at = parsed + 1;  // skip ',' (or land past ']')
+      at += consumed + 1;  // skip ',' (or land past ']')
     }
     // Not journaled; recompute exactly as the engine does.
     result.derived_nonloop_seconds =

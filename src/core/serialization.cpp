@@ -81,4 +81,29 @@ std::string tuning_result_json(const TuningResult& result,
   return oss.str();
 }
 
+std::string campaign_json(const Campaign& campaign) {
+  std::ostringstream oss;
+  oss << "{" << support::schema_version_field() << ",\"cells\":[";
+  bool first_cell = true;
+  for (const CampaignCell& cell : campaign.cells()) {
+    if (!first_cell) oss << ',';
+    first_cell = false;
+    oss << "{\"program\":\"" << json_escape(cell.program)
+        << "\",\"architecture\":\"" << json_escape(cell.architecture)
+        << "\",\"baseline_seconds\":" << json_number(cell.baseline_seconds)
+        << ",\"results\":[";
+    for (std::size_t i = 0; i < cell.results.size(); ++i) {
+      const TuningResult& result = cell.results[i];
+      if (i) oss << ',';
+      oss << "{\"algorithm\":\"" << json_escape(result.algorithm)
+          << "\",\"speedup\":" << json_number(result.speedup)
+          << ",\"tuned_seconds\":" << json_number(result.tuned_seconds)
+          << ",\"evaluations\":" << result.evaluations << '}';
+    }
+    oss << "]}";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
 }  // namespace ft::core

@@ -8,6 +8,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "core/campaign.hpp"
 #include "core/collector.hpp"
 #include "core/outline.hpp"
 #include "core/search.hpp"
@@ -28,5 +29,12 @@ void write_history_csv(std::ostream& os, const TuningResult& result);
 [[nodiscard]] std::string tuning_result_json(
     const TuningResult& result, const flags::FlagSpace& space,
     const ir::Program& program);
+
+/// JSON object describing a finished campaign's whole result grid, in
+/// deterministic grid order. This is the artifact the fleet-smoke CI
+/// byte-compares between local, single-daemon and fleet runs, so the
+/// text must depend only on the tuning inputs - never on where or in
+/// what order cells executed.
+[[nodiscard]] std::string campaign_json(const Campaign& campaign);
 
 }  // namespace ft::core

@@ -1,18 +1,15 @@
 #include "service/client.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "service/framing.hpp"
+#include "support/rng.hpp"
 
 namespace ft::service {
 
 namespace {
-
-/// Bounded backoff for retryable "overloaded" refusals: ~2.5 s of
-/// total patience before giving up loudly.
-constexpr int kMaxOverloadRetries = 50;
-constexpr int kOverloadSleepMs = 10;
 
 [[noreturn]] void throw_error_frame(const ErrorFrame& error) {
   throw ServiceError(error.code.empty() ? "error" : error.code,
@@ -25,9 +22,14 @@ constexpr int kOverloadSleepMs = 10;
 std::unique_ptr<Client> Client::connect(
     const std::string& address, const std::string& program,
     const std::string& arch, const core::FuncyTunerOptions& options,
-    compiler::Personality personality) {
+    compiler::Personality personality,
+    const ClientOptions& client_options) {
   auto client = std::unique_ptr<Client>(new Client());
+  client->options_ = client_options;
+  client->jitter_state_ =
+      client_options.jitter_seed ^ support::fnv1a64(address);
   client->socket_ = Socket::connect(Address::parse(address));
+  const int timeout_ms = client_options.io_timeout_ms();
 
   HelloFrame hello;
   hello.program = program;
@@ -35,12 +37,19 @@ std::unique_ptr<Client> Client::connect(
   hello.personality =
       personality == compiler::Personality::kGcc ? "gcc" : "icc";
   hello.options = options;
-  if (!write_frame(client->socket_.fd(), encode_hello(hello))) {
+  if (!write_frame(client->socket_.fd(), encode_hello(hello),
+                   timeout_ms)) {
     throw ServiceError("connect", "cannot send hello to " + address);
   }
 
   std::string payload;
-  if (read_frame(client->socket_.fd(), &payload) != FrameStatus::kOk) {
+  const FrameStatus status = read_frame(
+      client->socket_.fd(), &payload, kDefaultMaxFrameBytes, timeout_ms);
+  if (status == FrameStatus::kTimeout) {
+    throw ServiceError("timeout",
+                       "handshake with " + address + " timed out");
+  }
+  if (status != FrameStatus::kOk) {
     throw ServiceError("connect",
                        "connection closed during handshake with " +
                            address);
@@ -69,12 +78,23 @@ Client::~Client() {
 }
 
 support::JsonValue Client::roundtrip_locked(const std::string& frame) {
+  const int timeout_ms = options_.io_timeout_ms();
   for (int attempt = 0;; ++attempt) {
-    if (!write_frame(socket_.fd(), frame)) {
+    if (!write_frame(socket_.fd(), frame, timeout_ms)) {
       throw ServiceError("io", "connection to ftuned lost (send)");
     }
     std::string payload;
-    const FrameStatus status = read_frame(socket_.fd(), &payload);
+    const FrameStatus status = read_frame(
+        socket_.fd(), &payload, kDefaultMaxFrameBytes, timeout_ms);
+    if (status == FrameStatus::kTimeout) {
+      // The stream is mid-frame and unsynchronized: this session is
+      // unusable, so tear it down before reporting. "timeout" is a
+      // retryable TRANSPORT error - a fleet re-dispatches elsewhere.
+      socket_.shutdown_both();
+      throw ServiceError("timeout",
+                         "no reply from ftuned within " +
+                             std::to_string(timeout_ms) + " ms");
+    }
     if (status != FrameStatus::kOk) {
       throw ServiceError("io", "connection to ftuned lost (recv)");
     }
@@ -89,14 +109,23 @@ support::JsonValue Client::roundtrip_locked(const std::string& frame) {
     if (!decode_error(reply, &refusal)) {
       throw ServiceError("bad_frame", "malformed error frame");
     }
-    if (!refusal.retryable || attempt >= kMaxOverloadRetries) {
+    if (!refusal.retryable ||
+        attempt + 1 >= options_.overload_max_attempts) {
       throw_error_frame(refusal);
     }
-    // Backpressure: the daemon is at max_inflight. Ease off and
-    // resend the identical frame (results are deterministic, so a
-    // retry can never change the answer).
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(kOverloadSleepMs * (attempt + 1)));
+    // Backpressure: the daemon is at max_inflight. Exponential backoff
+    // with deterministic jitter (so N workers that hit the wall at
+    // once fan out instead of stampeding in lockstep), then resend the
+    // identical frame - results are deterministic, so a retry can
+    // never change the answer.
+    const double base =
+        options_.overload_base_sleep_ms * std::ldexp(1.0, attempt);
+    const double jitter =
+        base * 0.5 *
+        (static_cast<double>(support::splitmix64(jitter_state_) >> 11) *
+         0x1.0p-53);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        base + jitter));
   }
 }
 

@@ -20,6 +20,31 @@
 
 namespace ft::service {
 
+/// Knobs for one client session's transport behavior. All are plumbed
+/// from the ftune CLI (`--io-timeout`); the defaults match it.
+struct ClientOptions {
+  /// Per-frame recv/send deadline in seconds. A peer that accepts and
+  /// then goes silent surfaces as a retryable ServiceError("timeout")
+  /// instead of a hang. <= 0 disables the deadline.
+  double io_timeout_seconds = 30.0;
+  /// Bounded patience for retryable "overloaded" refusals: at most
+  /// this many resends of the same frame before giving up loudly.
+  int overload_max_attempts = 8;
+  /// First retry sleeps this long; each further retry doubles it
+  /// (plus deterministic jitter), so 8 attempts ~= 2.5 s total.
+  double overload_base_sleep_ms = 10.0;
+  /// Seed for the jitter stream. Deterministic so two runs of the same
+  /// command back off identically (bit-identity covers timing-free
+  /// outputs only, but reproducible schedules make hangs debuggable).
+  std::uint64_t jitter_seed = 0;
+
+  [[nodiscard]] int io_timeout_ms() const noexcept {
+    return io_timeout_seconds > 0
+               ? static_cast<int>(io_timeout_seconds * 1000.0)
+               : -1;
+  }
+};
+
 /// One connected, greeted session. Methods are serialized by an
 /// internal mutex (the wire is strictly request -> response), so one
 /// Client may back a many-worker Evaluator. Throws ServiceError with
@@ -34,8 +59,8 @@ class Client {
   [[nodiscard]] static std::unique_ptr<Client> connect(
       const std::string& address, const std::string& program,
       const std::string& arch, const core::FuncyTunerOptions& options,
-      compiler::Personality personality =
-          compiler::Personality::kIcc);
+      compiler::Personality personality = compiler::Personality::kIcc,
+      const ClientOptions& client_options = {});
 
   ~Client();  // best-effort bye
   Client(const Client&) = delete;
@@ -51,6 +76,11 @@ class Client {
   /// Liveness probe; throws ServiceError when the daemon is gone.
   void ping();
 
+  /// Tears down the transport from ANY thread: a blocked recv/send in
+  /// another thread wakes immediately with a transport error. Used by
+  /// the fleet to drain a daemon declared dead by the health probe.
+  void abort() noexcept { socket_.shutdown_both(); }
+
   [[nodiscard]] std::size_t max_batch() const noexcept {
     return welcome_.max_batch;
   }
@@ -61,8 +91,8 @@ class Client {
  private:
   Client() = default;
   /// Sends one frame and returns the parsed reply, absorbing retryable
-  /// "overloaded" refusals (bounded retries with growing sleep).
-  /// Caller holds mutex_.
+  /// "overloaded" refusals (bounded attempts, exponential backoff with
+  /// deterministic jitter). Caller holds mutex_.
   [[nodiscard]] support::JsonValue roundtrip_locked(
       const std::string& frame);
 
@@ -70,6 +100,8 @@ class Client {
   std::mutex mutex_;
   std::uint64_t next_seq_ = 1;
   WelcomeFrame welcome_;
+  ClientOptions options_;
+  std::uint64_t jitter_state_ = 0;
 };
 
 /// EvalBackend over a Client: substitutes the daemon for the local

@@ -1,0 +1,141 @@
+// Client-side fleet of ftuned daemons behind one EvalBackend. `ftune
+// --remote addr1,addr2,...` shards evaluation batches across N daemons
+// by consistent hash of the workspace key, rebalances queued chunks by
+// work stealing, health-probes every endpoint with ping/pong, and on a
+// probe failure or transport error drains the dead daemon and
+// re-dispatches its inflight chunks through the survivors. Because
+// every daemon computes the same deterministic raw measurements,
+// WHERE a request runs never changes WHAT it returns - fleet output
+// is bit-identical to a single daemon and to in-process evaluation,
+// including under daemon deaths mid-batch.
+//
+// Heterogeneous fleets: daemons started with `--archs` advertise the
+// architectures they serve in the welcome frame and refuse hellos for
+// the rest, so connect() keeps only the endpoints eligible for this
+// workspace's arch. make_fleet_backend_factory() gives Campaign a
+// per-cell factory, pinning each architecture's cells to the daemons
+// that can run them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/evaluator.hpp"
+#include "service/client.hpp"
+
+namespace ft::service {
+
+struct FleetOptions {
+  /// Transport knobs applied to every per-daemon session.
+  ClientOptions client;
+  /// Health probe period. Endpoints idle for a full period get a
+  /// ping; a failed probe drains the endpoint. <= 0 disables probing
+  /// (transport errors during dispatch still drain).
+  double probe_interval_seconds = 2.0;
+  /// A chunk bounced by `overloaded` give-ups or endpoint deaths is
+  /// re-dispatched at most this many times before the batch fails.
+  int max_chunk_redispatch = 8;
+};
+
+/// EvalBackend over N daemon sessions. Thread-safe like the single
+/// RemoteBackend (each endpoint's Client serializes its own wire).
+class FleetBackend final : public core::EvalBackend {
+ public:
+  /// Everything the tests (and curious operators) may want to assert
+  /// about scheduling. Monotonic over the backend's lifetime.
+  struct Stats {
+    std::size_t batches_dispatched = 0;  ///< run_many() calls
+    std::size_t chunks_stolen = 0;       ///< chunk ran off its home queue
+    std::size_t redispatches = 0;        ///< chunk re-queued after a death
+    std::size_t probe_failures = 0;      ///< pings that found a dead daemon
+    std::size_t endpoints_drained = 0;   ///< endpoints declared dead
+  };
+
+  /// Connects and handshakes every address for one workspace
+  /// (program, arch, options, personality). Endpoints that refuse the
+  /// arch (`unsupported_architecture` / `unknown_architecture`) are
+  /// skipped - that is the heterogeneous-fleet filter - as are
+  /// endpoints that are down; any OTHER refusal (bad options, version
+  /// skew) rethrows. Throws ServiceError("fleet") when no endpoint
+  /// can serve the workspace.
+  [[nodiscard]] static std::unique_ptr<FleetBackend> connect(
+      const std::vector<std::string>& addresses, const std::string& program,
+      const std::string& arch, const core::FuncyTunerOptions& options,
+      compiler::Personality personality = compiler::Personality::kIcc,
+      const FleetOptions& fleet_options = {});
+
+  ~FleetBackend() override;
+  FleetBackend(const FleetBackend&) = delete;
+  FleetBackend& operator=(const FleetBackend&) = delete;
+
+  [[nodiscard]] RawResult run(const compiler::ModuleAssignment& assignment,
+                              const machine::RunOptions& options) override;
+  [[nodiscard]] std::vector<RawResult> run_many(
+      std::span<const core::EvalRequest> requests) override;
+  [[nodiscard]] bool batches_remotely() const noexcept override {
+    return true;
+  }
+
+  /// Endpoints that survived the connect-time arch filter.
+  [[nodiscard]] std::size_t endpoint_count() const noexcept {
+    return endpoints_.size();
+  }
+  /// Endpoints not yet drained.
+  [[nodiscard]] std::size_t alive_count() const noexcept;
+  /// The consistent-hash home for this workspace: where all chunks go
+  /// first while the fleet is healthy. Stable across runs.
+  [[nodiscard]] const std::string& home_address() const noexcept;
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Endpoint {
+    std::string address;
+    std::unique_ptr<Client> client;
+    std::atomic<bool> alive{true};
+    /// Chunks currently being served by this endpoint's wire.
+    std::atomic<std::size_t> inflight{0};
+  };
+
+  FleetBackend() = default;
+
+  /// Successor of the workspace-key hash on the endpoint ring.
+  [[nodiscard]] std::size_t ring_successor(std::uint64_t key_hash) const;
+  /// First alive endpoint at or after `start` in ring order; -1 when
+  /// the whole fleet is dead.
+  [[nodiscard]] int next_alive(std::size_t start) const;
+  void drain(std::size_t index);
+  void probe_loop();
+
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  /// Ring positions: (hash, endpoint index), sorted by hash. Virtual
+  /// replica nodes smooth the shard distribution.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+  std::size_t home_ = 0;  ///< ring_successor(workspace hash)
+  FleetOptions options_;
+
+  std::thread probe_thread_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+/// Adapts a fleet to Campaign: returns a CampaignOptions::backend_factory
+/// that connects a FleetBackend per cell (per program x architecture,
+/// with that cell's effective options), so heterogeneous fleets route
+/// each architecture's cells to the daemons advertising it.
+[[nodiscard]] std::function<std::shared_ptr<core::EvalBackend>(
+    const ir::Program&, const machine::Architecture&,
+    const core::FuncyTunerOptions&)>
+make_fleet_backend_factory(
+    std::vector<std::string> addresses, FleetOptions options = {},
+    compiler::Personality personality = compiler::Personality::kIcc);
+
+}  // namespace ft::service

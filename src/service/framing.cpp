@@ -1,39 +1,101 @@
 #include "service/framing.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 
 namespace ft::service {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+/// Absolute deadline for one whole frame. `unbounded` preserves the
+/// historical block-forever behavior (the server keeps it: its idle
+/// reaper already bounds session lifetime).
+struct Deadline {
+  Clock::time_point at;
+  bool unbounded;
+
+  static Deadline in_ms(int timeout_ms) {
+    if (timeout_ms < 0) return {Clock::time_point{}, true};
+    return {Clock::now() + std::chrono::milliseconds(timeout_ms), false};
+  }
+
+  /// Remaining budget as a poll() timeout; 0 once expired.
+  [[nodiscard]] int poll_ms() const {
+    if (unbounded) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at - Clock::now());
+    if (left.count() <= 0) return 0;
+    // Cap so the int conversion below is safe even for silly deadlines.
+    return static_cast<int>(std::min<long long>(left.count(), 1 << 30));
+  }
+};
+
+/// Waits until fd is ready for `events` or the deadline passes.
+/// 1 = ready, 0 = deadline, -1 = error. POLLERR/POLLHUP count as ready:
+/// the following recv/send then reports the real condition.
+int wait_ready(int fd, short events, const Deadline& deadline) {
+  while (true) {
+    const int budget = deadline.poll_ms();
+    if (budget == 0) return 0;
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, budget);
+    if (rc > 0) return 1;
+    if (rc == 0) continue;  // re-check the deadline, maybe re-poll
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
 /// Reads exactly `count` bytes. 1 = ok, 0 = clean EOF before any byte,
-/// -1 = EOF/error mid-read.
-int read_exact(int fd, char* buffer, std::size_t count) {
+/// -1 = EOF/error mid-read, -2 = deadline expired.
+int read_exact(int fd, char* buffer, std::size_t count,
+               const Deadline& deadline) {
   std::size_t done = 0;
   while (done < count) {
-    const ssize_t got = ::recv(fd, buffer + done, count - done, 0);
+    const ssize_t got =
+        ::recv(fd, buffer + done, count - done, MSG_DONTWAIT);
     if (got > 0) {
       done += static_cast<std::size_t>(got);
       continue;
     }
-    if (got < 0 && errno == EINTR) continue;
-    return (got == 0 && done == 0) ? 0 : -1;
+    if (got == 0) return done == 0 ? 0 : -1;
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return -1;
+    const int ready = wait_ready(fd, POLLIN, deadline);
+    if (ready == 0) return -2;
+    if (ready < 0) return -1;
   }
   return 1;
 }
 
-bool write_exact(int fd, const char* buffer, std::size_t count) {
+/// True on success, false on error, -2-style timeout reported via
+/// *timed_out so write_frame can distinguish the two.
+bool write_exact(int fd, const char* buffer, std::size_t count,
+                 const Deadline& deadline, bool* timed_out) {
   std::size_t done = 0;
   while (done < count) {
-    const ssize_t put =
-        ::send(fd, buffer + done, count - done, MSG_NOSIGNAL);
+    const ssize_t put = ::send(fd, buffer + done, count - done,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
     if (put > 0) {
       done += static_cast<std::size_t>(put);
       continue;
     }
     if (put < 0 && errno == EINTR) continue;
+    if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int ready = wait_ready(fd, POLLOUT, deadline);
+      if (ready == 0) {
+        *timed_out = true;
+        return false;
+      }
+      if (ready < 0) return false;
+      continue;
+    }
     return false;
   }
   return true;
@@ -41,12 +103,14 @@ bool write_exact(int fd, const char* buffer, std::size_t count) {
 
 }  // namespace
 
-FrameStatus read_frame(int fd, std::string* payload,
-                       std::size_t max_bytes) {
+FrameStatus read_frame(int fd, std::string* payload, std::size_t max_bytes,
+                       int timeout_ms) {
+  const Deadline deadline = Deadline::in_ms(timeout_ms);
   unsigned char prefix[4];
-  const int head =
-      read_exact(fd, reinterpret_cast<char*>(prefix), sizeof(prefix));
+  const int head = read_exact(fd, reinterpret_cast<char*>(prefix),
+                              sizeof(prefix), deadline);
   if (head == 0) return FrameStatus::kClosed;
+  if (head == -2) return FrameStatus::kTimeout;
   if (head < 0) return FrameStatus::kTorn;
   const std::uint32_t length =
       (static_cast<std::uint32_t>(prefix[0]) << 24) |
@@ -55,13 +119,15 @@ FrameStatus read_frame(int fd, std::string* payload,
       static_cast<std::uint32_t>(prefix[3]);
   if (length > max_bytes) return FrameStatus::kTooLarge;
   payload->resize(length);
-  if (length > 0 && read_exact(fd, payload->data(), length) != 1) {
-    return FrameStatus::kTorn;
+  if (length > 0) {
+    const int body = read_exact(fd, payload->data(), length, deadline);
+    if (body == -2) return FrameStatus::kTimeout;
+    if (body != 1) return FrameStatus::kTorn;
   }
   return FrameStatus::kOk;
 }
 
-bool write_frame(int fd, std::string_view payload) {
+bool write_frame(int fd, std::string_view payload, int timeout_ms) {
   if (payload.size() > 0xffffffffu) return false;
   const auto length = static_cast<std::uint32_t>(payload.size());
   // Prefix and payload go out as ONE send: a separate 4-byte segment
@@ -74,7 +140,9 @@ bool write_frame(int fd, std::string_view payload) {
   frame.push_back(static_cast<char>(length >> 8));
   frame.push_back(static_cast<char>(length));
   frame.append(payload);
-  return write_exact(fd, frame.data(), frame.size());
+  bool timed_out = false;
+  return write_exact(fd, frame.data(), frame.size(),
+                     Deadline::in_ms(timeout_ms), &timed_out);
 }
 
 }  // namespace ft::service

@@ -23,17 +23,23 @@ enum class FrameStatus {
   kClosed,    ///< orderly EOF on a frame boundary
   kTooLarge,  ///< declared length exceeds the cap (stream unusable)
   kTorn,      ///< EOF or I/O error mid-frame (stream unusable)
+  kTimeout,   ///< deadline expired mid-frame (stream unusable)
 };
 
 /// Reads exactly one frame. On kOk, `*payload` holds the JSON text.
-/// kTooLarge and kTorn leave the stream unsynchronized: the caller
-/// must close the connection (after an error frame, if it can).
+/// kTooLarge, kTorn and kTimeout leave the stream unsynchronized: the
+/// caller must close the connection (after an error frame, if it can).
+/// `timeout_ms < 0` blocks forever; otherwise the WHOLE frame must
+/// arrive within the deadline - a peer that accepts and then goes
+/// silent (or trickles bytes) yields kTimeout instead of a hang.
 [[nodiscard]] FrameStatus read_frame(
     int fd, std::string* payload,
-    std::size_t max_bytes = kDefaultMaxFrameBytes);
+    std::size_t max_bytes = kDefaultMaxFrameBytes, int timeout_ms = -1);
 
-/// Writes one frame (prefix + payload). False on any I/O error; short
-/// writes are retried internally. Never raises SIGPIPE.
-[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+/// Writes one frame (prefix + payload). False on any I/O error or on
+/// deadline expiry with an unwritable peer (timeout_ms < 0 = block
+/// forever); short writes are retried internally. Never raises SIGPIPE.
+[[nodiscard]] bool write_frame(int fd, std::string_view payload,
+                               int timeout_ms = -1);
 
 }  // namespace ft::service

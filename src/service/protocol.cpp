@@ -220,7 +220,12 @@ std::string encode_welcome(const WelcomeFrame& welcome) {
   oss << "{\"type\":\"welcome\"," << support::schema_version_field()
       << ",\"server\":\"" << json_escape(welcome.server) << "\",";
   append_u64(oss, "session", welcome.session);
-  oss << ",\"max_batch\":" << welcome.max_batch << '}';
+  oss << ",\"max_batch\":" << welcome.max_batch << ",\"archs\":[";
+  for (std::size_t i = 0; i < welcome.archs.size(); ++i) {
+    if (i) oss << ',';
+    oss << '"' << json_escape(welcome.archs[i]) << '"';
+  }
+  oss << "]}";
   return oss.str();
 }
 
@@ -236,6 +241,15 @@ bool decode_welcome(const support::JsonValue& frame, WelcomeFrame* out,
     return fail(error, "welcome frame is incomplete");
   }
   out->max_batch = static_cast<std::size_t>(max_batch);
+  out->archs.clear();
+  // Optional member: pre-fleet daemons never sent it.
+  if (const support::JsonValue* archs = frame.find("archs")) {
+    if (!archs->is_array()) return fail(error, "archs is not an array");
+    for (const support::JsonValue& name : archs->array()) {
+      if (!name.is_string()) return fail(error, "archs entry not a string");
+      out->archs.push_back(name.string());
+    }
+  }
   return true;
 }
 

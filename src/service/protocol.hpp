@@ -49,6 +49,11 @@ struct WelcomeFrame {
   std::string server = "ftuned";
   std::uint64_t session = 0;
   std::size_t max_batch = 0;  ///< requests the server accepts per frame
+  /// Architecture names this daemon serves, in canonical table order.
+  /// Heterogeneous fleets pin campaign cells to daemons advertising
+  /// the cell's arch. Optional on the wire (absent = pre-fleet daemon
+  /// = assume it serves everything), so version 1 stays compatible.
+  std::vector<std::string> archs;
 };
 
 struct ErrorFrame {

@@ -1,5 +1,6 @@
 #include "service/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -49,7 +50,16 @@ std::uint64_t workspace_key(const HelloFrame& hello) {
 
 }  // namespace
 
-Server::Server(ServerOptions options) : options_(std::move(options)) {}
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  // Canonicalize the served set to display names up front, so the
+  // handshake match and the welcome advertisement are insensitive to
+  // whether `--archs` used CLI keys ("broadwell") or display names
+  // ("Intel Broadwell"). Throws for unknown names - a misconfigured
+  // daemon should die at startup, not refuse every client.
+  for (std::string& arch : options_.archs) {
+    arch = machine::architecture_by_name(arch).name;
+  }
+}
 
 Server::~Server() { stop(); }
 
@@ -240,11 +250,34 @@ Server::Workspace* Server::handshake(Session* session) {
                                          reason.what(), 0, false, true});
     return nullptr;
   }
+  const std::string arch_display =
+      machine::architecture_by_name(hello.arch).name;
+  if (!options_.archs.empty() &&
+      std::find(options_.archs.begin(), options_.archs.end(),
+                arch_display) == options_.archs.end()) {
+    // Known arch, but this daemon was started without it (e.g. it
+    // only has Broadwell measurement hosts behind it). Distinct from
+    // unknown_architecture so a fleet can treat the endpoint as
+    // ineligible for the cell rather than the hello as malformed.
+    (void)send_error(session,
+                     ErrorFrame{"unsupported_architecture",
+                                "this daemon does not serve " + hello.arch,
+                                0, false, true});
+    return nullptr;
+  }
 
   Workspace* workspace = workspace_for(hello);
   WelcomeFrame welcome;
   welcome.session = session->id;
   welcome.max_batch = options_.max_batch;
+  if (!options_.archs.empty()) {
+    welcome.archs = options_.archs;
+  } else {
+    for (const machine::Architecture& arch :
+         machine::all_architectures()) {
+      welcome.archs.push_back(arch.name);
+    }
+  }
   if (!write_frame(session->socket.fd(), encode_welcome(welcome))) {
     return nullptr;
   }

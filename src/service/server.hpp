@@ -55,6 +55,11 @@ struct ServerOptions {
   /// Purely a cost optimization: replayed results are bit-identical
   /// (the reason an EvalCache may memoize at all).
   std::size_t cache_entries = 0;
+  /// Architectures this daemon serves (empty = all known). A hello for
+  /// an unserved arch is refused with the fatal code
+  /// "unsupported_architecture"; the served set is advertised in the
+  /// welcome frame so heterogeneous fleets can pin campaign cells.
+  std::vector<std::string> archs;
 };
 
 class Server {

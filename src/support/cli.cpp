@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "support/parse_number.hpp"
+
 namespace ft::support {
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
@@ -52,15 +54,9 @@ std::int64_t CliArgs::get_int(const std::string& name,
                               std::int64_t fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  std::size_t consumed = 0;
   std::int64_t value = 0;
-  try {
-    value = std::stoll(it->second, &consumed);
-  } catch (const std::exception&) {
-    consumed = 0;
-  }
   // Partial parses ("10o0") are as wrong as unparseable ones.
-  if (consumed != it->second.size() || it->second.empty()) {
+  if (!parse_int64(it->second, &value)) {
     throw CliError("--" + name + ": not an integer: '" + it->second + "'");
   }
   return value;
@@ -69,14 +65,8 @@ std::int64_t CliArgs::get_int(const std::string& name,
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  std::size_t consumed = 0;
   double value = 0.0;
-  try {
-    value = std::stod(it->second, &consumed);
-  } catch (const std::exception&) {
-    consumed = 0;
-  }
-  if (consumed != it->second.size() || it->second.empty()) {
+  if (!parse_double(it->second, &value)) {
     throw CliError("--" + name + ": not a number: '" + it->second + "'");
   }
   return value;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "support/parse_number.hpp"
+
 namespace ft::support {
 
 namespace {
@@ -91,17 +93,18 @@ class JsonParser {
   }
 
   bool parse_number(JsonValue* out) {
-    const char* begin = text_.data() + pos_;
-    char* end = nullptr;
-    const double value = std::strtod(begin, &end);
-    if (end == begin) return fail("bad value");
+    double value = 0.0;
+    std::size_t consumed = 0;
+    if (!parse_double_prefix(text_.substr(pos_), &value, &consumed)) {
+      return fail("bad value");
+    }
     if (!std::isfinite(value)) return fail("non-finite number");
-    pos_ += static_cast<std::size_t>(end - begin);
     out->kind_ = JsonValue::Kind::kNumber;
     out->number_ = value;
     // Raw text kept so 64-bit integers exceeding double precision can
     // still be read exactly via get(key, uint64*).
-    out->text_.assign(begin, static_cast<std::size_t>(end - begin));
+    out->text_.assign(text_.substr(pos_, consumed));
+    pos_ += consumed;
     return true;
   }
 

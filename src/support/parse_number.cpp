@@ -1,0 +1,63 @@
+#include "support/parse_number.hpp"
+
+#include <charconv>
+
+// Floating-point std::from_chars needs libstdc++ >= 11 / libc++ >= 20.
+// The fallback parses through a stream imbued with the classic "C"
+// locale, which is locale-independent too - just slower.
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+#define FT_HAVE_FP_FROM_CHARS 1
+#else
+#define FT_HAVE_FP_FROM_CHARS 0
+#include <locale>
+#include <sstream>
+#include <string>
+#endif
+
+namespace ft::support {
+
+bool parse_double_prefix(std::string_view text, double* out,
+                         std::size_t* consumed) {
+#if FT_HAVE_FP_FROM_CHARS
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  if (ec != std::errc() || ptr == text.data()) return false;
+  if (consumed != nullptr) {
+    *consumed = static_cast<std::size_t>(ptr - text.data());
+  }
+  return true;
+#else
+  std::istringstream stream{std::string(text)};
+  stream.imbue(std::locale::classic());
+  stream >> std::noskipws >> *out;
+  if (stream.fail()) return false;
+  const std::streampos at = stream.tellg();
+  if (consumed != nullptr) {
+    *consumed = stream.eof() ? text.size()
+                             : static_cast<std::size_t>(at);
+  }
+  return true;
+#endif
+}
+
+bool parse_double(std::string_view text, double* out) {
+  std::size_t consumed = 0;
+  return parse_double_prefix(text, out, &consumed) &&
+         consumed == text.size() && !text.empty();
+}
+
+bool parse_int64(std::string_view text, std::int64_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size() &&
+         !text.empty();
+}
+
+bool parse_uint64(std::string_view text, std::uint64_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size() &&
+         !text.empty();
+}
+
+}  // namespace ft::support

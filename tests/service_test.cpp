@@ -9,6 +9,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <random>
@@ -16,12 +18,14 @@
 #include <thread>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/funcy_tuner.hpp"
 #include "core/serialization.hpp"
 #include "flags/spaces.hpp"
 #include "machine/architecture.hpp"
 #include "programs/benchmarks.hpp"
 #include "service/client.hpp"
+#include "service/fleet.hpp"
 #include "service/framing.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
@@ -100,6 +104,28 @@ TEST(Protocol, WelcomeRoundTrip) {
   EXPECT_EQ(out.server, "ftuned");
   EXPECT_EQ(out.session, welcome.session);
   EXPECT_EQ(out.max_batch, welcome.max_batch);
+}
+
+TEST(Protocol, WelcomeArchsRoundTrip) {
+  WelcomeFrame welcome;
+  welcome.session = 7;
+  welcome.max_batch = 8;
+  welcome.archs = {"AMD Opteron", "Intel Broadwell"};
+  const support::JsonValue frame = parse_or_fail(encode_welcome(welcome));
+  WelcomeFrame out;
+  std::string error;
+  ASSERT_TRUE(decode_welcome(frame, &out, &error)) << error;
+  EXPECT_EQ(out.archs, welcome.archs);
+
+  // archs is optional on the wire: a pre-fleet daemon's welcome (no
+  // member at all) must still decode, as an empty served set.
+  WelcomeFrame bare;
+  ASSERT_TRUE(decode_welcome(
+      parse_or_fail(
+          R"({"type":"welcome","server":"ftuned","session":"1","max_batch":4})"),
+      &bare, &error))
+      << error;
+  EXPECT_TRUE(bare.archs.empty());
 }
 
 TEST(Protocol, ErrorRoundTrip) {
@@ -362,6 +388,31 @@ TEST(Framing, CleanEofIsClosed) {
   EXPECT_EQ(read_frame(pair.fds[1], &payload), FrameStatus::kClosed);
 }
 
+TEST(Framing, ReadDeadlineFiresOnSilentPeer) {
+  SocketPair pair;
+  std::string payload;
+  // Nothing sent at all: the deadline, not EOF, ends the read.
+  EXPECT_EQ(read_frame(pair.fds[1], &payload, kDefaultMaxFrameBytes,
+                       /*timeout_ms=*/50),
+            FrameStatus::kTimeout);
+  // Worse: a prefix arrives, then the peer stalls mid-frame. The
+  // deadline spans the whole frame, so this times out too instead of
+  // blocking in the payload read.
+  const unsigned char prefix[4] = {0, 0, 0, 8};
+  ASSERT_EQ(send(pair.fds[0], prefix, 4, 0), 4);
+  EXPECT_EQ(read_frame(pair.fds[1], &payload, kDefaultMaxFrameBytes,
+                       /*timeout_ms=*/50),
+            FrameStatus::kTimeout);
+}
+
+TEST(Framing, WriteDeadlineFiresWhenPeerStopsDraining) {
+  SocketPair pair;
+  // Nobody reads fds[1], so once both socket buffers fill the write
+  // must hit its deadline rather than block forever.
+  const std::string big(8 * 1024 * 1024, 'x');
+  EXPECT_FALSE(write_frame(pair.fds[0], big, /*timeout_ms=*/100));
+}
+
 // --- live server ------------------------------------------------------------
 
 ServerOptions test_server_options() {
@@ -600,6 +651,130 @@ TEST(Client, PingAndBatchedCalls) {
   server.stop();
 }
 
+TEST(Server, ArchRestrictedDaemonRefusesAndAdvertises) {
+  ServerOptions options = test_server_options();
+  options.archs = {"opteron"};
+  Server server(options);
+  server.start();
+  {
+    // A hello for an arch outside the served set is a fatal refusal
+    // with its own code, so fleet connect() can tell "wrong daemon
+    // for this cell" apart from "daemon is broken".
+    Socket socket = Socket::connect(server.address());
+    HelloFrame hello;
+    hello.program = "CL";
+    hello.arch = "broadwell";
+    const support::JsonValue reply =
+        roundtrip(socket.fd(), encode_hello(hello));
+    ErrorFrame error;
+    ASSERT_TRUE(decode_error(reply, &error));
+    EXPECT_EQ(error.code, "unsupported_architecture");
+    EXPECT_TRUE(error.fatal);
+  }
+  {
+    Socket socket = Socket::connect(server.address());
+    HelloFrame hello;
+    hello.program = "CL";
+    hello.arch = "opteron";
+    const support::JsonValue reply =
+        roundtrip(socket.fd(), encode_hello(hello));
+    EXPECT_EQ(frame_type(reply), "welcome");
+    WelcomeFrame welcome;
+    std::string error;
+    ASSERT_TRUE(decode_welcome(reply, &welcome, &error)) << error;
+    // The served set is advertised canonicalized to display names.
+    EXPECT_EQ(welcome.archs,
+              std::vector<std::string>{machine::opteron().name});
+  }
+  server.stop();
+}
+
+TEST(Client, HandshakeTimesOutAgainstSilentListener) {
+  // A "daemon" that accepts the connection and then never says a word:
+  // without deadlines the handshake read would hang forever.
+  Listener listener = Listener::bind(Address::parse("tcp:127.0.0.1:0"));
+  std::atomic<bool> stop{false};
+  std::thread acceptor([&] {
+    std::vector<Socket> held;  // keep accepted sockets open, say nothing
+    while (!stop.load()) {
+      Socket session = listener.accept_within(20);
+      if (session.valid()) held.push_back(std::move(session));
+    }
+  });
+  core::FuncyTunerOptions options;
+  ClientOptions client_options;
+  client_options.io_timeout_seconds = 0.2;
+  try {
+    (void)Client::connect(listener.address().display(), "CL", "broadwell",
+                          options, compiler::Personality::kIcc,
+                          client_options);
+    FAIL() << "handshake against a silent daemon must time out";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), "timeout");
+  }
+  stop.store(true);
+  acceptor.join();
+}
+
+TEST(Client, CallTimesOutWhenDaemonGoesSilentMidSession) {
+  // Fake daemon: greets properly, then swallows the next frame without
+  // answering. The client's per-frame deadline must turn that into a
+  // clean retryable transport error.
+  Listener listener = Listener::bind(Address::parse("tcp:127.0.0.1:0"));
+  std::thread fake_daemon([&] {
+    Socket session = listener.accept_within(5000);
+    ASSERT_TRUE(session.valid());
+    std::string payload;
+    ASSERT_EQ(read_frame(session.fd(), &payload), FrameStatus::kOk);
+    WelcomeFrame welcome;
+    welcome.session = 1;
+    welcome.max_batch = 64;
+    ASSERT_TRUE(write_frame(session.fd(), encode_welcome(welcome)));
+    (void)read_frame(session.fd(), &payload);  // eat the ping, go silent
+    (void)read_frame(session.fd(), &payload);  // wait for the hangup
+  });
+  core::FuncyTunerOptions options;
+  ClientOptions client_options;
+  client_options.io_timeout_seconds = 0.2;
+  std::shared_ptr<Client> client =
+      Client::connect(listener.address().display(), "CL", "broadwell",
+                      options, compiler::Personality::kIcc, client_options);
+  try {
+    client->ping();
+    FAIL() << "ping into the void must time out";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), "timeout");
+  }
+  fake_daemon.join();
+}
+
+TEST(Client, OverloadRetryIsBoundedAndSurfacesCleanly) {
+  ServerOptions server_options = test_server_options();
+  server_options.max_inflight = 0;  // permanently overloaded
+  Server server(server_options);
+  server.start();
+  core::FuncyTunerOptions options;
+  ClientOptions client_options;
+  client_options.overload_max_attempts = 3;
+  client_options.overload_base_sleep_ms = 1.0;  // keep the test fast
+  std::shared_ptr<Client> client =
+      Client::connect(server.address().display(), "CL", "broadwell",
+                      options, compiler::Personality::kIcc, client_options);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)client->call(valid_request());
+    FAIL() << "a permanently overloaded daemon must yield an error";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), "overloaded");
+  }
+  // Bounded: exactly max_attempts refusals reached the server, and the
+  // client gave up in bounded time instead of spinning forever.
+  EXPECT_EQ(server.stats().overloads, 3u);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
+  server.stop();
+}
+
 // --- the headline property: remote == local, bit for bit --------------------
 
 std::string tune_json(const std::string& algorithm,
@@ -669,6 +844,203 @@ TEST(Service, DaemonSideCacheStaysBitIdentical) {
   EXPECT_GT(server.stats().cache_hits, 0u);
   EXPECT_EQ(first, tune_json("cfr", options, nullptr));
   server.stop();
+}
+
+// --- the fleet: N daemons, one backend, same bits ---------------------------
+
+/// `count` live servers on ephemeral ports plus their address list.
+struct FleetServers {
+  std::vector<std::unique_ptr<Server>> servers;
+  std::vector<std::string> addresses;
+
+  explicit FleetServers(std::size_t count,
+                        const ServerOptions& base = test_server_options()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      servers.push_back(std::make_unique<Server>(base));
+      servers.back()->start();
+      addresses.push_back(servers.back()->address().display());
+    }
+  }
+  ~FleetServers() {
+    for (auto& server : servers) server->stop();  // stop() is idempotent
+  }
+
+  [[nodiscard]] std::size_t total_evaluations() const {
+    std::size_t total = 0;
+    for (const auto& server : servers) total += server->stats().evaluations;
+    return total;
+  }
+};
+
+/// tune_json's fleet twin: tunes CL on broadwell through a FleetBackend
+/// over `addresses`.
+std::string fleet_tune_json(const std::string& algorithm,
+                            const core::FuncyTunerOptions& options,
+                            const std::vector<std::string>& addresses,
+                            FleetBackend::Stats* stats_out = nullptr) {
+  core::FuncyTuner tuner(programs::by_name("CL"), machine::broadwell(),
+                         options);
+  std::shared_ptr<FleetBackend> fleet = FleetBackend::connect(
+      addresses, "CL", "broadwell", options);
+  FleetBackend* raw = fleet.get();
+  tuner.evaluator().set_backend(std::move(fleet));
+  const core::TuningResult result = tuner.run(algorithm);
+  if (stats_out != nullptr) *stats_out = raw->stats();
+  return core::tuning_result_json(result, tuner.space(), tuner.program());
+}
+
+TEST(Fleet, ThreeDaemonsAreBitIdenticalToOneAndToLocal) {
+  ServerOptions base = test_server_options();
+  base.max_batch = 7;  // force several chunks per batch
+  FleetServers fleet(3, base);
+  core::FuncyTunerOptions options;
+  options.samples = 25;
+  options.seed = 11;
+  const std::string local = tune_json("cfr", options, nullptr);
+  const std::string single =
+      tune_json("cfr", options, fleet.servers[0].get());
+  FleetBackend::Stats stats;
+  const std::string sharded =
+      fleet_tune_json("cfr", options, fleet.addresses, &stats);
+  EXPECT_EQ(local, single);
+  EXPECT_EQ(local, sharded);
+  EXPECT_GT(stats.batches_dispatched, 0u);
+  // With chunks queued on one home endpoint and three workers, the
+  // other endpoints must have pulled work over.
+  EXPECT_GT(stats.chunks_stolen, 0u);
+  EXPECT_EQ(stats.endpoints_drained, 0u);
+}
+
+TEST(Fleet, StaysBitIdenticalUnderFaultInjectionAndDaemonCaches) {
+  ServerOptions base = test_server_options();
+  base.max_batch = 9;
+  base.cache_entries = 4096;
+  FleetServers fleet(3, base);
+  core::FuncyTunerOptions options;
+  options.samples = 30;
+  options.seed = 5;
+  options.faults.rate = 0.25;
+  const std::string local = tune_json("cfr", options, nullptr);
+  // Client-side fault bookkeeping + daemon-side caches, spread over
+  // three daemons: still the same bytes, run after run.
+  EXPECT_EQ(local, fleet_tune_json("cfr", options, fleet.addresses));
+  EXPECT_EQ(local, fleet_tune_json("cfr", options, fleet.addresses));
+  std::size_t cache_hits = 0;
+  for (const auto& server : fleet.servers) {
+    cache_hits += server->stats().cache_hits;
+  }
+  EXPECT_GT(cache_hits, 0u);
+}
+
+TEST(Fleet, SurvivesDaemonDeathMidRunBitIdentically) {
+  ServerOptions base = test_server_options();
+  base.max_batch = 4;  // many chunks, so the death lands mid-batch
+  FleetServers fleet(3, base);
+  core::FuncyTunerOptions options;
+  options.samples = 40;
+  options.seed = 7;
+  const std::string local = tune_json("cfr", options, nullptr);
+
+  core::FuncyTuner tuner(programs::by_name("CL"), machine::broadwell(),
+                         options);
+  std::shared_ptr<FleetBackend> backend = FleetBackend::connect(
+      fleet.addresses, "CL", "broadwell", options);
+  // The home endpoint serves first while healthy, so killing it is the
+  // worst case: its queue and inflight chunks must all re-dispatch.
+  const std::string home = backend->home_address();
+  std::size_t home_index = fleet.addresses.size();
+  for (std::size_t i = 0; i < fleet.addresses.size(); ++i) {
+    if (fleet.addresses[i] == home) home_index = i;
+  }
+  ASSERT_LT(home_index, fleet.addresses.size());
+  tuner.evaluator().set_backend(backend);
+
+  std::atomic<bool> killed{false};
+  std::thread killer([&] {
+    // Wait until the home daemon is demonstrably serving, then yank it.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (fleet.servers[home_index]->stats().evaluations == 0) {
+      if (std::chrono::steady_clock::now() > deadline) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    fleet.servers[home_index]->stop();
+    killed.store(true);
+  });
+  const core::TuningResult result = tuner.run("cfr");
+  killer.join();
+  ASSERT_TRUE(killed.load()) << "home daemon never served anything";
+  EXPECT_EQ(local,
+            core::tuning_result_json(result, tuner.space(), tuner.program()));
+  EXPECT_GE(backend->stats().endpoints_drained, 1u);
+  EXPECT_GE(backend->stats().redispatches, 1u);
+  EXPECT_LE(backend->alive_count(), 2u);
+  // The survivors picked up the orphaned work.
+  EXPECT_GT(fleet.servers[(home_index + 1) % 3]->stats().evaluations +
+                fleet.servers[(home_index + 2) % 3]->stats().evaluations,
+            0u);
+}
+
+TEST(Fleet, ConnectRequiresAtLeastOneServingEndpoint) {
+  ServerOptions base = test_server_options();
+  base.archs = {"opteron"};
+  FleetServers fleet(1, base);
+  core::FuncyTunerOptions options;
+  try {
+    (void)FleetBackend::connect(fleet.addresses, "CL", "broadwell",
+                                options);
+    FAIL() << "no endpoint serves broadwell";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), "fleet");
+  }
+}
+
+TEST(Fleet, HeterogeneousCampaignPinsCellsToServingDaemons) {
+  // One daemon per architecture; each refuses the other two archs, so
+  // connect-time filtering is what routes every campaign cell.
+  const std::vector<std::string> arch_keys = {"opteron", "sandybridge",
+                                              "broadwell"};
+  std::vector<std::unique_ptr<Server>> servers;
+  std::vector<std::string> addresses;
+  for (const std::string& arch : arch_keys) {
+    ServerOptions options = test_server_options();
+    options.archs = {arch};
+    servers.push_back(std::make_unique<Server>(options));
+    servers.back()->start();
+    addresses.push_back(servers.back()->address().display());
+  }
+
+  // Sanity: a broadwell workspace keeps exactly the broadwell daemon.
+  {
+    core::FuncyTunerOptions options;
+    std::unique_ptr<FleetBackend> backend = FleetBackend::connect(
+        addresses, "CL", "broadwell", options);
+    EXPECT_EQ(backend->endpoint_count(), 1u);
+    EXPECT_EQ(backend->home_address(), addresses[2]);
+  }
+
+  core::CampaignOptions campaign_options;
+  campaign_options.tuner.samples = 12;
+  campaign_options.tuner.seed = 9;
+  campaign_options.algorithms = {"cfr"};
+  const std::vector<ir::Program> grid_programs = {programs::by_name("CL")};
+  const std::vector<machine::Architecture> grid_archs = {
+      machine::opteron(), machine::sandy_bridge(), machine::broadwell()};
+
+  core::Campaign local(grid_programs, grid_archs, campaign_options);
+  local.run();
+
+  campaign_options.backend_factory = make_fleet_backend_factory(addresses);
+  core::Campaign remote(grid_programs, grid_archs, campaign_options);
+  remote.run();
+
+  EXPECT_EQ(core::campaign_json(remote), core::campaign_json(local));
+  // Every daemon really did serve its own architecture's cell.
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    EXPECT_GT(servers[i]->stats().evaluations, 0u)
+        << arch_keys[i] << " daemon sat idle";
+  }
+  for (auto& server : servers) server->stop();
 }
 
 TEST(Service, IdleTimeoutShutsTheServerDown) {

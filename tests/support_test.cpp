@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <clocale>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <future>
 #include <set>
 #include <sstream>
@@ -16,6 +19,7 @@
 #include "support/cli.hpp"
 #include "support/json.hpp"
 #include "support/options.hpp"
+#include "support/parse_number.hpp"
 #include "support/rng.hpp"
 #include "support/serialization.hpp"
 #include "support/stats.hpp"
@@ -747,6 +751,96 @@ TEST(SchemaVersion, RequireAcceptsOlderRejectsNewer) {
   EXPECT_THROW(
       require_schema_version(R"({"schema_version":999})", "artifact"),
       std::runtime_error);
+}
+
+// --------------------------------------------------- locale-safe parse ----
+
+TEST(ParseNumber, WholeStringGrammar) {
+  double d = 0.0;
+  EXPECT_TRUE(parse_double("-1.25e3", &d));
+  EXPECT_EQ(d, -1250.0);
+  EXPECT_TRUE(parse_double("0.1", &d));
+  EXPECT_EQ(d, 0.1);
+  EXPECT_FALSE(parse_double("", &d));
+  EXPECT_FALSE(parse_double(" 1", &d));
+  EXPECT_FALSE(parse_double("1.5x", &d));
+
+  std::int64_t i = 0;
+  EXPECT_TRUE(parse_int64("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(parse_int64("10o0", &i));
+  EXPECT_FALSE(parse_int64("0x10", &i));
+
+  std::uint64_t u = 0;
+  EXPECT_TRUE(parse_uint64("18446744073709551615", &u));
+  EXPECT_EQ(u, 18446744073709551615ULL);
+  EXPECT_FALSE(parse_uint64("-1", &u));
+}
+
+TEST(ParseNumber, PrefixReportsConsumed) {
+  double d = 0.0;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(parse_double_prefix("3.5,7", &d, &consumed));
+  EXPECT_EQ(d, 3.5);
+  EXPECT_EQ(consumed, 3u);
+  EXPECT_FALSE(parse_double_prefix(",1", &d, &consumed));
+}
+
+/// Flips LC_NUMERIC to a ','-decimal-separator locale for one test and
+/// restores the previous locale on scope exit.
+class ScopedNumericLocale {
+ public:
+  explicit ScopedNumericLocale(const char* name)
+      : saved_(std::setlocale(LC_NUMERIC, nullptr)),
+        applied_(std::setlocale(LC_NUMERIC, name) != nullptr) {}
+  ~ScopedNumericLocale() {
+    if (applied_) std::setlocale(LC_NUMERIC, saved_.c_str());
+  }
+  [[nodiscard]] bool applied() const { return applied_; }
+
+ private:
+  std::string saved_;
+  bool applied_;
+};
+
+// The regression for the std::stod / std::strtod bug: under de_DE the
+// decimal separator is ',', so the old code parsed "1.25" as 1 and
+// broke bit-identity of every serialized double. %.17g text must
+// round-trip exactly regardless of the global locale.
+TEST(ParseNumber, LocaleIndependentRoundTrip) {
+  ScopedNumericLocale locale("de_DE.UTF-8");
+  if (!locale.applied()) {
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  }
+  const double samples[] = {0.1,
+                            -1.0 / 3.0,
+                            6.02214076e23,
+                            5e-324,
+                            1.7976931348623157e308,
+                            3.14159265358979312,
+                            -0.0};
+  for (const double expected : samples) {
+    char text[40];
+    std::snprintf(text, sizeof(text), "%.17g", expected);
+
+    double parsed = 0.0;
+    ASSERT_TRUE(parse_double(text, &parsed)) << text;
+    EXPECT_EQ(std::memcmp(&parsed, &expected, sizeof parsed), 0) << text;
+
+    // The two public surfaces that used to mis-parse: CLI options...
+    CliArgs args({"--value", text});
+    EXPECT_EQ(args.get_double("value", 0.0), parsed) << text;
+
+    // ...and wire/journal JSON.
+    JsonValue value;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(std::string("{\"v\":") + text + "}",
+                                 &value, &error))
+        << text << ": " << error;
+    double from_json = 0.0;
+    ASSERT_TRUE(value.get("v", &from_json)) << text;
+    EXPECT_EQ(std::memcmp(&from_json, &parsed, sizeof parsed), 0) << text;
+  }
 }
 
 }  // namespace

@@ -7,15 +7,19 @@
 //                                      Caliper profile of the O3 build
 //   ftune tune --program P [--arch A] [--algorithm NAME|all] ...
 //                                      run a tuning campaign cell
+//   ftune campaign [--programs P,..] [--archs A,..]
+//                                      run a programs x archs grid
 //   ftune importance --program P [--arch A] [--top K]
 //                                      per-module flag main effects
 //
 // Every subcommand declares its flags through support::OptionSet, so
 // unknown flags and malformed values are hard errors and
 // `ftune <cmd> --help` prints that subcommand's generated option
-// table. With --remote ADDR the evaluating subcommands (profile, tune,
-// importance) execute their raw measurements on a running `ftuned`
-// daemon; results are bit-identical to in-process runs.
+// table. With --remote ADDR[,ADDR...] the evaluating subcommands
+// (profile, tune, campaign, importance) execute their raw
+// measurements on running `ftuned` daemons - a comma-separated list
+// forms a sharded fleet with health probes and failover; results are
+// bit-identical to in-process runs either way.
 // Exit status: 0 on success, 1 on usage errors.
 
 #include <cstdlib>
@@ -32,8 +36,10 @@
 #include "machine/architecture.hpp"
 #include "programs/benchmarks.hpp"
 #include "service/client.hpp"
+#include "service/fleet.hpp"
 #include "support/cli.hpp"
 #include "support/options.hpp"
+#include "support/string_utils.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
@@ -87,8 +93,12 @@ support::OptionSet common_options() {
       .integer("eval-cache-size", 0,
                "LRU entry bound for --eval-cache (default 1M)")
       .text("remote", "",
-            "evaluate via a running ftuned daemon at unix:PATH or "
-            "tcp:host:port")
+            "evaluate via running ftuned daemon(s): comma-separated "
+            "unix:PATH / tcp:host:port endpoints (2+ = fleet with "
+            "failover)")
+      .real("io-timeout", 30.0,
+            "remote per-frame send/recv deadline in seconds (0 = wait "
+            "forever)")
       .flag("help", false, "print this help");
   return set;
 }
@@ -143,18 +153,52 @@ support::OptionSet::Parsed parse_or_exit(const support::OptionSet& set,
   }
 }
 
-/// Routes the tuner's raw measurements through an ftuned daemon when
-/// --remote was given. The daemon only executes compile+link+run;
-/// retries, fault handling, caching and journaling stay local, so the
-/// results are bit-identical to the in-process path.
+/// The --remote endpoint list: comma-separated, empty fields dropped
+/// (so a trailing comma is harmless).
+std::vector<std::string> remote_endpoints(
+    const support::OptionSet::Parsed& args) {
+  std::vector<std::string> endpoints;
+  for (const std::string& field :
+       support::split(args.text("remote"), ',')) {
+    const std::string address = support::trim(field);
+    if (!address.empty()) endpoints.push_back(address);
+  }
+  return endpoints;
+}
+
+service::ClientOptions client_options_from(
+    const support::OptionSet::Parsed& args) {
+  service::ClientOptions options;
+  options.io_timeout_seconds = args.real("io-timeout");
+  return options;
+}
+
+/// Routes the tuner's raw measurements through ftuned daemon(s) when
+/// --remote was given: one address attaches a plain RemoteBackend, a
+/// comma-separated list a FleetBackend (sharding + failover). The
+/// daemons only execute compile+link+run; retries, fault handling,
+/// caching and journaling stay local, so the results are bit-identical
+/// to the in-process path either way.
 void attach_remote(core::FuncyTuner& tuner,
                    const support::OptionSet::Parsed& args,
                    const core::FuncyTunerOptions& options) {
-  const std::string& remote = args.text("remote");
-  if (remote.empty()) return;
-  tuner.evaluator().set_backend(std::make_shared<service::RemoteBackend>(
-      service::Client::connect(remote, tuner.program().name(),
-                               tuner.engine().arch().name, options)));
+  const std::vector<std::string> endpoints = remote_endpoints(args);
+  if (endpoints.empty()) return;
+  const service::ClientOptions client_options = client_options_from(args);
+  if (endpoints.size() == 1) {
+    tuner.evaluator().set_backend(std::make_shared<service::RemoteBackend>(
+        service::Client::connect(endpoints.front(),
+                                 tuner.program().name(),
+                                 tuner.engine().arch().name, options,
+                                 compiler::Personality::kIcc,
+                                 client_options)));
+    return;
+  }
+  service::FleetOptions fleet_options;
+  fleet_options.client = client_options;
+  tuner.evaluator().set_backend(service::FleetBackend::connect(
+      endpoints, tuner.program().name(), tuner.engine().arch().name,
+      options, compiler::Personality::kIcc, fleet_options));
 }
 
 /// "out.csv" + "cfr" -> "out.cfr.csv" (suffix appended when the path
@@ -472,6 +516,92 @@ int cmd_tune(int argc, char** argv) {
   return 0;
 }
 
+int cmd_campaign(int argc, char** argv) {
+  support::OptionSet set = common_options();
+  set.text("programs", "",
+           "comma-separated benchmark names (default: the full suite)")
+      .text("archs", "",
+            "comma-separated architectures (default: all three)")
+      .text("algorithms", "cfr",
+            "comma-separated registry keys, or `all`")
+      .flag("parallel-cells", false, "run grid cells concurrently")
+      .text("json", "", "write the campaign result grid JSON to FILE");
+  const support::OptionSet::Parsed args =
+      parse_or_exit(set, "campaign", argc, argv);
+
+  std::vector<ir::Program> programs;
+  if (args.text("programs").empty()) {
+    programs = programs::suite();
+  } else {
+    for (const std::string& name :
+         support::split(args.text("programs"), ',')) {
+      if (!name.empty()) programs.push_back(programs::by_name(name));
+    }
+  }
+  std::vector<machine::Architecture> architectures;
+  if (args.text("archs").empty()) {
+    architectures = machine::all_architectures();
+  } else {
+    for (const std::string& name :
+         support::split(args.text("archs"), ',')) {
+      if (!name.empty()) {
+        architectures.push_back(machine::architecture_by_name(name));
+      }
+    }
+  }
+
+  core::CampaignOptions options;
+  options.tuner = parse_options(args);
+  options.parallel_cells = args.flag("parallel-cells");
+  if (args.text("algorithms") != "all") {
+    for (const std::string& key :
+         support::split(args.text("algorithms"), ',')) {
+      if (!key.empty()) options.algorithms.push_back(key);
+    }
+  }
+  options.progress = [](const std::string& program,
+                        const std::string& arch) {
+    std::cout << "finished " << program << " on " << arch << '\n';
+  };
+  const std::vector<std::string> endpoints = remote_endpoints(args);
+  if (!endpoints.empty()) {
+    // One factory serves homogeneous and heterogeneous fleets alike:
+    // per cell it keeps only the daemons serving that architecture
+    // (single-endpoint --remote is just a fleet of one).
+    service::FleetOptions fleet_options;
+    fleet_options.client = client_options_from(args);
+    options.backend_factory = service::make_fleet_backend_factory(
+        endpoints, fleet_options);
+  }
+
+  core::Campaign campaign(programs, architectures, options);
+  campaign.run();
+
+  support::Table table("Campaign geomean speedups");
+  std::vector<std::string> header{"Architecture"};
+  const std::vector<std::string> algorithms =
+      options.algorithms.empty() ? core::SearchRegistry::global().names()
+                                 : options.algorithms;
+  for (const std::string& key : algorithms) header.push_back(key);
+  table.set_header(header);
+  for (const auto& arch : architectures) {
+    std::vector<std::string> row{arch.name};
+    for (const std::string& key : algorithms) {
+      row.push_back(
+          support::Table::num(campaign.geomean_speedup(key, arch.name)));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  if (!args.text("json").empty()) {
+    std::ofstream out(args.text("json"));
+    out << core::campaign_json(campaign) << '\n';
+    std::cout << "wrote " << args.text("json") << '\n';
+  }
+  return 0;
+}
+
 int cmd_importance(int argc, char** argv) {
   support::OptionSet set = common_options();
   set.integer("top", 3, "flags shown per module");
@@ -501,16 +631,19 @@ int cmd_importance(int argc, char** argv) {
 }
 
 void usage(std::ostream& out) {
-  out << "usage: ftune <list|spaces|profile|tune|importance> [options]\n"
+  out << "usage: ftune <list|spaces|profile|tune|campaign|importance> "
+         "[options]\n"
          "\n"
          "  list        benchmarks and architectures\n"
          "  spaces      print the optimization space\n"
          "  profile     Caliper profile of the O3 build\n"
          "  tune        run a tuning campaign cell\n"
+         "  campaign    run a programs x architectures grid\n"
          "  importance  per-module flag main effects\n"
          "\n"
          "`ftune <cmd> --help` prints that subcommand's option table.\n"
-         "--remote ADDR evaluates on a running ftuned daemon.\n";
+         "--remote ADDR[,ADDR...] evaluates on running ftuned daemons\n"
+         "(a comma-separated list forms a fleet with failover).\n";
 }
 
 }  // namespace
@@ -530,6 +663,7 @@ int main(int argc, char** argv) {
     if (command == "spaces") return cmd_spaces(argc - 2, argv + 2);
     if (command == "profile") return cmd_profile(argc - 2, argv + 2);
     if (command == "tune") return cmd_tune(argc - 2, argv + 2);
+    if (command == "campaign") return cmd_campaign(argc - 2, argv + 2);
     if (command == "importance") return cmd_importance(argc - 2, argv + 2);
     std::cerr << "ftune: unknown subcommand '" << command << "'\n";
     usage(std::cerr);

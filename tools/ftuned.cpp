@@ -24,6 +24,7 @@
 
 #include "service/server.hpp"
 #include "support/options.hpp"
+#include "support/string_utils.hpp"
 
 int main(int argc, char** argv) {
   using namespace ft;
@@ -47,6 +48,9 @@ int main(int argc, char** argv) {
                "largest accepted wire frame")
       .integer("threads", 0,
                "evaluation pool size (sets FT_THREADS; 0 = auto)")
+      .text("archs", "",
+            "comma-separated architectures this daemon serves "
+            "(advertised in welcome; others refused; empty = all)")
       .flag("help", false, "print this help");
 
   support::OptionSet::Parsed parsed;
@@ -79,6 +83,10 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(parsed.integer("cache-size"));
   server_options.max_frame_bytes =
       static_cast<std::size_t>(parsed.integer("max-frame-bytes"));
+  for (const std::string& arch :
+       support::split(parsed.text("archs"), ',')) {
+    if (!arch.empty()) server_options.archs.push_back(arch);
+  }
 
   try {
     service::Server server(server_options);
