@@ -4,7 +4,6 @@
 #include <cmath>
 #include <thread>
 
-#include "service/framing.hpp"
 #include "support/rng.hpp"
 
 namespace ft::service {
@@ -19,78 +18,48 @@ namespace {
 
 }  // namespace
 
+std::unique_ptr<Client> Client::connect(const Endpoint& endpoint,
+                                        const ConnectOptions& options) {
+  auto client = std::unique_ptr<Client>(new Client());
+  client->jitter_state_ =
+      options.transport.jitter_seed ^ support::fnv1a64(endpoint.spec);
+  client->session_ = service::connect(endpoint, options);
+  return client;
+}
+
 std::unique_ptr<Client> Client::connect(
     const std::string& address, const std::string& program,
     const std::string& arch, const core::FuncyTunerOptions& options,
     compiler::Personality personality,
     const ClientOptions& client_options) {
-  auto client = std::unique_ptr<Client>(new Client());
-  client->options_ = client_options;
-  client->jitter_state_ =
-      client_options.jitter_seed ^ support::fnv1a64(address);
-  client->socket_ = Socket::connect(Address::parse(address));
-  const int timeout_ms = client_options.io_timeout_ms();
-
-  HelloFrame hello;
-  hello.program = program;
-  hello.arch = arch;
-  hello.personality =
-      personality == compiler::Personality::kGcc ? "gcc" : "icc";
-  hello.options = options;
-  if (!write_frame(client->socket_.fd(), encode_hello(hello),
-                   timeout_ms)) {
-    throw ServiceError("connect", "cannot send hello to " + address);
-  }
-
-  std::string payload;
-  const FrameStatus status = read_frame(
-      client->socket_.fd(), &payload, kDefaultMaxFrameBytes, timeout_ms);
-  if (status == FrameStatus::kTimeout) {
-    throw ServiceError("timeout",
-                       "handshake with " + address + " timed out");
-  }
-  if (status != FrameStatus::kOk) {
-    throw ServiceError("connect",
-                       "connection closed during handshake with " +
-                           address);
-  }
-  support::JsonValue frame;
-  std::string error;
-  if (!support::JsonValue::parse(payload, &frame, &error)) {
-    throw ServiceError("bad_frame",
-                       "unparseable handshake reply: " + error);
-  }
-  ErrorFrame refusal;
-  if (frame_type(frame) == "error" && decode_error(frame, &refusal)) {
-    throw_error_frame(refusal);
-  }
-  if (frame_type(frame) != "welcome" ||
-      !decode_welcome(frame, &client->welcome_, &error)) {
-    throw ServiceError("bad_frame", "expected a welcome frame: " + error);
-  }
-  return client;
+  ConnectOptions connect_options;
+  connect_options.workspace =
+      WorkspaceSpec{program, arch, personality, options};
+  connect_options.transport = client_options;
+  return connect(Endpoint::parse(address), connect_options);
 }
 
 Client::~Client() {
-  if (socket_.valid()) {
-    (void)write_frame(socket_.fd(), encode_bye());
+  if (session_.valid()) {
+    encode_bye_frame(session_.framing(), &write_buffer_.payload);
+    (void)write_frame(session_.fd(), write_buffer_.payload);
   }
 }
 
-support::JsonValue Client::roundtrip_locked(const std::string& frame) {
-  const int timeout_ms = options_.io_timeout_ms();
+void Client::roundtrip_locked() {
+  const int timeout_ms = session_.io_timeout_ms();
   for (int attempt = 0;; ++attempt) {
-    if (!write_frame(socket_.fd(), frame, timeout_ms)) {
+    if (!write_frame(session_.fd(), write_buffer_.payload, timeout_ms)) {
       throw ServiceError("io", "connection to ftuned lost (send)");
     }
-    std::string payload;
-    const FrameStatus status = read_frame(
-        socket_.fd(), &payload, kDefaultMaxFrameBytes, timeout_ms);
+    const FrameStatus status =
+        read_frame(session_.fd(), read_buffer_, kDefaultMaxFrameBytes,
+                   timeout_ms);
     if (status == FrameStatus::kTimeout) {
       // The stream is mid-frame and unsynchronized: this session is
       // unusable, so tear it down before reporting. "timeout" is a
       // retryable TRANSPORT error - a fleet re-dispatches elsewhere.
-      socket_.shutdown_both();
+      session_.abort();
       throw ServiceError("timeout",
                          "no reply from ftuned within " +
                              std::to_string(timeout_ms) + " ms");
@@ -98,28 +67,25 @@ support::JsonValue Client::roundtrip_locked(const std::string& frame) {
     if (status != FrameStatus::kOk) {
       throw ServiceError("io", "connection to ftuned lost (recv)");
     }
-    support::JsonValue reply;
     std::string error;
-    if (!support::JsonValue::parse(payload, &reply, &error)) {
+    const DecodeStatus decoded = decode_frame(
+        session_.framing(), read_buffer_.payload, &reply_, &error);
+    if (decoded != DecodeStatus::kOk) {
       throw ServiceError("bad_frame",
                          "unparseable reply from ftuned: " + error);
     }
-    if (frame_type(reply) != "error") return reply;
-    ErrorFrame refusal;
-    if (!decode_error(reply, &refusal)) {
-      throw ServiceError("bad_frame", "malformed error frame");
-    }
-    if (!refusal.retryable ||
-        attempt + 1 >= options_.overload_max_attempts) {
-      throw_error_frame(refusal);
+    if (reply_.kind != FrameKind::kError) return;
+    if (!reply_.error.retryable ||
+        attempt + 1 >= session_.transport().overload_max_attempts) {
+      throw_error_frame(reply_.error);
     }
     // Backpressure: the daemon is at max_inflight. Exponential backoff
     // with deterministic jitter (so N workers that hit the wall at
     // once fan out instead of stampeding in lockstep), then resend the
     // identical frame - results are deterministic, so a retry can
     // never change the answer.
-    const double base =
-        options_.overload_base_sleep_ms * std::ldexp(1.0, attempt);
+    const double base = session_.transport().overload_base_sleep_ms *
+                        std::ldexp(1.0, attempt);
     const double jitter =
         base * 0.5 *
         (static_cast<double>(support::splitmix64(jitter_state_) >> 11) *
@@ -132,19 +98,16 @@ support::JsonValue Client::roundtrip_locked(const std::string& frame) {
 core::EvalResponse Client::call(const core::EvalRequest& request) {
   std::lock_guard lock(mutex_);
   const std::uint64_t seq = next_seq_++;
-  const support::JsonValue reply =
-      roundtrip_locked(encode_eval(seq, request));
-  std::vector<core::EvalResponse> responses;
-  std::string error;
-  if (!decode_result(reply, &responses, &error) ||
-      responses.size() != 1) {
-    throw ServiceError("bad_frame",
-                       "malformed result from ftuned: " + error);
+  encode_eval_frame(session_.framing(), seq, request,
+                    &write_buffer_.payload);
+  roundtrip_locked();
+  if (reply_.kind != FrameKind::kResult || reply_.responses.size() != 1) {
+    throw ServiceError("bad_frame", "malformed result from ftuned");
   }
-  if (frame_seq(reply) != seq) {
+  if (reply_.seq != seq) {
     throw ServiceError("bad_frame", "result sequence mismatch");
   }
-  return std::move(responses.front());
+  return std::move(reply_.responses.front());
 }
 
 std::vector<core::EvalResponse> Client::call_many(
@@ -152,26 +115,27 @@ std::vector<core::EvalResponse> Client::call_many(
   std::vector<core::EvalResponse> all;
   all.reserve(requests.size());
   std::lock_guard lock(mutex_);
+  const std::size_t max_batch = session_.welcome().max_batch;
   const std::size_t chunk_limit =
-      welcome_.max_batch > 0 ? welcome_.max_batch : requests.size();
+      max_batch > 0 ? max_batch : requests.size();
   for (std::size_t begin = 0; begin < requests.size();
        begin += chunk_limit) {
     const std::size_t count =
         std::min(chunk_limit, requests.size() - begin);
     const std::uint64_t seq = next_seq_++;
-    const support::JsonValue reply = roundtrip_locked(
-        encode_eval_batch(seq, requests.subspan(begin, count)));
-    std::vector<core::EvalResponse> responses;
-    std::string error;
-    if (!decode_result(reply, &responses, &error) ||
-        responses.size() != count) {
+    encode_eval_batch_frame(session_.framing(), seq,
+                            requests.subspan(begin, count),
+                            &write_buffer_.payload);
+    roundtrip_locked();
+    if (reply_.kind != FrameKind::kResultBatch ||
+        reply_.responses.size() != count) {
       throw ServiceError("bad_frame",
-                         "malformed result batch from ftuned: " + error);
+                         "malformed result batch from ftuned");
     }
-    if (frame_seq(reply) != seq) {
+    if (reply_.seq != seq) {
       throw ServiceError("bad_frame", "result sequence mismatch");
     }
-    for (core::EvalResponse& response : responses) {
+    for (core::EvalResponse& response : reply_.responses) {
       all.push_back(std::move(response));
     }
   }
@@ -181,9 +145,9 @@ std::vector<core::EvalResponse> Client::call_many(
 void Client::ping() {
   std::lock_guard lock(mutex_);
   const std::uint64_t seq = next_seq_++;
-  const support::JsonValue reply =
-      roundtrip_locked(encode_ping(seq));
-  if (frame_type(reply) != "pong" || frame_seq(reply) != seq) {
+  encode_ping_frame(session_.framing(), seq, &write_buffer_.payload);
+  roundtrip_locked();
+  if (reply_.kind != FrameKind::kPong || reply_.seq != seq) {
     throw ServiceError("bad_frame", "expected a pong frame");
   }
 }

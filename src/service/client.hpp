@@ -3,7 +3,13 @@
 // `RemoteBackend` attached, every raw measurement a tuning run needs
 // travels to the daemon (batches as ONE frame) while all resilience
 // bookkeeping stays local - `ftune --remote ADDR` is bit-identical to
-// a plain `ftune` run.
+// a plain `ftune` run, under either framing.
+//
+// Transport setup lives in service/connect.hpp (the single dial +
+// handshake + negotiation path shared with the fleet); Client adds
+// the RPC surface, the overload-retry policy, and reusable
+// encode/decode buffers so the steady-state hot path allocates
+// nothing under binary framing.
 #pragma once
 
 #include <cstdint>
@@ -15,35 +21,12 @@
 
 #include "core/evaluator.hpp"
 #include "core/funcy_tuner.hpp"
+#include "service/connect.hpp"
+#include "service/framing.hpp"
 #include "service/protocol.hpp"
 #include "service/socket.hpp"
 
 namespace ft::service {
-
-/// Knobs for one client session's transport behavior. All are plumbed
-/// from the ftune CLI (`--io-timeout`); the defaults match it.
-struct ClientOptions {
-  /// Per-frame recv/send deadline in seconds. A peer that accepts and
-  /// then goes silent surfaces as a retryable ServiceError("timeout")
-  /// instead of a hang. <= 0 disables the deadline.
-  double io_timeout_seconds = 30.0;
-  /// Bounded patience for retryable "overloaded" refusals: at most
-  /// this many resends of the same frame before giving up loudly.
-  int overload_max_attempts = 8;
-  /// First retry sleeps this long; each further retry doubles it
-  /// (plus deterministic jitter), so 8 attempts ~= 2.5 s total.
-  double overload_base_sleep_ms = 10.0;
-  /// Seed for the jitter stream. Deterministic so two runs of the same
-  /// command back off identically (bit-identity covers timing-free
-  /// outputs only, but reproducible schedules make hangs debuggable).
-  std::uint64_t jitter_seed = 0;
-
-  [[nodiscard]] int io_timeout_ms() const noexcept {
-    return io_timeout_seconds > 0
-               ? static_cast<int>(io_timeout_seconds * 1000.0)
-               : -1;
-  }
-};
 
 /// One connected, greeted session. Methods are serialized by an
 /// internal mutex (the wire is strictly request -> response), so one
@@ -52,10 +35,12 @@ struct ClientOptions {
 /// itself with a bounded backoff.
 class Client {
  public:
-  /// Connects and handshakes; throws ServiceError on refusal.
-  /// `options` must be the same FuncyTunerOptions the local tuner was
-  /// built with - the measurement-relevant subset is what selects the
-  /// daemon workspace.
+  /// The one true constructor: adopts a connect()-style setup.
+  [[nodiscard]] static std::unique_ptr<Client> connect(
+      const Endpoint& endpoint, const ConnectOptions& options);
+
+  /// Convenience overload (the historical signature): JSON framing,
+  /// fields spread out. Equivalent to packing them into ConnectOptions.
   [[nodiscard]] static std::unique_ptr<Client> connect(
       const std::string& address, const std::string& program,
       const std::string& arch, const core::FuncyTunerOptions& options,
@@ -79,29 +64,37 @@ class Client {
   /// Tears down the transport from ANY thread: a blocked recv/send in
   /// another thread wakes immediately with a transport error. Used by
   /// the fleet to drain a daemon declared dead by the health probe.
-  void abort() noexcept { socket_.shutdown_both(); }
+  void abort() noexcept { session_.abort(); }
 
   [[nodiscard]] std::size_t max_batch() const noexcept {
-    return welcome_.max_batch;
+    return session_.welcome().max_batch;
   }
   [[nodiscard]] const WelcomeFrame& welcome() const noexcept {
-    return welcome_;
+    return session_.welcome();
+  }
+  /// What hello/welcome negotiation settled on for this session.
+  [[nodiscard]] Framing framing() const noexcept {
+    return session_.framing();
   }
 
  private:
   Client() = default;
-  /// Sends one frame and returns the parsed reply, absorbing retryable
-  /// "overloaded" refusals (bounded attempts, exponential backoff with
-  /// deterministic jitter). Caller holds mutex_.
-  [[nodiscard]] support::JsonValue roundtrip_locked(
-      const std::string& frame);
+  /// Sends write_buffer_ and decodes the reply into reply_, absorbing
+  /// retryable "overloaded" refusals (bounded attempts, exponential
+  /// backoff with deterministic jitter). Caller holds mutex_ and has
+  /// encoded the outgoing frame into write_buffer_.
+  void roundtrip_locked();
 
-  Socket socket_;
+  Session session_;
   std::mutex mutex_;
   std::uint64_t next_seq_ = 1;
-  WelcomeFrame welcome_;
-  ClientOptions options_;
   std::uint64_t jitter_state_ = 0;
+  /// Reused across calls (capacity survives): zero steady-state
+  /// allocations on the binary ping path, and no per-frame prefix
+  /// temporaries anywhere.
+  FrameBuffer write_buffer_;
+  FrameBuffer read_buffer_;
+  AnyFrame reply_;
 };
 
 /// EvalBackend over a Client: substitutes the daemon for the local

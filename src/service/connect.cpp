@@ -1,0 +1,87 @@
+#include "service/connect.hpp"
+
+#include <algorithm>
+
+#include "service/framing.hpp"
+
+namespace ft::service {
+
+namespace {
+
+[[noreturn]] void throw_error_frame(const ErrorFrame& error) {
+  throw ServiceError(error.code.empty() ? "error" : error.code,
+                     "ftuned refused: " + error.code +
+                         (error.detail.empty() ? "" : ": " + error.detail));
+}
+
+}  // namespace
+
+Session connect(const Endpoint& endpoint, const ConnectOptions& options) {
+  Session session;
+  session.transport_ = options.transport;
+  session.socket_ = Socket::connect(endpoint.address);
+  const int timeout_ms = options.transport.io_timeout_ms();
+
+  HelloFrame hello;
+  hello.program = options.workspace.program;
+  hello.arch = options.workspace.arch;
+  hello.personality =
+      options.workspace.personality == compiler::Personality::kGcc
+          ? "gcc"
+          : "icc";
+  hello.options = options.workspace.options;
+  hello.caps.framings = options.framings;
+  // JSON is the mandatory fallback: offering it last means "anything
+  // better if you can, baseline otherwise", and guarantees the
+  // negotiation never dead-ends.
+  if (std::find(hello.caps.framings.begin(), hello.caps.framings.end(),
+                Framing::kJson) == hello.caps.framings.end()) {
+    hello.caps.framings.push_back(Framing::kJson);
+  }
+  if (!write_frame(session.socket_.fd(), encode_hello(hello),
+                   timeout_ms)) {
+    throw ServiceError("connect",
+                       "cannot send hello to " + endpoint.spec);
+  }
+
+  std::string payload;
+  const FrameStatus status = read_frame(
+      session.socket_.fd(), &payload, kDefaultMaxFrameBytes, timeout_ms);
+  if (status == FrameStatus::kTimeout) {
+    throw ServiceError("timeout",
+                       "handshake with " + endpoint.spec + " timed out");
+  }
+  if (status != FrameStatus::kOk) {
+    throw ServiceError("connect",
+                       "connection closed during handshake with " +
+                           endpoint.spec);
+  }
+
+  AnyFrame reply;
+  std::string error;
+  const DecodeStatus decoded =
+      decode_frame(Framing::kJson, payload, &reply, &error);
+  if (decoded == DecodeStatus::kOk && reply.kind == FrameKind::kError) {
+    throw_error_frame(reply.error);
+  }
+  if (decoded != DecodeStatus::kOk ||
+      reply.kind != FrameKind::kWelcome) {
+    throw ServiceError("bad_frame",
+                       "expected a welcome frame: " + error);
+  }
+  // The server's pick is binding, but it must be something we offered
+  // (JSON always implicitly is): anything else means the peer is
+  // broken, and switching to a framing we never asked for would
+  // desynchronize the stream.
+  if (reply.welcome.framing != Framing::kJson &&
+      std::find(hello.caps.framings.begin(), hello.caps.framings.end(),
+                reply.welcome.framing) == hello.caps.framings.end()) {
+    throw ServiceError("bad_frame",
+                       "server picked a framing that was not offered");
+  }
+  session.welcome_ = std::move(reply.welcome);
+  session.framing_ = session.welcome_.framing;
+  return session;
+}
+
+}  // namespace ft::service

@@ -54,9 +54,14 @@ std::unique_ptr<FleetBackend> FleetBackend::connect(
     try {
       auto endpoint = std::make_unique<Endpoint>();
       endpoint->address = address;
-      endpoint->client = Client::connect(address, program, arch, options,
-                                         personality,
-                                         fleet_options.client);
+      ConnectOptions connect_options;
+      connect_options.workspace =
+          WorkspaceSpec{program, arch, personality, options};
+      connect_options.framings = fleet_options.framings;
+      connect_options.transport = fleet_options.client;
+      // FleetBackend::Endpoint shadows the transport-level Endpoint.
+      endpoint->client = Client::connect(
+          ::ft::service::Endpoint::parse(address), connect_options);
       fleet->endpoints_.push_back(std::move(endpoint));
     } catch (const ServiceError& refusal) {
       const std::string code = refusal.code();

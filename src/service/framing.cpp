@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -74,33 +75,6 @@ int read_exact(int fd, char* buffer, std::size_t count,
   return 1;
 }
 
-/// True on success, false on error, -2-style timeout reported via
-/// *timed_out so write_frame can distinguish the two.
-bool write_exact(int fd, const char* buffer, std::size_t count,
-                 const Deadline& deadline, bool* timed_out) {
-  std::size_t done = 0;
-  while (done < count) {
-    const ssize_t put = ::send(fd, buffer + done, count - done,
-                               MSG_NOSIGNAL | MSG_DONTWAIT);
-    if (put > 0) {
-      done += static_cast<std::size_t>(put);
-      continue;
-    }
-    if (put < 0 && errno == EINTR) continue;
-    if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      const int ready = wait_ready(fd, POLLOUT, deadline);
-      if (ready == 0) {
-        *timed_out = true;
-        return false;
-      }
-      if (ready < 0) return false;
-      continue;
-    }
-    return false;
-  }
-  return true;
-}
-
 }  // namespace
 
 FrameStatus read_frame(int fd, std::string* payload, std::size_t max_bytes,
@@ -130,19 +104,54 @@ FrameStatus read_frame(int fd, std::string* payload, std::size_t max_bytes,
 bool write_frame(int fd, std::string_view payload, int timeout_ms) {
   if (payload.size() > 0xffffffffu) return false;
   const auto length = static_cast<std::uint32_t>(payload.size());
-  // Prefix and payload go out as ONE send: a separate 4-byte segment
-  // would trip TCP's Nagle/delayed-ACK interaction and stall every
-  // request/response round-trip by tens of milliseconds.
-  std::string frame;
-  frame.reserve(sizeof(std::uint32_t) + payload.size());
-  frame.push_back(static_cast<char>(length >> 24));
-  frame.push_back(static_cast<char>(length >> 16));
-  frame.push_back(static_cast<char>(length >> 8));
-  frame.push_back(static_cast<char>(length));
-  frame.append(payload);
-  bool timed_out = false;
-  return write_exact(fd, frame.data(), frame.size(),
-                     Deadline::in_ms(timeout_ms), &timed_out);
+  const Deadline deadline = Deadline::in_ms(timeout_ms);
+  // Prefix and payload go out as ONE sendmsg: a separate 4-byte
+  // segment would trip TCP's Nagle/delayed-ACK interaction, and
+  // concatenating into a temporary string would pay an allocation plus
+  // a full payload copy per frame. The iovec gets both properties for
+  // free; offsets track partial writes across the two segments.
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(length >> 24),
+      static_cast<unsigned char>(length >> 16),
+      static_cast<unsigned char>(length >> 8),
+      static_cast<unsigned char>(length),
+  };
+  std::size_t done = 0;
+  const std::size_t total = sizeof(prefix) + payload.size();
+  while (done < total) {
+    iovec segments[2];
+    int count = 0;
+    if (done < sizeof(prefix)) {
+      segments[count].iov_base = prefix + done;
+      segments[count].iov_len = sizeof(prefix) - done;
+      ++count;
+    }
+    const std::size_t body_done =
+        done > sizeof(prefix) ? done - sizeof(prefix) : 0;
+    if (body_done < payload.size()) {
+      segments[count].iov_base =
+          const_cast<char*>(payload.data()) + body_done;
+      segments[count].iov_len = payload.size() - body_done;
+      ++count;
+    }
+    msghdr message{};
+    message.msg_iov = segments;
+    message.msg_iovlen = static_cast<std::size_t>(count);
+    const ssize_t put =
+        ::sendmsg(fd, &message, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (put > 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int ready = wait_ready(fd, POLLOUT, deadline);
+      if (ready <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
 }
 
 }  // namespace ft::service

@@ -1,10 +1,12 @@
 #include "service/protocol.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
 
+#include "service/binary.hpp"
 #include "support/serialization.hpp"
 
 namespace ft::service {
@@ -131,7 +133,125 @@ bool fail(std::string* error, const char* reason) {
   return false;
 }
 
+/// JSON form of a Capabilities set (archs stay a top-level welcome
+/// member for wire compatibility with pre-negotiation peers; the
+/// binary codec carries them inside caps).
+void append_caps(std::ostringstream& oss, const Capabilities& caps) {
+  oss << "\"caps\":{\"protocol\":" << caps.protocol << ",\"framings\":[";
+  for (std::size_t i = 0; i < caps.framings.size(); ++i) {
+    if (i) oss << ',';
+    oss << '"' << framing_name(caps.framings[i]) << '"';
+  }
+  oss << "],";
+  append_u64(oss, "max_frame", caps.max_frame_bytes);
+  oss << '}';
+}
+
+/// Merges an optional "caps" member into *out. Tolerant by design:
+/// unknown keys, unknown framing names and wrongly-typed members are
+/// skipped, never fatal - that is what lets a newer peer talk to this
+/// build. A caps member that is not an object is ignored wholesale.
+void parse_caps(const support::JsonValue& frame, Capabilities* out) {
+  const support::JsonValue* caps = frame.find("caps");
+  if (caps == nullptr || !caps->is_object()) return;
+  std::int64_t protocol = 0;
+  if (caps->get("protocol", &protocol)) {
+    out->protocol = static_cast<int>(protocol);
+  }
+  const support::JsonValue* framings = caps->find("framings");
+  if (framings != nullptr && framings->is_array()) {
+    std::vector<Framing> parsed;
+    for (const support::JsonValue& name : framings->array()) {
+      Framing framing = Framing::kJson;
+      if (name.is_string() &&
+          framing_from_name(name.string(), &framing)) {
+        parsed.push_back(framing);
+      }
+    }
+    if (!parsed.empty()) out->framings = std::move(parsed);
+  }
+  std::uint64_t max_frame = 0;
+  if (caps->get("max_frame", &max_frame) && max_frame > 0) {
+    out->max_frame_bytes = max_frame;
+  }
+}
+
 }  // namespace
+
+const char* framing_name(Framing framing) {
+  switch (framing) {
+    case Framing::kJson:
+      return "json";
+    case Framing::kBinary:
+      return "binary";
+  }
+  return "json";
+}
+
+bool framing_from_name(std::string_view name, Framing* out) {
+  if (name == "json") {
+    *out = Framing::kJson;
+    return true;
+  }
+  if (name == "binary") {
+    *out = Framing::kBinary;
+    return true;
+  }
+  return false;
+}
+
+Framing negotiate_framing(const std::vector<Framing>& client_order,
+                          const std::vector<Framing>& server_supported) {
+  for (const Framing preference : client_order) {
+    if (preference == Framing::kJson) return Framing::kJson;
+    if (std::find(server_supported.begin(), server_supported.end(),
+                  preference) != server_supported.end()) {
+      return preference;
+    }
+  }
+  return Framing::kJson;
+}
+
+namespace {
+
+/// Restores default-constructed Capabilities without the temporary a
+/// `caps = Capabilities{}` would build (whose {kJson} initializer
+/// allocates a fresh vector - the enemy of reset()'s zero-allocation
+/// promise).
+void reset_caps(Capabilities* caps) {
+  caps->protocol = kProtocolVersion;
+  caps->framings.clear();
+  caps->framings.push_back(Framing::kJson);
+  caps->max_frame_bytes = kDefaultMaxFrameBytes;
+  caps->archs.clear();
+}
+
+}  // namespace
+
+void AnyFrame::reset() {
+  // Member-wise clears (not `member = Member{}`) so every string and
+  // vector keeps its high-water capacity: a session's steady-state
+  // decode path must not allocate.
+  kind = FrameKind::kBye;
+  seq = 0;
+  hello.program.clear();
+  hello.arch.clear();
+  hello.personality = "icc";
+  hello.options = core::FuncyTunerOptions{};  // scalars only
+  reset_caps(&hello.caps);
+  welcome.server = "ftuned";
+  welcome.session = 0;
+  welcome.max_batch = 0;
+  welcome.framing = Framing::kJson;
+  reset_caps(&welcome.caps);
+  error.code.clear();
+  error.detail.clear();
+  error.seq = 0;
+  error.retryable = false;
+  error.fatal = false;
+  requests.clear();
+  responses.clear();
+}
 
 std::string frame_type(const support::JsonValue& frame) {
   std::string type;
@@ -149,10 +269,12 @@ std::string encode_hello(const HelloFrame& hello) {
   const machine::FaultConfig& faults = hello.options.faults;
   std::ostringstream oss;
   oss << "{\"type\":\"hello\"," << support::schema_version_field()
-      << ",\"protocol\":" << kProtocolVersion << ",\"program\":\""
+      << ",\"protocol\":" << hello.caps.protocol << ",\"program\":\""
       << json_escape(hello.program) << "\",\"arch\":\""
       << json_escape(hello.arch) << "\",\"personality\":\""
-      << json_escape(hello.personality) << "\",\"options\":{";
+      << json_escape(hello.personality) << "\",";
+  append_caps(oss, hello.caps);
+  oss << ",\"options\":{";
   append_u64(oss, "seed", hello.options.seed);
   oss << ",\"noise_sigma\":" << fmt_double(hello.options.noise_sigma_rel)
       << ",\"attribution_sigma\":"
@@ -176,7 +298,11 @@ bool decode_hello(const support::JsonValue& frame, HelloFrame* out,
   if (!frame.get("protocol", &protocol)) {
     return fail(error, "hello lacks a protocol version");
   }
-  out->protocol = static_cast<int>(protocol);
+  // The legacy top-level member is the base; an explicit caps object
+  // (absent from pre-negotiation clients) refines it.
+  out->caps = Capabilities{};
+  out->caps.protocol = static_cast<int>(protocol);
+  parse_caps(frame, &out->caps);
   if (!frame.get("program", &out->program) || out->program.empty()) {
     return fail(error, "hello lacks a program name");
   }
@@ -220,10 +346,13 @@ std::string encode_welcome(const WelcomeFrame& welcome) {
   oss << "{\"type\":\"welcome\"," << support::schema_version_field()
       << ",\"server\":\"" << json_escape(welcome.server) << "\",";
   append_u64(oss, "session", welcome.session);
-  oss << ",\"max_batch\":" << welcome.max_batch << ",\"archs\":[";
-  for (std::size_t i = 0; i < welcome.archs.size(); ++i) {
+  oss << ",\"max_batch\":" << welcome.max_batch << ",\"framing\":\""
+      << framing_name(welcome.framing) << "\",";
+  append_caps(oss, welcome.caps);
+  oss << ",\"archs\":[";
+  for (std::size_t i = 0; i < welcome.caps.archs.size(); ++i) {
     if (i) oss << ',';
-    oss << '"' << json_escape(welcome.archs[i]) << '"';
+    oss << '"' << json_escape(welcome.caps.archs[i]) << '"';
   }
   oss << "]}";
   return oss.str();
@@ -241,15 +370,26 @@ bool decode_welcome(const support::JsonValue& frame, WelcomeFrame* out,
     return fail(error, "welcome frame is incomplete");
   }
   out->max_batch = static_cast<std::size_t>(max_batch);
-  out->archs.clear();
-  // Optional member: pre-fleet daemons never sent it.
+  out->caps = Capabilities{};
+  // Optional members: pre-fleet daemons sent no archs, and
+  // pre-negotiation daemons sent no framing/caps (= JSON only).
   if (const support::JsonValue* archs = frame.find("archs")) {
     if (!archs->is_array()) return fail(error, "archs is not an array");
     for (const support::JsonValue& name : archs->array()) {
       if (!name.is_string()) return fail(error, "archs entry not a string");
-      out->archs.push_back(name.string());
+      out->caps.archs.push_back(name.string());
     }
   }
+  out->framing = Framing::kJson;
+  std::string framing;
+  if (frame.get("framing", &framing) &&
+      !framing_from_name(framing, &out->framing)) {
+    // Unlike an unknown name in a caps LIST (future option: skip), an
+    // unknown name HERE is the server's binding choice for this
+    // session - we cannot speak it, so the handshake must fail.
+    return fail(error, "welcome names an unknown framing");
+  }
+  parse_caps(frame, &out->caps);
   return true;
 }
 
@@ -540,5 +680,173 @@ std::string encode_pong(std::uint64_t seq) {
 }
 
 std::string encode_bye() { return "{\"type\":\"bye\"}"; }
+
+// --- unified decode --------------------------------------------------------
+
+namespace {
+
+DecodeStatus json_decode_frame(std::string_view payload, AnyFrame* out,
+                               std::string* error) {
+  support::JsonValue frame;
+  if (!support::JsonValue::parse(payload, &frame, error)) {
+    return DecodeStatus::kUnparseable;
+  }
+  const std::string type = frame_type(frame);
+  out->seq = frame_seq(frame);
+  if (type == "hello") {
+    out->kind = FrameKind::kHello;
+    return decode_hello(frame, &out->hello, error)
+               ? DecodeStatus::kOk
+               : DecodeStatus::kMalformed;
+  }
+  if (type == "welcome") {
+    out->kind = FrameKind::kWelcome;
+    return decode_welcome(frame, &out->welcome, error)
+               ? DecodeStatus::kOk
+               : DecodeStatus::kMalformed;
+  }
+  if (type == "error") {
+    out->kind = FrameKind::kError;
+    if (!decode_error(frame, &out->error)) {
+      *error = "malformed error frame";
+      return DecodeStatus::kMalformed;
+    }
+    return DecodeStatus::kOk;
+  }
+  if (type == "eval" || type == "eval_batch") {
+    out->kind = type == "eval" ? FrameKind::kEval : FrameKind::kEvalBatch;
+    return decode_eval(frame, &out->requests, error)
+               ? DecodeStatus::kOk
+               : DecodeStatus::kMalformed;
+  }
+  if (type == "result" || type == "result_batch") {
+    out->kind =
+        type == "result" ? FrameKind::kResult : FrameKind::kResultBatch;
+    return decode_result(frame, &out->responses, error)
+               ? DecodeStatus::kOk
+               : DecodeStatus::kMalformed;
+  }
+  if (type == "ping") {
+    out->kind = FrameKind::kPing;
+    return DecodeStatus::kOk;
+  }
+  if (type == "pong") {
+    out->kind = FrameKind::kPong;
+    return DecodeStatus::kOk;
+  }
+  if (type == "bye") {
+    out->kind = FrameKind::kBye;
+    return DecodeStatus::kOk;
+  }
+  *error = "unknown frame type '" + type + "'";
+  return DecodeStatus::kUnknownType;
+}
+
+}  // namespace
+
+DecodeStatus decode_frame(Framing framing, std::string_view payload,
+                          AnyFrame* out, std::string* error) {
+  out->reset();
+  error->clear();
+  if (framing == Framing::kBinary) {
+    return binary_decode_frame(payload, out, error);
+  }
+  return json_decode_frame(payload, out, error);
+}
+
+// --- framing-dispatched encoders -------------------------------------------
+
+void encode_hello_frame(Framing framing, const HelloFrame& hello,
+                        std::string* out) {
+  if (framing == Framing::kBinary) {
+    binary_encode_hello(hello, out);
+    return;
+  }
+  out->assign(encode_hello(hello));
+}
+
+void encode_welcome_frame(Framing framing, const WelcomeFrame& welcome,
+                          std::string* out) {
+  if (framing == Framing::kBinary) {
+    binary_encode_welcome(welcome, out);
+    return;
+  }
+  out->assign(encode_welcome(welcome));
+}
+
+void encode_error_frame(Framing framing, const ErrorFrame& error,
+                        std::string* out) {
+  if (framing == Framing::kBinary) {
+    binary_encode_error(error, out);
+    return;
+  }
+  out->assign(encode_error(error));
+}
+
+void encode_eval_frame(Framing framing, std::uint64_t seq,
+                       const core::EvalRequest& request,
+                       std::string* out) {
+  if (framing == Framing::kBinary) {
+    binary_encode_eval(seq, request, out);
+    return;
+  }
+  out->assign(encode_eval(seq, request));
+}
+
+void encode_eval_batch_frame(Framing framing, std::uint64_t seq,
+                             std::span<const core::EvalRequest> requests,
+                             std::string* out) {
+  if (framing == Framing::kBinary) {
+    binary_encode_eval_batch(seq, requests, out);
+    return;
+  }
+  out->assign(encode_eval_batch(seq, requests));
+}
+
+void encode_result_frame(Framing framing, std::uint64_t seq,
+                         const core::EvalResponse& response,
+                         std::string* out) {
+  if (framing == Framing::kBinary) {
+    binary_encode_result(seq, response, out);
+    return;
+  }
+  out->assign(encode_result(seq, response));
+}
+
+void encode_result_batch_frame(
+    Framing framing, std::uint64_t seq,
+    std::span<const core::EvalResponse> responses, std::string* out) {
+  if (framing == Framing::kBinary) {
+    binary_encode_result_batch(seq, responses, out);
+    return;
+  }
+  out->assign(encode_result_batch(seq, responses));
+}
+
+void encode_ping_frame(Framing framing, std::uint64_t seq,
+                       std::string* out) {
+  if (framing == Framing::kBinary) {
+    binary_encode_ping(seq, out);
+    return;
+  }
+  out->assign(encode_ping(seq));
+}
+
+void encode_pong_frame(Framing framing, std::uint64_t seq,
+                       std::string* out) {
+  if (framing == Framing::kBinary) {
+    binary_encode_pong(seq, out);
+    return;
+  }
+  out->assign(encode_pong(seq));
+}
+
+void encode_bye_frame(Framing framing, std::string* out) {
+  if (framing == Framing::kBinary) {
+    binary_encode_bye(out);
+    return;
+  }
+  out->assign(encode_bye());
+}
 
 }  // namespace ft::service

@@ -1,13 +1,25 @@
-// The ftuned wire protocol: typed frames over service/framing. Every
-// frame is a JSON object with a "type" member; doubles travel as
-// %.17g (bit-exact round-trip) and 64-bit integers as decimal strings,
-// the same conventions as the checkpoint journal. EvalRequest /
-// EvalResponse from core/evaluator.hpp are serialized field-for-field:
-// the in-process evaluation currency IS the wire payload, so remote
-// evaluation cannot drift from local semantics.
+// The ftuned wire protocol: typed frames over service/framing. Frames
+// travel in one of two negotiated framings:
+//
+//   - JSON (the default and compatibility baseline): every frame is a
+//     JSON object with a "type" member; doubles travel as %.17g
+//     (bit-exact round-trip) and 64-bit integers as decimal strings,
+//     the same conventions as the checkpoint journal.
+//   - binary (opt-in, negotiated in hello/welcome): fixed-width tags
+//     and raw little-endian doubles - bit-exactness is structural
+//     instead of a printf-format property, and encode/decode cost
+//     drops to memcpy speed.
+//
+// hello and welcome are ALWAYS JSON - they carry the negotiation, so
+// they must be readable before its outcome is known. Every frame
+// after welcome uses the negotiated framing, both directions.
+//
+// EvalRequest / EvalResponse from core/evaluator.hpp are serialized
+// field-for-field: the in-process evaluation currency IS the wire
+// payload, so remote evaluation cannot drift from local semantics.
 //
 // Frame inventory (client -> server / server -> client):
-//   hello       -> welcome | error      session setup + options
+//   hello       -> welcome | error      session setup + negotiation
 //   eval        -> result | error       one raw evaluation
 //   eval_batch  -> result_batch | error coalesced batch
 //   ping        -> pong                 liveness probe
@@ -21,53 +33,166 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "core/funcy_tuner.hpp"
+#include "service/framing.hpp"
 #include "support/json.hpp"
 
 namespace ft::service {
 
 /// Bumped on any incompatible frame change; a hello with a different
-/// version is refused with "unsupported_version".
+/// version is refused with a structured "unsupported_version" error.
 inline constexpr int kProtocolVersion = 1;
+
+/// Payload encodings a session can speak. JSON is mandatory on every
+/// implementation (it is the negotiation carrier and the bit-identity
+/// baseline); binary is the opt-in fast path.
+enum class Framing : std::uint8_t {
+  kJson = 0,
+  kBinary = 1,
+};
+
+[[nodiscard]] const char* framing_name(Framing framing);
+/// False for names this build does not know. Unknown names are how
+/// FUTURE framings look to us - callers must skip them, not fail the
+/// handshake.
+[[nodiscard]] bool framing_from_name(std::string_view name, Framing* out);
+
+/// Versioned capability set exchanged in hello (what the client can
+/// speak, preference-ordered) and welcome (what the server serves).
+/// Unknown keys and unknown framing names are ignored on decode, so
+/// adding capabilities never breaks older peers; a peer that sent no
+/// capabilities at all gets the conservative defaults below (protocol
+/// 1, JSON only), which is exactly what pre-negotiation daemons spoke.
+struct Capabilities {
+  int protocol = kProtocolVersion;
+  /// In a hello: client preference order. In a welcome: the server's
+  /// supported set. JSON is always present.
+  std::vector<Framing> framings = {Framing::kJson};
+  std::uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Architecture names this daemon serves, in canonical table order;
+  /// empty in a hello. Heterogeneous fleets pin campaign cells to
+  /// daemons advertising the cell's arch.
+  std::vector<std::string> archs;
+};
+
+/// First client-preferred framing the server also supports. JSON is
+/// implicitly in both sets, so negotiation cannot fail - worst case
+/// both sides fall back to the baseline.
+[[nodiscard]] Framing negotiate_framing(
+    const std::vector<Framing>& client_order,
+    const std::vector<Framing>& server_supported);
 
 /// Session opener: names the workspace the client wants to evaluate
 /// in. `options` carries only the measurement-relevant fields (seed,
 /// noise, attribution, faults) - retries/cache/journal policy stays
 /// client-side and is never transmitted.
 struct HelloFrame {
-  int protocol = kProtocolVersion;  ///< filled by decode_hello
   std::string program;      ///< benchmark name (programs::by_name)
   std::string arch;         ///< machine::architecture_by_name key
   std::string personality = "icc";  ///< "icc" | "gcc"
   core::FuncyTunerOptions options;
+  Capabilities caps;        ///< caps.protocol doubles as the version
 };
 
 struct WelcomeFrame {
   std::string server = "ftuned";
   std::uint64_t session = 0;
   std::size_t max_batch = 0;  ///< requests the server accepts per frame
-  /// Architecture names this daemon serves, in canonical table order.
-  /// Heterogeneous fleets pin campaign cells to daemons advertising
-  /// the cell's arch. Optional on the wire (absent = pre-fleet daemon
-  /// = assume it serves everything), so version 1 stays compatible.
-  std::vector<std::string> archs;
+  /// The framing the server picked for every frame after this one.
+  Framing framing = Framing::kJson;
+  Capabilities caps;          ///< caps.archs = served architectures
 };
 
 struct ErrorFrame {
   std::string code;    ///< bad_frame, bad_request, unknown_program,
                        ///< unknown_architecture, overloaded,
                        ///< oversized_frame, not_ready,
-                       ///< unsupported_version
+                       ///< unsupported_version,
+                       ///< unsupported_architecture
   std::string detail;
   std::uint64_t seq = 0;
   bool retryable = false;  ///< resend later (backpressure)
   bool fatal = false;      ///< server closes the connection after this
 };
 
-// --- encoders (exact, deterministic text) ----------------------------------
+// --- unified decode --------------------------------------------------------
+
+enum class FrameKind : std::uint8_t {
+  kHello = 1,
+  kWelcome = 2,
+  kError = 3,
+  kEval = 4,
+  kEvalBatch = 5,
+  kResult = 6,
+  kResultBatch = 7,
+  kPing = 8,
+  kPong = 9,
+  kBye = 10,
+};
+
+/// One decoded frame of any kind. Reused across frames: reset() keeps
+/// vector/string capacity, so a session's steady-state decode path
+/// allocates nothing.
+struct AnyFrame {
+  FrameKind kind = FrameKind::kBye;
+  std::uint64_t seq = 0;
+  HelloFrame hello;
+  WelcomeFrame welcome;
+  ErrorFrame error;
+  std::vector<core::EvalRequest> requests;    ///< eval / eval_batch
+  std::vector<core::EvalResponse> responses;  ///< result / result_batch
+  void reset();
+};
+
+enum class DecodeStatus {
+  kOk,
+  kUnparseable,   ///< not JSON / not a known binary envelope
+  kUnknownType,   ///< parsed fine but names a frame type we don't know
+  kMalformed,     ///< known type, invalid contents (reason in *error)
+};
+
+/// Decodes one payload under the given framing into *out (reset
+/// first). On kMalformed, *error holds a human-readable reason.
+[[nodiscard]] DecodeStatus decode_frame(Framing framing,
+                                        std::string_view payload,
+                                        AnyFrame* out, std::string* error);
+
+// --- framing-dispatched encoders -------------------------------------------
+// All append to *out after clearing it, so callers thread one
+// FrameBuffer through their whole write path and reach steady-state
+// zero allocation. hello/welcome are JSON-only on the wire (see file
+// header); their binary forms exist for symmetry and round-trip tests.
+
+void encode_hello_frame(Framing framing, const HelloFrame& hello,
+                        std::string* out);
+void encode_welcome_frame(Framing framing, const WelcomeFrame& welcome,
+                          std::string* out);
+void encode_error_frame(Framing framing, const ErrorFrame& error,
+                        std::string* out);
+void encode_eval_frame(Framing framing, std::uint64_t seq,
+                       const core::EvalRequest& request, std::string* out);
+void encode_eval_batch_frame(Framing framing, std::uint64_t seq,
+                             std::span<const core::EvalRequest> requests,
+                             std::string* out);
+void encode_result_frame(Framing framing, std::uint64_t seq,
+                         const core::EvalResponse& response,
+                         std::string* out);
+void encode_result_batch_frame(
+    Framing framing, std::uint64_t seq,
+    std::span<const core::EvalResponse> responses, std::string* out);
+void encode_ping_frame(Framing framing, std::uint64_t seq,
+                       std::string* out);
+void encode_pong_frame(Framing framing, std::uint64_t seq,
+                       std::string* out);
+void encode_bye_frame(Framing framing, std::string* out);
+
+// --- JSON encoders (exact, deterministic text) -----------------------------
+// The historical API; the framing-dispatched encoders above delegate
+// here for Framing::kJson.
 
 [[nodiscard]] std::string encode_hello(const HelloFrame& hello);
 [[nodiscard]] std::string encode_welcome(const WelcomeFrame& welcome);
@@ -84,7 +209,7 @@ struct ErrorFrame {
 [[nodiscard]] std::string encode_pong(std::uint64_t seq);
 [[nodiscard]] std::string encode_bye();
 
-// --- decoders --------------------------------------------------------------
+// --- JSON decoders ---------------------------------------------------------
 // Each returns false (with a human-readable reason in `error`) for a
 // structurally valid JSON object that is not a valid frame of that
 // type. Callers parse the JSON first and dispatch on frame_type().

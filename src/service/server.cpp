@@ -1,10 +1,18 @@
 #include "service/server.hpp"
 
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "machine/architecture.hpp"
 #include "programs/benchmarks.hpp"
@@ -48,6 +56,39 @@ std::uint64_t workspace_key(const HelloFrame& hello) {
   return support::fnv1a64(oss.str());
 }
 
+/// Wire name of a frame kind, for "unknown frame type 'x'" errors
+/// about frames a client has no business sending to a server.
+const char* frame_kind_name(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kHello: return "hello";
+    case FrameKind::kWelcome: return "welcome";
+    case FrameKind::kError: return "error";
+    case FrameKind::kEval: return "eval";
+    case FrameKind::kEvalBatch: return "eval_batch";
+    case FrameKind::kResult: return "result";
+    case FrameKind::kResultBatch: return "result_batch";
+    case FrameKind::kPing: return "ping";
+    case FrameKind::kPong: return "pong";
+    case FrameKind::kBye: return "bye";
+  }
+  return "unknown";
+}
+
+std::uint32_t payload_length_be(const std::string& inbox,
+                                std::size_t pos) {
+  return (static_cast<std::uint32_t>(
+              static_cast<unsigned char>(inbox[pos]))
+          << 24) |
+         (static_cast<std::uint32_t>(
+              static_cast<unsigned char>(inbox[pos + 1]))
+          << 16) |
+         (static_cast<std::uint32_t>(
+              static_cast<unsigned char>(inbox[pos + 2]))
+          << 8) |
+         static_cast<std::uint32_t>(
+             static_cast<unsigned char>(inbox[pos + 3]));
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options) : options_(std::move(options)) {
@@ -59,16 +100,49 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
   for (std::string& arch : options_.archs) {
     arch = machine::architecture_by_name(arch).name;
   }
+  // JSON is the negotiation carrier and the compatibility baseline:
+  // a daemon may refuse to *prefer* it, never to speak it.
+  if (std::find(options_.framings.begin(), options_.framings.end(),
+                Framing::kJson) == options_.framings.end()) {
+    options_.framings.insert(options_.framings.begin(), Framing::kJson);
+  }
 }
 
 Server::~Server() { stop(); }
 
 void Server::start() {
   listener_ = Listener::bind(Address::parse(options_.listen));
+  listener_.set_nonblocking();
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    listener_.close();
+    throw ServiceError("bind", "cannot create event loop fds: " +
+                                   std::string(std::strerror(errno)));
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = listener_.fd();
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &event);
+  event.data.fd = wake_fd_;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event);
+
+  read_scratch_.resize(256 * 1024);
   stopping_.store(false, std::memory_order_release);
+  workers_shutdown_ = false;
   touch();
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+
+  std::size_t worker_count = options_.workers;
+  if (worker_count == 0) {
+    worker_count = std::clamp<std::size_t>(
+        std::thread::hardware_concurrency(), 2, 16);
+  }
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  loop_thread_ = std::thread([this] { event_loop(); });
 }
 
 int Server::serve() {
@@ -78,91 +152,637 @@ int Server::serve() {
 }
 
 void Server::wait() {
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // The accept loop is done (idle timeout or stop()); tear down any
-  // sessions that are still alive and join every session thread.
+  std::lock_guard teardown(teardown_mutex_);
+  if (loop_thread_.joinable()) loop_thread_.join();
   {
-    std::lock_guard lock(sessions_mutex_);
-    for (const std::unique_ptr<Session>& session : sessions_) {
-      session->socket.shutdown_both();
-    }
+    std::lock_guard lock(jobs_mutex_);
+    workers_shutdown_ = true;
   }
-  std::vector<std::unique_ptr<Session>> finished;
-  {
-    std::lock_guard lock(sessions_mutex_);
-    finished.swap(sessions_);
+  jobs_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
   }
-  for (const std::unique_ptr<Session>& session : finished) {
-    if (session->thread.joinable()) session->thread.join();
-  }
+  workers_.clear();
   listener_.close();
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  {
+    std::lock_guard lock(completions_mutex_);
+    completions_.clear();
+  }
   running_.store(false, std::memory_order_release);
 }
 
 void Server::stop() {
   stopping_.store(true, std::memory_order_release);
+  wake_loop();
   wait();
 }
 
 Server::Stats Server::stats() const {
-  std::lock_guard lock(stats_mutex_);
-  return stats_;
+  Stats out;
+  out.sessions_accepted = stats_.sessions_accepted.load();
+  out.frames_served = stats_.frames_served.load();
+  out.evaluations = stats_.evaluations.load();
+  out.batch_frames = stats_.batch_frames.load();
+  out.cache_hits = stats_.cache_hits.load();
+  out.errors_sent = stats_.errors_sent.load();
+  out.overloads = stats_.overloads.load();
+  out.binary_sessions = stats_.binary_sessions.load();
+  return out;
 }
 
 void Server::touch() noexcept {
   last_activity_.store(now_seconds(), std::memory_order_release);
 }
 
-void Server::reap_finished_sessions() {
-  std::lock_guard lock(sessions_mutex_);
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if ((*it)->done.load(std::memory_order_acquire)) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = sessions_.erase(it);
-    } else {
-      ++it;
-    }
+void Server::wake_loop() noexcept {
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof(one));
   }
 }
 
-void Server::accept_loop() {
+// --- event loop (all session state is owned by this thread) ----------------
+
+void Server::event_loop() {
+  epoll_event events[64];
   while (!stopping_.load(std::memory_order_acquire)) {
-    Socket socket = listener_.accept_within(/*timeout_ms=*/200);
-    if (!socket.valid()) {
-      reap_finished_sessions();
-      if (options_.idle_timeout_seconds > 0 &&
-          active_sessions_.load(std::memory_order_acquire) == 0 &&
-          now_seconds() - last_activity_.load(std::memory_order_acquire) >
-              options_.idle_timeout_seconds) {
-        break;  // idle shutdown
+    const int ready =
+        ::epoll_wait(epoll_fd_, events, 64, /*timeout_ms=*/200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        (void)!::read(wake_fd_, &drained, sizeof(drained));
+        continue;
       }
+      if (fd == listener_.fd()) {
+        accept_ready();
+        continue;
+      }
+      // Look sessions up by fd, never by stored pointer: an earlier
+      // event in this same batch may have destroyed the session.
+      const auto it = sessions_.find(fd);
+      if (it == sessions_.end()) continue;
+      SessionState* session = it->second.get();
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        destroy_session(session);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        if (!session_readable(session)) continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        (void)session_writable(session);
+      }
+    }
+    apply_completions();
+    if (options_.idle_timeout_seconds > 0 && sessions_.empty() &&
+        now_seconds() -
+                last_activity_.load(std::memory_order_acquire) >
+            options_.idle_timeout_seconds) {
+      break;  // idle shutdown
+    }
+  }
+  // Close every session before the workers are joined so any client
+  // blocked on a reply observes a transport error, not a stall.
+  sessions_by_id_.clear();
+  sessions_.clear();
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    Socket socket = listener_.accept_nonblocking();
+    if (!socket.valid()) return;
+    socket.set_nonblocking();
+    auto session = std::make_unique<SessionState>();
+    session->id = next_session_id_++;
+    session->socket = std::move(socket);
+    session->interest = EPOLLIN;
+    const int fd = session->socket.fd();
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+      continue;  // drop the connection; nothing else to do
+    }
+    sessions_by_id_.emplace(session->id, session.get());
+    sessions_.emplace(fd, std::move(session));
+    stats_.sessions_accepted.fetch_add(1, std::memory_order_relaxed);
+    touch();
+  }
+}
+
+bool Server::session_readable(SessionState* session) {
+  for (;;) {
+    const ssize_t got = ::recv(session->socket.fd(),
+                               read_scratch_.data(),
+                               read_scratch_.size(), 0);
+    if (got > 0) {
+      session->inbox.append(read_scratch_.data(),
+                            static_cast<std::size_t>(got));
+      if (static_cast<std::size_t>(got) < read_scratch_.size()) break;
       continue;
     }
+    if (got == 0) {  // peer hung up
+      destroy_session(session);
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    destroy_session(session);
+    return false;
+  }
+  return extract_frames(session);
+}
+
+bool Server::extract_frames(SessionState* session) {
+  std::size_t pos = 0;
+  while (!session->closing) {
+    if (session->inbox.size() - pos < 4) break;
+    const std::uint32_t length = payload_length_be(session->inbox, pos);
+    if (length > options_.max_frame_bytes) {
+      // The stream is unsynchronized past the declared length;
+      // nothing to do but refuse and hang up (flush first).
+      stats_.errors_sent.fetch_add(1, std::memory_order_relaxed);
+      std::string reply;
+      encode_error_frame(session->framing,
+                         ErrorFrame{"oversized_frame",
+                                    session->greeted
+                                        ? "frame exceeds max_frame_bytes"
+                                        : "hello frame exceeds the cap",
+                                    0, false, true},
+                         &reply);
+      session->closing = true;
+      session->inbox.clear();
+      session->backlog.clear();
+      pos = 0;
+      if (!queue_reply(session, std::move(reply))) return false;
+      break;
+    }
+    if (session->inbox.size() - pos < 4 + std::size_t{length}) break;
+    std::string payload = session->inbox.substr(pos + 4, length);
+    pos += 4 + std::size_t{length};
     touch();
-    auto session = std::make_unique<Session>();
-    session->socket = std::move(socket);
-    Session* raw = session.get();
-    {
-      std::lock_guard lock(sessions_mutex_);
-      raw->id = next_session_id_++;
-      sessions_.push_back(std::move(session));
+    handle_frame(session, std::move(payload));
+  }
+  if (pos > 0) session->inbox.erase(0, pos);
+  if (session->closing && session->outbox.empty()) {
+    destroy_session(session);
+    return false;
+  }
+  update_interest(session);
+  return true;
+}
+
+void Server::handle_frame(SessionState* session, std::string payload) {
+  if (session->busy) {
+    // Strict request -> response ordering: one job in flight per
+    // session, later frames wait their turn.
+    session->backlog.push_back(std::move(payload));
+    return;
+  }
+  dispatch_job(session, std::move(payload));
+}
+
+void Server::dispatch_job(SessionState* session, std::string payload) {
+  session->busy = true;
+  Job job;
+  job.session_id = session->id;
+  job.is_hello = !session->greeted;
+  job.framing = session->framing;
+  job.workspace = session->workspace;
+  job.payload = std::move(payload);
+  {
+    std::lock_guard lock(jobs_mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  jobs_ready_.notify_one();
+}
+
+void Server::apply_completions() {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    const auto it = sessions_by_id_.find(completion.session_id);
+    if (it == sessions_by_id_.end()) continue;  // peer already gone
+    SessionState* session = it->second;
+    session->busy = false;
+    if (completion.greeted) {
+      session->greeted = true;
+      session->workspace = completion.workspace;
     }
-    active_sessions_.fetch_add(1, std::memory_order_acq_rel);
-    {
-      std::lock_guard lock(stats_mutex_);
-      ++stats_.sessions_accepted;
+    if (!completion.reply.empty() &&
+        !queue_reply(session, std::move(completion.reply))) {
+      continue;  // session destroyed on a dead socket
     }
-    raw->thread = std::thread([this, raw] { session_loop(raw); });
+    if (completion.greeted) {
+      // The welcome itself went out under JSON (the negotiation
+      // carrier); everything after it speaks the negotiated framing.
+      session->framing = completion.framing;
+      if (completion.framing == Framing::kBinary) {
+        stats_.binary_sessions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (completion.close) {
+      session->closing = true;
+      session->inbox.clear();
+      session->backlog.clear();
+    }
+    if (session->closing) {
+      if (session->outbox.empty()) {
+        destroy_session(session);
+        continue;
+      }
+    } else if (!session->backlog.empty()) {
+      std::string next = std::move(session->backlog.front());
+      session->backlog.pop_front();
+      dispatch_job(session, std::move(next));
+    }
+    update_interest(session);
+    touch();
   }
 }
 
-bool Server::send_error(Session* session, const ErrorFrame& error) {
-  {
-    std::lock_guard lock(stats_mutex_);
-    ++stats_.errors_sent;
+bool Server::queue_reply(SessionState* session, std::string payload) {
+  OutFrame frame;
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(payload.size());
+  frame.prefix[0] = static_cast<unsigned char>(length >> 24);
+  frame.prefix[1] = static_cast<unsigned char>(length >> 16);
+  frame.prefix[2] = static_cast<unsigned char>(length >> 8);
+  frame.prefix[3] = static_cast<unsigned char>(length);
+  frame.payload = std::move(payload);
+  session->outbox.push_back(std::move(frame));
+  // Optimistic flush: in the common case the kernel buffer swallows
+  // the whole reply and no EPOLLOUT round-trip ever happens.
+  if (!flush_outbox(session)) {
+    destroy_session(session);
+    return false;
   }
-  return write_frame(session->socket.fd(), encode_error(error));
+  update_interest(session);
+  return true;
 }
+
+bool Server::flush_outbox(SessionState* session) {
+  while (!session->outbox.empty()) {
+    // Vectored write: up to 16 frames, each as prefix + payload
+    // remainders - one syscall flushes a burst of replies.
+    iovec iov[32];
+    int iov_count = 0;
+    for (const OutFrame& frame : session->outbox) {
+      if (iov_count + 2 > 32) break;
+      std::size_t offset = frame.offset;
+      if (offset < 4) {
+        iov[iov_count].iov_base =
+            const_cast<unsigned char*>(frame.prefix) + offset;
+        iov[iov_count].iov_len = 4 - offset;
+        ++iov_count;
+        offset = 0;
+      } else {
+        offset -= 4;
+      }
+      if (offset < frame.payload.size()) {
+        iov[iov_count].iov_base =
+            const_cast<char*>(frame.payload.data()) + offset;
+        iov[iov_count].iov_len = frame.payload.size() - offset;
+        ++iov_count;
+      }
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iov_count);
+    const ssize_t sent = ::sendmsg(session->socket.fd(), &msg,
+                                   MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;  // kernel buffer full; EPOLLOUT will resume
+      }
+      return false;  // dead socket
+    }
+    std::size_t remaining = static_cast<std::size_t>(sent);
+    while (remaining > 0 && !session->outbox.empty()) {
+      OutFrame& front = session->outbox.front();
+      const std::size_t total = 4 + front.payload.size();
+      const std::size_t left = total - front.offset;
+      if (remaining >= left) {
+        remaining -= left;
+        session->outbox.pop_front();
+      } else {
+        front.offset += remaining;
+        remaining = 0;
+      }
+    }
+  }
+  return true;
+}
+
+bool Server::session_writable(SessionState* session) {
+  if (!flush_outbox(session)) {
+    destroy_session(session);
+    return false;
+  }
+  if (session->closing && session->outbox.empty()) {
+    destroy_session(session);
+    return false;
+  }
+  update_interest(session);
+  return true;
+}
+
+void Server::update_interest(SessionState* session) {
+  std::uint32_t desired = 0;
+  // Reading pauses while a job is in flight (and while closing): the
+  // kernel's receive window, not our memory, buffers an overeager
+  // client - per-session TCP backpressure.
+  if (!session->busy && !session->closing) desired |= EPOLLIN;
+  if (!session->outbox.empty()) desired |= EPOLLOUT;
+  if (desired == session->interest) return;
+  epoll_event event{};
+  event.events = desired;
+  event.data.fd = session->socket.fd();
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, session->socket.fd(),
+                    &event);
+  session->interest = desired;
+}
+
+void Server::destroy_session(SessionState* session) {
+  const int fd = session->socket.fd();
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  sessions_by_id_.erase(session->id);
+  sessions_.erase(fd);  // closes the socket
+  touch();  // idle countdown starts when the last session leaves
+}
+
+// --- worker pool -----------------------------------------------------------
+
+void Server::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(jobs_mutex_);
+      jobs_ready_.wait(lock, [this] {
+        return workers_shutdown_ || !jobs_.empty();
+      });
+      if (workers_shutdown_) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    run_job(std::move(job));
+  }
+}
+
+void Server::post(Completion completion) {
+  {
+    std::lock_guard lock(completions_mutex_);
+    completions_.push_back(std::move(completion));
+  }
+  wake_loop();
+}
+
+Server::Completion Server::error_completion(std::uint64_t session_id,
+                                            Framing framing,
+                                            const ErrorFrame& error) {
+  stats_.errors_sent.fetch_add(1, std::memory_order_relaxed);
+  Completion completion;
+  completion.session_id = session_id;
+  completion.close = error.fatal;
+  encode_error_frame(framing, error, &completion.reply);
+  return completion;
+}
+
+Server::Completion Server::serve_hello(const Job& job) {
+  const std::uint64_t sid = job.session_id;
+  // The hello is ALWAYS JSON: it carries the negotiation that decides
+  // what everything after the welcome speaks.
+  static thread_local AnyFrame frame;
+  std::string error;
+  const DecodeStatus status =
+      decode_frame(Framing::kJson, job.payload, &frame, &error);
+  if (status == DecodeStatus::kUnparseable) {
+    return error_completion(sid, Framing::kJson,
+                            ErrorFrame{"bad_frame", error, 0, false,
+                                       true});
+  }
+  if (frame.kind != FrameKind::kHello ||
+      status == DecodeStatus::kUnknownType) {
+    return error_completion(sid, Framing::kJson,
+                            ErrorFrame{"bad_request",
+                                       "expected a hello frame", 0,
+                                       false, true});
+  }
+  if (status != DecodeStatus::kOk) {
+    return error_completion(sid, Framing::kJson,
+                            ErrorFrame{"bad_request", error, 0, false,
+                                       true});
+  }
+  const HelloFrame& hello = frame.hello;
+  if (hello.caps.protocol != kProtocolVersion) {
+    return error_completion(
+        sid, Framing::kJson,
+        ErrorFrame{"unsupported_version",
+                   "server speaks protocol version " +
+                       std::to_string(kProtocolVersion),
+                   0, false, true});
+  }
+  try {
+    (void)programs::by_name(hello.program);
+  } catch (const std::exception& reason) {
+    return error_completion(sid, Framing::kJson,
+                            ErrorFrame{"unknown_program", reason.what(),
+                                       0, false, true});
+  }
+  try {
+    (void)machine::architecture_by_name(hello.arch);
+  } catch (const std::exception& reason) {
+    return error_completion(sid, Framing::kJson,
+                            ErrorFrame{"unknown_architecture",
+                                       reason.what(), 0, false, true});
+  }
+  const std::string arch_display =
+      machine::architecture_by_name(hello.arch).name;
+  if (!options_.archs.empty() &&
+      std::find(options_.archs.begin(), options_.archs.end(),
+                arch_display) == options_.archs.end()) {
+    // Known arch, but this daemon was started without it (e.g. it
+    // only has Broadwell measurement hosts behind it). Distinct from
+    // unknown_architecture so a fleet can treat the endpoint as
+    // ineligible for the cell rather than the hello as malformed.
+    return error_completion(
+        sid, Framing::kJson,
+        ErrorFrame{"unsupported_architecture",
+                   "this daemon does not serve " + hello.arch, 0, false,
+                   true});
+  }
+
+  Workspace* workspace = nullptr;
+  try {
+    workspace = workspace_for(hello);
+  } catch (const std::exception& reason) {
+    return error_completion(sid, Framing::kJson,
+                            ErrorFrame{"bad_request", reason.what(), 0,
+                                       false, true});
+  }
+  WelcomeFrame welcome;
+  welcome.session = sid;
+  welcome.max_batch = options_.max_batch;
+  welcome.framing =
+      negotiate_framing(hello.caps.framings, options_.framings);
+  welcome.caps.protocol = kProtocolVersion;
+  welcome.caps.framings = options_.framings;
+  welcome.caps.max_frame_bytes = options_.max_frame_bytes;
+  if (!options_.archs.empty()) {
+    welcome.caps.archs = options_.archs;
+  } else {
+    for (const machine::Architecture& arch :
+         machine::all_architectures()) {
+      welcome.caps.archs.push_back(arch.name);
+    }
+  }
+  Completion completion;
+  completion.session_id = sid;
+  completion.greeted = true;
+  completion.framing = welcome.framing;
+  completion.workspace = workspace;
+  encode_welcome_frame(Framing::kJson, welcome, &completion.reply);
+  return completion;
+}
+
+void Server::run_job(Job job) {
+  if (job.is_hello) {
+    post(serve_hello(job));
+    return;
+  }
+  const std::uint64_t sid = job.session_id;
+  const Framing framing = job.framing;
+  // thread_local: a worker reuses its decode scratch across jobs, so
+  // steady-state batches don't re-grow request vectors from scratch.
+  static thread_local AnyFrame frame;
+  std::string error;
+  const DecodeStatus status =
+      decode_frame(framing, job.payload, &frame, &error);
+  if (status == DecodeStatus::kUnparseable) {
+    // Length framing is still synchronized, so a garbage payload
+    // costs only this frame - the session survives.
+    post(error_completion(sid, framing,
+                          ErrorFrame{"bad_frame", error, 0, false,
+                                     false}));
+    return;
+  }
+  if (status != DecodeStatus::kOk) {
+    // kUnknownType keeps the decoder's "unknown frame type 'x'" text.
+    post(error_completion(sid, framing,
+                          ErrorFrame{"bad_request", error, frame.seq,
+                                     false, false}));
+    return;
+  }
+  switch (frame.kind) {
+    case FrameKind::kBye: {
+      Completion completion;
+      completion.session_id = sid;
+      completion.close = true;
+      post(std::move(completion));
+      return;
+    }
+    case FrameKind::kPing: {
+      Completion completion;
+      completion.session_id = sid;
+      encode_pong_frame(framing, frame.seq, &completion.reply);
+      stats_.frames_served.fetch_add(1, std::memory_order_relaxed);
+      post(std::move(completion));
+      return;
+    }
+    case FrameKind::kEval:
+    case FrameKind::kEvalBatch:
+      break;
+    default:
+      // A decodable frame only a server may send (welcome, result,
+      // pong, ...) or a second hello: a protocol violation, but a
+      // recoverable one.
+      post(error_completion(
+          sid, framing,
+          ErrorFrame{"bad_request",
+                     std::string("unknown frame type '") +
+                         frame_kind_name(frame.kind) + "'",
+                     frame.seq, false, false}));
+      return;
+  }
+
+  const std::uint64_t seq = frame.seq;
+  const bool batch = frame.kind == FrameKind::kEvalBatch;
+  const std::vector<core::EvalRequest>& requests = frame.requests;
+  if (requests.empty()) {
+    post(error_completion(sid, framing,
+                          ErrorFrame{"bad_request", "empty batch", seq,
+                                     false, false}));
+    return;
+  }
+  if (requests.size() > options_.max_batch) {
+    post(error_completion(
+        sid, framing,
+        ErrorFrame{"bad_request",
+                   "batch exceeds the advertised max_batch", seq, false,
+                   false}));
+    return;
+  }
+  // Admission control: refuse (retryably) instead of queueing without
+  // bound.
+  const std::size_t admitted = requests.size();
+  const std::size_t before =
+      inflight_.fetch_add(admitted, std::memory_order_acq_rel);
+  if (before + admitted > options_.max_inflight) {
+    inflight_.fetch_sub(admitted, std::memory_order_acq_rel);
+    stats_.overloads.fetch_add(1, std::memory_order_relaxed);
+    post(error_completion(
+        sid, framing,
+        ErrorFrame{"overloaded", "max_inflight evaluations reached",
+                   seq, true, false}));
+    return;
+  }
+  Completion completion;
+  completion.session_id = sid;
+  try {
+    const std::vector<core::EvalResponse> responses =
+        serve_requests(*job.workspace, requests);
+    if (batch) {
+      encode_result_batch_frame(framing, seq, responses,
+                                &completion.reply);
+    } else {
+      encode_result_frame(framing, seq, responses.front(),
+                          &completion.reply);
+    }
+    stats_.frames_served.fetch_add(1, std::memory_order_relaxed);
+    stats_.evaluations.fetch_add(admitted, std::memory_order_relaxed);
+    if (batch) {
+      stats_.batch_frames.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const std::exception& reason) {
+    completion = error_completion(sid, framing,
+                                  ErrorFrame{"bad_request",
+                                             reason.what(), seq, false,
+                                             false});
+  }
+  inflight_.fetch_sub(admitted, std::memory_order_acq_rel);
+  post(std::move(completion));
+}
+
+// --- evaluation ------------------------------------------------------------
 
 Server::Workspace* Server::workspace_for(const HelloFrame& hello) {
   const std::uint64_t key = workspace_key(hello);
@@ -195,95 +815,6 @@ Server::Workspace* Server::workspace_for(const HelloFrame& hello) {
   return raw;
 }
 
-Server::Workspace* Server::handshake(Session* session) {
-  std::string payload;
-  const FrameStatus status = read_frame(session->socket.fd(), &payload,
-                                        options_.max_frame_bytes);
-  if (status == FrameStatus::kTooLarge) {
-    (void)send_error(session, ErrorFrame{"oversized_frame",
-                                         "hello frame exceeds the cap",
-                                         0, false, true});
-    return nullptr;
-  }
-  if (status != FrameStatus::kOk) return nullptr;
-  touch();
-
-  support::JsonValue frame;
-  std::string error;
-  if (!support::JsonValue::parse(payload, &frame, &error)) {
-    (void)send_error(session,
-                     ErrorFrame{"bad_frame", error, 0, false, true});
-    return nullptr;
-  }
-  if (frame_type(frame) != "hello") {
-    (void)send_error(
-        session, ErrorFrame{"bad_request", "expected a hello frame", 0,
-                            false, true});
-    return nullptr;
-  }
-  HelloFrame hello;
-  if (!decode_hello(frame, &hello, &error)) {
-    (void)send_error(session,
-                     ErrorFrame{"bad_request", error, 0, false, true});
-    return nullptr;
-  }
-  if (hello.protocol != kProtocolVersion) {
-    (void)send_error(
-        session,
-        ErrorFrame{"unsupported_version",
-                   "server speaks protocol version " +
-                       std::to_string(kProtocolVersion),
-                   0, false, true});
-    return nullptr;
-  }
-  try {
-    (void)programs::by_name(hello.program);
-  } catch (const std::exception& reason) {
-    (void)send_error(session, ErrorFrame{"unknown_program",
-                                         reason.what(), 0, false, true});
-    return nullptr;
-  }
-  try {
-    (void)machine::architecture_by_name(hello.arch);
-  } catch (const std::exception& reason) {
-    (void)send_error(session, ErrorFrame{"unknown_architecture",
-                                         reason.what(), 0, false, true});
-    return nullptr;
-  }
-  const std::string arch_display =
-      machine::architecture_by_name(hello.arch).name;
-  if (!options_.archs.empty() &&
-      std::find(options_.archs.begin(), options_.archs.end(),
-                arch_display) == options_.archs.end()) {
-    // Known arch, but this daemon was started without it (e.g. it
-    // only has Broadwell measurement hosts behind it). Distinct from
-    // unknown_architecture so a fleet can treat the endpoint as
-    // ineligible for the cell rather than the hello as malformed.
-    (void)send_error(session,
-                     ErrorFrame{"unsupported_architecture",
-                                "this daemon does not serve " + hello.arch,
-                                0, false, true});
-    return nullptr;
-  }
-
-  Workspace* workspace = workspace_for(hello);
-  WelcomeFrame welcome;
-  welcome.session = session->id;
-  welcome.max_batch = options_.max_batch;
-  if (!options_.archs.empty()) {
-    welcome.archs = options_.archs;
-  } else {
-    for (const machine::Architecture& arch :
-         machine::all_architectures()) {
-      welcome.archs.push_back(arch.name);
-    }
-  }
-  if (!write_frame(session->socket.fd(), encode_welcome(welcome))) {
-    return nullptr;
-  }
-  return workspace;
-}
-
 core::EvalResponse Server::serve_one(Workspace& workspace,
                                      const core::EvalRequest& request) {
   core::Evaluator& evaluator = workspace.tuner->evaluator();
@@ -306,8 +837,7 @@ core::EvalResponse Server::serve_one(Workspace& workspace,
       response.outcome = std::move(outcome);
       response.served_by = core::EvalServedBy::kCacheHit;
       response.modules_compiled = 0;
-      std::lock_guard lock(stats_mutex_);
-      ++stats_.cache_hits;
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       return response;
     }
   }
@@ -339,118 +869,6 @@ std::vector<core::EvalResponse> Server::serve_requests(
     responses[i] = serve_one(workspace, requests[i]);
   });
   return responses;
-}
-
-void Server::session_loop(Session* session) {
-  Workspace* workspace = handshake(session);
-  if (workspace != nullptr) {
-    std::string payload;
-    while (!stopping_.load(std::memory_order_acquire)) {
-      const FrameStatus status = read_frame(
-          session->socket.fd(), &payload, options_.max_frame_bytes);
-      if (status == FrameStatus::kClosed ||
-          status == FrameStatus::kTorn) {
-        break;
-      }
-      touch();
-      if (status == FrameStatus::kTooLarge) {
-        // The stream is unsynchronized past the declared length;
-        // nothing to do but refuse and hang up.
-        (void)send_error(
-            session, ErrorFrame{"oversized_frame",
-                                "frame exceeds max_frame_bytes", 0,
-                                false, true});
-        break;
-      }
-
-      support::JsonValue frame;
-      std::string error;
-      if (!support::JsonValue::parse(payload, &frame, &error)) {
-        // Length framing is still synchronized, so a garbage payload
-        // costs only this frame - the session survives.
-        (void)send_error(session,
-                         ErrorFrame{"bad_frame", error, 0, false, false});
-        continue;
-      }
-      const std::string type = frame_type(frame);
-      const std::uint64_t seq = frame_seq(frame);
-      if (type == "bye") break;
-      if (type == "ping") {
-        if (!write_frame(session->socket.fd(), encode_pong(seq))) break;
-        std::lock_guard lock(stats_mutex_);
-        ++stats_.frames_served;
-        continue;
-      }
-      if (type == "eval" || type == "eval_batch") {
-        std::vector<core::EvalRequest> requests;
-        if (!decode_eval(frame, &requests, &error) ||
-            requests.empty()) {
-          (void)send_error(
-              session,
-              ErrorFrame{"bad_request",
-                         error.empty() ? "empty batch" : error, seq,
-                         false, false});
-          continue;
-        }
-        if (requests.size() > options_.max_batch) {
-          (void)send_error(
-              session,
-              ErrorFrame{"bad_request",
-                         "batch exceeds the advertised max_batch", seq,
-                         false, false});
-          continue;
-        }
-        // Admission control: refuse (retryably) instead of queueing
-        // without bound.
-        const std::size_t admitted = requests.size();
-        const std::size_t before =
-            inflight_.fetch_add(admitted, std::memory_order_acq_rel);
-        if (before + admitted > options_.max_inflight) {
-          inflight_.fetch_sub(admitted, std::memory_order_acq_rel);
-          {
-            std::lock_guard lock(stats_mutex_);
-            ++stats_.overloads;
-          }
-          (void)send_error(
-              session, ErrorFrame{"overloaded",
-                                  "max_inflight evaluations reached",
-                                  seq, true, false});
-          continue;
-        }
-        std::vector<core::EvalResponse> responses;
-        bool served = true;
-        try {
-          responses = serve_requests(*workspace, requests);
-        } catch (const std::exception& reason) {
-          served = false;
-          (void)send_error(session, ErrorFrame{"bad_request",
-                                               reason.what(), seq,
-                                               false, false});
-        }
-        inflight_.fetch_sub(admitted, std::memory_order_acq_rel);
-        if (!served) continue;
-        const std::string reply =
-            type == "eval"
-                ? encode_result(seq, responses.front())
-                : encode_result_batch(seq, responses);
-        if (!write_frame(session->socket.fd(), reply)) break;
-        touch();
-        std::lock_guard lock(stats_mutex_);
-        ++stats_.frames_served;
-        stats_.evaluations += admitted;
-        if (type == "eval_batch") ++stats_.batch_frames;
-        continue;
-      }
-      (void)send_error(
-          session, ErrorFrame{"bad_request",
-                              "unknown frame type '" + type + "'", seq,
-                              false, false});
-    }
-  }
-  session->socket.close();
-  active_sessions_.fetch_sub(1, std::memory_order_acq_rel);
-  touch();  // idle countdown starts when the last session leaves
-  session->done.store(true, std::memory_order_release);
 }
 
 }  // namespace ft::service

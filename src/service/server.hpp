@@ -1,6 +1,20 @@
-// The ftuned evaluation daemon. One Server owns a listening socket,
-// an accept thread and one session thread per connected client; each
-// session speaks the framed protocol of service/protocol.hpp.
+// The ftuned evaluation daemon: an epoll event loop + small worker
+// pool. ONE loop thread owns every socket (non-blocking accept and
+// session fds, level-triggered epoll), runs per-session state
+// machines over reusable read/write buffers, and writes replies as
+// vectored sends (length prefix + payload in one sendmsg). Eval
+// batches - the expensive part - execute on a worker pool OFF the
+// loop thread; finished work posts back through a completion queue
+// and an eventfd wakeup. Compared to the old thread-per-connection
+// design this removes a thread (and its stack, wakeups and context
+// switches) per client, and lets hundreds of mostly-idle sessions
+// cost nothing.
+//
+// Per-session ordering: the wire is strictly request -> response, so
+// a session has at most one job in flight ("busy"); frames arriving
+// meanwhile queue in its backlog, and its EPOLLIN interest is dropped
+// while busy so the kernel's receive window - not our memory -
+// absorbs an overeager client.
 //
 // Division of labor (the bit-identity invariant): the daemon executes
 // *raw* measurements only - compile + link + run on a workspace whose
@@ -11,7 +25,7 @@
 // client's EvalCache) stays in the *client's* Evaluator. Because the
 // measurement stack is deterministic per (content, noise key), the
 // daemon's answers are bit-identical to what the client's own engine
-// would have produced.
+// would have produced - under either framing.
 //
 // Workspaces are keyed by (program, arch, personality, measurement
 // options), so any number of clients tuning the same cell share one
@@ -24,7 +38,9 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -60,6 +76,14 @@ struct ServerOptions {
   /// "unsupported_architecture"; the served set is advertised in the
   /// welcome frame so heterogeneous fleets can pin campaign cells.
   std::vector<std::string> archs;
+  /// Framings this daemon accepts in negotiation. JSON is forced into
+  /// the set (it is the negotiation carrier and compatibility
+  /// baseline); listing only {kJson} makes a JSON-only daemon, which
+  /// is how mixed fleets exercise per-endpoint downgrade.
+  std::vector<Framing> framings = {Framing::kJson, Framing::kBinary};
+  /// Worker threads executing eval batches off the event loop;
+  /// 0 = one per hardware thread (capped at 16, floored at 2).
+  std::size_t workers = 0;
 };
 
 class Server {
@@ -72,6 +96,7 @@ class Server {
     std::size_t cache_hits = 0;
     std::size_t errors_sent = 0;
     std::size_t overloads = 0;
+    std::size_t binary_sessions = 0;  ///< negotiated Framing::kBinary
   };
 
   explicit Server(ServerOptions options = {});
@@ -79,15 +104,16 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds the listener and starts the accept thread. Throws
-  /// ServiceError on bind failure.
+  /// Binds the listener and starts the event loop + worker pool.
+  /// Throws ServiceError on bind failure.
   void start();
   /// start() + block until idle timeout or stop(). Returns 0.
   int serve();
-  /// Asynchronously shuts down: closes the listener, wakes every
-  /// session, joins all threads. Idempotent.
+  /// Asynchronously shuts down: wakes the loop, closes every session
+  /// and the listener, joins all threads. Idempotent.
   void stop();
-  /// Blocks until the accept loop exits (idle timeout or stop()).
+  /// Blocks until the event loop exits (idle timeout or stop()), then
+  /// tears down the worker pool.
   void wait();
 
   [[nodiscard]] bool running() const noexcept {
@@ -105,6 +131,8 @@ class Server {
  private:
   /// One (program, arch, personality, measurement options) evaluation
   /// context, shared by every session that greets with the same key.
+  /// Workspaces are never destroyed while the server runs, so worker
+  /// jobs may hold raw pointers across a session's death.
   struct Workspace {
     std::unique_ptr<core::FuncyTuner> tuner;
     std::unique_ptr<core::EvalCache> cache;  ///< optional (cache_entries)
@@ -113,18 +141,93 @@ class Server {
     std::uint64_t salt = 0;
   };
 
-  struct Session {
-    Socket socket;
-    std::thread thread;
-    std::uint64_t id = 0;
-    std::atomic<bool> done{false};
+  /// One queued reply: 4-byte big-endian length prefix + payload,
+  /// written as a two-entry iovec. `offset` tracks partial sends
+  /// across the concatenation.
+  struct OutFrame {
+    unsigned char prefix[4];
+    std::string payload;
+    std::size_t offset = 0;
   };
 
-  void accept_loop();
-  void session_loop(Session* session);
-  /// Handshake: reads hello, resolves/creates the workspace, sends
-  /// welcome. Returns nullptr (after an error frame) on failure.
-  Workspace* handshake(Session* session);
+  /// Per-connection state machine, owned by the loop thread.
+  struct SessionState {
+    std::uint64_t id = 0;
+    Socket socket;
+    Framing framing = Framing::kJson;
+    Workspace* workspace = nullptr;
+    bool greeted = false;
+    bool busy = false;     ///< one worker job in flight (ordering)
+    bool closing = false;  ///< flush outbox, then close
+    std::string inbox;     ///< raw received bytes, frames extracted
+    std::deque<std::string> backlog;  ///< frames parked while busy
+    std::deque<OutFrame> outbox;
+    std::uint32_t interest = 0;  ///< current epoll event mask
+  };
+
+  /// Work shipped to the pool. Holds no session pointer: the session
+  /// may die (peer hangup) while the job runs, so workers reference it
+  /// only by id and the loop drops completions for dead sessions.
+  struct Job {
+    std::uint64_t session_id = 0;
+    bool is_hello = false;
+    Framing framing = Framing::kJson;
+    Workspace* workspace = nullptr;
+    std::string payload;
+  };
+
+  /// A worker's answer, applied on the loop thread.
+  struct Completion {
+    std::uint64_t session_id = 0;
+    std::string reply;  ///< empty = nothing to send (bye)
+    bool close = false;
+    /// Handshake results (is_hello jobs only):
+    bool greeted = false;
+    Framing framing = Framing::kJson;
+    Workspace* workspace = nullptr;
+  };
+
+  struct AtomicStats {
+    std::atomic<std::size_t> sessions_accepted{0};
+    std::atomic<std::size_t> frames_served{0};
+    std::atomic<std::size_t> evaluations{0};
+    std::atomic<std::size_t> batch_frames{0};
+    std::atomic<std::size_t> cache_hits{0};
+    std::atomic<std::size_t> errors_sent{0};
+    std::atomic<std::size_t> overloads{0};
+    std::atomic<std::size_t> binary_sessions{0};
+  };
+
+  // --- loop thread ---------------------------------------------------------
+  void event_loop();
+  void accept_ready();
+  /// The bool-returning handlers report "session still alive": false
+  /// means the session was destroyed and its pointer is dead.
+  bool session_readable(SessionState* session);
+  bool session_writable(SessionState* session);
+  /// Pulls complete frames out of the inbox and dispatches/backlogs.
+  bool extract_frames(SessionState* session);
+  void handle_frame(SessionState* session, std::string payload);
+  void dispatch_job(SessionState* session, std::string payload);
+  void apply_completions();
+  /// Queues one reply and flushes as much of the outbox as the socket
+  /// accepts right now (EPOLLOUT only when the kernel buffer fills).
+  bool queue_reply(SessionState* session, std::string payload);
+  /// sendmsg the outbox; false on a dead socket.
+  bool flush_outbox(SessionState* session);
+  void update_interest(SessionState* session);
+  void destroy_session(SessionState* session);
+  void wake_loop() noexcept;
+
+  // --- worker pool ---------------------------------------------------------
+  void worker_loop();
+  void run_job(Job job);
+  void post(Completion completion);
+  /// Encodes an error reply under `framing` into a completion.
+  Completion error_completion(std::uint64_t session_id, Framing framing,
+                              const ErrorFrame& error);
+  Completion serve_hello(const Job& job);
+
   /// Serves one eval/eval_batch frame worth of requests as a single
   /// parallel submission; results are in request order.
   [[nodiscard]] std::vector<core::EvalResponse> serve_requests(
@@ -133,20 +236,30 @@ class Server {
   [[nodiscard]] core::EvalResponse serve_one(
       Workspace& workspace, const core::EvalRequest& request);
   Workspace* workspace_for(const HelloFrame& hello);
-  bool send_error(Session* session, const ErrorFrame& error);
   void touch() noexcept;
-  void reap_finished_sessions();
 
   ServerOptions options_;
   Listener listener_;
-  std::thread accept_thread_;
+  std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::mutex teardown_mutex_;  ///< makes stop()/wait() idempotent
 
-  std::mutex sessions_mutex_;
-  std::vector<std::unique_ptr<Session>> sessions_;
-  std::atomic<std::size_t> active_sessions_{0};
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: completions + stop() wake the loop
+  std::unordered_map<int, std::unique_ptr<SessionState>> sessions_;
+  std::unordered_map<std::uint64_t, SessionState*> sessions_by_id_;
   std::uint64_t next_session_id_ = 1;
+  std::vector<char> read_scratch_;  ///< shared recv buffer (loop only)
+
+  std::vector<std::thread> workers_;
+  std::mutex jobs_mutex_;
+  std::condition_variable jobs_ready_;
+  std::deque<Job> jobs_;
+  bool workers_shutdown_ = false;
+
+  std::mutex completions_mutex_;
+  std::deque<Completion> completions_;
 
   std::mutex workspaces_mutex_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Workspace>>
@@ -156,8 +269,7 @@ class Server {
   /// Monotonic activity clock for the idle timeout (seconds).
   std::atomic<double> last_activity_{0.0};
 
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
+  AtomicStats stats_;
 };
 
 }  // namespace ft::service

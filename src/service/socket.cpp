@@ -1,6 +1,7 @@
 #include "service/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -123,6 +124,13 @@ Socket Socket::connect(const Address& address) {
   return socket;
 }
 
+void Socket::set_nonblocking() noexcept {
+  if (fd_ >= 0) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) (void)::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
 void Socket::shutdown_both() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
@@ -196,6 +204,21 @@ Socket Listener::accept_within(int timeout_ms) {
   const int fd = ::accept(fd_, nullptr, nullptr);
   if (fd >= 0 && !address_.is_unix) disable_nagle(fd);
   return fd >= 0 ? Socket(fd) : Socket();
+}
+
+Socket Listener::accept_nonblocking() {
+  if (fd_ < 0) return Socket();
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return Socket();
+  if (!address_.is_unix) disable_nagle(fd);
+  return Socket(fd);
+}
+
+void Listener::set_nonblocking() noexcept {
+  if (fd_ >= 0) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) (void)::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
 }
 
 void Listener::close() noexcept {

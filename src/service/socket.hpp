@@ -51,6 +51,9 @@ class Socket {
 
   [[nodiscard]] int fd() const noexcept { return fd_; }
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// O_NONBLOCK, for event-loop ownership (the epoll server must
+  /// never let one slow peer block the loop thread).
+  void set_nonblocking() noexcept;
   /// Wakes any thread blocked in recv() on this socket.
   void shutdown_both() noexcept;
   void close() noexcept;
@@ -78,6 +81,14 @@ class Listener {
   /// Accepts one connection, waiting at most `timeout_ms`; returns an
   /// invalid Socket on timeout or when the listener was closed.
   [[nodiscard]] Socket accept_within(int timeout_ms);
+
+  /// Accepts without waiting; invalid Socket when nothing is pending.
+  /// Pair with set_nonblocking() + an epoll registration on fd().
+  [[nodiscard]] Socket accept_nonblocking();
+
+  /// Raw fd for event-loop registration (epoll_ctl).
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void set_nonblocking() noexcept;
 
   [[nodiscard]] const Address& address() const noexcept { return address_; }
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }

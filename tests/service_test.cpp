@@ -67,7 +67,7 @@ TEST(Protocol, HelloRoundTripIsBitExact) {
   HelloFrame out;
   std::string error;
   ASSERT_TRUE(decode_hello(frame, &out, &error)) << error;
-  EXPECT_EQ(out.protocol, kProtocolVersion);
+  EXPECT_EQ(out.caps.protocol, kProtocolVersion);
   EXPECT_EQ(out.program, hello.program);
   EXPECT_EQ(out.arch, hello.arch);
   EXPECT_EQ(out.personality, hello.personality);
@@ -110,12 +110,12 @@ TEST(Protocol, WelcomeArchsRoundTrip) {
   WelcomeFrame welcome;
   welcome.session = 7;
   welcome.max_batch = 8;
-  welcome.archs = {"AMD Opteron", "Intel Broadwell"};
+  welcome.caps.archs = {"AMD Opteron", "Intel Broadwell"};
   const support::JsonValue frame = parse_or_fail(encode_welcome(welcome));
   WelcomeFrame out;
   std::string error;
   ASSERT_TRUE(decode_welcome(frame, &out, &error)) << error;
-  EXPECT_EQ(out.archs, welcome.archs);
+  EXPECT_EQ(out.caps.archs, welcome.caps.archs);
 
   // archs is optional on the wire: a pre-fleet daemon's welcome (no
   // member at all) must still decode, as an empty served set.
@@ -125,7 +125,7 @@ TEST(Protocol, WelcomeArchsRoundTrip) {
           R"({"type":"welcome","server":"ftuned","session":"1","max_batch":4})"),
       &bare, &error))
       << error;
-  EXPECT_TRUE(bare.archs.empty());
+  EXPECT_TRUE(bare.caps.archs.empty());
 }
 
 TEST(Protocol, ErrorRoundTrip) {
@@ -488,15 +488,21 @@ TEST(Server, RejectsUnsupportedProtocolVersion) {
   hello.program = "CL";
   hello.arch = "broadwell";
   std::string text = encode_hello(hello);
+  // The version travels twice (legacy top-level member + caps object);
+  // a skewed client disagrees in both places.
   const std::string needle = "\"protocol\":" +
                              std::to_string(kProtocolVersion);
-  const std::size_t at = text.find(needle);
+  std::size_t at = text.find(needle);
   ASSERT_NE(at, std::string::npos);
-  text.replace(at, needle.size(), "\"protocol\":999");
+  while (at != std::string::npos) {
+    text.replace(at, needle.size(), "\"protocol\":999");
+    at = text.find(needle, at);
+  }
   const support::JsonValue reply = roundtrip(socket.fd(), text);
   ErrorFrame error;
   ASSERT_TRUE(decode_error(reply, &error));
   EXPECT_EQ(error.code, "unsupported_version");
+  EXPECT_TRUE(error.fatal);
   server.stop();
 }
 
@@ -683,7 +689,7 @@ TEST(Server, ArchRestrictedDaemonRefusesAndAdvertises) {
     std::string error;
     ASSERT_TRUE(decode_welcome(reply, &welcome, &error)) << error;
     // The served set is advertised canonicalized to display names.
-    EXPECT_EQ(welcome.archs,
+    EXPECT_EQ(welcome.caps.archs,
               std::vector<std::string>{machine::opteron().name});
   }
   server.stop();
@@ -957,10 +963,14 @@ TEST(Fleet, SurvivesDaemonDeathMidRunBitIdentically) {
 
   std::atomic<bool> killed{false};
   std::thread killer([&] {
-    // Wait until the home daemon is demonstrably serving, then yank it.
+    // Wait until the home daemon is demonstrably serving BATCHES, then
+    // yank it. (Waiting merely for evaluations > 0 used to fire during
+    // the single-request baseline phase, whose failover path drains
+    // without re-dispatching a chunk - the epoll server is fast enough
+    // to make that race real.)
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(30);
-    while (fleet.servers[home_index]->stats().evaluations == 0) {
+    while (fleet.servers[home_index]->stats().batch_frames == 0) {
       if (std::chrono::steady_clock::now() > deadline) return;
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
@@ -1139,6 +1149,517 @@ TEST(ServiceFuzz, ThousandGarbageFramesLeaveTheDaemonServing) {
   client.reset();
   server.stop();
   EXPECT_FALSE(server.running());
+}
+
+// --- binary framing: every frame type round-trips bit-exactly ---------------
+
+AnyFrame binary_roundtrip(const std::string& payload) {
+  AnyFrame frame;
+  std::string error;
+  EXPECT_EQ(decode_frame(Framing::kBinary, payload, &frame, &error),
+            DecodeStatus::kOk)
+      << error;
+  return frame;
+}
+
+TEST(Binary, HelloRoundTripIsBitExact) {
+  HelloFrame hello;
+  hello.program = "LULESH";
+  hello.arch = "sandybridge";
+  hello.personality = "gcc";
+  hello.options.seed = 0x0123456789abcdefull;
+  hello.options.noise_sigma_rel = 0.1 + 0.2;  // not exactly 0.3
+  hello.options.attribution_sigma = 1e-17;
+  hello.options.faults.rate = 1.0 / 3.0;
+  hello.options.faults.seed = 0xffffffffffffffffull;
+  hello.options.faults.outlier_max_scale = 9.999999999999998;
+  hello.caps.framings = {Framing::kBinary, Framing::kJson};
+  hello.caps.max_frame_bytes = 123456789;
+
+  std::string payload;
+  encode_hello_frame(Framing::kBinary, hello, &payload);
+  const AnyFrame frame = binary_roundtrip(payload);
+  ASSERT_EQ(frame.kind, FrameKind::kHello);
+  const HelloFrame& out = frame.hello;
+  EXPECT_EQ(out.program, hello.program);
+  EXPECT_EQ(out.arch, hello.arch);
+  EXPECT_EQ(out.personality, hello.personality);
+  EXPECT_EQ(out.options.seed, hello.options.seed);
+  // Doubles travel as raw IEEE-754 bit patterns: equality is exact by
+  // construction, no decimal round-trip argument required.
+  EXPECT_EQ(out.options.noise_sigma_rel, hello.options.noise_sigma_rel);
+  EXPECT_EQ(out.options.attribution_sigma,
+            hello.options.attribution_sigma);
+  EXPECT_EQ(out.options.faults.rate, hello.options.faults.rate);
+  EXPECT_EQ(out.options.faults.seed, hello.options.faults.seed);
+  EXPECT_EQ(out.options.faults.outlier_max_scale,
+            hello.options.faults.outlier_max_scale);
+  EXPECT_EQ(out.caps.framings, hello.caps.framings);
+  EXPECT_EQ(out.caps.max_frame_bytes, hello.caps.max_frame_bytes);
+}
+
+TEST(Binary, WelcomeRoundTrip) {
+  WelcomeFrame welcome;
+  welcome.session = 0xdeadbeefcafef00dull;
+  welcome.max_batch = 512;
+  welcome.framing = Framing::kBinary;
+  welcome.caps.framings = {Framing::kJson, Framing::kBinary};
+  welcome.caps.archs = {"AMD Opteron", "Intel Broadwell"};
+  std::string payload;
+  encode_welcome_frame(Framing::kBinary, welcome, &payload);
+  const AnyFrame frame = binary_roundtrip(payload);
+  ASSERT_EQ(frame.kind, FrameKind::kWelcome);
+  EXPECT_EQ(frame.welcome.server, "ftuned");
+  EXPECT_EQ(frame.welcome.session, welcome.session);
+  EXPECT_EQ(frame.welcome.max_batch, welcome.max_batch);
+  EXPECT_EQ(frame.welcome.framing, Framing::kBinary);
+  EXPECT_EQ(frame.welcome.caps.framings, welcome.caps.framings);
+  EXPECT_EQ(frame.welcome.caps.archs, welcome.caps.archs);
+}
+
+TEST(Binary, ErrorRoundTrip) {
+  const ErrorFrame error_frame{"overloaded", "max_inflight \"quoted\"\n",
+                               42, true, false};
+  std::string payload;
+  encode_error_frame(Framing::kBinary, error_frame, &payload);
+  const AnyFrame frame = binary_roundtrip(payload);
+  ASSERT_EQ(frame.kind, FrameKind::kError);
+  EXPECT_EQ(frame.error.code, error_frame.code);
+  EXPECT_EQ(frame.error.detail, error_frame.detail);
+  EXPECT_EQ(frame.error.seq, 42u);
+  EXPECT_TRUE(frame.error.retryable);
+  EXPECT_FALSE(frame.error.fatal);
+}
+
+TEST(Binary, EvalAndBatchRoundTrip) {
+  const core::EvalRequest request = make_request();
+  std::string payload;
+  encode_eval_frame(Framing::kBinary, 17, request, &payload);
+  AnyFrame frame = binary_roundtrip(payload);
+  ASSERT_EQ(frame.kind, FrameKind::kEval);
+  EXPECT_EQ(frame.seq, 17u);
+  ASSERT_EQ(frame.requests.size(), 1u);
+  expect_request_eq(frame.requests[0], request);
+
+  std::vector<core::EvalRequest> requests(3, make_request());
+  requests[1].rep_base = 2;
+  requests[1].aggregate = machine::Aggregation::kMedian;
+  requests[2].repetitions = 1;
+  requests[2].noise = true;
+  encode_eval_batch_frame(Framing::kBinary, 99, requests, &payload);
+  frame = binary_roundtrip(payload);
+  ASSERT_EQ(frame.kind, FrameKind::kEvalBatch);
+  EXPECT_EQ(frame.seq, 99u);
+  ASSERT_EQ(frame.requests.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    expect_request_eq(frame.requests[i], requests[i]);
+  }
+}
+
+TEST(Binary, ResultRoundTripIsBitExact) {
+  const core::EvalResponse response = make_ok_response();
+  std::string payload;
+  encode_result_frame(Framing::kBinary, 3, response, &payload);
+  const AnyFrame frame = binary_roundtrip(payload);
+  ASSERT_EQ(frame.kind, FrameKind::kResult);
+  EXPECT_EQ(frame.seq, 3u);
+  ASSERT_EQ(frame.responses.size(), 1u);
+  const core::EvalResponse& out = frame.responses[0];
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.outcome.result.end_to_end,
+            response.outcome.result.end_to_end);
+  EXPECT_EQ(out.outcome.result.loop_seconds,
+            response.outcome.result.loop_seconds);
+  EXPECT_EQ(out.outcome.result.derived_nonloop_seconds,
+            response.outcome.result.derived_nonloop_seconds);
+  EXPECT_EQ(out.outcome.result.stddev, response.outcome.result.stddev);
+  EXPECT_EQ(out.outcome.attempts, 2);
+  EXPECT_EQ(out.served_by, core::EvalServedBy::kCacheHit);
+  EXPECT_EQ(out.modules_compiled, 5u);
+}
+
+TEST(Binary, FailedResultAndBatchRoundTrip) {
+  std::vector<core::EvalResponse> responses(2, make_ok_response());
+  responses[1] = core::EvalResponse{};
+  responses[1].outcome.error.kind = core::EvalFault::kCompileFailure;
+  responses[1].outcome.error.detail = "cv 0xdeadbeef ICEd";
+  responses[1].outcome.attempts = 3;
+  std::string payload;
+  encode_result_batch_frame(Framing::kBinary, 7, responses, &payload);
+  const AnyFrame frame = binary_roundtrip(payload);
+  ASSERT_EQ(frame.kind, FrameKind::kResultBatch);
+  ASSERT_EQ(frame.responses.size(), 2u);
+  EXPECT_TRUE(frame.responses[0].ok());
+  EXPECT_EQ(frame.responses[0].outcome.result.end_to_end,
+            responses[0].outcome.result.end_to_end);
+  EXPECT_FALSE(frame.responses[1].ok());
+  EXPECT_EQ(frame.responses[1].outcome.error.kind,
+            core::EvalFault::kCompileFailure);
+  EXPECT_EQ(frame.responses[1].outcome.error.detail,
+            responses[1].outcome.error.detail);
+  EXPECT_EQ(frame.responses[1].outcome.attempts, 3);
+}
+
+TEST(Binary, PingPongByeRoundTrip) {
+  std::string payload;
+  encode_ping_frame(Framing::kBinary, 42, &payload);
+  AnyFrame frame = binary_roundtrip(payload);
+  EXPECT_EQ(frame.kind, FrameKind::kPing);
+  EXPECT_EQ(frame.seq, 42u);
+  encode_pong_frame(Framing::kBinary, 42, &payload);
+  frame = binary_roundtrip(payload);
+  EXPECT_EQ(frame.kind, FrameKind::kPong);
+  EXPECT_EQ(frame.seq, 42u);
+  encode_bye_frame(Framing::kBinary, &payload);
+  frame = binary_roundtrip(payload);
+  EXPECT_EQ(frame.kind, FrameKind::kBye);
+}
+
+TEST(Binary, DecoderSurvivesGarbageTruncationsAndForgedCounts) {
+  AnyFrame frame;
+  std::string error;
+  std::mt19937_64 rng(20260808);
+
+  // Random byte soup: any verdict is fine, crashing or over-allocating
+  // is not.
+  for (int i = 0; i < 2000; ++i) {
+    std::string payload(rng() % 48, '\0');
+    for (char& byte : payload) byte = static_cast<char>(rng() & 0xff);
+    (void)decode_frame(Framing::kBinary, payload, &frame, &error);
+  }
+
+  // Every truncation of a valid eval_batch must decode cleanly as a
+  // refusal, never read out of bounds.
+  std::string valid;
+  const std::vector<core::EvalRequest> requests(2, make_request());
+  encode_eval_batch_frame(Framing::kBinary, 5, requests, &valid);
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    EXPECT_NE(decode_frame(Framing::kBinary, valid.substr(0, cut),
+                           &frame, &error),
+              DecodeStatus::kOk)
+        << "truncated at " << cut;
+  }
+
+  // Forged element count with a tiny payload: the count-vs-remaining
+  // check must refuse before any allocation happens.
+  std::string forged;
+  forged.push_back('\x05');                       // eval_batch tag
+  forged.append(8, '\x00');                       // seq
+  forged.append("\xff\xff\xff\xff", 4);           // count = 4294967295
+  EXPECT_EQ(decode_frame(Framing::kBinary, forged, &frame, &error),
+            DecodeStatus::kMalformed);
+  EXPECT_FALSE(error.empty());
+}
+
+// --- capability negotiation -------------------------------------------------
+
+TEST(Protocol, NegotiateFramingPicksFirstMutualPreference) {
+  using enum Framing;
+  EXPECT_EQ(negotiate_framing({kBinary, kJson}, {kJson, kBinary}),
+            kBinary);
+  EXPECT_EQ(negotiate_framing({kBinary, kJson}, {kJson}), kJson);
+  EXPECT_EQ(negotiate_framing({kJson, kBinary}, {kJson, kBinary}),
+            kJson);
+  // Degenerate offers still land on the mandatory baseline.
+  EXPECT_EQ(negotiate_framing({}, {kJson, kBinary}), kJson);
+  EXPECT_EQ(negotiate_framing({kBinary}, {}), kJson);
+}
+
+TEST(Protocol, CapabilitiesTolerateUnknownKeysAndWrongTypes) {
+  // A hello from some future build: unknown caps keys, unknown framing
+  // names, wrongly-typed members. Everything unknown is skipped, the
+  // frame still decodes, and the mutually-intelligible parts survive.
+  HelloFrame hello;
+  hello.program = "CL";
+  hello.arch = "broadwell";
+  std::string text = encode_hello(hello);
+  const std::string needle = "\"caps\":{";
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.insert(at + needle.size(),
+              "\"quantum_links\":3,\"future\":{\"deep\":[1,2]},");
+  const std::string framings = "\"framings\":[\"json\"]";
+  const std::size_t framings_at = text.find(framings);
+  ASSERT_NE(framings_at, std::string::npos);
+  text.replace(framings_at, framings.size(),
+               "\"framings\":[17,\"zstd-cbor\",\"json\",{\"x\":1}]");
+
+  HelloFrame out;
+  std::string error;
+  ASSERT_TRUE(decode_hello(parse_or_fail(text), &out, &error)) << error;
+  EXPECT_EQ(out.caps.protocol, kProtocolVersion);
+  EXPECT_EQ(out.caps.framings, std::vector<Framing>{Framing::kJson});
+
+  // Wrongly-typed known members: ignored, defaults kept.
+  HelloFrame wrong;
+  wrong.program = "CL";
+  wrong.arch = "broadwell";
+  std::string wrong_text = encode_hello(wrong);
+  const std::string caps = "\"caps\":{";
+  const std::size_t caps_at = wrong_text.find(caps);
+  ASSERT_NE(caps_at, std::string::npos);
+  const std::size_t caps_end = wrong_text.find('}', caps_at);
+  wrong_text.replace(
+      caps_at, caps_end - caps_at + 1,
+      R"("caps":{"protocol":"banana","framings":"json","max_frame":[8]})");
+  ASSERT_TRUE(decode_hello(parse_or_fail(wrong_text), &out, &error))
+      << error;
+  EXPECT_EQ(out.caps.protocol, kProtocolVersion);  // legacy member wins
+  EXPECT_EQ(out.caps.framings, std::vector<Framing>{Framing::kJson});
+  EXPECT_EQ(out.caps.max_frame_bytes, kDefaultMaxFrameBytes);
+}
+
+TEST(Negotiation, BinaryPreferredClientGetsBinarySession) {
+  Server server(test_server_options());
+  server.start();
+  core::FuncyTunerOptions options;
+  ConnectOptions connect_options;
+  connect_options.workspace =
+      WorkspaceSpec{"CL", "broadwell", compiler::Personality::kIcc,
+                    options};
+  connect_options.framings = {Framing::kBinary, Framing::kJson};
+  std::shared_ptr<Client> client = Client::connect(
+      Endpoint::parse(server.address().display()), connect_options);
+  EXPECT_EQ(client->framing(), Framing::kBinary);
+  EXPECT_EQ(client->welcome().framing, Framing::kBinary);
+  // The welcome advertises the server's own supported set.
+  EXPECT_NE(std::find(client->welcome().caps.framings.begin(),
+                      client->welcome().caps.framings.end(),
+                      Framing::kBinary),
+            client->welcome().caps.framings.end());
+  client->ping();
+  const core::EvalResponse response = client->call(valid_request());
+  EXPECT_TRUE(response.ok());
+  EXPECT_EQ(server.stats().binary_sessions, 1u);
+  server.stop();
+}
+
+TEST(Negotiation, JsonOnlyDaemonDowngradesTheSession) {
+  ServerOptions options = test_server_options();
+  options.framings = {Framing::kJson};  // a pre-binary daemon
+  Server server(options);
+  server.start();
+  core::FuncyTunerOptions tuner_options;
+  ConnectOptions connect_options;
+  connect_options.workspace =
+      WorkspaceSpec{"CL", "broadwell", compiler::Personality::kIcc,
+                    tuner_options};
+  connect_options.framings = {Framing::kBinary, Framing::kJson};
+  std::shared_ptr<Client> client = Client::connect(
+      Endpoint::parse(server.address().display()), connect_options);
+  EXPECT_EQ(client->framing(), Framing::kJson);
+  client->ping();
+  EXPECT_TRUE(client->call(valid_request()).ok());
+  EXPECT_EQ(server.stats().binary_sessions, 0u);
+  server.stop();
+}
+
+TEST(Negotiation, WelcomeNamingUnknownFramingFailsTheHandshake) {
+  // A broken (or far-future) daemon binds the session to a framing
+  // this build cannot speak: continuing would desynchronize the
+  // stream, so the client must refuse to connect.
+  Listener listener = Listener::bind(Address::parse("tcp:127.0.0.1:0"));
+  std::thread fake_daemon([&] {
+    Socket session = listener.accept_within(5000);
+    ASSERT_TRUE(session.valid());
+    std::string payload;
+    ASSERT_EQ(read_frame(session.fd(), &payload), FrameStatus::kOk);
+    WelcomeFrame welcome;
+    welcome.session = 1;
+    welcome.max_batch = 64;
+    std::string text = encode_welcome(welcome);
+    const std::string needle = "\"framing\":\"json\"";
+    const std::size_t at = text.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, needle.size(), "\"framing\":\"cbor\"");
+    ASSERT_TRUE(write_frame(session.fd(), text));
+    (void)read_frame(session.fd(), &payload);  // wait for the hangup
+  });
+  core::FuncyTunerOptions options;
+  try {
+    (void)Client::connect(listener.address().display(), "CL",
+                          "broadwell", options);
+    FAIL() << "a welcome naming an unknown framing must be refused";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), "bad_frame");
+  }
+  fake_daemon.join();
+}
+
+// --- binary framing against the live daemon ---------------------------------
+
+/// Handshakes a raw binary session for program CL on broadwell.
+Socket greet_binary(const Server& server) {
+  Socket socket = Socket::connect(server.address());
+  HelloFrame hello;
+  hello.program = "CL";
+  hello.arch = "broadwell";
+  hello.caps.framings = {Framing::kBinary, Framing::kJson};
+  const support::JsonValue reply =
+      roundtrip(socket.fd(), encode_hello(hello));
+  EXPECT_EQ(frame_type(reply), "welcome");
+  WelcomeFrame welcome;
+  std::string error;
+  EXPECT_TRUE(decode_welcome(reply, &welcome, &error)) << error;
+  EXPECT_EQ(welcome.framing, Framing::kBinary);
+  return socket;
+}
+
+TEST(Binary, LiveSessionServesEvalAndSurvivesGarbage) {
+  ServerOptions server_options = test_server_options();
+  server_options.max_frame_bytes = 4096;
+  Server server(server_options);
+  server.start();
+  Socket socket = greet_binary(server);
+
+  AnyFrame frame;
+  std::string payload, error;
+
+  // A real binary eval round-trip.
+  encode_eval_frame(Framing::kBinary, 21, valid_request(), &payload);
+  ASSERT_TRUE(write_frame(socket.fd(), payload));
+  ASSERT_EQ(read_frame(socket.fd(), &payload), FrameStatus::kOk);
+  ASSERT_EQ(decode_frame(Framing::kBinary, payload, &frame, &error),
+            DecodeStatus::kOk)
+      << error;
+  ASSERT_EQ(frame.kind, FrameKind::kResult);
+  EXPECT_EQ(frame.seq, 21u);
+  ASSERT_EQ(frame.responses.size(), 1u);
+  EXPECT_TRUE(frame.responses[0].ok());
+
+  // Garbage binary payloads: every one earns a non-fatal binary error
+  // frame; the session keeps serving. (First byte steered away from
+  // the valid ping/bye tags, which would be *well-formed* frames.)
+  std::mt19937_64 rng(20260809);
+  for (int i = 0; i < 300; ++i) {
+    std::string garbage(1 + rng() % 48, '\0');
+    for (char& byte : garbage) byte = static_cast<char>(rng() & 0xff);
+    if (garbage[0] == '\x08' || garbage[0] == '\x0a') garbage[0] = '\0';
+    ASSERT_TRUE(write_frame(socket.fd(), garbage));
+    ASSERT_EQ(read_frame(socket.fd(), &payload), FrameStatus::kOk);
+    ASSERT_EQ(decode_frame(Framing::kBinary, payload, &frame, &error),
+              DecodeStatus::kOk)
+        << error;
+    ASSERT_EQ(frame.kind, FrameKind::kError) << "frame " << i;
+    ASSERT_FALSE(frame.error.fatal) << "frame " << i;
+  }
+
+  // A forged count with a tiny payload is refused as bad_request -
+  // instantly, not after a 4 GiB allocation attempt.
+  std::string forged;
+  forged.push_back('\x05');
+  forged.append(8, '\x00');
+  forged.append("\xff\xff\xff\xff", 4);
+  ASSERT_TRUE(write_frame(socket.fd(), forged));
+  ASSERT_EQ(read_frame(socket.fd(), &payload), FrameStatus::kOk);
+  ASSERT_EQ(decode_frame(Framing::kBinary, payload, &frame, &error),
+            DecodeStatus::kOk)
+      << error;
+  ASSERT_EQ(frame.kind, FrameKind::kError);
+  EXPECT_EQ(frame.error.code, "bad_request");
+
+  // ...and the session still answers a well-formed binary ping.
+  encode_ping_frame(Framing::kBinary, 77, &payload);
+  ASSERT_TRUE(write_frame(socket.fd(), payload));
+  ASSERT_EQ(read_frame(socket.fd(), &payload), FrameStatus::kOk);
+  ASSERT_EQ(decode_frame(Framing::kBinary, payload, &frame, &error),
+            DecodeStatus::kOk)
+      << error;
+  EXPECT_EQ(frame.kind, FrameKind::kPong);
+  EXPECT_EQ(frame.seq, 77u);
+  server.stop();
+}
+
+TEST(Service, BinaryRemoteTuningIsBitIdenticalToLocal) {
+  Server server(test_server_options());
+  server.start();
+  core::FuncyTunerOptions options;
+  options.samples = 25;
+  options.seed = 11;
+  const std::string local = tune_json("cfr", options, nullptr);
+
+  core::FuncyTuner tuner(programs::by_name("CL"), machine::broadwell(),
+                         options);
+  ConnectOptions connect_options;
+  connect_options.workspace =
+      WorkspaceSpec{"CL", "broadwell", compiler::Personality::kIcc,
+                    options};
+  connect_options.framings = {Framing::kBinary};
+  std::shared_ptr<Client> client = Client::connect(
+      Endpoint::parse(server.address().display()), connect_options);
+  ASSERT_EQ(client->framing(), Framing::kBinary);
+  tuner.evaluator().set_backend(std::make_shared<RemoteBackend>(client));
+  const core::TuningResult result = tuner.run("cfr");
+  // The framing is pure transport: raw little-endian doubles and
+  // %.17g JSON text land on identical bits.
+  EXPECT_EQ(local, core::tuning_result_json(result, tuner.space(),
+                                            tuner.program()));
+  EXPECT_EQ(server.stats().binary_sessions, 1u);
+  EXPECT_GT(server.stats().batch_frames, 0u);
+  server.stop();
+}
+
+TEST(Fleet, MixedFramingFleetDowngradesPerEndpointBitIdentically) {
+  // One binary-capable daemon, one JSON-only daemon, one fleet asking
+  // for binary: negotiation is per-endpoint, so the JSON-only daemon
+  // downgrades its one session while the other stays binary - and the
+  // tuning output matches local bit for bit.
+  ServerOptions binary_options = test_server_options();
+  binary_options.max_batch = 7;  // force several chunks per batch
+  ServerOptions json_options = binary_options;
+  json_options.framings = {Framing::kJson};
+  Server binary_server(binary_options);
+  Server json_server(json_options);
+  binary_server.start();
+  json_server.start();
+  const std::vector<std::string> addresses = {
+      binary_server.address().display(),
+      json_server.address().display()};
+
+  core::FuncyTunerOptions options;
+  options.samples = 25;
+  options.seed = 11;
+  const std::string local = tune_json("cfr", options, nullptr);
+
+  core::FuncyTuner tuner(programs::by_name("CL"), machine::broadwell(),
+                         options);
+  FleetOptions fleet_options;
+  fleet_options.framings = {Framing::kBinary, Framing::kJson};
+  std::shared_ptr<FleetBackend> backend = FleetBackend::connect(
+      addresses, "CL", "broadwell", options,
+      compiler::Personality::kIcc, fleet_options);
+  EXPECT_EQ(backend->endpoint_count(), 2u);
+  tuner.evaluator().set_backend(backend);
+  const core::TuningResult result = tuner.run("cfr");
+  EXPECT_EQ(local, core::tuning_result_json(result, tuner.space(),
+                                            tuner.program()));
+  EXPECT_EQ(binary_server.stats().binary_sessions, 1u);
+  EXPECT_EQ(json_server.stats().binary_sessions, 0u);
+  EXPECT_GT(binary_server.stats().evaluations +
+                json_server.stats().evaluations,
+            0u);
+  binary_server.stop();
+  json_server.stop();
+}
+
+// --- FrameBuffer ------------------------------------------------------------
+
+TEST(Framing, FrameBufferRoundTripsAndKeepsItsCapacity) {
+  SocketPair pair;
+  FrameBuffer buffer;
+  ASSERT_TRUE(write_frame(pair.fds[0], std::string(4096, 'a')));
+  EXPECT_EQ(read_frame(pair.fds[1], buffer), FrameStatus::kOk);
+  EXPECT_EQ(buffer.payload, std::string(4096, 'a'));
+  const std::size_t grown = buffer.payload.capacity();
+  // Smaller follow-up frames reuse the grown buffer instead of
+  // reallocating - the point of threading one FrameBuffer through a
+  // session's whole lifetime.
+  ASSERT_TRUE(write_frame(pair.fds[0], "xy"));
+  EXPECT_EQ(read_frame(pair.fds[1], buffer), FrameStatus::kOk);
+  EXPECT_EQ(buffer.payload, "xy");
+  EXPECT_GE(buffer.payload.capacity(), grown);
+  buffer.reset();
+  EXPECT_TRUE(buffer.payload.empty());
 }
 
 }  // namespace

@@ -51,6 +51,9 @@ int main(int argc, char** argv) {
       .text("archs", "",
             "comma-separated architectures this daemon serves "
             "(advertised in welcome; others refused; empty = all)")
+      .text("framing", "json,binary",
+            "comma-separated framings accepted in negotiation (json is "
+            "always kept as the compatibility baseline)")
       .flag("help", false, "print this help");
 
   support::OptionSet::Parsed parsed;
@@ -86,6 +89,18 @@ int main(int argc, char** argv) {
   for (const std::string& arch :
        support::split(parsed.text("archs"), ',')) {
     if (!arch.empty()) server_options.archs.push_back(arch);
+  }
+  server_options.framings.clear();  // Server re-adds the json baseline
+  for (const std::string& name :
+       support::split(parsed.text("framing"), ',')) {
+    if (name.empty()) continue;
+    service::Framing framing;
+    if (!service::framing_from_name(name, &framing)) {
+      std::cerr << "ftuned: unknown framing '" << name
+                << "' (expected json or binary)\n";
+      return 1;
+    }
+    server_options.framings.push_back(framing);
   }
 
   try {
