@@ -1,0 +1,250 @@
+#include "service/chaos.hpp"
+
+#include <signal.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "service/socket.hpp"
+#include "support/parse_number.hpp"
+#include "support/rng.hpp"
+#include "support/string_utils.hpp"
+
+namespace ft::service::chaos {
+
+namespace {
+
+/// The storm handler must exist (SIG_DFL would kill the process) and
+/// must be installed WITHOUT SA_RESTART, or glibc would transparently
+/// restart the very syscalls the storm exists to interrupt.
+void storm_handler(int) {}
+
+void install_storm_handler() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction action{};
+    action.sa_handler = storm_handler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // deliberately no SA_RESTART
+    (void)::sigaction(SIGUSR1, &action, nullptr);
+  });
+}
+
+double parse_probability(const std::string& name,
+                         const std::string& text) {
+  double value = 0.0;
+  if (!support::parse_double(text, &value) || value < 0.0 ||
+      value > 1.0) {
+    throw ServiceError("bad_chaos", "chaos fault '" + name +
+                                        "' needs a probability in "
+                                        "[0,1], got '" +
+                                        text + "'");
+  }
+  return value;
+}
+
+double parse_millis(const std::string& name, const std::string& text) {
+  double value = 0.0;
+  if (!support::parse_double(text, &value) || value < 0.0) {
+    throw ServiceError("bad_chaos", "chaos knob '" + name +
+                                        "' needs a non-negative "
+                                        "millisecond count, got '" +
+                                        text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+ChaosConfig ChaosConfig::profile(std::uint64_t seed) {
+  ChaosConfig config;
+  config.seed = seed;
+  config.torn_write = 0.10;
+  config.delayed_read = 0.10;
+  config.reset_mid_frame = 0.02;
+  config.eintr_storm = 0.05;
+  config.stall = 0.01;
+  config.spurious_overload = 0.03;
+  config.connect_failure = 0.05;
+  return config;
+}
+
+ChaosConfig ChaosConfig::parse(std::uint64_t seed,
+                               const std::string& spec) {
+  ChaosConfig config = profile(seed);
+  if (spec.empty()) return config;
+  if (spec == "off") {
+    ChaosConfig quiet;
+    quiet.seed = seed;
+    return quiet;
+  }
+  for (const std::string& token : support::split(spec, ',')) {
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw ServiceError("bad_chaos",
+                         "chaos spec entry '" + token +
+                             "' is not name=value");
+    }
+    const std::string name = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (name == "torn-write") {
+      config.torn_write = parse_probability(name, value);
+    } else if (name == "delayed-read") {
+      config.delayed_read = parse_probability(name, value);
+    } else if (name == "reset") {
+      config.reset_mid_frame = parse_probability(name, value);
+    } else if (name == "eintr") {
+      config.eintr_storm = parse_probability(name, value);
+    } else if (name == "stall") {
+      config.stall = parse_probability(name, value);
+    } else if (name == "overload") {
+      config.spurious_overload = parse_probability(name, value);
+    } else if (name == "connect") {
+      config.connect_failure = parse_probability(name, value);
+    } else if (name == "delay-ms") {
+      config.delay_ms = parse_millis(name, value);
+    } else if (name == "stall-ms") {
+      config.stall_ms = parse_millis(name, value);
+    } else {
+      throw ServiceError("bad_chaos",
+                         "unknown chaos fault '" + name + "'");
+    }
+  }
+  return config;
+}
+
+ChaosConfig config_from_env() {
+  const char* seed_text = std::getenv("FT_CHAOS_SEED");
+  if (seed_text == nullptr || *seed_text == '\0') return ChaosConfig{};
+  std::int64_t seed = 0;
+  if (!support::parse_int64(seed_text, &seed) || seed == 0) {
+    return ChaosConfig{};
+  }
+  const char* spec = std::getenv("FT_CHAOS");
+  return ChaosConfig::parse(static_cast<std::uint64_t>(seed),
+                            spec == nullptr ? "" : spec);
+}
+
+ChaosEngine::ChaosEngine(const ChaosConfig& config) : config_(config) {
+  if (config_.eintr_storm > 0.0) install_storm_handler();
+}
+
+ChaosEngine::~ChaosEngine() {
+  stopping_.store(true, std::memory_order_release);
+  if (storm_thread_.joinable()) storm_thread_.join();
+}
+
+double ChaosEngine::u01() noexcept {
+  const std::uint64_t index =
+      counter_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t state =
+      config_.seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  return static_cast<double>(support::splitmix64(state) >> 11) *
+         0x1.0p-53;
+}
+
+bool ChaosEngine::draw(double probability) noexcept {
+  if (probability <= 0.0) return false;
+  return u01() < probability;
+}
+
+std::uint64_t ChaosEngine::draw_u64() noexcept {
+  const std::uint64_t index =
+      counter_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t state =
+      config_.seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  return support::splitmix64(state);
+}
+
+std::size_t ChaosEngine::torn_chunk_limit() noexcept {
+  if (!draw(config_.torn_write)) return static_cast<std::size_t>(-1);
+  return 1 + static_cast<std::size_t>(draw_u64() % 7);
+}
+
+bool ChaosEngine::should_reset_mid_frame() noexcept {
+  return draw(config_.reset_mid_frame);
+}
+
+void ChaosEngine::delay_read() noexcept {
+  double sleep_ms = 0.0;
+  if (draw(config_.stall)) {
+    sleep_ms = config_.stall_ms;
+  } else if (draw(config_.delayed_read)) {
+    sleep_ms = config_.delay_ms;
+  }
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+}
+
+bool ChaosEngine::should_fail_connect() noexcept {
+  return draw(config_.connect_failure);
+}
+
+bool ChaosEngine::should_refuse_overloaded() noexcept {
+  return draw(config_.spurious_overload);
+}
+
+ChaosEngine::StormScope& ChaosEngine::StormScope::operator=(
+    StormScope&& other) noexcept {
+  if (this != &other) {
+    if (engine_ != nullptr) engine_->storm_remove(pthread_self());
+    engine_ = other.engine_;
+    other.engine_ = nullptr;
+  }
+  return *this;
+}
+
+ChaosEngine::StormScope::~StormScope() {
+  if (engine_ != nullptr) engine_->storm_remove(pthread_self());
+}
+
+ChaosEngine::StormScope ChaosEngine::maybe_eintr_storm() noexcept {
+  if (!draw(config_.eintr_storm)) return StormScope();
+  storm_add(pthread_self());
+  return StormScope(this);
+}
+
+void ChaosEngine::storm_add(pthread_t thread) noexcept {
+  std::lock_guard lock(storm_mutex_);
+  storm_targets_.push_back(thread);
+  if (!storm_started_) {
+    storm_started_ = true;
+    storm_thread_ = std::thread([this] { storm_loop(); });
+  }
+}
+
+void ChaosEngine::storm_remove(pthread_t thread) noexcept {
+  std::lock_guard lock(storm_mutex_);
+  for (auto it = storm_targets_.begin(); it != storm_targets_.end();
+       ++it) {
+    if (pthread_equal(*it, thread)) {
+      storm_targets_.erase(it);
+      return;
+    }
+  }
+}
+
+void ChaosEngine::storm_loop() {
+  // A registered thread is inside an I/O call it retries on EINTR, so
+  // a 1 ms signal cadence interrupts it many times per frame without
+  // starving it of progress entirely.
+  while (!stopping_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard lock(storm_mutex_);
+      for (const pthread_t target : storm_targets_) {
+        (void)pthread_kill(target, SIGUSR1);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+std::shared_ptr<ChaosEngine> make_engine(const ChaosConfig& config) {
+  if (!config.enabled()) return nullptr;
+  return std::make_shared<ChaosEngine>(config);
+}
+
+}  // namespace ft::service::chaos

@@ -1,0 +1,146 @@
+// Deterministic transport fault injection for the evaluation service.
+//
+// A ChaosEngine is a seeded splitmix64 decision stream plus the
+// machinery to act on it: torn/short writes, delayed reads, mid-frame
+// connection resets, EINTR signal storms, stalled (slow-loris) reads,
+// spurious `overloaded` refusals and dial failures, each gated by an
+// independent probability. The seed comes from `--chaos-seed` /
+// FT_CHAOS_SEED, so a failing soak run replays exactly.
+//
+// Injection sites take a nullable ChaosEngine*: read_frame/write_frame
+// (client and server write paths), Socket::connect, and the server's
+// admission control. ClientOptions and ServerOptions default their
+// chaos config from the environment, so ANY existing service test can
+// be re-run "under chaos" with FT_CHAOS_SEED=N and must still pass -
+// the faults perturb scheduling and transport, never results. That is
+// the bit-identity-under-chaos contract.
+#pragma once
+
+#include <pthread.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ft::service::chaos {
+
+/// Per-fault probabilities plus fault magnitudes. seed == 0 disables
+/// everything (the production default); a nonzero seed with no spec
+/// gets the mixed default profile below.
+struct ChaosConfig {
+  std::uint64_t seed = 0;
+
+  double torn_write = 0.0;    ///< frame write split into tiny chunks
+  double delayed_read = 0.0;  ///< short sleep before reading a frame
+  double reset_mid_frame = 0.0;  ///< connection reset after a partial write
+  double eintr_storm = 0.0;   ///< SIGUSR1 every ~1ms during the I/O op
+  double stall = 0.0;         ///< long sleep before reading (slow loris)
+  double spurious_overload = 0.0;  ///< server refuses with `overloaded`
+  double connect_failure = 0.0;    ///< dial fails with `connect`
+
+  double delay_ms = 2.0;    ///< delayed_read magnitude
+  double stall_ms = 120.0;  ///< stall magnitude (cross io timeouts on purpose
+                            ///< by raising it past --io-timeout)
+
+  [[nodiscard]] bool enabled() const noexcept { return seed != 0; }
+
+  /// The mixed default profile: every fault on at a moderate rate.
+  [[nodiscard]] static ChaosConfig profile(std::uint64_t seed);
+
+  /// profile(seed) overridden by a "name=value,..." spec. Names:
+  /// torn-write, delayed-read, reset, eintr, stall, overload, connect,
+  /// delay-ms, stall-ms. An empty spec is profile(seed); "off" zeroes
+  /// every probability (seeded but quiet). Throws
+  /// ServiceError("bad_chaos") for unknown names or unparseable values.
+  [[nodiscard]] static ChaosConfig parse(std::uint64_t seed,
+                                         const std::string& spec);
+};
+
+/// FT_CHAOS_SEED (uint64) + FT_CHAOS (spec string). Unset seed means a
+/// disabled config, which is the production default everywhere.
+[[nodiscard]] ChaosConfig config_from_env();
+
+/// Thread-safe deterministic fault source. One engine per Session /
+/// Server; decisions are a single splitmix64 stream indexed by an
+/// atomic counter, so a fixed seed yields a fixed decision sequence
+/// (the interleaving across threads may vary, but results never
+/// depend on where a fault lands - that is what the soak proves).
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(const ChaosConfig& config);
+  ~ChaosEngine();
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+
+  [[nodiscard]] const ChaosConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// One Bernoulli draw from the decision stream.
+  [[nodiscard]] bool draw(double probability) noexcept;
+  [[nodiscard]] std::uint64_t draw_u64() noexcept;
+
+  // --- fault helpers consulted by the injection sites ---------------------
+
+  /// Largest byte count one sendmsg may move right now. SIZE_MAX
+  /// normally; a small value (1..7) when a torn write triggers, which
+  /// forces the peer to reassemble the frame from fragments.
+  [[nodiscard]] std::size_t torn_chunk_limit() noexcept;
+  [[nodiscard]] bool should_reset_mid_frame() noexcept;
+  /// Sleeps when a delayed-read or stall draw fires.
+  void delay_read() noexcept;
+  [[nodiscard]] bool should_fail_connect() noexcept;
+  [[nodiscard]] bool should_refuse_overloaded() noexcept;
+
+  /// While alive, the constructing thread receives SIGUSR1 roughly
+  /// every millisecond from the engine's storm thread, with a no-op
+  /// handler installed WITHOUT SA_RESTART - so every blocking poll /
+  /// recv / sendmsg underneath keeps returning EINTR and the retry
+  /// paths get exercised for real.
+  class StormScope {
+   public:
+    StormScope() = default;
+    StormScope(StormScope&& other) noexcept : engine_(other.engine_) {
+      other.engine_ = nullptr;
+    }
+    StormScope& operator=(StormScope&& other) noexcept;
+    StormScope(const StormScope&) = delete;
+    StormScope& operator=(const StormScope&) = delete;
+    ~StormScope();
+
+   private:
+    friend class ChaosEngine;
+    explicit StormScope(ChaosEngine* engine) : engine_(engine) {}
+    ChaosEngine* engine_ = nullptr;
+  };
+
+  /// Active scope when the eintr_storm draw fires; inert otherwise.
+  [[nodiscard]] StormScope maybe_eintr_storm() noexcept;
+
+ private:
+  [[nodiscard]] double u01() noexcept;
+  void storm_add(pthread_t thread) noexcept;
+  void storm_remove(pthread_t thread) noexcept;
+  void storm_loop();
+
+  ChaosConfig config_;
+  std::atomic<std::uint64_t> counter_{0};
+
+  std::mutex storm_mutex_;
+  std::vector<pthread_t> storm_targets_;
+  std::thread storm_thread_;
+  bool storm_started_ = false;
+  std::atomic<bool> stopping_{false};
+};
+
+/// nullptr when the config is disabled - injection sites take the
+/// pointer and a null engine costs one branch.
+[[nodiscard]] std::shared_ptr<ChaosEngine> make_engine(
+    const ChaosConfig& config);
+
+}  // namespace ft::service::chaos

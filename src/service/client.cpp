@@ -42,19 +42,21 @@ std::unique_ptr<Client> Client::connect(
 Client::~Client() {
   if (session_.valid()) {
     encode_bye_frame(session_.framing(), &write_buffer_.payload);
-    (void)write_frame(session_.fd(), write_buffer_.payload);
+    (void)write_frame(session_.fd(), write_buffer_.payload, -1,
+                      session_.chaos());
   }
 }
 
 void Client::roundtrip_locked() {
   const int timeout_ms = session_.io_timeout_ms();
   for (int attempt = 0;; ++attempt) {
-    if (!write_frame(session_.fd(), write_buffer_.payload, timeout_ms)) {
+    if (!write_frame(session_.fd(), write_buffer_.payload, timeout_ms,
+                     session_.chaos())) {
       throw ServiceError("io", "connection to ftuned lost (send)");
     }
     const FrameStatus status =
         read_frame(session_.fd(), read_buffer_, kDefaultMaxFrameBytes,
-                   timeout_ms);
+                   timeout_ms, session_.chaos());
     if (status == FrameStatus::kTimeout) {
       // The stream is mid-frame and unsynchronized: this session is
       // unusable, so tear it down before reporting. "timeout" is a
@@ -74,8 +76,23 @@ void Client::roundtrip_locked() {
       throw ServiceError("bad_frame",
                          "unparseable reply from ftuned: " + error);
     }
+    if (reply_.kind == FrameKind::kBye) {
+      // An unsolicited bye while we are owed a reply: the daemon is
+      // shutting down and our request will never be answered (a drain
+      // can win the race against a frame still in its socket buffer).
+      // Surface it as the transport-class "draining" so a fleet
+      // reroutes the work instead of failing the run.
+      session_.abort();
+      throw ServiceError("draining",
+                         "ftuned said bye while a reply was pending");
+    }
     if (reply_.kind != FrameKind::kError) return;
-    if (!reply_.error.retryable ||
+    // Only "overloaded" is worth waiting out on THIS session: the
+    // daemon is alive and will drain its queue. Other retryable codes
+    // ("draining", "deadline") mean this daemon wants the work to go
+    // ELSEWHERE - propagate immediately so a fleet can reroute instead
+    // of blind-resending into a server that is shutting down.
+    if (!reply_.error.retryable || reply_.error.code != "overloaded" ||
         attempt + 1 >= session_.transport().overload_max_attempts) {
       throw_error_frame(reply_.error);
     }

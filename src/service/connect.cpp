@@ -17,9 +17,15 @@ namespace {
 }  // namespace
 
 Session connect(const Endpoint& endpoint, const ConnectOptions& options) {
+  // Even with MSG_NOSIGNAL on every framed send, a raced close can
+  // still deliver SIGPIPE through auxiliary paths; one process-wide
+  // SIG_IGN makes "peer died mid-write" always an EPIPE errno.
+  ignore_sigpipe();
   Session session;
   session.transport_ = options.transport;
-  session.socket_ = Socket::connect(endpoint.address);
+  session.chaos_ = chaos::make_engine(options.transport.chaos);
+  session.socket_ =
+      Socket::connect(endpoint.address, session.chaos_.get());
   const int timeout_ms = options.transport.io_timeout_ms();
 
   HelloFrame hello;
@@ -39,14 +45,15 @@ Session connect(const Endpoint& endpoint, const ConnectOptions& options) {
     hello.caps.framings.push_back(Framing::kJson);
   }
   if (!write_frame(session.socket_.fd(), encode_hello(hello),
-                   timeout_ms)) {
+                   timeout_ms, session.chaos_.get())) {
     throw ServiceError("connect",
                        "cannot send hello to " + endpoint.spec);
   }
 
   std::string payload;
-  const FrameStatus status = read_frame(
-      session.socket_.fd(), &payload, kDefaultMaxFrameBytes, timeout_ms);
+  const FrameStatus status =
+      read_frame(session.socket_.fd(), &payload, kDefaultMaxFrameBytes,
+                 timeout_ms, session.chaos_.get());
   if (status == FrameStatus::kTimeout) {
     throw ServiceError("timeout",
                        "handshake with " + endpoint.spec + " timed out");

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/funcy_tuner.hpp"
+#include "service/chaos.hpp"
 #include "service/protocol.hpp"
 #include "service/socket.hpp"
 
@@ -59,6 +61,10 @@ struct ClientOptions {
   /// command back off identically (bit-identity covers timing-free
   /// outputs only, but reproducible schedules make hangs debuggable).
   std::uint64_t jitter_seed = 0;
+  /// Client-side fault injection (--chaos-seed / FT_CHAOS_SEED; the
+  /// env default means ANY existing run can be replayed under chaos).
+  /// Disabled unless the seed is nonzero.
+  chaos::ChaosConfig chaos = chaos::config_from_env();
 
   [[nodiscard]] int io_timeout_ms() const noexcept {
     return io_timeout_seconds > 0
@@ -101,6 +107,10 @@ class Session {
   [[nodiscard]] int io_timeout_ms() const noexcept {
     return transport_.io_timeout_ms();
   }
+  /// The session's fault injector; nullptr when chaos is disabled.
+  [[nodiscard]] chaos::ChaosEngine* chaos() const noexcept {
+    return chaos_.get();
+  }
 
   /// Tears down the transport from ANY thread: a blocked recv/send in
   /// another thread wakes immediately with a transport error.
@@ -115,6 +125,7 @@ class Session {
   Framing framing_ = Framing::kJson;
   WelcomeFrame welcome_;
   ClientOptions transport_;
+  std::shared_ptr<chaos::ChaosEngine> chaos_;
 };
 
 /// Dials, sends hello (always JSON - it carries the negotiation),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <iostream>
@@ -22,9 +23,24 @@ constexpr int kRingReplicas = 17;
 
 /// Transport-level failures: the endpoint (or the path to it) is sick,
 /// as opposed to the request being bad. These drain the endpoint and
-/// send its work elsewhere.
+/// send its work elsewhere. "draining" belongs here: the daemon
+/// announced it is going away, which for ROUTING purposes is the same
+/// as already being gone.
 bool is_transport_code(const std::string& code) {
-  return code == "io" || code == "timeout" || code == "connect";
+  return code == "io" || code == "timeout" || code == "connect" ||
+         code == "draining";
+}
+
+/// Refusals that bounce the chunk elsewhere while the endpoint itself
+/// stays healthy: backpressure and server-side queue-age expiry.
+bool is_bounce_code(const std::string& code) {
+  return code == "overloaded" || code == "deadline";
+}
+
+double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
 }
 
 std::uint64_t workspace_hash(const std::string& program,
@@ -49,19 +65,21 @@ std::unique_ptr<FleetBackend> FleetBackend::connect(
     compiler::Personality personality, const FleetOptions& fleet_options) {
   auto fleet = std::unique_ptr<FleetBackend>(new FleetBackend());
   fleet->options_ = fleet_options;
+  fleet->connect_options_.workspace =
+      WorkspaceSpec{program, arch, personality, options};
+  fleet->connect_options_.framings = fleet_options.framings;
+  fleet->connect_options_.transport = fleet_options.client;
 
   for (const std::string& address : addresses) {
     try {
       auto endpoint = std::make_unique<Endpoint>();
       endpoint->address = address;
-      ConnectOptions connect_options;
-      connect_options.workspace =
-          WorkspaceSpec{program, arch, personality, options};
-      connect_options.framings = fleet_options.framings;
-      connect_options.transport = fleet_options.client;
       // FleetBackend::Endpoint shadows the transport-level Endpoint.
-      endpoint->client = Client::connect(
-          ::ft::service::Endpoint::parse(address), connect_options);
+      endpoint->dial = ::ft::service::Endpoint::parse(address);
+      endpoint->jitter_state = fleet_options.client.jitter_seed ^
+                               support::fnv1a64(address);
+      endpoint->client =
+          Client::connect(endpoint->dial, fleet->connect_options_);
       fleet->endpoints_.push_back(std::move(endpoint));
     } catch (const ServiceError& refusal) {
       const std::string code = refusal.code();
@@ -97,8 +115,10 @@ std::unique_ptr<FleetBackend> FleetBackend::connect(
   fleet->home_ = fleet->ring_successor(
       workspace_hash(program, arch, options, personality));
 
-  if (fleet_options.probe_interval_seconds > 0 &&
-      fleet->endpoints_.size() > 1) {
+  // The probe thread runs even for a single endpoint: it is also the
+  // breaker's half-open reconnect path, and a lone daemon that
+  // restarts deserves to be re-adopted just as much as a fleet member.
+  if (fleet_options.probe_interval_seconds > 0) {
     fleet->probe_thread_ = std::thread([raw = fleet.get()] {
       raw->probe_loop();
     });
@@ -145,13 +165,123 @@ FleetBackend::Stats FleetBackend::stats() const {
   return stats_;
 }
 
+std::shared_ptr<Client> FleetBackend::client_for(std::size_t index) {
+  Endpoint& endpoint = *endpoints_[index];
+  std::lock_guard lock(endpoint.wire_mutex);
+  return endpoint.client;
+}
+
 void FleetBackend::drain(std::size_t index) {
   Endpoint& endpoint = *endpoints_[index];
   if (!endpoint.alive.exchange(false, std::memory_order_acq_rel)) return;
   // Wake any thread blocked on this endpoint's wire right now.
-  endpoint.client->abort();
+  const std::shared_ptr<Client> client = client_for(index);
+  if (client) client->abort();
   std::lock_guard lock(stats_mutex_);
   ++stats_.endpoints_drained;
+}
+
+void FleetBackend::note_transport_failure(std::size_t index) {
+  Endpoint& endpoint = *endpoints_[index];
+  bool opened = false;
+  {
+    std::lock_guard lock(endpoint.breaker_mutex);
+    ++endpoint.consecutive_failures;
+    if (endpoint.consecutive_failures >=
+        options_.breaker_failure_threshold) {
+      // Open spell: exponential backoff with deterministic
+      // per-endpoint jitter, so N clients that watched the same
+      // daemon die do not re-dial it in lockstep.
+      double backoff =
+          std::min(options_.breaker_reopen_base_seconds *
+                       std::ldexp(1.0, endpoint.open_spells),
+                   options_.breaker_reopen_max_seconds);
+      const double u =
+          static_cast<double>(
+              support::splitmix64(endpoint.jitter_state) >> 11) *
+          0x1.0p-53;
+      backoff += backoff * 0.25 * u;
+      endpoint.reopen_at = monotonic_seconds() + backoff;
+      ++endpoint.open_spells;
+      opened = true;
+    } else {
+      endpoint.reopen_at = 0.0;  // below threshold: retry immediately
+    }
+  }
+  drain(index);
+  if (opened) {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.breaker_opens;
+  }
+}
+
+void FleetBackend::note_success(std::size_t index) {
+  Endpoint& endpoint = *endpoints_[index];
+  std::lock_guard lock(endpoint.breaker_mutex);
+  endpoint.consecutive_failures = 0;
+  endpoint.open_spells = 0;
+}
+
+void FleetBackend::probe_pass() {
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    Endpoint& endpoint = *endpoints_[i];
+    if (endpoint.alive.load(std::memory_order_acquire)) {
+      // Do not inject probes into a wire that is mid-batch: the
+      // dispatcher's own traffic already proves liveness, and a ping
+      // queued behind a long eval_batch would time out spuriously.
+      if (endpoint.inflight.load(std::memory_order_acquire) > 0) {
+        continue;
+      }
+      try {
+        client_for(i)->ping();
+        note_success(i);
+      } catch (const std::exception&) {
+        {
+          std::lock_guard lock(stats_mutex_);
+          ++stats_.probe_failures;
+        }
+        note_transport_failure(i);
+      }
+      continue;
+    }
+    // Dead endpoint: honor the breaker's backoff, then go half-open -
+    // ONE fresh dial+handshake+ping decides. Success re-closes the
+    // breaker and republishes the wire; failure doubles the backoff.
+    {
+      std::lock_guard lock(endpoint.breaker_mutex);
+      if (monotonic_seconds() < endpoint.reopen_at) continue;
+    }
+    try {
+      std::shared_ptr<Client> fresh =
+          Client::connect(endpoint.dial, connect_options_);
+      fresh->ping();
+      {
+        std::lock_guard lock(endpoint.wire_mutex);
+        endpoint.client = std::move(fresh);
+      }
+      {
+        std::lock_guard lock(endpoint.breaker_mutex);
+        endpoint.consecutive_failures = 0;
+        endpoint.open_spells = 0;
+      }
+      endpoint.alive.store(true, std::memory_order_release);
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.breaker_recoveries;
+    } catch (const std::exception&) {
+      std::lock_guard lock(endpoint.breaker_mutex);
+      double backoff =
+          std::min(options_.breaker_reopen_base_seconds *
+                       std::ldexp(1.0, endpoint.open_spells),
+                   options_.breaker_reopen_max_seconds);
+      const double u =
+          static_cast<double>(
+              support::splitmix64(endpoint.jitter_state) >> 11) *
+          0x1.0p-53;
+      backoff += backoff * 0.25 * u;
+      endpoint.reopen_at = monotonic_seconds() + backoff;
+      ++endpoint.open_spells;
+    }
+  }
 }
 
 void FleetBackend::probe_loop() {
@@ -163,23 +293,7 @@ void FleetBackend::probe_loop() {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     if (std::chrono::steady_clock::now() < next) continue;
     next = std::chrono::steady_clock::now() + interval;
-    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
-      Endpoint& endpoint = *endpoints_[i];
-      if (!endpoint.alive.load(std::memory_order_acquire)) continue;
-      // Do not inject probes into a wire that is mid-batch: the
-      // dispatcher's own traffic already proves liveness, and a ping
-      // queued behind a long eval_batch would time out spuriously.
-      if (endpoint.inflight.load(std::memory_order_acquire) > 0) continue;
-      try {
-        endpoint.client->ping();
-      } catch (const std::exception&) {
-        {
-          std::lock_guard lock(stats_mutex_);
-          ++stats_.probe_failures;
-        }
-        drain(i);
-      }
-    }
+    probe_pass();
   }
 }
 
@@ -198,8 +312,9 @@ std::vector<core::EvalBackend::RawResult> FleetBackend::run_many(
   // the fleet is wide - enough granularity for stealing to spread the
   // load, coarse enough that framing overhead stays negligible.
   std::size_t chunk_limit = requests.size();
-  for (const auto& endpoint : endpoints_) {
-    const std::size_t advertised = endpoint->client->max_batch();
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const std::shared_ptr<Client> client = client_for(i);
+    const std::size_t advertised = client ? client->max_batch() : 0;
     if (advertised > 0) chunk_limit = std::min(chunk_limit, advertised);
   }
   const std::size_t alive = std::max<std::size_t>(alive_count(), 1);
@@ -285,10 +400,14 @@ std::vector<core::EvalBackend::RawResult> FleetBackend::run_many(
       Chunk& chunk = chunks[chunk_index];
       endpoint.inflight.fetch_add(1, std::memory_order_acq_rel);
       try {
-        std::vector<core::EvalResponse> replies =
-            endpoint.client->call_many(
-                requests.subspan(chunk.begin, chunk.count));
+        // Snapshot the wire: a concurrent breaker reconnect swaps the
+        // endpoint's client, but THIS call finishes on the session it
+        // started with.
+        const std::shared_ptr<Client> wire = client_for(self);
+        std::vector<core::EvalResponse> replies = wire->call_many(
+            requests.subspan(chunk.begin, chunk.count));
         endpoint.inflight.fetch_sub(1, std::memory_order_acq_rel);
+        note_success(self);
         std::lock_guard lock(mutex);
         for (std::size_t i = 0; i < replies.size(); ++i) {
           responses[chunk.begin + i] = std::move(replies[i]);
@@ -297,14 +416,14 @@ std::vector<core::EvalBackend::RawResult> FleetBackend::run_many(
       } catch (const ServiceError& error) {
         endpoint.inflight.fetch_sub(1, std::memory_order_acq_rel);
         const bool transport = is_transport_code(error.code());
-        const bool bounced = error.code() == "overloaded";
+        const bool bounced = is_bounce_code(error.code());
         if (!transport && !bounced) {
           std::lock_guard lock(mutex);
           if (!fatal) fatal = std::current_exception();
           ready.notify_all();
           return;
         }
-        if (transport) drain(self);
+        if (transport) note_transport_failure(self);
         std::unique_lock lock(mutex);
         // The failed chunk plus (when dying) everything still queued
         // here moves to the next alive endpoint in ring order.
@@ -398,11 +517,14 @@ core::EvalBackend::RawResult FleetBackend::run(
   int index = next_alive(home_);
   for (std::size_t attempt = 0;
        index >= 0 && attempt < endpoints_.size(); ++attempt) {
-    Endpoint& endpoint = *endpoints_[static_cast<std::size_t>(index)];
+    const std::size_t self = static_cast<std::size_t>(index);
+    Endpoint& endpoint = *endpoints_[self];
     endpoint.inflight.fetch_add(1, std::memory_order_acq_rel);
     try {
-      const core::EvalResponse response = endpoint.client->call(request);
+      const std::shared_ptr<Client> wire = client_for(self);
+      const core::EvalResponse response = wire->call(request);
       endpoint.inflight.fetch_sub(1, std::memory_order_acq_rel);
+      note_success(self);
       if (!response.ok()) {
         throw ServiceError("remote_fault",
                            "daemon-side raw run failed: " +
@@ -411,9 +533,16 @@ core::EvalBackend::RawResult FleetBackend::run(
       return RawResult{response.outcome.result, response.modules_compiled};
     } catch (const ServiceError& error) {
       endpoint.inflight.fetch_sub(1, std::memory_order_acq_rel);
+      if (is_bounce_code(error.code())) {
+        // Backpressure/deadline: the endpoint is healthy, this
+        // request just needs to land somewhere with headroom.
+        index = next_alive(self + 1);
+        if (index == static_cast<int>(self)) break;  // nowhere else
+        continue;
+      }
       if (!is_transport_code(error.code())) throw;
-      drain(static_cast<std::size_t>(index));
-      index = next_alive(static_cast<std::size_t>(index) + 1);
+      note_transport_failure(self);
+      index = next_alive(self + 1);
     }
   }
   throw ServiceError("fleet", "every fleet endpoint is drained");

@@ -47,6 +47,15 @@ struct FleetOptions {
   /// A chunk bounced by `overloaded` give-ups or endpoint deaths is
   /// re-dispatched at most this many times before the batch fails.
   int max_chunk_redispatch = 8;
+  /// Circuit breaker: this many CONSECUTIVE transport failures open
+  /// the breaker; below it, a dead endpoint is retried on the next
+  /// probe tick (a single torn connection is not an outage).
+  int breaker_failure_threshold = 3;
+  /// First open spell lasts this long; each further spell doubles it
+  /// (plus deterministic per-endpoint jitter) up to the max. A
+  /// successful half-open probe resets the spell count.
+  double breaker_reopen_base_seconds = 0.5;
+  double breaker_reopen_max_seconds = 30.0;
 };
 
 /// EvalBackend over N daemon sessions. Thread-safe like the single
@@ -61,6 +70,8 @@ class FleetBackend final : public core::EvalBackend {
     std::size_t redispatches = 0;        ///< chunk re-queued after a death
     std::size_t probe_failures = 0;      ///< pings that found a dead daemon
     std::size_t endpoints_drained = 0;   ///< endpoints declared dead
+    std::size_t breaker_opens = 0;       ///< open spells entered
+    std::size_t breaker_recoveries = 0;  ///< half-open probes that healed
   };
 
   /// Connects and handshakes every address for one workspace
@@ -102,10 +113,22 @@ class FleetBackend final : public core::EvalBackend {
  private:
   struct Endpoint {
     std::string address;
-    std::unique_ptr<Client> client;
+    ::ft::service::Endpoint dial;  ///< parsed once, for reconnects
+    /// The live wire. Replaced wholesale by a successful half-open
+    /// reconnect; every user takes a shared_ptr SNAPSHOT under
+    /// wire_mutex and works on that, so a reconnect can never pull a
+    /// session out from under a dispatching thread.
+    std::shared_ptr<Client> client;
+    std::mutex wire_mutex;  ///< guards replacement of `client`
     std::atomic<bool> alive{true};
     /// Chunks currently being served by this endpoint's wire.
     std::atomic<std::size_t> inflight{0};
+    // --- circuit breaker (guarded by breaker_mutex) ---
+    std::mutex breaker_mutex;
+    int consecutive_failures = 0;
+    int open_spells = 0;      ///< consecutive failed reopen attempts
+    double reopen_at = 0.0;   ///< monotonic seconds; 0 = retry now
+    std::uint64_t jitter_state = 0;  ///< per-endpoint backoff jitter
   };
 
   FleetBackend() = default;
@@ -115,10 +138,22 @@ class FleetBackend final : public core::EvalBackend {
   /// First alive endpoint at or after `start` in ring order; -1 when
   /// the whole fleet is dead.
   [[nodiscard]] int next_alive(std::size_t start) const;
+  /// Snapshot of the endpoint's current wire (see Endpoint::client).
+  [[nodiscard]] std::shared_ptr<Client> client_for(std::size_t index);
   void drain(std::size_t index);
+  /// Breaker bookkeeping for one transport failure: deactivates the
+  /// endpoint and, at the failure threshold, opens the breaker
+  /// (exponential reopen backoff with deterministic jitter).
+  void note_transport_failure(std::size_t index);
+  /// Resets the consecutive-failure count after served traffic.
+  void note_success(std::size_t index);
+  /// One probe pass: ping alive+idle endpoints, half-open reconnect
+  /// dead ones whose breaker backoff has elapsed.
+  void probe_pass();
   void probe_loop();
 
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  ConnectOptions connect_options_;  ///< for half-open reconnects
   /// Ring positions: (hash, endpoint index), sorted by hash. Virtual
   /// replica nodes smooth the shard distribution.
   std::vector<std::pair<std::uint64_t, std::size_t>> ring_;

@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <chrono>
 
+#include "service/chaos.hpp"
+
 namespace ft::service {
 
 namespace {
@@ -78,8 +80,15 @@ int read_exact(int fd, char* buffer, std::size_t count,
 }  // namespace
 
 FrameStatus read_frame(int fd, std::string* payload, std::size_t max_bytes,
-                       int timeout_ms) {
+                       int timeout_ms, chaos::ChaosEngine* chaos) {
+  // The deadline is taken BEFORE any injected delay: chaos consumes
+  // the frame's budget exactly like a genuinely slow peer would.
   const Deadline deadline = Deadline::in_ms(timeout_ms);
+  chaos::ChaosEngine::StormScope storm;
+  if (chaos != nullptr) {
+    storm = chaos->maybe_eintr_storm();
+    chaos->delay_read();
+  }
   unsigned char prefix[4];
   const int head = read_exact(fd, reinterpret_cast<char*>(prefix),
                               sizeof(prefix), deadline);
@@ -101,10 +110,24 @@ FrameStatus read_frame(int fd, std::string* payload, std::size_t max_bytes,
   return FrameStatus::kOk;
 }
 
-bool write_frame(int fd, std::string_view payload, int timeout_ms) {
+bool write_frame(int fd, std::string_view payload, int timeout_ms,
+                 chaos::ChaosEngine* chaos) {
   if (payload.size() > 0xffffffffu) return false;
   const auto length = static_cast<std::uint32_t>(payload.size());
   const Deadline deadline = Deadline::in_ms(timeout_ms);
+  chaos::ChaosEngine::StormScope storm;
+  std::size_t chunk_limit = static_cast<std::size_t>(-1);
+  std::size_t reset_after = static_cast<std::size_t>(-1);
+  if (chaos != nullptr) {
+    storm = chaos->maybe_eintr_storm();
+    chunk_limit = chaos->torn_chunk_limit();
+    if (chaos->should_reset_mid_frame()) {
+      // Push out roughly half the frame, then slam the connection:
+      // the peer observes a torn frame, exactly like a daemon dying
+      // mid-reply.
+      reset_after = std::max<std::size_t>(1, (4 + payload.size()) / 2);
+    }
+  }
   // Prefix and payload go out as ONE sendmsg: a separate 4-byte
   // segment would trip TCP's Nagle/delayed-ACK interaction, and
   // concatenating into a temporary string would pay an allocation plus
@@ -119,6 +142,10 @@ bool write_frame(int fd, std::string_view payload, int timeout_ms) {
   std::size_t done = 0;
   const std::size_t total = sizeof(prefix) + payload.size();
   while (done < total) {
+    if (done >= reset_after) {
+      ::shutdown(fd, SHUT_RDWR);
+      return false;
+    }
     iovec segments[2];
     int count = 0;
     if (done < sizeof(prefix)) {
@@ -133,6 +160,19 @@ bool write_frame(int fd, std::string_view payload, int timeout_ms) {
           const_cast<char*>(payload.data()) + body_done;
       segments[count].iov_len = payload.size() - body_done;
       ++count;
+    }
+    // A torn write caps every sendmsg at a few bytes, so the peer's
+    // reassembly path (partial prefix, split payload) runs for real.
+    // An armed reset also caps the write at the reset point: without
+    // that, one full-frame sendmsg never re-enters the loop and the
+    // reset would only ever fire on already-fragmented writes.
+    std::size_t budget = chunk_limit;
+    if (reset_after != static_cast<std::size_t>(-1)) {
+      budget = std::min(budget, reset_after - done);
+    }
+    for (int i = 0; i < count; ++i) {
+      segments[i].iov_len = std::min(segments[i].iov_len, budget);
+      budget -= segments[i].iov_len;
     }
     msghdr message{};
     message.msg_iov = segments;

@@ -13,6 +13,10 @@
 
 namespace ft::service {
 
+namespace chaos {
+class ChaosEngine;
+}
+
 /// Upper bound on one frame's payload. 16 MiB comfortably holds a
 /// maximal eval_batch (1000+ requests with hundreds of loop CVs each)
 /// while bounding what a malicious or corrupted peer can make the
@@ -47,15 +51,20 @@ struct FrameBuffer {
 /// otherwise the WHOLE frame must arrive within the deadline - a peer
 /// that accepts and then goes silent (or trickles bytes) yields
 /// kTimeout instead of a hang. Pass a long-lived string (or a
-/// FrameBuffer's payload) to amortize the allocation away.
+/// FrameBuffer's payload) to amortize the allocation away. A non-null
+/// `chaos` engine may inject read delays, stalls and EINTR storms -
+/// the deadline is absolute, so injected faults consume budget, never
+/// extend it.
 [[nodiscard]] FrameStatus read_frame(
     int fd, std::string* payload,
-    std::size_t max_bytes = kDefaultMaxFrameBytes, int timeout_ms = -1);
+    std::size_t max_bytes = kDefaultMaxFrameBytes, int timeout_ms = -1,
+    chaos::ChaosEngine* chaos = nullptr);
 
 [[nodiscard]] inline FrameStatus read_frame(
     int fd, FrameBuffer& buffer,
-    std::size_t max_bytes = kDefaultMaxFrameBytes, int timeout_ms = -1) {
-  return read_frame(fd, &buffer.payload, max_bytes, timeout_ms);
+    std::size_t max_bytes = kDefaultMaxFrameBytes, int timeout_ms = -1,
+    chaos::ChaosEngine* chaos = nullptr) {
+  return read_frame(fd, &buffer.payload, max_bytes, timeout_ms, chaos);
 }
 
 /// Writes one frame (prefix + payload) as a single vectored send
@@ -64,8 +73,11 @@ struct FrameBuffer {
 /// Nagle/delayed-ACK interaction - ever happens. False on any I/O
 /// error or on deadline expiry with an unwritable peer (timeout_ms <
 /// 0 = block forever); short writes are retried internally. Never
-/// raises SIGPIPE.
+/// raises SIGPIPE. A non-null `chaos` engine may tear the write into
+/// tiny chunks, storm it with EINTR, or reset the connection mid-frame
+/// (in which case the call reports failure like any dead peer).
 [[nodiscard]] bool write_frame(int fd, std::string_view payload,
-                               int timeout_ms = -1);
+                               int timeout_ms = -1,
+                               chaos::ChaosEngine* chaos = nullptr);
 
 }  // namespace ft::service

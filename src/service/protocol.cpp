@@ -1,6 +1,7 @@
 #include "service/protocol.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -184,6 +185,8 @@ const char* framing_name(Framing framing) {
       return "json";
     case Framing::kBinary:
       return "binary";
+    case Framing::kBinaryCrc:
+      return "binary-crc32";
   }
   return "json";
 }
@@ -197,7 +200,34 @@ bool framing_from_name(std::string_view name, Framing* out) {
     *out = Framing::kBinary;
     return true;
   }
+  if (name == "binary-crc32") {
+    *out = Framing::kBinaryCrc;
+    return true;
+  }
   return false;
+}
+
+std::uint32_t crc32(std::string_view bytes) noexcept {
+  // Standard reflected CRC-32 (polynomial 0xEDB88320), the same
+  // checksum zlib and Ethernet use: any single-byte corruption and any
+  // burst up to 32 bits is guaranteed detected.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> entries{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t value = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        value = (value >> 1) ^ ((value & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = value;
+    }
+    return entries;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char byte : bytes) {
+    crc = (crc >> 8) ^
+          table[(crc ^ static_cast<unsigned char>(byte)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 Framing negotiate_framing(const std::vector<Framing>& client_order,
@@ -748,6 +778,29 @@ DecodeStatus decode_frame(Framing framing, std::string_view payload,
                           AnyFrame* out, std::string* error) {
   out->reset();
   error->clear();
+  if (framing == Framing::kBinaryCrc) {
+    // Verify-then-strip: the trailer covers the whole binary payload,
+    // so a flipped byte ANYWHERE (tag, length, double bits) fails here
+    // and never reaches the binary decoder. Length framing stays
+    // synchronized, so the caller refuses just this frame (bad_frame)
+    // and the session survives.
+    if (payload.size() < 4) {
+      *error = "binary-crc32 frame shorter than its checksum";
+      return DecodeStatus::kUnparseable;
+    }
+    const std::string_view body = payload.substr(0, payload.size() - 4);
+    const std::string_view trailer = payload.substr(payload.size() - 4);
+    std::uint32_t declared = 0;
+    for (int i = 3; i >= 0; --i) {
+      declared = (declared << 8) |
+                 static_cast<unsigned char>(trailer[static_cast<std::size_t>(i)]);
+    }
+    if (crc32(body) != declared) {
+      *error = "crc32 mismatch: frame corrupted in flight";
+      return DecodeStatus::kUnparseable;
+    }
+    return binary_decode_frame(body, out, error);
+  }
   if (framing == Framing::kBinary) {
     return binary_decode_frame(payload, out, error);
   }
@@ -756,10 +809,28 @@ DecodeStatus decode_frame(Framing framing, std::string_view payload,
 
 // --- framing-dispatched encoders -------------------------------------------
 
+namespace {
+
+[[nodiscard]] bool is_binary(Framing framing) {
+  return framing == Framing::kBinary || framing == Framing::kBinaryCrc;
+}
+
+/// Appends the little-endian CRC32 trailer for binary-crc32 frames.
+void seal_crc(Framing framing, std::string* out) {
+  if (framing != Framing::kBinaryCrc) return;
+  const std::uint32_t crc = crc32(*out);
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((crc >> (8 * i)) & 0xFFu));
+  }
+}
+
+}  // namespace
+
 void encode_hello_frame(Framing framing, const HelloFrame& hello,
                         std::string* out) {
-  if (framing == Framing::kBinary) {
+  if (is_binary(framing)) {
     binary_encode_hello(hello, out);
+    seal_crc(framing, out);
     return;
   }
   out->assign(encode_hello(hello));
@@ -767,8 +838,9 @@ void encode_hello_frame(Framing framing, const HelloFrame& hello,
 
 void encode_welcome_frame(Framing framing, const WelcomeFrame& welcome,
                           std::string* out) {
-  if (framing == Framing::kBinary) {
+  if (is_binary(framing)) {
     binary_encode_welcome(welcome, out);
+    seal_crc(framing, out);
     return;
   }
   out->assign(encode_welcome(welcome));
@@ -776,8 +848,9 @@ void encode_welcome_frame(Framing framing, const WelcomeFrame& welcome,
 
 void encode_error_frame(Framing framing, const ErrorFrame& error,
                         std::string* out) {
-  if (framing == Framing::kBinary) {
+  if (is_binary(framing)) {
     binary_encode_error(error, out);
+    seal_crc(framing, out);
     return;
   }
   out->assign(encode_error(error));
@@ -786,8 +859,9 @@ void encode_error_frame(Framing framing, const ErrorFrame& error,
 void encode_eval_frame(Framing framing, std::uint64_t seq,
                        const core::EvalRequest& request,
                        std::string* out) {
-  if (framing == Framing::kBinary) {
+  if (is_binary(framing)) {
     binary_encode_eval(seq, request, out);
+    seal_crc(framing, out);
     return;
   }
   out->assign(encode_eval(seq, request));
@@ -796,8 +870,9 @@ void encode_eval_frame(Framing framing, std::uint64_t seq,
 void encode_eval_batch_frame(Framing framing, std::uint64_t seq,
                              std::span<const core::EvalRequest> requests,
                              std::string* out) {
-  if (framing == Framing::kBinary) {
+  if (is_binary(framing)) {
     binary_encode_eval_batch(seq, requests, out);
+    seal_crc(framing, out);
     return;
   }
   out->assign(encode_eval_batch(seq, requests));
@@ -806,8 +881,9 @@ void encode_eval_batch_frame(Framing framing, std::uint64_t seq,
 void encode_result_frame(Framing framing, std::uint64_t seq,
                          const core::EvalResponse& response,
                          std::string* out) {
-  if (framing == Framing::kBinary) {
+  if (is_binary(framing)) {
     binary_encode_result(seq, response, out);
+    seal_crc(framing, out);
     return;
   }
   out->assign(encode_result(seq, response));
@@ -816,8 +892,9 @@ void encode_result_frame(Framing framing, std::uint64_t seq,
 void encode_result_batch_frame(
     Framing framing, std::uint64_t seq,
     std::span<const core::EvalResponse> responses, std::string* out) {
-  if (framing == Framing::kBinary) {
+  if (is_binary(framing)) {
     binary_encode_result_batch(seq, responses, out);
+    seal_crc(framing, out);
     return;
   }
   out->assign(encode_result_batch(seq, responses));
@@ -825,8 +902,9 @@ void encode_result_batch_frame(
 
 void encode_ping_frame(Framing framing, std::uint64_t seq,
                        std::string* out) {
-  if (framing == Framing::kBinary) {
+  if (is_binary(framing)) {
     binary_encode_ping(seq, out);
+    seal_crc(framing, out);
     return;
   }
   out->assign(encode_ping(seq));
@@ -834,16 +912,18 @@ void encode_ping_frame(Framing framing, std::uint64_t seq,
 
 void encode_pong_frame(Framing framing, std::uint64_t seq,
                        std::string* out) {
-  if (framing == Framing::kBinary) {
+  if (is_binary(framing)) {
     binary_encode_pong(seq, out);
+    seal_crc(framing, out);
     return;
   }
   out->assign(encode_pong(seq));
 }
 
 void encode_bye_frame(Framing framing, std::string* out) {
-  if (framing == Framing::kBinary) {
+  if (is_binary(framing)) {
     binary_encode_bye(out);
+    seal_crc(framing, out);
     return;
   }
   out->assign(encode_bye());

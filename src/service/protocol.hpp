@@ -49,11 +49,20 @@ inline constexpr int kProtocolVersion = 1;
 
 /// Payload encodings a session can speak. JSON is mandatory on every
 /// implementation (it is the negotiation carrier and the bit-identity
-/// baseline); binary is the opt-in fast path.
+/// baseline); binary is the opt-in fast path, and binary-crc32 is
+/// binary with a 4-byte little-endian CRC32 trailer over the payload -
+/// a corrupted frame is rejected as `bad_frame` instead of being
+/// decoded into garbage. Negotiated like any other framing: peers that
+/// predate it simply skip the unknown name.
 enum class Framing : std::uint8_t {
   kJson = 0,
   kBinary = 1,
+  kBinaryCrc = 2,
 };
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes`. Table-driven;
+/// used by the binary-crc32 framing and its tests.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes) noexcept;
 
 [[nodiscard]] const char* framing_name(Framing framing);
 /// False for names this build does not know. Unknown names are how

@@ -111,6 +111,11 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
 Server::~Server() { stop(); }
 
 void Server::start() {
+  // Outbox flushes use MSG_NOSIGNAL, but a peer dying between the
+  // poll and the send can still raise SIGPIPE on some paths; one
+  // process-wide SIG_IGN turns every such race into a plain EPIPE.
+  ignore_sigpipe();
+  chaos_ = chaos::make_engine(options_.chaos);
   listener_ = Listener::bind(Address::parse(options_.listen));
   listener_.set_nonblocking();
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
@@ -129,6 +134,9 @@ void Server::start() {
 
   read_scratch_.resize(256 * 1024);
   stopping_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  drain_initiated_ = false;
+  drain_bye_sent_ = false;
   workers_shutdown_ = false;
   touch();
   running_.store(true, std::memory_order_release);
@@ -185,6 +193,14 @@ void Server::stop() {
   wait();
 }
 
+void Server::request_drain() noexcept {
+  // Called from signal handlers (ftuned's SIGTERM): an atomic store
+  // plus an eventfd write, both async-signal-safe. Everything
+  // stateful happens on the loop thread in drain_step().
+  draining_.store(true, std::memory_order_release);
+  wake_loop();
+}
+
 Server::Stats Server::stats() const {
   Stats out;
   out.sessions_accepted = stats_.sessions_accepted.load();
@@ -195,6 +211,11 @@ Server::Stats Server::stats() const {
   out.errors_sent = stats_.errors_sent.load();
   out.overloads = stats_.overloads.load();
   out.binary_sessions = stats_.binary_sessions.load();
+  out.drain_refusals = stats_.drain_refusals.load();
+  out.deadline_refusals = stats_.deadline_refusals.load();
+  out.cancelled_jobs = stats_.cancelled_jobs.load();
+  out.loris_kills = stats_.loris_kills.load();
+  out.evictions = stats_.evictions.load();
   return out;
 }
 
@@ -249,34 +270,147 @@ void Server::event_loop() {
       }
     }
     apply_completions();
+    const double now = now_seconds();
+    sweep_stalled_sessions(now);
+    if (draining_.load(std::memory_order_acquire)) {
+      if (drain_step(now)) break;
+      continue;  // the drain owns shutdown; skip the idle exit
+    }
     if (options_.idle_timeout_seconds > 0 && sessions_.empty() &&
-        now_seconds() -
-                last_activity_.load(std::memory_order_acquire) >
+        inflight_.load(std::memory_order_acquire) == 0 &&
+        now - last_activity_.load(std::memory_order_acquire) >
             options_.idle_timeout_seconds) {
-      break;  // idle shutdown
+      break;  // idle shutdown (never mid-batch: inflight work pins us)
     }
   }
   // Close every session before the workers are joined so any client
   // blocked on a reply observes a transport error, not a stall.
+  {
+    std::lock_guard lock(live_mutex_);
+    live_sessions_.clear();
+  }
   sessions_by_id_.clear();
   sessions_.clear();
+}
+
+bool Server::drain_step(double now) {
+  if (!drain_initiated_) {
+    drain_initiated_ = true;
+    drain_deadline_ =
+        now + std::max(0.0, options_.drain_grace_seconds);
+    // Stop accepting first: closing the listener makes new dials fail
+    // fast (connection refused), which is what reroutes a fleet.
+    if (listener_.valid()) {
+      (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listener_.fd(),
+                        nullptr);
+      listener_.close();
+    }
+  }
+  // Quiescent = no admitted evaluations left AND no session has a job
+  // in flight (covers hellos and queued-but-unstarted jobs: a queued
+  // job's session is busy until its completion applies).
+  bool quiescent = inflight_.load(std::memory_order_acquire) == 0;
+  if (quiescent) {
+    for (const auto& [fd, session] : sessions_) {
+      if (session->busy) {
+        quiescent = false;
+        break;
+      }
+    }
+  }
+  if ((quiescent || now >= drain_deadline_) && !drain_bye_sent_) {
+    drain_bye_sent_ = true;
+    std::vector<int> fds;
+    fds.reserve(sessions_.size());
+    for (const auto& [fd, session] : sessions_) fds.push_back(fd);
+    for (const int fd : fds) {
+      const auto it = sessions_.find(fd);
+      if (it == sessions_.end()) continue;
+      SessionState* session = it->second.get();
+      if (session->closing) continue;
+      std::string bye;
+      encode_bye_frame(session->framing, &bye);
+      session->closing = true;
+      session->inbox.clear();
+      session->backlog.clear();
+      if (!queue_reply(session, std::move(bye))) continue;
+      if (session->outbox.empty()) {
+        destroy_session(session);
+      } else {
+        update_interest(session);
+      }
+    }
+  }
+  if (drain_bye_sent_ && sessions_.empty()) return true;  // clean exit
+  return now >= drain_deadline_;  // grace expired: force the exit
+}
+
+void Server::sweep_stalled_sessions(double now) {
+  if (options_.read_progress_timeout_seconds <= 0 || sessions_.empty()) {
+    return;
+  }
+  std::vector<int> victims;
+  for (const auto& [fd, session] : sessions_) {
+    if (session->busy || session->closing) continue;
+    // Idle greeted sessions owe us nothing; only a connection holding
+    // an unfinished obligation (no hello yet, or a partial frame
+    // parked in its inbox) can loris us.
+    if (session->greeted && session->inbox.empty()) continue;
+    if (now - session->last_rx >
+        options_.read_progress_timeout_seconds) {
+      victims.push_back(fd);
+    }
+  }
+  for (const int fd : victims) {
+    const auto it = sessions_.find(fd);
+    if (it == sessions_.end()) continue;
+    stats_.loris_kills.fetch_add(1, std::memory_order_relaxed);
+    destroy_session(it->second.get());
+  }
+}
+
+bool Server::session_live(std::uint64_t id) {
+  std::lock_guard lock(live_mutex_);
+  return live_sessions_.count(id) != 0;
 }
 
 void Server::accept_ready() {
   for (;;) {
     Socket socket = listener_.accept_nonblocking();
     if (!socket.valid()) return;
+    if (options_.max_sessions > 0 &&
+        sessions_.size() >= options_.max_sessions) {
+      // At the cap: evict the oldest-IDLE session (no job in flight,
+      // nothing queued to send) in favor of the newcomer. When every
+      // session is actively working, the newcomer is the one dropped -
+      // active work is never sacrificed for an unknown peer.
+      SessionState* oldest = nullptr;
+      for (const auto& [fd, state] : sessions_) {
+        if (state->busy || !state->outbox.empty()) continue;
+        if (oldest == nullptr || state->last_rx < oldest->last_rx) {
+          oldest = state.get();
+        }
+      }
+      if (oldest == nullptr) continue;  // drop the new connection
+      stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+      destroy_session(oldest);
+    }
     socket.set_nonblocking();
     auto session = std::make_unique<SessionState>();
     session->id = next_session_id_++;
     session->socket = std::move(socket);
     session->interest = EPOLLIN;
+    session->last_rx = now_seconds();
     const int fd = session->socket.fd();
     epoll_event event{};
     event.events = EPOLLIN;
     event.data.fd = fd;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
       continue;  // drop the connection; nothing else to do
+    }
+    {
+      std::lock_guard lock(live_mutex_);
+      live_sessions_.insert(session->id);
     }
     sessions_by_id_.emplace(session->id, session.get());
     sessions_.emplace(fd, std::move(session));
@@ -293,6 +427,7 @@ bool Server::session_readable(SessionState* session) {
     if (got > 0) {
       session->inbox.append(read_scratch_.data(),
                             static_cast<std::size_t>(got));
+      session->last_rx = now_seconds();
       if (static_cast<std::size_t>(got) < read_scratch_.size()) break;
       continue;
     }
@@ -365,6 +500,7 @@ void Server::dispatch_job(SessionState* session, std::string payload) {
   job.framing = session->framing;
   job.workspace = session->workspace;
   job.payload = std::move(payload);
+  job.enqueued = now_seconds();
   {
     std::lock_guard lock(jobs_mutex_);
     jobs_.push_back(std::move(job));
@@ -395,7 +531,7 @@ void Server::apply_completions() {
       // The welcome itself went out under JSON (the negotiation
       // carrier); everything after it speaks the negotiated framing.
       session->framing = completion.framing;
-      if (completion.framing == Framing::kBinary) {
+      if (completion.framing != Framing::kJson) {
         stats_.binary_sessions.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -440,6 +576,18 @@ bool Server::queue_reply(SessionState* session, std::string payload) {
 }
 
 bool Server::flush_outbox(SessionState* session) {
+  // Seeded fault injection on the server's write path: a torn flush
+  // (tiny chunk cap, exercising client-side reassembly) or a
+  // mid-frame reset (exercising client-side kTorn handling). Drawn
+  // once per flush call so a capped flush still makes progress.
+  std::size_t chunk_limit = static_cast<std::size_t>(-1);
+  if (chaos_ != nullptr) {
+    if (chaos_->should_reset_mid_frame() && !session->outbox.empty()) {
+      session->socket.shutdown_both();
+      return false;
+    }
+    chunk_limit = chaos_->torn_chunk_limit();
+  }
   while (!session->outbox.empty()) {
     // Vectored write: up to 16 frames, each as prefix + payload
     // remainders - one syscall flushes a burst of replies.
@@ -462,6 +610,13 @@ bool Server::flush_outbox(SessionState* session) {
             const_cast<char*>(frame.payload.data()) + offset;
         iov[iov_count].iov_len = frame.payload.size() - offset;
         ++iov_count;
+      }
+    }
+    if (chunk_limit != static_cast<std::size_t>(-1)) {
+      std::size_t budget = chunk_limit;
+      for (int i = 0; i < iov_count; ++i) {
+        iov[i].iov_len = std::min(iov[i].iov_len, budget);
+        budget -= iov[i].iov_len;
       }
     }
     msghdr msg{};
@@ -488,6 +643,11 @@ bool Server::flush_outbox(SessionState* session) {
         front.offset += remaining;
         remaining = 0;
       }
+    }
+    if (chunk_limit != static_cast<std::size_t>(-1)) {
+      // A genuine short write: leave the remainder for EPOLLOUT so the
+      // tear is visible on the wire instead of being resent inline.
+      return true;
     }
   }
   return true;
@@ -525,6 +685,10 @@ void Server::update_interest(SessionState* session) {
 void Server::destroy_session(SessionState* session) {
   const int fd = session->socket.fd();
   (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  {
+    std::lock_guard lock(live_mutex_);
+    live_sessions_.erase(session->id);
+  }
   sessions_by_id_.erase(session->id);
   sessions_.erase(fd);  // closes the socket
   touch();  // idle countdown starts when the last session leaves
@@ -666,6 +830,16 @@ Server::Completion Server::serve_hello(const Job& job) {
 
 void Server::run_job(Job job) {
   if (job.is_hello) {
+    if (draining_.load(std::memory_order_acquire)) {
+      // A greeting mid-drain gets a retryable refusal and a hangup:
+      // the client should take its workspace to another daemon.
+      stats_.drain_refusals.fetch_add(1, std::memory_order_relaxed);
+      post(error_completion(
+          job.session_id, Framing::kJson,
+          ErrorFrame{"draining", "daemon is draining for shutdown", 0,
+                     true, true}));
+      return;
+    }
     post(serve_hello(job));
     return;
   }
@@ -727,6 +901,49 @@ void Server::run_job(Job job) {
   const std::uint64_t seq = frame.seq;
   const bool batch = frame.kind == FrameKind::kEvalBatch;
   const std::vector<core::EvalRequest>& requests = frame.requests;
+  if (draining_.load(std::memory_order_acquire)) {
+    // Inflight work finishes; NEW evaluations are refused retryably so
+    // the client reroutes (a fleet to another endpoint, a lone client
+    // to its local fallback) instead of waiting on a dying daemon.
+    stats_.drain_refusals.fetch_add(1, std::memory_order_relaxed);
+    post(error_completion(
+        sid, framing,
+        ErrorFrame{"draining", "daemon is draining for shutdown", seq,
+                   true, false}));
+    return;
+  }
+  if (options_.request_deadline_seconds > 0 &&
+      now_seconds() - job.enqueued > options_.request_deadline_seconds) {
+    // The job aged out in the worker queue: by the time we could start
+    // it, the client has likely timed out and resent elsewhere -
+    // refuse retryably instead of computing an answer nobody reads.
+    stats_.deadline_refusals.fetch_add(1, std::memory_order_relaxed);
+    post(error_completion(
+        sid, framing,
+        ErrorFrame{"deadline",
+                   "request exceeded the server-side deadline before "
+                   "a worker could start it",
+                   seq, true, false}));
+    return;
+  }
+  if (!session_live(sid)) {
+    // The peer hung up while this frame waited its turn: its reply
+    // would be dropped anyway, so skip the evaluation entirely.
+    stats_.cancelled_jobs.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (chaos_ != nullptr && chaos_->should_refuse_overloaded() &&
+      (frame.kind == FrameKind::kEval ||
+       frame.kind == FrameKind::kEvalBatch)) {
+    // Injected spurious backpressure: exercises client retry/backoff
+    // paths without the daemon actually being saturated.
+    stats_.overloads.fetch_add(1, std::memory_order_relaxed);
+    post(error_completion(
+        sid, framing,
+        ErrorFrame{"overloaded", "injected chaos backpressure", seq,
+                   true, false}));
+    return;
+  }
   if (requests.empty()) {
     post(error_completion(sid, framing,
                           ErrorFrame{"bad_request", "empty batch", seq,

@@ -46,10 +46,12 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/eval_cache.hpp"
 #include "core/funcy_tuner.hpp"
+#include "service/chaos.hpp"
 #include "service/framing.hpp"
 #include "service/protocol.hpp"
 #include "service/socket.hpp"
@@ -84,6 +86,27 @@ struct ServerOptions {
   /// Worker threads executing eval batches off the event loop;
   /// 0 = one per hardware thread (capped at 16, floored at 2).
   std::size_t workers = 0;
+  /// SIGTERM drain: after request_drain(), inflight work gets this
+  /// long to finish before the daemon force-exits. New eval frames are
+  /// refused with retryable "draining" the whole time.
+  double drain_grace_seconds = 10.0;
+  /// A job that waited in the worker queue longer than this is refused
+  /// with retryable "deadline" instead of computing a result the
+  /// client has likely stopped waiting for. <= 0 disables.
+  double request_deadline_seconds = 0.0;
+  /// Slow-loris defense: a connection that owes us bytes (never said
+  /// hello, or has a partial frame parked in its inbox) and makes no
+  /// read progress for this long is destroyed. Idle GREETED sessions
+  /// with no partial frame are legal and never reaped. <= 0 disables.
+  double read_progress_timeout_seconds = 30.0;
+  /// Connection cap; at the cap a new connection evicts the
+  /// oldest-idle session (not busy, nothing queued), or is dropped
+  /// when every session is active. 0 = unlimited.
+  std::size_t max_sessions = 0;
+  /// Server-side fault injection (--chaos-seed / FT_CHAOS_SEED):
+  /// torn/reset writes in the outbox flush, spurious retryable
+  /// "overloaded" refusals. Disabled unless the seed is nonzero.
+  chaos::ChaosConfig chaos = chaos::config_from_env();
 };
 
 class Server {
@@ -96,7 +119,12 @@ class Server {
     std::size_t cache_hits = 0;
     std::size_t errors_sent = 0;
     std::size_t overloads = 0;
-    std::size_t binary_sessions = 0;  ///< negotiated Framing::kBinary
+    std::size_t binary_sessions = 0;  ///< negotiated a non-JSON framing
+    std::size_t drain_refusals = 0;   ///< frames refused while draining
+    std::size_t deadline_refusals = 0;  ///< request_deadline expiries
+    std::size_t cancelled_jobs = 0;  ///< dead-session work skipped
+    std::size_t loris_kills = 0;     ///< read-progress timeouts
+    std::size_t evictions = 0;       ///< oldest-idle cap evictions
   };
 
   explicit Server(ServerOptions options = {});
@@ -115,6 +143,15 @@ class Server {
   /// Blocks until the event loop exits (idle timeout or stop()), then
   /// tears down the worker pool.
   void wait();
+  /// SIGTERM graceful drain, async-signal-safe (an atomic store plus
+  /// an eventfd write): stop accepting, let inflight work finish
+  /// (bounded by drain_grace_seconds), refuse new eval frames with
+  /// retryable "draining", then bye every session and exit the loop.
+  /// Pair with wait() to block until the drain completes.
+  void request_drain() noexcept;
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] bool running() const noexcept {
     return running_.load(std::memory_order_acquire);
@@ -159,6 +196,7 @@ class Server {
     bool greeted = false;
     bool busy = false;     ///< one worker job in flight (ordering)
     bool closing = false;  ///< flush outbox, then close
+    double last_rx = 0.0;  ///< last byte received (read-progress clock)
     std::string inbox;     ///< raw received bytes, frames extracted
     std::deque<std::string> backlog;  ///< frames parked while busy
     std::deque<OutFrame> outbox;
@@ -174,6 +212,7 @@ class Server {
     Framing framing = Framing::kJson;
     Workspace* workspace = nullptr;
     std::string payload;
+    double enqueued = 0.0;  ///< queue-entry time (request deadline)
   };
 
   /// A worker's answer, applied on the loop thread.
@@ -196,6 +235,11 @@ class Server {
     std::atomic<std::size_t> errors_sent{0};
     std::atomic<std::size_t> overloads{0};
     std::atomic<std::size_t> binary_sessions{0};
+    std::atomic<std::size_t> drain_refusals{0};
+    std::atomic<std::size_t> deadline_refusals{0};
+    std::atomic<std::size_t> cancelled_jobs{0};
+    std::atomic<std::size_t> loris_kills{0};
+    std::atomic<std::size_t> evictions{0};
   };
 
   // --- loop thread ---------------------------------------------------------
@@ -218,6 +262,15 @@ class Server {
   void update_interest(SessionState* session);
   void destroy_session(SessionState* session);
   void wake_loop() noexcept;
+  /// One drain-state step per loop tick (see request_drain); true
+  /// means "exit the loop now".
+  bool drain_step(double now);
+  /// Destroys connections that owe bytes but made no read progress
+  /// within read_progress_timeout_seconds (slow-loris defense).
+  void sweep_stalled_sessions(double now);
+  /// True while `id` still has a live connection; workers check before
+  /// starting (and thus never burn a batch for) a dead session.
+  [[nodiscard]] bool session_live(std::uint64_t id);
 
   // --- worker pool ---------------------------------------------------------
   void worker_loop();
@@ -243,6 +296,12 @@ class Server {
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  // Drain progress, owned by the loop thread:
+  bool drain_initiated_ = false;
+  bool drain_bye_sent_ = false;
+  double drain_deadline_ = 0.0;
+  std::shared_ptr<chaos::ChaosEngine> chaos_;  ///< null when disabled
   std::mutex teardown_mutex_;  ///< makes stop()/wait() idempotent
 
   int epoll_fd_ = -1;
@@ -260,6 +319,11 @@ class Server {
 
   std::mutex completions_mutex_;
   std::deque<Completion> completions_;
+
+  /// Session ids with a live connection; the loop thread maintains it,
+  /// workers read it to skip evaluation work for dead sessions.
+  std::mutex live_mutex_;
+  std::unordered_set<std::uint64_t> live_sessions_;
 
   std::mutex workspaces_mutex_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Workspace>>

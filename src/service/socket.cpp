@@ -9,9 +9,16 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <signal.h>
+
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+
+#include "service/chaos.hpp"
 
 namespace ft::service {
 
@@ -97,7 +104,13 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   return *this;
 }
 
-Socket Socket::connect(const Address& address) {
+Socket Socket::connect(const Address& address,
+                       chaos::ChaosEngine* chaos) {
+  if (chaos != nullptr && chaos->should_fail_connect()) {
+    throw ServiceError("connect", "cannot connect to " +
+                                      address.display() +
+                                      ": injected chaos dial failure");
+  }
   const int fd =
       ::socket(address.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -108,12 +121,20 @@ Socket Socket::connect(const Address& address) {
   int rc;
   if (address.is_unix) {
     const sockaddr_un addr = unix_sockaddr(address.path);
-    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof(addr));
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    // An EINTR'd connect may have completed in the background; the
+    // retry then reports EISCONN, which IS success.
+    if (rc != 0 && errno == EISCONN) rc = 0;
   } else {
     const sockaddr_in addr = tcp_sockaddr(address);
-    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof(addr));
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0 && errno == EISCONN) rc = 0;
     if (rc == 0) disable_nagle(fd);
   }
   if (rc != 0) {
@@ -198,17 +219,53 @@ Listener Listener::bind(const Address& address) {
 
 Socket Listener::accept_within(int timeout_ms) {
   if (fd_ < 0) return Socket();
-  pollfd entry{fd_, POLLIN, 0};
-  const int ready = ::poll(&entry, 1, timeout_ms);
-  if (ready <= 0) return Socket();
-  const int fd = ::accept(fd_, nullptr, nullptr);
-  if (fd >= 0 && !address_.is_unix) disable_nagle(fd);
-  return fd >= 0 ? Socket(fd) : Socket();
+  // Absolute deadline: EINTR (a signal storm, a profiler tick) retries
+  // the poll with the REMAINING budget, never a fresh one. The old
+  // code treated poll()==-1 as a timeout, so one stray signal made an
+  // accept loop drop a pending connection on the floor.
+  using clock = std::chrono::steady_clock;
+  const bool unbounded = timeout_ms < 0;
+  const clock::time_point deadline =
+      clock::now() + std::chrono::milliseconds(unbounded ? 0 : timeout_ms);
+  for (;;) {
+    int budget = -1;
+    if (!unbounded) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - clock::now());
+      budget = static_cast<int>(std::max<long long>(left.count(), 0));
+    }
+    pollfd entry{fd_, POLLIN, 0};
+    const int ready = ::poll(&entry, 1, budget);
+    if (ready == 0) return Socket();  // genuine timeout
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Socket();
+    }
+    int fd;
+    do {
+      fd = ::accept(fd_, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      // ECONNABORTED (peer gave up while queued) and friends: the
+      // listener itself is fine, wait for the next connection.
+      if (errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Socket();
+    }
+    if (!address_.is_unix) disable_nagle(fd);
+    return Socket(fd);
+  }
 }
 
 Socket Listener::accept_nonblocking() {
   if (fd_ < 0) return Socket();
-  const int fd = ::accept(fd_, nullptr, nullptr);
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) return Socket();
   if (!address_.is_unix) disable_nagle(fd);
   return Socket(fd);
@@ -229,6 +286,21 @@ void Listener::close() noexcept {
       ::unlink(address_.path.c_str());
     }
   }
+}
+
+void ignore_sigpipe() noexcept {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction current{};
+    if (::sigaction(SIGPIPE, nullptr, &current) == 0 &&
+        current.sa_handler != SIG_DFL) {
+      return;  // the application chose its own handler; respect it
+    }
+    struct sigaction ignore{};
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    (void)::sigaction(SIGPIPE, &ignore, nullptr);
+  });
 }
 
 }  // namespace ft::service

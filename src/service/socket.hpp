@@ -11,6 +11,10 @@
 
 namespace ft::service {
 
+namespace chaos {
+class ChaosEngine;
+}
+
 /// Service-layer failure with a stable machine-readable code (the same
 /// codes travel in wire error frames: "bad_frame", "overloaded", ...).
 class ServiceError : public std::runtime_error {
@@ -47,7 +51,10 @@ class Socket {
   Socket& operator=(const Socket&) = delete;
 
   /// Connects to a listening service; throws ServiceError ("connect").
-  [[nodiscard]] static Socket connect(const Address& address);
+  /// A non-null chaos engine may fail the dial (same error), which is
+  /// how seeded runs exercise down-endpoint handling.
+  [[nodiscard]] static Socket connect(const Address& address,
+                                      chaos::ChaosEngine* chaos = nullptr);
 
   [[nodiscard]] int fd() const noexcept { return fd_; }
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
@@ -79,7 +86,9 @@ class Listener {
   [[nodiscard]] static Listener bind(const Address& address);
 
   /// Accepts one connection, waiting at most `timeout_ms`; returns an
-  /// invalid Socket on timeout or when the listener was closed.
+  /// invalid Socket on timeout or when the listener was closed. EINTR
+  /// (in the poll or the accept) retries against the SAME absolute
+  /// deadline - a signal storm cannot extend the wait.
   [[nodiscard]] Socket accept_within(int timeout_ms);
 
   /// Accepts without waiting; invalid Socket when nothing is pending.
@@ -98,5 +107,12 @@ class Listener {
   int fd_ = -1;
   Address address_;
 };
+
+/// One-time process-wide SIG_IGN for SIGPIPE. Every service-layer send
+/// already passes MSG_NOSIGNAL; this is the belt-and-braces layer for
+/// anything else that may ever write to a dead peer (called from
+/// Server::start and service::connect). Idempotent and thread-safe;
+/// never overrides a handler the application installed itself.
+void ignore_sigpipe() noexcept;
 
 }  // namespace ft::service

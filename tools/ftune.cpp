@@ -36,6 +36,7 @@
 #include "machine/architecture.hpp"
 #include "programs/benchmarks.hpp"
 #include "service/client.hpp"
+#include "service/fallback.hpp"
 #include "service/fleet.hpp"
 #include "support/cli.hpp"
 #include "support/options.hpp"
@@ -100,9 +101,18 @@ support::OptionSet common_options() {
             "remote per-frame send/recv deadline in seconds (0 = wait "
             "forever)")
       .text("framing", "json",
-            "preferred wire framing for --remote sessions: json or "
-            "binary (negotiated per endpoint; daemons that lack the "
-            "preference fall back to json)")
+            "preferred wire framing for --remote sessions: json, binary "
+            "or binary-crc32 (negotiated per endpoint; daemons that "
+            "lack the preference fall back to json)")
+      .integer("chaos-seed", 0,
+               "seeded transport fault injection on --remote sessions "
+               "(0 = off); equivalent to FT_CHAOS_SEED")
+      .text("chaos", "",
+            "chaos spec `torn-write=P,reset=P,...` (empty = the "
+            "default profile; see FT_CHAOS)")
+      .flag("fallback-local", false,
+            "degrade to in-process evaluation when the remote backend "
+            "is unavailable (bit-identical results)")
       .flag("help", false, "print this help");
   return set;
 }
@@ -174,6 +184,16 @@ service::ClientOptions client_options_from(
     const support::OptionSet::Parsed& args) {
   service::ClientOptions options;
   options.io_timeout_seconds = args.real("io-timeout");
+  if (args.given("chaos-seed") || args.given("chaos")) {
+    try {
+      options.chaos = service::chaos::ChaosConfig::parse(
+          static_cast<std::uint64_t>(args.integer("chaos-seed")),
+          args.text("chaos"));
+    } catch (const std::exception& error) {
+      std::cerr << "ftune: " << error.what() << '\n';
+      std::exit(1);
+    }
+  }
   return options;
 }
 
@@ -189,7 +209,7 @@ std::vector<service::Framing> framings_from(
     service::Framing framing;
     if (!service::framing_from_name(name, &framing)) {
       std::cerr << "ftune: unknown framing '" << name
-                << "' (expected json or binary)\n";
+                << "' (expected json, binary or binary-crc32)\n";
       std::exit(1);
     }
     framings.push_back(framing);
@@ -209,27 +229,49 @@ void attach_remote(core::FuncyTuner& tuner,
                    const core::FuncyTunerOptions& options) {
   const std::vector<std::string> endpoints = remote_endpoints(args);
   if (endpoints.empty()) return;
+  const bool fallback_local = args.flag("fallback-local");
+  const service::WorkspaceSpec workspace{
+      tuner.program().name(), tuner.engine().arch().name,
+      compiler::Personality::kIcc, options};
   const service::ClientOptions client_options = client_options_from(args);
   const std::vector<service::Framing> framings = framings_from(args);
-  if (endpoints.size() == 1) {
-    service::ConnectOptions connect_options;
-    connect_options.workspace = service::WorkspaceSpec{
-        tuner.program().name(), tuner.engine().arch().name,
-        compiler::Personality::kIcc, options};
-    connect_options.framings = framings;
-    connect_options.transport = client_options;
-    tuner.evaluator().set_backend(std::make_shared<service::RemoteBackend>(
-        service::Client::connect(
-            service::Endpoint::parse(endpoints.front()),
-            connect_options)));
-    return;
+  std::shared_ptr<core::EvalBackend> backend;
+  try {
+    if (endpoints.size() == 1) {
+      service::ConnectOptions connect_options;
+      connect_options.workspace = workspace;
+      connect_options.framings = framings;
+      connect_options.transport = client_options;
+      backend = std::make_shared<service::RemoteBackend>(
+          service::Client::connect(
+              service::Endpoint::parse(endpoints.front()),
+              connect_options));
+    } else {
+      service::FleetOptions fleet_options;
+      fleet_options.client = client_options;
+      fleet_options.framings = framings;
+      backend = service::FleetBackend::connect(
+          endpoints, tuner.program().name(), tuner.engine().arch().name,
+          options, compiler::Personality::kIcc, fleet_options);
+    }
+  } catch (const service::ServiceError& error) {
+    // With --fallback-local even a fleet that is entirely unreachable
+    // at connect time degrades to in-process evaluation (null primary)
+    // instead of failing the run. Workspace refusals (bad options,
+    // version skew) still surface: those would be real bugs.
+    if (!fallback_local ||
+        (error.code() != "connect" && error.code() != "io" &&
+         error.code() != "timeout" && error.code() != "fleet")) {
+      throw;
+    }
+    std::cerr << "ftune: remote unavailable (" << error.what()
+              << "); degrading to local evaluation\n";
   }
-  service::FleetOptions fleet_options;
-  fleet_options.client = client_options;
-  fleet_options.framings = framings;
-  tuner.evaluator().set_backend(service::FleetBackend::connect(
-      endpoints, tuner.program().name(), tuner.engine().arch().name,
-      options, compiler::Personality::kIcc, fleet_options));
+  if (fallback_local) {
+    backend = std::make_shared<service::LocalFallbackBackend>(
+        std::move(backend), workspace);
+  }
+  tuner.evaluator().set_backend(std::move(backend));
 }
 
 /// "out.csv" + "cfr" -> "out.cfr.csv" (suffix appended when the path
@@ -604,6 +646,35 @@ int cmd_campaign(int argc, char** argv) {
     fleet_options.framings = framings_from(args);
     options.backend_factory = service::make_fleet_backend_factory(
         endpoints, fleet_options);
+    if (args.flag("fallback-local")) {
+      // Per-cell degradation: a cell whose daemons are all down (or
+      // none of which serve its architecture) runs in-process instead
+      // of failing the grid - same bytes either way.
+      auto fleet_factory = options.backend_factory;
+      options.backend_factory =
+          [fleet_factory](const ir::Program& program,
+                          const machine::Architecture& arch,
+                          const core::FuncyTunerOptions& cell_options)
+          -> std::shared_ptr<core::EvalBackend> {
+        std::shared_ptr<core::EvalBackend> primary;
+        try {
+          primary = fleet_factory(program, arch, cell_options);
+        } catch (const service::ServiceError& error) {
+          if (error.code() != "connect" && error.code() != "io" &&
+              error.code() != "timeout" && error.code() != "fleet") {
+            throw;
+          }
+          std::cerr << "ftune: fleet unavailable for " << program.name()
+                    << "/" << arch.name
+                    << "; degrading to local evaluation\n";
+        }
+        return std::make_shared<service::LocalFallbackBackend>(
+            std::move(primary),
+            service::WorkspaceSpec{program.name(), arch.name,
+                                   compiler::Personality::kIcc,
+                                   cell_options});
+      };
+    }
   }
 
   core::Campaign campaign(programs, architectures, options);

@@ -18,6 +18,8 @@
 // The daemon exits on its own once idle for --idle-timeout seconds
 // (0 = run until killed).
 
+#include <signal.h>
+
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -25,6 +27,33 @@
 #include "service/server.hpp"
 #include "support/options.hpp"
 #include "support/string_utils.hpp"
+
+namespace {
+
+/// The serving daemon, for the SIGTERM handler. Written once, before
+/// signals are installed.
+ft::service::Server* g_server = nullptr;
+
+/// SIGTERM/SIGINT = graceful drain: finish inflight work, refuse new
+/// frames with retryable "draining", bye every session, exit.
+/// request_drain() is async-signal-safe (atomic store + eventfd
+/// write). A second signal while draining force-stops via _exit.
+void drain_handler(int) {
+  if (g_server == nullptr) return;
+  if (g_server->draining()) _exit(1);  // impatient operator
+  g_server->request_drain();
+}
+
+void install_drain_handler() {
+  struct sigaction action{};
+  action.sa_handler = drain_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  (void)::sigaction(SIGTERM, &action, nullptr);
+  (void)::sigaction(SIGINT, &action, nullptr);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ft;
@@ -51,9 +80,27 @@ int main(int argc, char** argv) {
       .text("archs", "",
             "comma-separated architectures this daemon serves "
             "(advertised in welcome; others refused; empty = all)")
-      .text("framing", "json,binary",
+      .text("framing", "json,binary,binary-crc32",
             "comma-separated framings accepted in negotiation (json is "
             "always kept as the compatibility baseline)")
+      .real("drain-grace", 10.0,
+            "seconds inflight work may finish after SIGTERM before the "
+            "daemon force-exits")
+      .real("request-deadline", 0.0,
+            "refuse (retryably) requests that waited longer than this "
+            "in the worker queue (0 = off)")
+      .real("read-progress-timeout", 30.0,
+            "destroy connections owing bytes (no hello / partial "
+            "frame) with no read progress for this long (0 = off)")
+      .integer("max-sessions", 0,
+               "connection cap; at the cap the oldest-idle session is "
+               "evicted for a newcomer (0 = unlimited)")
+      .integer("chaos-seed", 0,
+               "seeded transport fault injection on the serve path "
+               "(0 = off); equivalent to FT_CHAOS_SEED")
+      .text("chaos", "",
+            "chaos spec `torn-write=P,reset=P,overload=P,...` "
+            "(empty = the default profile; see FT_CHAOS)")
       .flag("help", false, "print this help");
 
   support::OptionSet::Parsed parsed;
@@ -97,15 +144,34 @@ int main(int argc, char** argv) {
     service::Framing framing;
     if (!service::framing_from_name(name, &framing)) {
       std::cerr << "ftuned: unknown framing '" << name
-                << "' (expected json or binary)\n";
+                << "' (expected json, binary or binary-crc32)\n";
       return 1;
     }
     server_options.framings.push_back(framing);
+  }
+  server_options.drain_grace_seconds = parsed.real("drain-grace");
+  server_options.request_deadline_seconds =
+      parsed.real("request-deadline");
+  server_options.read_progress_timeout_seconds =
+      parsed.real("read-progress-timeout");
+  server_options.max_sessions =
+      static_cast<std::size_t>(parsed.integer("max-sessions"));
+  if (parsed.given("chaos-seed") || parsed.given("chaos")) {
+    try {
+      server_options.chaos = service::chaos::ChaosConfig::parse(
+          static_cast<std::uint64_t>(parsed.integer("chaos-seed")),
+          parsed.text("chaos"));
+    } catch (const std::exception& error) {
+      std::cerr << "ftuned: " << error.what() << '\n';
+      return 1;
+    }
   }
 
   try {
     service::Server server(server_options);
     server.start();
+    g_server = &server;
+    install_drain_handler();
     std::ostringstream idle;
     if (server_options.idle_timeout_seconds > 0) {
       idle << " (idle timeout " << server_options.idle_timeout_seconds
@@ -114,12 +180,14 @@ int main(int argc, char** argv) {
     std::cout << "ftuned listening on " << server.address().display()
               << idle.str() << std::endl;
     server.wait();
+    g_server = nullptr;
     const service::Server::Stats stats = server.stats();
     std::cout << "ftuned exiting: " << stats.sessions_accepted
               << " sessions, " << stats.frames_served << " frames, "
               << stats.evaluations << " evaluations ("
               << stats.cache_hits << " cache hits, " << stats.overloads
-              << " overload refusals)\n";
+              << " overload refusals, " << stats.drain_refusals
+              << " drain refusals)\n";
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "ftuned: " << error.what() << '\n';
