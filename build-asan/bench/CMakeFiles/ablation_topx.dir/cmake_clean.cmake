@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_topx.dir/ablation_topx.cpp.o"
+  "CMakeFiles/ablation_topx.dir/ablation_topx.cpp.o.d"
+  "ablation_topx"
+  "ablation_topx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_evolution.dir/extension_evolution.cpp.o"
+  "CMakeFiles/extension_evolution.dir/extension_evolution.cpp.o.d"
+  "extension_evolution"
+  "extension_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

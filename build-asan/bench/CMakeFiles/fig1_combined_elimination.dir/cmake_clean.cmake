@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_combined_elimination.dir/fig1_combined_elimination.cpp.o"
+  "CMakeFiles/fig1_combined_elimination.dir/fig1_combined_elimination.cpp.o.d"
+  "fig1_combined_elimination"
+  "fig1_combined_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_combined_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

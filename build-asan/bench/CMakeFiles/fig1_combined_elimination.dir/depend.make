@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_combined_elimination.
+# This may be replaced when dependencies are built.

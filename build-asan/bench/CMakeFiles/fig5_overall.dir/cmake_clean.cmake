@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_overall.dir/fig5_overall.cpp.o"
+  "CMakeFiles/fig5_overall.dir/fig5_overall.cpp.o.d"
+  "fig5_overall"
+  "fig5_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

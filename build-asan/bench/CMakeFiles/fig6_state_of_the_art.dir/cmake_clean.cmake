@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_state_of_the_art.dir/fig6_state_of_the_art.cpp.o"
+  "CMakeFiles/fig6_state_of_the_art.dir/fig6_state_of_the_art.cpp.o.d"
+  "fig6_state_of_the_art"
+  "fig6_state_of_the_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_state_of_the_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

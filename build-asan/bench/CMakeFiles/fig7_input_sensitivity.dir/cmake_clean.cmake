@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_input_sensitivity.dir/fig7_input_sensitivity.cpp.o"
+  "CMakeFiles/fig7_input_sensitivity.dir/fig7_input_sensitivity.cpp.o.d"
+  "fig7_input_sensitivity"
+  "fig7_input_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_input_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

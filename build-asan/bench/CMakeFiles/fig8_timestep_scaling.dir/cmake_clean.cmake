@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_timestep_scaling.dir/fig8_timestep_scaling.cpp.o"
+  "CMakeFiles/fig8_timestep_scaling.dir/fig8_timestep_scaling.cpp.o.d"
+  "fig8_timestep_scaling"
+  "fig8_timestep_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_timestep_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cloverleaf_loops.dir/fig9_cloverleaf_loops.cpp.o"
+  "CMakeFiles/fig9_cloverleaf_loops.dir/fig9_cloverleaf_loops.cpp.o.d"
+  "fig9_cloverleaf_loops"
+  "fig9_cloverleaf_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cloverleaf_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_cloverleaf_loops.
+# This may be replaced when dependencies are built.

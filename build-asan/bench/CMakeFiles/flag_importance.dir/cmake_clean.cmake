@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flag_importance.dir/flag_importance.cpp.o"
+  "CMakeFiles/flag_importance.dir/flag_importance.cpp.o.d"
+  "flag_importance"
+  "flag_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flag_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

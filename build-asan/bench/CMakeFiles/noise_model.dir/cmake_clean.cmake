@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_model.dir/noise_model.cpp.o"
+  "CMakeFiles/noise_model.dir/noise_model.cpp.o.d"
+  "noise_model"
+  "noise_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

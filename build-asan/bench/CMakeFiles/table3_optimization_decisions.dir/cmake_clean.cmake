@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_optimization_decisions.dir/table3_optimization_decisions.cpp.o"
+  "CMakeFiles/table3_optimization_decisions.dir/table3_optimization_decisions.cpp.o.d"
+  "table3_optimization_decisions"
+  "table3_optimization_decisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_optimization_decisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

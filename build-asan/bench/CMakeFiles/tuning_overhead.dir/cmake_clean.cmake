@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_overhead.dir/tuning_overhead.cpp.o"
+  "CMakeFiles/tuning_overhead.dir/tuning_overhead.cpp.o.d"
+  "tuning_overhead"
+  "tuning_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

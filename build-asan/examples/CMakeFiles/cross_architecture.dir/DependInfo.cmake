@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cross_architecture.cpp" "examples/CMakeFiles/cross_architecture.dir/cross_architecture.cpp.o" "gcc" "examples/CMakeFiles/cross_architecture.dir/cross_architecture.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/baselines/CMakeFiles/ft_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/programs/CMakeFiles/ft_programs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/machine/CMakeFiles/ft_machine.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/machine/CMakeFiles/ft_machine_arch.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/compiler/CMakeFiles/ft_compiler.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/flags/CMakeFiles/ft_flags.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ir/CMakeFiles/ft_ir.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/caliper/CMakeFiles/ft_caliper.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/ft_support.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/ft_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

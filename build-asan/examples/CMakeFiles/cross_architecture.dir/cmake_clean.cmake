@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_architecture.dir/cross_architecture.cpp.o"
+  "CMakeFiles/cross_architecture.dir/cross_architecture.cpp.o.d"
+  "cross_architecture"
+  "cross_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

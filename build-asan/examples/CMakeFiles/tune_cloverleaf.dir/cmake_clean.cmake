@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_cloverleaf.dir/tune_cloverleaf.cpp.o"
+  "CMakeFiles/tune_cloverleaf.dir/tune_cloverleaf.cpp.o.d"
+  "tune_cloverleaf"
+  "tune_cloverleaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_cloverleaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

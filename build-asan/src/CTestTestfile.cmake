@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("flags")
+subdirs("ir")
+subdirs("caliper")
+subdirs("telemetry")
+subdirs("compiler")
+subdirs("machine")
+subdirs("programs")
+subdirs("core")
+subdirs("baselines")
+subdirs("service")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_baselines.dir/cobayn.cpp.o"
+  "CMakeFiles/ft_baselines.dir/cobayn.cpp.o.d"
+  "CMakeFiles/ft_baselines.dir/combined_elimination.cpp.o"
+  "CMakeFiles/ft_baselines.dir/combined_elimination.cpp.o.d"
+  "CMakeFiles/ft_baselines.dir/flag_elimination.cpp.o"
+  "CMakeFiles/ft_baselines.dir/flag_elimination.cpp.o.d"
+  "CMakeFiles/ft_baselines.dir/opentuner.cpp.o"
+  "CMakeFiles/ft_baselines.dir/opentuner.cpp.o.d"
+  "CMakeFiles/ft_baselines.dir/pgo_driver.cpp.o"
+  "CMakeFiles/ft_baselines.dir/pgo_driver.cpp.o.d"
+  "libft_baselines.a"
+  "libft_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/caliper/caliper.cpp" "src/caliper/CMakeFiles/ft_caliper.dir/caliper.cpp.o" "gcc" "src/caliper/CMakeFiles/ft_caliper.dir/caliper.cpp.o.d"
+  "/root/repo/src/caliper/clock.cpp" "src/caliper/CMakeFiles/ft_caliper.dir/clock.cpp.o" "gcc" "src/caliper/CMakeFiles/ft_caliper.dir/clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/support/CMakeFiles/ft_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_caliper.dir/caliper.cpp.o"
+  "CMakeFiles/ft_caliper.dir/caliper.cpp.o.d"
+  "CMakeFiles/ft_caliper.dir/clock.cpp.o"
+  "CMakeFiles/ft_caliper.dir/clock.cpp.o.d"
+  "libft_caliper.a"
+  "libft_caliper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_caliper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

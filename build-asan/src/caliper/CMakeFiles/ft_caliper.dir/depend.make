@@ -1,0 +1,2 @@
+# Empty dependencies file for ft_caliper.
+# This may be replaced when dependencies are built.

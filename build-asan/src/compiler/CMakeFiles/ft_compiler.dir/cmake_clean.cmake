@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_compiler.dir/codegen.cpp.o"
+  "CMakeFiles/ft_compiler.dir/codegen.cpp.o.d"
+  "CMakeFiles/ft_compiler.dir/compiler.cpp.o"
+  "CMakeFiles/ft_compiler.dir/compiler.cpp.o.d"
+  "CMakeFiles/ft_compiler.dir/linker.cpp.o"
+  "CMakeFiles/ft_compiler.dir/linker.cpp.o.d"
+  "CMakeFiles/ft_compiler.dir/pipeline.cpp.o"
+  "CMakeFiles/ft_compiler.dir/pipeline.cpp.o.d"
+  "libft_compiler.a"
+  "libft_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

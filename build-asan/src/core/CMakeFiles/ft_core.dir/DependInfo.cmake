@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/ft_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/ft_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/collector.cpp" "src/core/CMakeFiles/ft_core.dir/collector.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/collector.cpp.o.d"
+  "/root/repo/src/core/eval_cache.cpp" "src/core/CMakeFiles/ft_core.dir/eval_cache.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/eval_cache.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/ft_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/evolution.cpp" "src/core/CMakeFiles/ft_core.dir/evolution.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/evolution.cpp.o.d"
+  "/root/repo/src/core/flag_importance.cpp" "src/core/CMakeFiles/ft_core.dir/flag_importance.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/flag_importance.cpp.o.d"
+  "/root/repo/src/core/funcy_tuner.cpp" "src/core/CMakeFiles/ft_core.dir/funcy_tuner.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/funcy_tuner.cpp.o.d"
+  "/root/repo/src/core/outline.cpp" "src/core/CMakeFiles/ft_core.dir/outline.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/outline.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/core/CMakeFiles/ft_core.dir/search.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/search.cpp.o.d"
+  "/root/repo/src/core/search_registry.cpp" "src/core/CMakeFiles/ft_core.dir/search_registry.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/search_registry.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/core/CMakeFiles/ft_core.dir/serialization.cpp.o" "gcc" "src/core/CMakeFiles/ft_core.dir/serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/machine/CMakeFiles/ft_machine.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/compiler/CMakeFiles/ft_compiler.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/flags/CMakeFiles/ft_flags.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ir/CMakeFiles/ft_ir.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/caliper/CMakeFiles/ft_caliper.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/ft_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/ft_support.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/machine/CMakeFiles/ft_machine_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

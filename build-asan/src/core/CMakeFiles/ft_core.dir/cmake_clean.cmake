@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_core.dir/campaign.cpp.o"
+  "CMakeFiles/ft_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/ft_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/ft_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ft_core.dir/collector.cpp.o"
+  "CMakeFiles/ft_core.dir/collector.cpp.o.d"
+  "CMakeFiles/ft_core.dir/eval_cache.cpp.o"
+  "CMakeFiles/ft_core.dir/eval_cache.cpp.o.d"
+  "CMakeFiles/ft_core.dir/evaluator.cpp.o"
+  "CMakeFiles/ft_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/ft_core.dir/evolution.cpp.o"
+  "CMakeFiles/ft_core.dir/evolution.cpp.o.d"
+  "CMakeFiles/ft_core.dir/flag_importance.cpp.o"
+  "CMakeFiles/ft_core.dir/flag_importance.cpp.o.d"
+  "CMakeFiles/ft_core.dir/funcy_tuner.cpp.o"
+  "CMakeFiles/ft_core.dir/funcy_tuner.cpp.o.d"
+  "CMakeFiles/ft_core.dir/outline.cpp.o"
+  "CMakeFiles/ft_core.dir/outline.cpp.o.d"
+  "CMakeFiles/ft_core.dir/search.cpp.o"
+  "CMakeFiles/ft_core.dir/search.cpp.o.d"
+  "CMakeFiles/ft_core.dir/search_registry.cpp.o"
+  "CMakeFiles/ft_core.dir/search_registry.cpp.o.d"
+  "CMakeFiles/ft_core.dir/serialization.cpp.o"
+  "CMakeFiles/ft_core.dir/serialization.cpp.o.d"
+  "libft_core.a"
+  "libft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flags/compilation_vector.cpp" "src/flags/CMakeFiles/ft_flags.dir/compilation_vector.cpp.o" "gcc" "src/flags/CMakeFiles/ft_flags.dir/compilation_vector.cpp.o.d"
+  "/root/repo/src/flags/flag_space.cpp" "src/flags/CMakeFiles/ft_flags.dir/flag_space.cpp.o" "gcc" "src/flags/CMakeFiles/ft_flags.dir/flag_space.cpp.o.d"
+  "/root/repo/src/flags/semantics.cpp" "src/flags/CMakeFiles/ft_flags.dir/semantics.cpp.o" "gcc" "src/flags/CMakeFiles/ft_flags.dir/semantics.cpp.o.d"
+  "/root/repo/src/flags/spaces.cpp" "src/flags/CMakeFiles/ft_flags.dir/spaces.cpp.o" "gcc" "src/flags/CMakeFiles/ft_flags.dir/spaces.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/support/CMakeFiles/ft_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

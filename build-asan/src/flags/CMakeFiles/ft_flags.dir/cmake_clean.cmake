@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_flags.dir/compilation_vector.cpp.o"
+  "CMakeFiles/ft_flags.dir/compilation_vector.cpp.o.d"
+  "CMakeFiles/ft_flags.dir/flag_space.cpp.o"
+  "CMakeFiles/ft_flags.dir/flag_space.cpp.o.d"
+  "CMakeFiles/ft_flags.dir/semantics.cpp.o"
+  "CMakeFiles/ft_flags.dir/semantics.cpp.o.d"
+  "CMakeFiles/ft_flags.dir/spaces.cpp.o"
+  "CMakeFiles/ft_flags.dir/spaces.cpp.o.d"
+  "libft_flags.a"
+  "libft_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_ir.dir/loop_features.cpp.o"
+  "CMakeFiles/ft_ir.dir/loop_features.cpp.o.d"
+  "CMakeFiles/ft_ir.dir/program.cpp.o"
+  "CMakeFiles/ft_ir.dir/program.cpp.o.d"
+  "libft_ir.a"
+  "libft_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libft_ir.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_machine.dir/cost_model.cpp.o"
+  "CMakeFiles/ft_machine.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ft_machine.dir/execution_engine.cpp.o"
+  "CMakeFiles/ft_machine.dir/execution_engine.cpp.o.d"
+  "CMakeFiles/ft_machine.dir/fault_model.cpp.o"
+  "CMakeFiles/ft_machine.dir/fault_model.cpp.o.d"
+  "CMakeFiles/ft_machine.dir/noise.cpp.o"
+  "CMakeFiles/ft_machine.dir/noise.cpp.o.d"
+  "libft_machine.a"
+  "libft_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_machine_arch.dir/architecture.cpp.o"
+  "CMakeFiles/ft_machine_arch.dir/architecture.cpp.o.d"
+  "libft_machine_arch.a"
+  "libft_machine_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_machine_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

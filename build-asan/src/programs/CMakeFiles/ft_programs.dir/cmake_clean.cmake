@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_programs.dir/benchmarks.cpp.o"
+  "CMakeFiles/ft_programs.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/ft_programs.dir/corpus.cpp.o"
+  "CMakeFiles/ft_programs.dir/corpus.cpp.o.d"
+  "libft_programs.a"
+  "libft_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/binary.cpp" "src/service/CMakeFiles/ft_service.dir/binary.cpp.o" "gcc" "src/service/CMakeFiles/ft_service.dir/binary.cpp.o.d"
+  "/root/repo/src/service/chaos.cpp" "src/service/CMakeFiles/ft_service.dir/chaos.cpp.o" "gcc" "src/service/CMakeFiles/ft_service.dir/chaos.cpp.o.d"
+  "/root/repo/src/service/client.cpp" "src/service/CMakeFiles/ft_service.dir/client.cpp.o" "gcc" "src/service/CMakeFiles/ft_service.dir/client.cpp.o.d"
+  "/root/repo/src/service/connect.cpp" "src/service/CMakeFiles/ft_service.dir/connect.cpp.o" "gcc" "src/service/CMakeFiles/ft_service.dir/connect.cpp.o.d"
+  "/root/repo/src/service/fallback.cpp" "src/service/CMakeFiles/ft_service.dir/fallback.cpp.o" "gcc" "src/service/CMakeFiles/ft_service.dir/fallback.cpp.o.d"
+  "/root/repo/src/service/fleet.cpp" "src/service/CMakeFiles/ft_service.dir/fleet.cpp.o" "gcc" "src/service/CMakeFiles/ft_service.dir/fleet.cpp.o.d"
+  "/root/repo/src/service/framing.cpp" "src/service/CMakeFiles/ft_service.dir/framing.cpp.o" "gcc" "src/service/CMakeFiles/ft_service.dir/framing.cpp.o.d"
+  "/root/repo/src/service/protocol.cpp" "src/service/CMakeFiles/ft_service.dir/protocol.cpp.o" "gcc" "src/service/CMakeFiles/ft_service.dir/protocol.cpp.o.d"
+  "/root/repo/src/service/server.cpp" "src/service/CMakeFiles/ft_service.dir/server.cpp.o" "gcc" "src/service/CMakeFiles/ft_service.dir/server.cpp.o.d"
+  "/root/repo/src/service/socket.cpp" "src/service/CMakeFiles/ft_service.dir/socket.cpp.o" "gcc" "src/service/CMakeFiles/ft_service.dir/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/programs/CMakeFiles/ft_programs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/machine/CMakeFiles/ft_machine.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/machine/CMakeFiles/ft_machine_arch.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/compiler/CMakeFiles/ft_compiler.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/flags/CMakeFiles/ft_flags.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ir/CMakeFiles/ft_ir.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/ft_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/ft_support.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/caliper/CMakeFiles/ft_caliper.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

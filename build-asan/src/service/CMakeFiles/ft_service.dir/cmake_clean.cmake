@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_service.dir/binary.cpp.o"
+  "CMakeFiles/ft_service.dir/binary.cpp.o.d"
+  "CMakeFiles/ft_service.dir/chaos.cpp.o"
+  "CMakeFiles/ft_service.dir/chaos.cpp.o.d"
+  "CMakeFiles/ft_service.dir/client.cpp.o"
+  "CMakeFiles/ft_service.dir/client.cpp.o.d"
+  "CMakeFiles/ft_service.dir/connect.cpp.o"
+  "CMakeFiles/ft_service.dir/connect.cpp.o.d"
+  "CMakeFiles/ft_service.dir/fallback.cpp.o"
+  "CMakeFiles/ft_service.dir/fallback.cpp.o.d"
+  "CMakeFiles/ft_service.dir/fleet.cpp.o"
+  "CMakeFiles/ft_service.dir/fleet.cpp.o.d"
+  "CMakeFiles/ft_service.dir/framing.cpp.o"
+  "CMakeFiles/ft_service.dir/framing.cpp.o.d"
+  "CMakeFiles/ft_service.dir/protocol.cpp.o"
+  "CMakeFiles/ft_service.dir/protocol.cpp.o.d"
+  "CMakeFiles/ft_service.dir/server.cpp.o"
+  "CMakeFiles/ft_service.dir/server.cpp.o.d"
+  "CMakeFiles/ft_service.dir/socket.cpp.o"
+  "CMakeFiles/ft_service.dir/socket.cpp.o.d"
+  "libft_service.a"
+  "libft_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

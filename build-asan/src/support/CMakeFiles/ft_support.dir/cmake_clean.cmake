@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_support.dir/cli.cpp.o"
+  "CMakeFiles/ft_support.dir/cli.cpp.o.d"
+  "CMakeFiles/ft_support.dir/json.cpp.o"
+  "CMakeFiles/ft_support.dir/json.cpp.o.d"
+  "CMakeFiles/ft_support.dir/log.cpp.o"
+  "CMakeFiles/ft_support.dir/log.cpp.o.d"
+  "CMakeFiles/ft_support.dir/options.cpp.o"
+  "CMakeFiles/ft_support.dir/options.cpp.o.d"
+  "CMakeFiles/ft_support.dir/parse_number.cpp.o"
+  "CMakeFiles/ft_support.dir/parse_number.cpp.o.d"
+  "CMakeFiles/ft_support.dir/rng.cpp.o"
+  "CMakeFiles/ft_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ft_support.dir/serialization.cpp.o"
+  "CMakeFiles/ft_support.dir/serialization.cpp.o.d"
+  "CMakeFiles/ft_support.dir/stats.cpp.o"
+  "CMakeFiles/ft_support.dir/stats.cpp.o.d"
+  "CMakeFiles/ft_support.dir/string_utils.cpp.o"
+  "CMakeFiles/ft_support.dir/string_utils.cpp.o.d"
+  "CMakeFiles/ft_support.dir/table.cpp.o"
+  "CMakeFiles/ft_support.dir/table.cpp.o.d"
+  "CMakeFiles/ft_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/ft_support.dir/thread_pool.cpp.o.d"
+  "libft_support.a"
+  "libft_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/metrics.cpp" "src/telemetry/CMakeFiles/ft_telemetry.dir/metrics.cpp.o" "gcc" "src/telemetry/CMakeFiles/ft_telemetry.dir/metrics.cpp.o.d"
+  "/root/repo/src/telemetry/sinks.cpp" "src/telemetry/CMakeFiles/ft_telemetry.dir/sinks.cpp.o" "gcc" "src/telemetry/CMakeFiles/ft_telemetry.dir/sinks.cpp.o.d"
+  "/root/repo/src/telemetry/telemetry.cpp" "src/telemetry/CMakeFiles/ft_telemetry.dir/telemetry.cpp.o" "gcc" "src/telemetry/CMakeFiles/ft_telemetry.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/caliper/CMakeFiles/ft_caliper.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/ft_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

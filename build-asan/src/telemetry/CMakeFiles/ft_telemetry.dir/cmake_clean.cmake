@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/ft_telemetry.dir/metrics.cpp.o.d"
+  "CMakeFiles/ft_telemetry.dir/sinks.cpp.o"
+  "CMakeFiles/ft_telemetry.dir/sinks.cpp.o.d"
+  "CMakeFiles/ft_telemetry.dir/telemetry.cpp.o"
+  "CMakeFiles/ft_telemetry.dir/telemetry.cpp.o.d"
+  "libft_telemetry.a"
+  "libft_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caliper_test.dir/caliper_test.cpp.o"
+  "CMakeFiles/caliper_test.dir/caliper_test.cpp.o.d"
+  "caliper_test"
+  "caliper_test.pdb"
+  "caliper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caliper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

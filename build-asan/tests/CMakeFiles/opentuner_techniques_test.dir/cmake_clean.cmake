@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opentuner_techniques_test.dir/opentuner_techniques_test.cpp.o"
+  "CMakeFiles/opentuner_techniques_test.dir/opentuner_techniques_test.cpp.o.d"
+  "opentuner_techniques_test"
+  "opentuner_techniques_test.pdb"
+  "opentuner_techniques_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opentuner_techniques_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_flags_test.dir/pipeline_flags_test.cpp.o"
+  "CMakeFiles/pipeline_flags_test.dir/pipeline_flags_test.cpp.o.d"
+  "pipeline_flags_test"
+  "pipeline_flags_test.pdb"
+  "pipeline_flags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_registry_test.dir/search_registry_test.cpp.o"
+  "CMakeFiles/search_registry_test.dir/search_registry_test.cpp.o.d"
+  "search_registry_test"
+  "search_registry_test.pdb"
+  "search_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

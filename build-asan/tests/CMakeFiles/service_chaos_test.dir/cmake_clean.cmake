@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_chaos_test.dir/service_chaos_test.cpp.o"
+  "CMakeFiles/service_chaos_test.dir/service_chaos_test.cpp.o.d"
+  "service_chaos_test"
+  "service_chaos_test.pdb"
+  "service_chaos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/support_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/flags_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/ir_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/caliper_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/compiler_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/linker_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/machine_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/programs_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/properties_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/opentuner_techniques_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/pipeline_flags_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/search_registry_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/resilience_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/eval_cache_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/service_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/service_chaos_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/golden_test[1]_include.cmake")

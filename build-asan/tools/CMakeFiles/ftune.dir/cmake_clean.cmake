@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftune.dir/ftune.cpp.o"
+  "CMakeFiles/ftune.dir/ftune.cpp.o.d"
+  "ftune"
+  "ftune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

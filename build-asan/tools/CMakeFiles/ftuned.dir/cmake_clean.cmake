@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftuned.dir/ftuned.cpp.o"
+  "CMakeFiles/ftuned.dir/ftuned.cpp.o.d"
+  "ftuned"
+  "ftuned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftuned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
