@@ -5,6 +5,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/eval_cache.hpp"
+#include "core/persistent_cache.hpp"
 #include "support/log.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
@@ -90,11 +91,17 @@ void Campaign::run() {
   // program/input/arch context hash and each cell salts with its own
   // options fingerprint, so cross-cell entries can never alias.
   std::shared_ptr<EvalCache> cache;
-  if (options_.tuner.eval_cache) {
+  if (options_.tuner.eval_cache || !options_.tuner.eval_cache_dir.empty()) {
     cache = std::make_shared<EvalCache>(
         options_.tuner.eval_cache_entries != 0
             ? options_.tuner.eval_cache_entries
             : EvalCache::kDefaultMaxEntries);
+    if (!options_.tuner.eval_cache_dir.empty()) {
+      cache->attach_disk(std::make_shared<PersistentCache>(
+          PersistentCache::Options{
+              .dir = options_.tuner.eval_cache_dir,
+              .max_bytes = options_.tuner.eval_cache_disk_bytes}));
+    }
   }
 
   std::mutex progress_mutex;
@@ -106,8 +113,10 @@ void Campaign::run() {
     const std::size_t p = c % programs_.size();
     FuncyTunerOptions tuner_options = options_.tuner;
     if (options_.salt_seed_per_arch) tuner_options.seed += a;
-    // The shared cache replaces the per-tuner one the flag would build.
+    // The shared cache (and its shared disk tier) replaces the
+    // per-tuner one the flags would build.
     tuner_options.eval_cache = false;
+    tuner_options.eval_cache_dir.clear();
     const ir::Program& program = programs_[p];
     telemetry::Span cell_span =
         campaign_span

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/persistent_cache.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace ft::core {
@@ -78,11 +79,42 @@ bool EvalCache::lookup(const Key& key, EvalOutcome* out,
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   count_metric("cache.misses");
+
+  // Second tier: a disk hit is promoted into the memory tier
+  // (memory-only - the entry is already on disk) so the hot key stops
+  // paying file I/O.
+  if (disk_ != nullptr) {
+    EvalOutcome from_disk;
+    double rerun = 0.0;
+    if (disk_->lookup(key, &from_disk, &rerun)) {
+      insert_memory(key, from_disk, rerun);
+      *out = std::move(from_disk);
+      if (rerun_seconds != nullptr) *rerun_seconds = rerun;
+      return true;
+    }
+  }
   return false;
+}
+
+void EvalCache::attach_disk(std::shared_ptr<PersistentCache> disk) {
+  disk_ = std::move(disk);
 }
 
 void EvalCache::insert(const Key& key, const EvalOutcome& outcome,
                        double rerun_seconds) {
+  const bool fresh = insert_memory(key, outcome, rerun_seconds);
+  // Write-through happens outside the shard mutex; PersistentCache
+  // does its own dedupe (an on-disk entry for this key is
+  // byte-identical by the determinism contract).
+  if (fresh && disk_ != nullptr) {
+    EvalOutcome stripped = outcome;
+    stripped.result.caliper_report.clear();
+    disk_->insert(key, stripped, rerun_seconds);
+  }
+}
+
+bool EvalCache::insert_memory(const Key& key, const EvalOutcome& outcome,
+                              double rerun_seconds) {
   const std::uint64_t fingerprint = key.fingerprint(hash_bits_);
   Shard& shard = shard_for(fingerprint);
   std::lock_guard lock(shard.mutex);
@@ -96,7 +128,7 @@ void EvalCache::insert(const Key& key, const EvalOutcome& outcome,
         // the deterministic stack guarantees equal payloads, so just
         // refresh recency.
         shard.lru.splice(shard.lru.begin(), shard.lru, it);
-        return;
+        return false;
       }
     }
   }
@@ -128,6 +160,7 @@ void EvalCache::insert(const Key& key, const EvalOutcome& outcome,
         .gauge("cache.entries", /*deterministic=*/false)
         .set(static_cast<double>(entries_.load(std::memory_order_relaxed)));
   }
+  return true;
 }
 
 void EvalCache::evict_locked(Shard& shard) {

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +32,8 @@
 #include "core/evaluator.hpp"
 
 namespace ft::core {
+
+class PersistentCache;
 
 /// Cumulative cache counters (also mirrored into telemetry under
 /// cache.*). hits/misses depend on eviction order and in-batch racing
@@ -102,6 +105,16 @@ class EvalCache {
   void insert(const Key& key, const EvalOutcome& outcome,
               double rerun_seconds);
 
+  /// Attaches a disk-backed second tier (core/persistent_cache.hpp).
+  /// Memory misses fall through to disk (a disk hit is promoted into
+  /// the memory tier, memory-only), and inserts write through. The
+  /// tier may be shared by several EvalCache instances - campaign
+  /// grids and ftuned workspaces attach one PersistentCache each.
+  void attach_disk(std::shared_ptr<PersistentCache> disk);
+  [[nodiscard]] PersistentCache* disk() const noexcept {
+    return disk_.get();
+  }
+
   [[nodiscard]] EvalCacheStats stats() const;
   [[nodiscard]] std::size_t max_entries() const noexcept {
     return max_entries_;
@@ -128,12 +141,17 @@ class EvalCache {
     return shards_[(fingerprint >> 4) & shard_mask_];
   }
   void evict_locked(Shard& shard);
+  /// Memory-tier insert; false when the key was already resident (a
+  /// duplicate insert only refreshes recency).
+  bool insert_memory(const Key& key, const EvalOutcome& outcome,
+                     double rerun_seconds);
 
   std::size_t max_entries_;
   std::size_t per_shard_capacity_;
   std::uint64_t shard_mask_;
   unsigned hash_bits_;
   std::vector<Shard> shards_;
+  std::shared_ptr<PersistentCache> disk_;
 
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};

@@ -226,13 +226,17 @@ bool Evaluator::pre_evaluate(const EvalRequest& request, EvalResponse* out,
   }
 
   pending->key = assignment_key(request.assignment);
-  const EvalCache::Key cache_key{pending->key, options.rep_base, cache_salt_,
-                                 options.repetitions, options.instrumented};
   // Quarantined assignments bypass the cache: a cache-off run would
   // quarantine-skip them (charging nothing), and replaying the cached
   // pre-quarantine outcome instead would break the charged + saved ==
   // cache-off invariant. plan_attempts produces the identical skip.
+  // The key (and its fingerprint hash) is built only when a cache
+  // tier exists: with both tiers off the resilient path must spend
+  // nothing on cache bookkeeping and emit no cache.* telemetry.
   if (cache_ && !is_quarantined(request.assignment)) {
+    const EvalCache::Key cache_key{pending->key, options.rep_base,
+                                   cache_salt_, options.repetitions,
+                                   options.instrumented};
     double saved = 0.0;
     if (cache_->lookup(cache_key, &out->outcome, &saved)) {
       if (!out->outcome.ok()) {
@@ -267,7 +271,9 @@ bool Evaluator::pre_evaluate(const EvalRequest& request, EvalResponse* out,
     }
     count_metric("journal.replayed");
     if (cache_ && out->outcome.error.kind != EvalFault::kQuarantined) {
-      cache_->insert(cache_key, out->outcome, std::max(rerun_cost, 0.0));
+      cache_->insert({pending->key, options.rep_base, cache_salt_,
+                      options.repetitions, options.instrumented},
+                     out->outcome, std::max(rerun_cost, 0.0));
     }
     out->served_by = EvalServedBy::kJournalReplay;
     return true;
@@ -287,7 +293,9 @@ bool Evaluator::pre_evaluate(const EvalRequest& request, EvalResponse* out,
     count_metric("journal.appended");
   }
   if (cache_ && out->outcome.error.kind != EvalFault::kQuarantined) {
-    cache_->insert(cache_key, out->outcome, pending->rerun_cost);
+    cache_->insert({pending->key, options.rep_base, cache_salt_,
+                    options.repetitions, options.instrumented},
+                   out->outcome, pending->rerun_cost);
   }
   return true;
 }
@@ -384,7 +392,7 @@ void Evaluator::plan_attempts(const compiler::ModuleAssignment& assignment,
   }
 }
 
-void Evaluator::post_evaluate(const EvalRequest& request, PendingRun* pending,
+void Evaluator::post_evaluate(PendingRun* pending,
                               const EvalBackend::RawResult& raw,
                               EvalResponse* out) {
   const machine::RunOptions& options = pending->options;
@@ -434,7 +442,7 @@ EvalResponse Evaluator::evaluate_one(const EvalRequest& request) {
   if (pre_evaluate(request, &response, &pending)) return response;
   const EvalBackend::RawResult raw =
       raw_run(request.assignment, pending.options);
-  post_evaluate(request, &pending, raw, &response);
+  post_evaluate(&pending, raw, &response);
   return response;
 }
 
@@ -502,7 +510,7 @@ std::vector<EvalResponse> Evaluator::evaluate_batch(
           backend_->run_many(raw_requests);
       for (std::size_t j = 0; j < to_run.size(); ++j) {
         const std::size_t i = to_run[j];
-        post_evaluate(requests[i], &pendings[i], raws[j], &responses[i]);
+        post_evaluate(&pendings[i], raws[j], &responses[i]);
       }
     }
   } else {

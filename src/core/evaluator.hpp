@@ -58,6 +58,8 @@ inline constexpr std::uint64_t kCobaynTraining = 6ull << 16;///< Cobayn training
 inline constexpr std::uint64_t kOpenTuner = 7ull << 16;     ///< OpenTuner baseline
 inline constexpr std::uint64_t kCombinedElimination = 8ull << 16;  ///< CE
 inline constexpr std::uint64_t kFlagElimination = 9ull << 16;      ///< FE
+inline constexpr std::uint64_t kRetune = 10ull << 16;       ///< online re-tune
+inline constexpr std::uint64_t kDriftMonitor = 11ull << 16; ///< drift probes
 inline constexpr std::uint64_t kFinal = 1ull << 20;         ///< final_seconds
 inline constexpr std::uint64_t kCrossInput = 1ull << 21;    ///< other inputs
 }  // namespace rep_streams
@@ -437,8 +439,8 @@ class Evaluator {
                                   EvalResponse* out, PendingRun* pending);
   /// Settles a pending evaluation with its raw measurement: overhead
   /// accounting, budget check, journal record, cache insert.
-  void post_evaluate(const EvalRequest& request, PendingRun* pending,
-                     const EvalBackend::RawResult& raw, EvalResponse* out);
+  void post_evaluate(PendingRun* pending, const EvalBackend::RawResult& raw,
+                     EvalResponse* out);
   /// pre_evaluate → raw_run → post_evaluate for one request.
   [[nodiscard]] EvalResponse evaluate_one(const EvalRequest& request);
 

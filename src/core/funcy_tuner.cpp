@@ -2,6 +2,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/eval_cache.hpp"
+#include "core/persistent_cache.hpp"
 #include "support/rng.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -27,10 +28,17 @@ FuncyTuner::FuncyTuner(ir::Program program, machine::Architecture arch,
     engine_->set_fault_model(machine::FaultModel(options_.faults));
   }
   evaluator_->set_retry_policy(options_.retry);
-  if (options_.eval_cache) {
-    set_eval_cache(std::make_shared<EvalCache>(
+  if (options_.eval_cache || !options_.eval_cache_dir.empty()) {
+    auto cache = std::make_shared<EvalCache>(
         options_.eval_cache_entries != 0 ? options_.eval_cache_entries
-                                         : EvalCache::kDefaultMaxEntries));
+                                         : EvalCache::kDefaultMaxEntries);
+    if (!options_.eval_cache_dir.empty()) {
+      cache->attach_disk(std::make_shared<PersistentCache>(
+          PersistentCache::Options{.dir = options_.eval_cache_dir,
+                                   .max_bytes =
+                                       options_.eval_cache_disk_bytes}));
+    }
+    set_eval_cache(std::move(cache));
   }
 }
 

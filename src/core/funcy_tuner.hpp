@@ -45,6 +45,15 @@ struct FuncyTunerOptions {
   bool eval_cache = false;
   /// LRU bound for the cache; 0 = EvalCache::kDefaultMaxEntries.
   std::size_t eval_cache_entries = 0;
+  /// Directory for the disk-backed second cache tier, shared across
+  /// processes (core/persistent_cache.hpp). Empty = memory tier only.
+  /// Setting a dir implies a memory tier even when eval_cache is
+  /// false. Excluded from options_fingerprint: where entries live
+  /// never changes what they contain.
+  std::string eval_cache_dir;
+  /// Size budget for the disk tier in bytes;
+  /// 0 = PersistentCache::kDefaultMaxBytes.
+  std::size_t eval_cache_disk_bytes = 0;
 };
 
 class FuncyTuner {

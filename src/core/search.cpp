@@ -308,4 +308,86 @@ TuningResult cfr_search(Evaluator& evaluator, const Outline& outline,
   return result;
 }
 
+TuningResult retune_search(Evaluator& evaluator, const Outline& outline,
+                           const Collection& collection,
+                           const compiler::ModuleAssignment& seed_assignment,
+                           const RetuneOptions& options,
+                           double baseline_seconds) {
+  TuningResult result;
+  result.algorithm = "Retune";
+  telemetry::Span span = telemetry::tracer().begin("search:Retune");
+  if (span) {
+    span.attr("iterations", static_cast<std::uint64_t>(options.iterations))
+        .attr("top_x", static_cast<std::uint64_t>(options.top_x))
+        .attr("seed", options.seed);
+  }
+
+  // Same pruning as CFR: the collection's top-X spaces stay a good
+  // prior under drift (the modules did not change, the input did).
+  const std::vector<std::vector<std::size_t>> pruned =
+      prune_top_x(collection, options.top_x);
+  const std::size_t module_count = outline.module_count();
+
+  // Decompose the incumbent into the outlined view so mutations work
+  // per module; make_assignment below re-expands cold loops from the
+  // rest CV, exactly how the incumbent was originally assembled.
+  std::vector<flags::CompilationVector> best_hot;
+  best_hot.reserve(outline.hot.size());
+  for (const std::size_t loop : outline.hot) {
+    best_hot.push_back(seed_assignment.loop_cvs[loop]);
+  }
+  flags::CompilationVector best_rest = seed_assignment.nonloop_cv;
+
+  support::Rng rng(options.seed);
+  std::vector<double> seconds;
+  seconds.reserve(options.iterations);
+  double best_seconds = std::numeric_limits<double>::infinity();
+  std::size_t since_improvement = 0;
+
+  for (std::size_t k = 0; k < options.iterations; ++k) {
+    std::vector<flags::CompilationVector> hot = best_hot;
+    flags::CompilationVector rest = best_rest;
+    if (k > 0) {
+      // Redraw one or two modules from their pruned spaces - small
+      // steps around the incumbent, not a from-scratch re-sample.
+      const std::size_t mutations = 1 + rng.next_below(2);
+      for (std::size_t m = 0; m < mutations; ++m) {
+        const std::size_t module = rng.next_below(module_count);
+        const auto& candidates = pruned[module];
+        const flags::CompilationVector& cv =
+            collection.cvs[candidates[rng.next_below(candidates.size())]];
+        if (module + 1 == module_count) {
+          rest = cv;
+        } else {
+          hot[module] = cv;
+        }
+      }
+    }
+    EvalRequest request;
+    request.assignment = outline.make_assignment(hot, rest);
+    request.rep_base = rep_streams::kRetune;
+    EvalTrace trace;
+    trace.leaf_spans = true;  // sequential: per-eval spans are safe
+    trace.label = "retune/eval";
+    const double s = evaluator.evaluate(request, trace).seconds();
+    seconds.push_back(s);
+    if (s < best_seconds) {
+      best_seconds = s;
+      best_hot = std::move(hot);
+      best_rest = rest;
+      since_improvement = 0;
+    } else if (options.patience != 0 &&
+               ++since_improvement >= options.patience) {
+      break;
+    }
+  }
+
+  finish_from_history(result, seconds);
+  result.best_assignment =
+      any_valid(seconds) ? outline.make_assignment(best_hot, best_rest)
+                         : seed_assignment;
+  measure_final(result, evaluator, baseline_seconds);
+  return result;
+}
+
 }  // namespace ft::core

@@ -87,4 +87,23 @@ struct CfrOptions {
 [[nodiscard]] std::vector<std::vector<std::size_t>> prune_top_x(
     const Collection& collection, std::size_t top_x);
 
+struct RetuneOptions {
+  std::size_t iterations = 60;  ///< evaluations (the seed costs one)
+  std::size_t top_x = 10;       ///< pruned candidate space per module
+  std::uint64_t seed = 42;
+  std::size_t patience = 0;     ///< early stop; 0 = fixed budget
+};
+
+/// Incremental re-tuning (the online drift response): hill-climbs from
+/// `seed_assignment` by re-drawing one or two modules per step from the
+/// collection's pruned top-X spaces, evaluating on `evaluator`'s input
+/// (typically a drifted one, not the tuning input). The seed is
+/// evaluated first, so the result can never score worse than the
+/// incumbent on the search metric.
+[[nodiscard]] TuningResult retune_search(
+    Evaluator& evaluator, const Outline& outline,
+    const Collection& collection,
+    const compiler::ModuleAssignment& seed_assignment,
+    const RetuneOptions& options, double baseline_seconds);
+
 }  // namespace ft::core

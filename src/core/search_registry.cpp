@@ -63,34 +63,61 @@ class CfrAlgorithm final : public SearchAlgorithm {
   }
 };
 
+class RetuneAlgorithm final : public SearchAlgorithm {
+ public:
+  std::string name() const override { return "retune"; }
+  std::string display_name() const override { return "Retune"; }
+  TuningResult run(SearchContext& context) const override {
+    const FuncyTunerOptions& options = *context.options;
+    RetuneOptions retune_options;
+    retune_options.top_x = options.top_x;
+    retune_options.iterations = options.samples;
+    retune_options.seed = support::Rng(options.seed).fork("retune").next();
+    retune_options.patience = options.patience;
+    // Without an incumbent the retune degenerates to hill-climbing
+    // from the O3 default - still valid, just slower to converge.
+    const compiler::ModuleAssignment seed =
+        context.seed_assignment != nullptr
+            ? *context.seed_assignment
+            : compiler::ModuleAssignment::uniform(
+                  context.evaluator->engine().compiler().space().default_cv(),
+                  context.evaluator->engine().program().loops().size());
+    return retune_search(*context.evaluator, context.outline(),
+                         context.collection(), seed, retune_options,
+                         context.baseline_seconds());
+  }
+};
+
 }  // namespace
 
-void SearchRegistry::add(const std::string& name, Factory factory) {
-  for (auto& [key, existing] : entries_) {
-    if (key == name) {
-      existing = std::move(factory);
+void SearchRegistry::add(const std::string& name, Factory factory,
+                         bool listed) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.factory = std::move(factory);
+      entry.listed = listed;
       return;
     }
   }
-  entries_.emplace_back(name, std::move(factory));
+  entries_.push_back({name, std::move(factory), listed});
 }
 
 bool SearchRegistry::contains(const std::string& name) const {
-  for (const auto& [key, factory] : entries_) {
-    if (key == name) return true;
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return true;
   }
   return false;
 }
 
 std::unique_ptr<SearchAlgorithm> SearchRegistry::create(
     const std::string& name) const {
-  for (const auto& [key, factory] : entries_) {
-    if (key == name) return factory();
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return entry.factory();
   }
   std::string known;
-  for (const auto& [key, factory] : entries_) {
+  for (const Entry& entry : entries_) {
     if (!known.empty()) known += ", ";
-    known += key;
+    known += entry.name;
   }
   throw std::invalid_argument("unknown search algorithm '" + name +
                               "' (registered: " + known + ")");
@@ -99,7 +126,9 @@ std::unique_ptr<SearchAlgorithm> SearchRegistry::create(
 std::vector<std::string> SearchRegistry::names() const {
   std::vector<std::string> keys;
   keys.reserve(entries_.size());
-  for (const auto& [key, factory] : entries_) keys.push_back(key);
+  for (const Entry& entry : entries_) {
+    if (entry.listed) keys.push_back(entry.name);
+  }
   return keys;
 }
 
@@ -110,6 +139,8 @@ SearchRegistry& SearchRegistry::global() {
     r.add("fr", [] { return std::make_unique<FrAlgorithm>(); });
     r.add("greedy", [] { return std::make_unique<GreedyAlgorithm>(); });
     r.add("cfr", [] { return std::make_unique<CfrAlgorithm>(); });
+    r.add("retune", [] { return std::make_unique<RetuneAlgorithm>(); },
+          /*listed=*/false);
     return r;
   }();
   return registry;

@@ -31,6 +31,10 @@ struct SearchContext {
   std::function<const Outline&()> outline;
   std::function<const Collection&()> collection;
   std::function<double()> baseline_seconds;
+  /// Incumbent assignment an incremental search starts from (the
+  /// "retune" algorithm re-tunes around it instead of searching from
+  /// scratch). Null for the from-scratch algorithms, which ignore it.
+  const compiler::ModuleAssignment* seed_assignment = nullptr;
 };
 
 /// One search algorithm, resolvable by registry key.
@@ -52,22 +56,32 @@ class SearchRegistry {
  public:
   using Factory = std::function<std::unique_ptr<SearchAlgorithm>()>;
 
-  /// Registers (or replaces, keeping its position) an algorithm.
-  void add(const std::string& name, Factory factory);
+  /// Registers (or replaces, keeping its position and visibility) an
+  /// algorithm. `listed = false` registers a key create() resolves but
+  /// names() omits - for algorithms that only make sense in a special
+  /// harness (the online "retune" needs a seed assignment, so
+  /// `--algorithm all` and campaign grids must not iterate into it).
+  void add(const std::string& name, Factory factory, bool listed = true);
   [[nodiscard]] bool contains(const std::string& name) const;
-  /// Instantiates by key; throws std::invalid_argument for unknown
-  /// names (message lists the registered keys).
+  /// Instantiates by key (listed or not); throws std::invalid_argument
+  /// for unknown names (message lists the registered keys).
   [[nodiscard]] std::unique_ptr<SearchAlgorithm> create(
       const std::string& name) const;
-  /// Keys in registration order.
+  /// Listed keys in registration order (what `--algorithm all` runs).
   [[nodiscard]] std::vector<std::string> names() const;
 
   /// The process-wide registry, pre-populated with the paper's four
-  /// algorithms (random, fr, greedy, cfr).
+  /// algorithms (random, fr, greedy, cfr) plus the unlisted online
+  /// "retune".
   [[nodiscard]] static SearchRegistry& global();
 
  private:
-  std::vector<std::pair<std::string, Factory>> entries_;
+  struct Entry {
+    std::string name;
+    Factory factory;
+    bool listed = true;
+  };
+  std::vector<Entry> entries_;
 };
 
 }  // namespace ft::core

@@ -207,29 +207,6 @@ bool framing_from_name(std::string_view name, Framing* out) {
   return false;
 }
 
-std::uint32_t crc32(std::string_view bytes) noexcept {
-  // Standard reflected CRC-32 (polynomial 0xEDB88320), the same
-  // checksum zlib and Ethernet use: any single-byte corruption and any
-  // burst up to 32 bits is guaranteed detected.
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> entries{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t value = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        value = (value >> 1) ^ ((value & 1u) ? 0xEDB88320u : 0u);
-      }
-      entries[i] = value;
-    }
-    return entries;
-  }();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (const char byte : bytes) {
-    crc = (crc >> 8) ^
-          table[(crc ^ static_cast<unsigned char>(byte)) & 0xFFu];
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
 Framing negotiate_framing(const std::vector<Framing>& client_order,
                           const std::vector<Framing>& server_supported) {
   for (const Framing preference : client_order) {

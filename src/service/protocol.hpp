@@ -39,6 +39,7 @@
 #include "core/evaluator.hpp"
 #include "core/funcy_tuner.hpp"
 #include "service/framing.hpp"
+#include "support/crc32.hpp"
 #include "support/json.hpp"
 
 namespace ft::service {
@@ -60,9 +61,13 @@ enum class Framing : std::uint8_t {
   kBinaryCrc = 2,
 };
 
-/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes`. Table-driven;
-/// used by the binary-crc32 framing and its tests.
-[[nodiscard]] std::uint32_t crc32(std::string_view bytes) noexcept;
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes`; used by the
+/// binary-crc32 framing and its tests. The implementation lives in
+/// support/crc32 so the persistent eval-cache's on-disk entries share
+/// the exact codec without depending on the service layer.
+[[nodiscard]] inline std::uint32_t crc32(std::string_view bytes) noexcept {
+  return support::crc32(bytes);
+}
 
 [[nodiscard]] const char* framing_name(Framing framing);
 /// False for names this build does not know. Unknown names are how

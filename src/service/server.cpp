@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/persistent_cache.hpp"
 #include "machine/architecture.hpp"
 #include "programs/benchmarks.hpp"
 #include "support/json.hpp"
@@ -99,6 +100,15 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
   // daemon should die at startup, not refuse every client.
   for (std::string& arch : options_.archs) {
     arch = machine::architecture_by_name(arch).name;
+  }
+  // The disk tier is built at startup (it throws on an unusable
+  // directory - a misconfigured daemon should die here, not refuse
+  // every client) and shared by every workspace.
+  if (!options_.cache_dir.empty()) {
+    disk_cache_ = std::make_shared<core::PersistentCache>(
+        core::PersistentCache::Options{
+            .dir = options_.cache_dir,
+            .max_bytes = options_.cache_disk_bytes});
   }
   // JSON is the negotiation carrier and the compatibility baseline:
   // a daemon may refuse to *prefer* it, never to speak it.
@@ -1022,9 +1032,11 @@ Server::Workspace* Server::workspace_for(const HelloFrame& hello) {
       machine::architecture_by_name(hello.arch), options,
       hello.personality == "gcc" ? compiler::Personality::kGcc
                                  : compiler::Personality::kIcc);
-  if (options_.cache_entries > 0) {
-    workspace->cache =
-        std::make_unique<core::EvalCache>(options_.cache_entries);
+  if (options_.cache_entries > 0 || disk_cache_ != nullptr) {
+    workspace->cache = std::make_unique<core::EvalCache>(
+        options_.cache_entries > 0 ? options_.cache_entries
+                                   : core::EvalCache::kDefaultMaxEntries);
+    if (disk_cache_ != nullptr) workspace->cache->attach_disk(disk_cache_);
   }
   workspace->salt = key;
   Workspace* raw = workspace.get();

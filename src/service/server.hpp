@@ -73,6 +73,12 @@ struct ServerOptions {
   /// Purely a cost optimization: replayed results are bit-identical
   /// (the reason an EvalCache may memoize at all).
   std::size_t cache_entries = 0;
+  /// Directory for the persistent disk cache tier shared with other
+  /// ftuned/ftune processes (core/persistent_cache.hpp). Non-empty
+  /// implies a memory tier per workspace even when cache_entries is 0.
+  std::string cache_dir;
+  /// Size budget for cache_dir in bytes; 0 = PersistentCache default.
+  std::size_t cache_disk_bytes = 0;
   /// Architectures this daemon serves (empty = all known). A hello for
   /// an unserved arch is refused with the fatal code
   /// "unsupported_architecture"; the served set is advertised in the
@@ -328,6 +334,9 @@ class Server {
   std::mutex workspaces_mutex_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Workspace>>
       workspaces_;
+  /// One disk tier for every workspace (options_.cache_dir): workspace
+  /// salts keep their entries disjoint inside the shared directory.
+  std::shared_ptr<core::PersistentCache> disk_cache_;
 
   std::atomic<std::size_t> inflight_{0};
   /// Monotonic activity clock for the idle timeout (seconds).

@@ -1,0 +1,29 @@
+#include "support/crc32.hpp"
+
+#include <array>
+
+namespace ft::support {
+
+std::uint32_t crc32(std::string_view bytes) noexcept {
+  // Standard reflected CRC-32 (polynomial 0xEDB88320), the same
+  // checksum zlib and Ethernet use.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> entries{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t value = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        value = (value >> 1) ^ ((value & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = value;
+    }
+    return entries;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char byte : bytes) {
+    crc = (crc >> 8) ^
+          table[(crc ^ static_cast<unsigned char>(byte)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ft::support

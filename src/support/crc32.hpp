@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, the zlib polynomial 0xEDB88320): the integrity
+// trailer shared by the service layer's binary-crc32 wire framing and
+// the persistent eval-cache's on-disk entries. Table-driven and
+// dependency-free so both ft_support consumers can link it without
+// dragging in the service layer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ft::support {
+
+/// CRC-32 over `bytes`. Any single-byte corruption and any burst up to
+/// 32 bits is guaranteed detected.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes) noexcept;
+
+}  // namespace ft::support

@@ -60,4 +60,33 @@ bool parse_uint64(std::string_view text, std::uint64_t* out) {
          !text.empty();
 }
 
+bool parse_byte_size(std::string_view text, std::uint64_t* out) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr == text.data()) return false;
+  std::string_view rest = text.substr(
+      static_cast<std::size_t>(ptr - text.data()));
+  unsigned shift = 0;
+  if (!rest.empty()) {
+    switch (rest.front()) {
+      case 'k': case 'K': shift = 10; break;
+      case 'm': case 'M': shift = 20; break;
+      case 'g': case 'G': shift = 30; break;
+      case 't': case 'T': shift = 40; break;
+      default: return false;
+    }
+    rest.remove_prefix(1);
+    // Accept "64M", "64MB" and "64MiB" spellings alike.
+    if (rest == "i" || rest == "I") return false;
+    if (rest.size() == 2 && (rest[0] == 'i' || rest[0] == 'I')) {
+      rest.remove_prefix(1);
+    }
+    if (!rest.empty() && rest != "b" && rest != "B") return false;
+  }
+  if (shift != 0 && value > (std::uint64_t{~0ULL} >> shift)) return false;
+  *out = value << shift;
+  return true;
+}
+
 }  // namespace ft::support

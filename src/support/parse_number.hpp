@@ -29,4 +29,10 @@ namespace ft::support {
 [[nodiscard]] bool parse_int64(std::string_view text, std::int64_t* out);
 [[nodiscard]] bool parse_uint64(std::string_view text, std::uint64_t* out);
 
+/// Byte sizes for CLI flags: a base-10 integer with an optional
+/// K/M/G/T suffix (binary multiples, case-insensitive, optional
+/// trailing B/iB as in "64MiB"). Rejects overflow.
+[[nodiscard]] bool parse_byte_size(std::string_view text,
+                                   std::uint64_t* out);
+
 }  // namespace ft::support

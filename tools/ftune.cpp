@@ -30,6 +30,7 @@
 #include "core/checkpoint.hpp"
 #include "core/flag_importance.hpp"
 #include "core/funcy_tuner.hpp"
+#include "core/persistent_cache.hpp"
 #include "core/search_registry.hpp"
 #include "core/serialization.hpp"
 #include "flags/spaces.hpp"
@@ -40,6 +41,7 @@
 #include "service/fleet.hpp"
 #include "support/cli.hpp"
 #include "support/options.hpp"
+#include "support/parse_number.hpp"
 #include "support/string_utils.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -93,6 +95,12 @@ support::OptionSet common_options() {
             "redundant modeled cost reported as saved)")
       .integer("eval-cache-size", 0,
                "LRU entry bound for --eval-cache (default 1M)")
+      .text("eval-cache-dir", "",
+            "directory for the persistent disk cache tier, shared "
+            "across processes (implies a memory tier)")
+      .text("eval-cache-disk-size", "",
+            "size budget for --eval-cache-dir, bytes with optional "
+            "K/M/G suffix (default 256M)")
       .text("remote", "",
             "evaluate via running ftuned daemon(s): comma-separated "
             "unix:PATH / tcp:host:port endpoints (2+ = fleet with "
@@ -137,6 +145,16 @@ core::FuncyTunerOptions parse_options(
   options.eval_cache = args.flag("eval-cache");
   options.eval_cache_entries =
       static_cast<std::size_t>(args.integer("eval-cache-size"));
+  options.eval_cache_dir = args.text("eval-cache-dir");
+  if (const std::string& size = args.text("eval-cache-disk-size");
+      !size.empty()) {
+    std::uint64_t bytes = 0;
+    if (!support::parse_byte_size(size, &bytes)) {
+      std::cerr << "ftune: bad --eval-cache-disk-size '" << size << "'\n";
+      std::exit(1);
+    }
+    options.eval_cache_disk_bytes = static_cast<std::size_t>(bytes);
+  }
   return options;
 }
 
@@ -466,7 +484,9 @@ int cmd_tune(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  if (options.faults.rate > 0 || journal || options.eval_cache ||
+  const bool caching =
+      options.eval_cache || !options.eval_cache_dir.empty();
+  if (options.faults.rate > 0 || journal || caching ||
       options.retry.eval_timeout_seconds > 0) {
     const core::ResilienceStats stats = tuner.evaluator().resilience_stats();
     support::Table resilience("Resilience");
@@ -486,7 +506,7 @@ int cmd_tune(int argc, char** argv) {
       resilience.add_row(
           {"journal appended", std::to_string(stats.journal_appended)});
     }
-    if (options.eval_cache) {
+    if (caching) {
       const double total =
           static_cast<double>(stats.cache_hits + stats.cache_misses);
       resilience.add_row({"cache hits", std::to_string(stats.cache_hits)});
@@ -499,11 +519,23 @@ int cmd_tune(int argc, char** argv) {
                             100.0 * static_cast<double>(stats.cache_hits) /
                                 total,
                             1) + "%"});
+      if (const core::PersistentCache* disk =
+              tuner.eval_cache() ? tuner.eval_cache()->disk() : nullptr) {
+        const core::PersistentCacheStats dstats = disk->stats();
+        resilience.add_row({"disk hits", std::to_string(dstats.hits)});
+        resilience.add_row({"disk misses", std::to_string(dstats.misses)});
+        resilience.add_row(
+            {"disk insertions", std::to_string(dstats.insertions)});
+        resilience.add_row(
+            {"disk rejected", std::to_string(dstats.rejected)});
+        resilience.add_row(
+            {"disk evictions", std::to_string(dstats.evictions)});
+      }
     }
     resilience.print(std::cout);
   }
 
-  if (options.eval_cache) {
+  if (caching) {
     // §4.3 honesty: what was actually charged vs. what hits avoided.
     const double charged = tuner.evaluator().modeled_overhead_seconds();
     const double saved = tuner.evaluator().saved_overhead_seconds();

@@ -26,6 +26,7 @@
 
 #include "service/server.hpp"
 #include "support/options.hpp"
+#include "support/parse_number.hpp"
 #include "support/string_utils.hpp"
 
 namespace {
@@ -72,6 +73,13 @@ int main(int argc, char** argv) {
       .integer("cache-size", 0,
                "daemon-side raw-result cache entries per workspace "
                "(0 = off)")
+      .text("eval-cache-dir", "",
+            "directory for the persistent disk cache tier shared with "
+            "other ftuned/ftune processes (implies per-workspace "
+            "memory tiers)")
+      .text("eval-cache-disk-size", "",
+            "size budget for --eval-cache-dir, bytes with optional "
+            "K/M/G suffix (default 256M)")
       .integer("max-frame-bytes",
                static_cast<std::int64_t>(service::kDefaultMaxFrameBytes),
                "largest accepted wire frame")
@@ -131,6 +139,17 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(parsed.integer("max-batch"));
   server_options.cache_entries =
       static_cast<std::size_t>(parsed.integer("cache-size"));
+  server_options.cache_dir = parsed.text("eval-cache-dir");
+  if (const std::string& size = parsed.text("eval-cache-disk-size");
+      !size.empty()) {
+    std::uint64_t bytes = 0;
+    if (!support::parse_byte_size(size, &bytes)) {
+      std::cerr << "ftuned: bad --eval-cache-disk-size '" << size
+                << "'\n";
+      return 1;
+    }
+    server_options.cache_disk_bytes = static_cast<std::size_t>(bytes);
+  }
   server_options.max_frame_bytes =
       static_cast<std::size_t>(parsed.integer("max-frame-bytes"));
   for (const std::string& arch :
