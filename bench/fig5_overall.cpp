@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     table.set_header(header);
 
     // One speedup series per registry algorithm, plus G.Independent
-    // (carried by greedy's optional TuningResult fields).
+    // (carried in greedy's TuningResult extras block).
     std::vector<std::string> labels(algorithms.size());
     std::vector<std::vector<double>> series(algorithms.size());
     std::vector<double> g_independent;
@@ -61,8 +61,9 @@ int main(int argc, char** argv) {
         const core::TuningResult result = tuner.run(algorithms[i]);
         labels[i] = result.algorithm;
         series[i].push_back(result.speedup);
-        if (result.independent_speedup) {
-          g_independent.push_back(*result.independent_speedup);
+        if (const std::optional<double> independent =
+                result.extras.get(core::kExtraIndependentSpeedup)) {
+          g_independent.push_back(*independent);
         }
       }
     }

@@ -183,8 +183,10 @@ double Campaign::geomean_speedup(const std::string& algorithm,
     if (algorithm == "G.Independent") {
       bool found = false;
       for (const TuningResult& r : c.results) {
-        if (r.independent_speedup) {
-          speedups.push_back(*r.independent_speedup);
+        const std::optional<double> independent =
+            r.extras.get(kExtraIndependentSpeedup);
+        if (independent) {
+          speedups.push_back(*independent);
           found = true;
           break;
         }

@@ -81,6 +81,14 @@ std::uint64_t options_fingerprint(const FuncyTunerOptions& options) {
       << options.retry.max_retries << '|'
       << fmt_double(options.retry.eval_timeout_seconds) << '|'
       << options.retry.quarantine_after;
+  // Namespaced per-algorithm knobs change evaluation schedules, so
+  // they must split journals/caches - but ONLY when actually given:
+  // the default (empty) map keeps the fingerprint byte-identical to
+  // pre-namespacing builds, so existing journals stay resumable.
+  for (const auto& [algorithm, tokens] : options.algorithm_options) {
+    oss << '|' << algorithm << ':';
+    for (const std::string& token : tokens) oss << token << ',';
+  }
   return support::fnv1a64(oss.str());
 }
 

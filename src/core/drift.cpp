@@ -205,13 +205,12 @@ OnlineReport OnlineTuner::run(const compiler::ModuleAssignment& initial) {
       FuncyTunerOptions retune_options = tuner.options();
       retune_options.samples = options_.retune_samples;
       SearchContext context = tuner.search_context();
-      context.evaluator = &evaluator;
-      context.options = &retune_options;
+      context.provide_evaluator(&evaluator);
+      context.provide_options(&retune_options);
       const double segment_baseline = o3_obs.end_to_end;
-      context.baseline_seconds = [segment_baseline] {
-        return segment_baseline;
-      };
-      context.seed_assignment = &current;
+      context.provide_baseline_seconds(
+          [segment_baseline] { return segment_baseline; });
+      context.provide_seed_assignment(&current);
       const TuningResult result =
           SearchRegistry::global().create("retune")->run(context);
 

@@ -88,12 +88,14 @@ double FuncyTuner::baseline_seconds() {
 
 SearchContext FuncyTuner::search_context() {
   SearchContext context;
-  context.evaluator = evaluator_.get();
-  context.options = &options_;
-  context.presampled = [this]() -> decltype(auto) { return presampled(); };
-  context.outline = [this]() -> decltype(auto) { return outline(); };
-  context.collection = [this]() -> decltype(auto) { return collection(); };
-  context.baseline_seconds = [this] { return baseline_seconds(); };
+  context.provide_evaluator(evaluator_.get());
+  context.provide_options(&options_);
+  context.provide_presampled(
+      [this]() -> decltype(auto) { return presampled(); });
+  context.provide_outline([this]() -> decltype(auto) { return outline(); });
+  context.provide_collection(
+      [this]() -> decltype(auto) { return collection(); });
+  context.provide_baseline_seconds([this] { return baseline_seconds(); });
   return context;
 }
 
@@ -111,10 +113,12 @@ TuningResult FuncyTuner::run_fr() { return run("fr"); }
 GreedyResult FuncyTuner::run_greedy() {
   GreedyResult result;
   result.realized = run("greedy");
-  // The registry carries the §3.4 extras as optional TuningResult
-  // fields; rebuild the typed pair for legacy callers.
-  result.independent_seconds = result.realized.independent_seconds.value_or(0);
-  result.independent_speedup = result.realized.independent_speedup.value_or(0);
+  // The registry carries the §3.4 numbers in TuningResult::extras;
+  // rebuild the typed pair for legacy callers.
+  result.independent_seconds =
+      result.realized.extras.get_or(kExtraIndependentSeconds, 0);
+  result.independent_speedup =
+      result.realized.extras.get_or(kExtraIndependentSpeedup, 0);
   return result;
 }
 

@@ -6,6 +6,7 @@
 // cross-input evaluation for Figs 7 and 8).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -54,6 +55,13 @@ struct FuncyTunerOptions {
   /// Size budget for the disk tier in bytes;
   /// 0 = PersistentCache::kDefaultMaxBytes.
   std::size_t eval_cache_disk_bytes = 0;
+  /// Per-algorithm namespaced knobs: registry key → option tokens in
+  /// `--knob=value` form, exactly as the user's `--<algo>:<knob>`
+  /// flags were given (SearchAlgorithm::options() declares the
+  /// schema). Mixed into options_fingerprint only when non-empty, so
+  /// existing journals/caches recorded without namespaced knobs stay
+  /// resumable.
+  std::map<std::string, std::vector<std::string>> algorithm_options;
 };
 
 class FuncyTuner {

@@ -1,0 +1,631 @@
+#include "core/model_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/evolution.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace ft::core {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Feature encoding: one dimension per flag, the chosen option index
+// normalized to [0, 1] (single-option flags encode as 0). Surrogates
+// only ever compare distances/spreads over these, so the encoding just
+// has to be fixed and bounded.
+
+void append_cv_features(const flags::FlagSpace& space,
+                        const flags::CompilationVector& cv,
+                        std::vector<double>* out) {
+  const std::vector<flags::FlagSpec>& specs = space.specs();
+  for (std::size_t f = 0; f < specs.size(); ++f) {
+    const std::size_t n = specs[f].options.size();
+    out->push_back(n > 1 ? static_cast<double>(cv[f]) /
+                               static_cast<double>(n - 1)
+                         : 0.0);
+  }
+}
+
+std::vector<double> uniform_features(const flags::FlagSpace& space,
+                                     const flags::CompilationVector& cv,
+                                     std::size_t module_count) {
+  std::vector<double> features;
+  features.reserve(space.flag_count() * module_count);
+  for (std::size_t m = 0; m < module_count; ++m) {
+    append_cv_features(space, cv, &features);
+  }
+  return features;
+}
+
+// ---------------------------------------------------------------------------
+// Dense symmetric positive-definite solve (Cholesky). Everything the
+// surrogates factor is tiny (tens of rows), so an O(n^3) textbook
+// factorization is plenty and - crucially - bit-deterministic.
+
+/// In-place lower Cholesky of a row-major n x n SPD matrix. Throws
+/// std::runtime_error when the matrix loses positive-definiteness
+/// (callers add a nugget so this only fires on genuine degeneracy).
+void cholesky(std::vector<double>& a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= a[i * n + k] * a[j * n + k];
+      }
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::runtime_error("surrogate: matrix not positive definite");
+        }
+        a[i * n + j] = std::sqrt(sum);
+      } else {
+        a[i * n + j] = sum / a[j * n + j];
+      }
+    }
+    for (std::size_t j = i + 1; j < n; ++j) a[i * n + j] = 0.0;
+  }
+}
+
+/// Solves L y = b in place (forward substitution).
+void solve_lower(const std::vector<double>& l, std::size_t n,
+                 std::vector<double>& b) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l[i * n + k] * b[k];
+    b[i] = sum / l[i * n + i];
+  }
+}
+
+/// Solves L^T x = b in place (backward substitution).
+void solve_upper_t(const std::vector<double>& l, std::size_t n,
+                   std::vector<double>& b) {
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l[k * n + i] * b[k];
+    b[i] = sum / l[i * n + i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact Gaussian process with an RBF kernel, for the BO surrogate.
+
+class GaussianProcess {
+ public:
+  GaussianProcess(const std::vector<std::vector<double>>& x,
+                  const std::vector<double>& y, double length_scale)
+      : x_(&x) {
+    const std::size_t n = x.size();
+    const std::size_t dim = n == 0 ? 1 : std::max<std::size_t>(x[0].size(), 1);
+    // Per-dimension scaling keeps length_scale ~ 1 natural regardless
+    // of how many modules x flags the design point concatenates.
+    inv_two_l2_ = 1.0 / (2.0 * length_scale * length_scale *
+                         static_cast<double>(dim));
+    // Normalize targets: the GP models residuals around the mean with
+    // unit-ish scale, which keeps the kernel matrix well conditioned.
+    double mean = 0.0;
+    for (const double v : y) mean += v;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (const double v : y) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(n);
+    y_mean_ = mean;
+    y_scale_ = var > 0.0 ? std::sqrt(var) : 1.0;
+
+    chol_.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        chol_[i * n + j] = kernel(x[i], x[j]);
+      }
+      chol_[i * n + i] += kNoise + kNugget;
+    }
+    cholesky(chol_, n);
+    alpha_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      alpha_[i] = (y[i] - y_mean_) / y_scale_;
+    }
+    solve_lower(chol_, n, alpha_);
+    solve_upper_t(chol_, n, alpha_);
+  }
+
+  /// Posterior mean/stddev at one design point (original y units).
+  [[nodiscard]] std::pair<double, double> predict(
+      const std::vector<double>& point) const {
+    const std::size_t n = alpha_.size();
+    std::vector<double> k(n);
+    for (std::size_t i = 0; i < n; ++i) k[i] = kernel((*x_)[i], point);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += k[i] * alpha_[i];
+    std::vector<double> v = k;
+    solve_lower(chol_, n, v);
+    double reduction = 0.0;
+    for (const double value : v) reduction += value * value;
+    const double variance = std::max(1.0 + kNoise - reduction, 1e-12);
+    return {y_mean_ + mean * y_scale_, std::sqrt(variance) * y_scale_};
+  }
+
+ private:
+  static constexpr double kNoise = 1e-4;   ///< observation noise (norm.)
+  static constexpr double kNugget = 1e-8;  ///< numerical jitter
+
+  [[nodiscard]] double kernel(const std::vector<double>& a,
+                              const std::vector<double>& b) const {
+    double sq = 0.0;
+    const std::size_t dim = std::min(a.size(), b.size());
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = a[d] - b[d];
+      sq += diff * diff;
+    }
+    return std::exp(-sq * inv_two_l2_);
+  }
+
+  const std::vector<std::vector<double>>* x_;
+  double inv_two_l2_ = 0.5;
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+  std::vector<double> chol_;
+  std::vector<double> alpha_;
+};
+
+/// Standard normal pdf / cdf for expected improvement.
+double normal_pdf(double z) {
+  constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double normal_cdf(double z) {
+  constexpr double kInvSqrt2 = 0.7071067811865476;
+  return 0.5 * (1.0 + std::erf(z * kInvSqrt2));
+}
+
+/// Expected improvement of a minimizing candidate over `best`.
+double expected_improvement(double mean, double stddev, double best) {
+  if (stddev <= 0.0) return std::max(best - mean, 0.0);
+  const double z = (best - mean) / stddev;
+  return (best - mean) * normal_cdf(z) + stddev * normal_pdf(z);
+}
+
+// ---------------------------------------------------------------------------
+// Ridge regression on corpus features (the staged-seed surrogate).
+
+class RidgeModel {
+ public:
+  RidgeModel(const flags::FlagSpace& space, const Corpus& corpus)
+      : space_(&space) {
+    const std::size_t dim = space.flag_count() + 1;  // + bias
+    std::vector<double> a(dim * dim, 0.0);
+    std::vector<double> b(dim, 0.0);
+    std::size_t rows = 0;
+    for (const CorpusEntry& entry : corpus.entries) {
+      if (!std::isfinite(entry.end_to_end)) continue;
+      std::vector<double> x;
+      x.reserve(dim);
+      append_cv_features(space, entry.cv, &x);
+      x.push_back(1.0);
+      for (std::size_t i = 0; i < dim; ++i) {
+        for (std::size_t j = 0; j < dim; ++j) {
+          a[i * dim + j] += x[i] * x[j];
+        }
+        b[i] += x[i] * entry.end_to_end;
+      }
+      ++rows;
+    }
+    // Ridge term keeps the normal equations SPD even when the corpus
+    // under-determines the fit (few records, constant columns).
+    const double lambda =
+        1e-3 * static_cast<double>(std::max<std::size_t>(rows, 1)) + 1e-6;
+    for (std::size_t i = 0; i < dim; ++i) a[i * dim + i] += lambda;
+    cholesky(a, dim);
+    solve_lower(a, dim, b);
+    solve_upper_t(a, dim, b);
+    weights_ = std::move(b);
+  }
+
+  [[nodiscard]] double predict(const flags::CompilationVector& cv) const {
+    std::vector<double> x;
+    x.reserve(weights_.size());
+    append_cv_features(*space_, cv, &x);
+    x.push_back(1.0);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * weights_[i];
+    return sum;
+  }
+
+ private:
+  const flags::FlagSpace* space_;
+  std::vector<double> weights_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared finishing protocol (identical to the paper searches).
+
+void finish(TuningResult* result, Evaluator& evaluator,
+            double baseline_seconds) {
+  result->evaluations = result->history.size();
+  result->tuned_seconds = evaluator.final_seconds(result->best_assignment);
+  result->baseline_seconds = baseline_seconds;
+  result->speedup = result->baseline_seconds / result->tuned_seconds;
+}
+
+void record_history(TuningResult* result, double seconds) {
+  const double best = result->history.empty()
+                          ? std::numeric_limits<double>::infinity()
+                          : result->history.back();
+  result->history.push_back(std::min(best, seconds));
+}
+
+/// Per-flag main-effect spread measured from the corpus (same estimator
+/// as core/flag_importance, but over journal/cache records instead of
+/// a live collection). 0 for flags the corpus never varies.
+std::vector<double> corpus_flag_spreads(const flags::FlagSpace& space,
+                                        const Corpus& corpus) {
+  const std::size_t flag_count = space.flag_count();
+  std::vector<double> spreads(flag_count, 0.0);
+  double overall = 0.0;
+  std::size_t samples = 0;
+  for (const CorpusEntry& entry : corpus.entries) {
+    if (!std::isfinite(entry.end_to_end)) continue;
+    overall += entry.end_to_end;
+    ++samples;
+  }
+  if (samples < 2 || overall <= 0.0) return spreads;
+  overall /= static_cast<double>(samples);
+  for (std::size_t f = 0; f < flag_count; ++f) {
+    const std::size_t option_count = space.specs()[f].options.size();
+    std::vector<double> sums(option_count, 0.0);
+    std::vector<std::size_t> counts(option_count, 0);
+    for (const CorpusEntry& entry : corpus.entries) {
+      if (!std::isfinite(entry.end_to_end)) continue;
+      const std::size_t option = entry.cv[f];
+      if (option >= option_count) continue;
+      sums[option] += entry.end_to_end;
+      ++counts[option];
+    }
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    std::size_t represented = 0;
+    for (std::size_t o = 0; o < option_count; ++o) {
+      if (counts[o] == 0) continue;
+      const double mean =
+          sums[o] / static_cast<double>(counts[o]) / overall;
+      lo = std::min(lo, mean);
+      hi = std::max(hi, mean);
+      ++represented;
+    }
+    if (represented >= 2) spreads[f] = hi - lo;
+  }
+  return spreads;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Semantic flag groups.
+
+std::vector<std::vector<std::size_t>> semantic_flag_groups(
+    const flags::FlagSpace& space) {
+  using flags::SemanticFlag;
+  auto category_of = [](SemanticFlag semantic) -> std::size_t {
+    switch (semantic) {
+      case SemanticFlag::kUnroll:
+      case SemanticFlag::kUnrollAggressive:
+      case SemanticFlag::kBlockFactor:
+      case SemanticFlag::kAlignLoops:
+      case SemanticFlag::kLoopFusion:
+      case SemanticFlag::kLoopInterchange:
+      case SemanticFlag::kLoopDistribution:
+      case SemanticFlag::kSwPipelining:
+      case SemanticFlag::kRerolling:
+        return 0;  // loop structure
+      case SemanticFlag::kVectorize:
+      case SemanticFlag::kSimdWidthPref:
+      case SemanticFlag::kFma:
+      case SemanticFlag::kMultiVersion:
+      case SemanticFlag::kMatMul:
+        return 1;  // vectorization
+      case SemanticFlag::kStreamingStores:
+      case SemanticFlag::kPrefetch:
+      case SemanticFlag::kMemLayoutTrans:
+      case SemanticFlag::kStructPad:
+      case SemanticFlag::kSafePadding:
+      case SemanticFlag::kDynamicAlign:
+      case SemanticFlag::kOptCalloc:
+      case SemanticFlag::kScalarRep:
+        return 2;  // memory behavior
+      case SemanticFlag::kIpo:
+      case SemanticFlag::kInlineFactor:
+      case SemanticFlag::kAnsiAlias:
+      case SemanticFlag::kOmitFramePointer:
+      case SemanticFlag::kAlignFunctions:
+      case SemanticFlag::kJumpTables:
+        return 3;  // interprocedural / layout
+      default:
+        return 4;  // backend (opt level, RA, scheduling, isel, limits)
+    }
+  };
+  std::vector<std::vector<std::size_t>> groups(5);
+  const std::vector<flags::FlagSpec>& specs = space.specs();
+  for (std::size_t f = 0; f < specs.size(); ++f) {
+    groups[category_of(specs[f].semantic)].push_back(f);
+  }
+  std::erase_if(groups,
+                [](const std::vector<std::size_t>& g) { return g.empty(); });
+  return groups;
+}
+
+// ---------------------------------------------------------------------------
+// BO.
+
+TuningResult bo_search(Evaluator& evaluator, const Outline& outline,
+                       std::span<const flags::CompilationVector> presampled,
+                       const BoOptions& options, double baseline_seconds,
+                       const Corpus* corpus) {
+  if (presampled.empty()) {
+    throw std::invalid_argument("bo_search: empty pre-sampled CV set");
+  }
+  if (options.acquisition != "ei" && options.acquisition != "mean") {
+    throw std::invalid_argument("bo_search: unknown acquisition '" +
+                                options.acquisition + "' (ei, mean)");
+  }
+  TuningResult result;
+  result.algorithm = "BO";
+  const flags::FlagSpace& space = evaluator.engine().compiler().space();
+  const std::size_t module_count = outline.module_count();
+  support::Rng rng(options.seed);
+
+  auto draw_indices = [&]() {
+    std::vector<std::size_t> indices(module_count);
+    for (std::size_t m = 0; m < module_count; ++m) {
+      indices[m] = rng.next_below(presampled.size());
+    }
+    return indices;
+  };
+  auto make_assignment = [&](const std::vector<std::size_t>& indices) {
+    std::vector<flags::CompilationVector> hot_cvs;
+    hot_cvs.reserve(outline.hot.size());
+    for (std::size_t i = 0; i < outline.hot.size(); ++i) {
+      hot_cvs.push_back(presampled[indices[i]]);
+    }
+    return outline.make_assignment(hot_cvs, presampled[indices.back()]);
+  };
+  auto features_of = [&](const std::vector<std::size_t>& indices) {
+    std::vector<double> features;
+    features.reserve(space.flag_count() * module_count);
+    for (const std::size_t index : indices) {
+      append_cv_features(space, presampled[index], &features);
+    }
+    return features;
+  };
+
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  // Warm-start from the free corpus: prior uniform measurements enter
+  // the surrogate as observations without costing an evaluation.
+  constexpr std::size_t kWarmCap = 32;
+  if (corpus != nullptr) {
+    for (const CorpusEntry& entry : corpus->entries) {
+      if (xs.size() >= kWarmCap) break;
+      if (!std::isfinite(entry.end_to_end)) continue;
+      xs.push_back(uniform_features(space, entry.cv, module_count));
+      ys.push_back(entry.end_to_end);
+    }
+  }
+  const std::size_t warm_count = xs.size();
+
+  double best_seconds = std::numeric_limits<double>::infinity();
+  // Failed evaluations cannot feed the GP as +inf; a strongly bad but
+  // finite penalty keeps the model steering away from them.
+  const double penalty = baseline_seconds > 0.0 ? 4.0 * baseline_seconds
+                                                : 1.0;
+  auto evaluate = [&](const std::vector<std::size_t>& indices) {
+    EvalRequest request;
+    request.assignment = make_assignment(indices);
+    request.rep_base = rep_streams::kBo;
+    const double seconds =
+        evaluator.evaluate(request, EvalTrace{.label = "bo"}).seconds();
+    record_history(&result, seconds);
+    if (seconds < best_seconds) {
+      best_seconds = seconds;
+      result.best_assignment = request.assignment;
+    }
+    xs.push_back(features_of(indices));
+    ys.push_back(std::isfinite(seconds) ? seconds : penalty);
+  };
+
+  const std::size_t budget = std::max<std::size_t>(options.iterations, 1);
+  const std::size_t warmup = std::min(std::max<std::size_t>(options.warmup,
+                                                            1),
+                                      budget);
+  for (std::size_t i = 0; i < warmup; ++i) evaluate(draw_indices());
+
+  const std::size_t pool =
+      std::max<std::size_t>(options.candidates, 1);
+  while (result.history.size() < budget) {
+    const GaussianProcess gp(xs, ys, options.length_scale);
+    double best_measured = std::numeric_limits<double>::infinity();
+    for (const double y : ys) best_measured = std::min(best_measured, y);
+    std::vector<std::size_t> best_candidate;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < pool; ++c) {
+      const std::vector<std::size_t> candidate = draw_indices();
+      const auto [mean, stddev] = gp.predict(features_of(candidate));
+      const double score =
+          options.acquisition == "ei"
+              ? expected_improvement(mean, stddev, best_measured)
+              : -mean;
+      if (score > best_score) {
+        best_score = score;
+        best_candidate = candidate;
+      }
+    }
+    evaluate(best_candidate);
+  }
+
+  if (!std::isfinite(best_seconds)) {
+    // Every probe failed; fall back to the O3 default so the final
+    // measurement protocol still has a valid executable.
+    result.best_assignment = compiler::ModuleAssignment::uniform(
+        space.default_cv(), evaluator.engine().program().loops().size());
+  }
+  result.search_best_seconds = best_seconds;
+  result.extras.set(kExtraSurrogateObservations,
+                    static_cast<double>(xs.size()));
+  result.extras.set(kExtraCorpusSize, static_cast<double>(warm_count));
+  finish(&result, evaluator, baseline_seconds);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Group-aware search.
+
+TuningResult group_search(Evaluator& evaluator, const Outline& outline,
+                          const GroupOptions& options,
+                          double baseline_seconds, const Corpus* corpus) {
+  TuningResult result;
+  result.algorithm = "Group";
+  const flags::FlagSpace& space = evaluator.engine().compiler().space();
+  const std::vector<std::vector<std::size_t>> groups =
+      semantic_flag_groups(space);
+  if (groups.empty()) {
+    throw std::invalid_argument("group_search: flag space has no flags");
+  }
+  const std::size_t module_count = outline.module_count();
+  support::Rng rng(options.seed);
+
+  // Co-importance weights: a group's weight is 1 plus the summed
+  // main-effect spreads of its flags measured from the corpus, so
+  // measurement evidence tilts mutation pressure toward the groups
+  // that demonstrably move runtime. Empty corpus -> uniform.
+  std::vector<double> spreads(space.flag_count(), 0.0);
+  if (corpus != nullptr && !corpus->empty()) {
+    spreads = corpus_flag_spreads(space, *corpus);
+  }
+  std::vector<double> weights(groups.size(), 1.0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const std::size_t f : groups[g]) weights[g] += spreads[f];
+  }
+
+  std::vector<flags::CompilationVector> current(module_count,
+                                                space.default_cv());
+  auto make_assignment = [&](const std::vector<flags::CompilationVector>&
+                                 module_cvs) {
+    return outline.make_assignment(
+        std::span(module_cvs.data(), outline.hot.size()),
+        module_cvs.back());
+  };
+  auto evaluate = [&](const std::vector<flags::CompilationVector>&
+                          module_cvs) {
+    EvalRequest request;
+    request.assignment = make_assignment(module_cvs);
+    request.rep_base = rep_streams::kGroup;
+    const double seconds =
+        evaluator.evaluate(request, EvalTrace{.label = "group"}).seconds();
+    record_history(&result, seconds);
+    return seconds;
+  };
+
+  double incumbent_seconds = evaluate(current);
+  result.best_assignment = make_assignment(current);
+  double best_seconds = incumbent_seconds;
+  const std::size_t group_size = std::max<std::size_t>(options.group_size,
+                                                       1);
+  std::size_t since_improvement = 0;
+  while (result.history.size() <
+         std::max<std::size_t>(options.iterations, 1)) {
+    const std::size_t g = rng.weighted_index(weights);
+    const std::size_t m = rng.next_below(module_count);
+    const std::size_t mutate_count =
+        1 + rng.next_below(std::min(group_size, groups[g].size()));
+    const std::vector<std::size_t> picks =
+        rng.sample_without_replacement(groups[g].size(), mutate_count);
+    std::vector<flags::CompilationVector> candidate = current;
+    for (const std::size_t pick : picks) {
+      const std::size_t f = groups[g][pick];
+      const std::size_t option_count = space.specs()[f].options.size();
+      candidate[m].set(f, static_cast<std::uint8_t>(
+                              rng.next_below(option_count)));
+    }
+    const double seconds = evaluate(candidate);
+    if (seconds < incumbent_seconds) {
+      incumbent_seconds = seconds;
+      current = std::move(candidate);
+    }
+    if (seconds < best_seconds) {
+      best_seconds = seconds;
+      result.best_assignment = make_assignment(current);
+      since_improvement = 0;
+    } else if (options.patience > 0 &&
+               ++since_improvement >= options.patience) {
+      break;
+    }
+  }
+  result.search_best_seconds = best_seconds;
+  result.extras.set(kExtraCorpusSize,
+                    static_cast<double>(corpus != nullptr ? corpus->size()
+                                                          : 0));
+  finish(&result, evaluator, baseline_seconds);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Staged (surrogate-seeded evolutionary) search.
+
+TuningResult staged_search(Evaluator& evaluator, const Outline& outline,
+                           const Collection& collection,
+                           const Corpus& corpus,
+                           const StagedOptions& options,
+                           double baseline_seconds) {
+  EvolutionOptions evolution;
+  evolution.top_x = options.top_x;
+  evolution.evaluations = options.iterations;
+  evolution.seed = options.seed;
+
+  double seeded = 0.0;
+  double seed_predicted = 0.0;
+  if (corpus.empty()) {
+    support::log_info()
+        << "staged: training corpus is empty (no journal or persistent-"
+           "cache records to fit from); degrading to evolutionary-only "
+           "refinement";
+  } else {
+    const flags::FlagSpace& space = evaluator.engine().compiler().space();
+    const RidgeModel model(space, corpus);
+    const std::vector<std::vector<std::size_t>> pruned =
+        prune_top_x(collection, options.top_x);
+    std::vector<std::size_t> genome(outline.module_count());
+    double predicted_sum = 0.0;
+    for (std::size_t m = 0; m < genome.size(); ++m) {
+      std::size_t best_index = pruned[m].front();
+      double best_predicted = std::numeric_limits<double>::infinity();
+      for (const std::size_t candidate : pruned[m]) {
+        const double predicted = model.predict(collection.cvs[candidate]);
+        if (predicted < best_predicted) {
+          best_predicted = predicted;
+          best_index = candidate;
+        }
+      }
+      genome[m] = best_index;
+      predicted_sum += best_predicted;
+    }
+    evolution.seed_genome = std::move(genome);
+    seeded = 1.0;
+    seed_predicted =
+        predicted_sum / static_cast<double>(outline.module_count());
+  }
+
+  TuningResult result = evolutionary_search(evaluator, outline, collection,
+                                            evolution, baseline_seconds);
+  result.algorithm = "Staged";
+  result.extras.set(kExtraCorpusSize, static_cast<double>(corpus.size()));
+  result.extras.set(kExtraStagedSeeded, seeded);
+  if (seeded != 0.0) {
+    result.extras.set(kExtraStagedSeedPredicted, seed_predicted);
+  }
+  return result;
+}
+
+}  // namespace ft::core

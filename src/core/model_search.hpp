@@ -1,0 +1,107 @@
+// Model-guided search family (beyond the paper; see PAPERS.md):
+//   bo     - Bayesian optimization over the per-module CV space: an
+//            exact Gaussian-process surrogate (RBF kernel over
+//            normalized per-module flag choices) with expected-
+//            improvement acquisition over seeded candidate pools.
+//            Wu et al. tune Polly/PolyBench this way; here the design
+//            point is per-loop, so the GP input is the concatenation
+//            of every module's choices.
+//   group  - group-aware search in the spirit of GroupTuner: instead
+//            of mutating single flags, each step re-draws a small set
+//            of flags inside ONE semantic group (loop structure,
+//            vectorization, memory, interprocedural, backend) of one
+//            module. Group selection is weighted by journal-measured
+//            co-importance (main-effect spreads computed from the
+//            training corpus); with no corpus the weights are uniform
+//            and the groups are definition-only.
+//   staged - two-stage solver-seeded search (Odyssey's MP-then-genetic
+//            flow): fit a cheap ridge surrogate on the journaled/
+//            cached corpus, pick the per-module argmin over the
+//            pruned top-X candidates as a seed genome, then refine
+//            with the existing evolutionary machinery. With an empty
+//            corpus it degrades to plain evolutionary search (logged,
+//            never a crash).
+//
+// All three are deterministic for a fixed seed and measure through
+// the same Evaluator currency as every other search, so the usual
+// contracts (cache-on/off, local/remote/fleet, journal-resume
+// bit-identity) hold by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/collector.hpp"
+#include "core/evaluator.hpp"
+#include "core/outline.hpp"
+#include "core/search.hpp"
+#include "core/search_registry.hpp"
+
+namespace ft::core {
+
+/// Extras keys the model-guided family reports.
+inline constexpr const char* kExtraSurrogateObservations =
+    "surrogate_observations";  ///< training points the final model saw
+inline constexpr const char* kExtraCorpusSize = "corpus_size";
+inline constexpr const char* kExtraStagedSeeded =
+    "staged_seeded";  ///< 1 when the surrogate picked the seed genome
+inline constexpr const char* kExtraStagedSeedPredicted =
+    "staged_seed_predicted_seconds";  ///< surrogate's estimate of the seed
+
+struct BoOptions {
+  std::size_t iterations = 60;  ///< total measurements (incl. warmup)
+  std::size_t warmup = 8;       ///< seeded random probes before the GP
+  std::size_t candidates = 64;  ///< acquisition pool size per step
+  std::string acquisition = "ei";  ///< "ei" | "mean"
+  double length_scale = 1.0;    ///< RBF length scale (per-dim scaled)
+  std::uint64_t seed = 42;
+};
+
+/// Bayesian optimization over per-module assignments drawn from the
+/// pre-sampled CV set. `corpus` (optional) warm-starts the surrogate
+/// with prior uniform measurements at zero measurement cost.
+[[nodiscard]] TuningResult bo_search(
+    Evaluator& evaluator, const Outline& outline,
+    std::span<const flags::CompilationVector> presampled,
+    const BoOptions& options, double baseline_seconds,
+    const Corpus* corpus = nullptr);
+
+struct GroupOptions {
+  std::size_t iterations = 120;  ///< measurements (the start costs one)
+  std::size_t group_size = 3;    ///< max flags re-drawn per step
+  std::uint64_t seed = 42;
+  std::size_t patience = 0;      ///< early stop; 0 = fixed budget
+};
+
+/// Group-aware hill climb from the O3 default: each step mutates up
+/// to `group_size` flags of one semantic flag group of one module.
+/// `corpus` (optional) weights group choice by measured co-importance.
+[[nodiscard]] TuningResult group_search(
+    Evaluator& evaluator, const Outline& outline,
+    const GroupOptions& options, double baseline_seconds,
+    const Corpus* corpus = nullptr);
+
+struct StagedOptions {
+  std::size_t top_x = 10;         ///< pruned space per module (as CFR)
+  std::size_t iterations = 1000;  ///< total measurement budget
+  std::uint64_t seed = 42;
+};
+
+/// Two-stage search: corpus-trained ridge surrogate seeds the start,
+/// evolutionary search refines. Empty corpus → evolutionary-only.
+[[nodiscard]] TuningResult staged_search(Evaluator& evaluator,
+                                         const Outline& outline,
+                                         const Collection& collection,
+                                         const Corpus& corpus,
+                                         const StagedOptions& options,
+                                         double baseline_seconds);
+
+/// Semantic flag groups of `space` (indices into space.specs()), in a
+/// fixed category order: loop structure, vectorization, memory,
+/// interprocedural, backend. Every flag lands in exactly one group;
+/// empty groups are dropped. Exposed for tests and the group search.
+[[nodiscard]] std::vector<std::vector<std::size_t>> semantic_flag_groups(
+    const flags::FlagSpace& space);
+
+}  // namespace ft::core

@@ -197,8 +197,9 @@ GreedyResult greedy_combination(Evaluator& evaluator, const Outline& outline,
   // sums the best per-module times without assembling an executable.
   result.independent_seconds = independent_sum;
   result.independent_speedup = baseline_seconds / independent_sum;
-  result.realized.independent_seconds = independent_sum;
-  result.realized.independent_speedup = result.independent_speedup;
+  result.realized.extras.set(kExtraIndependentSeconds, independent_sum);
+  result.realized.extras.set(kExtraIndependentSpeedup,
+                             result.independent_speedup);
   if (span) {
     span.attr("independent_speedup", result.independent_speedup)
         .attr("realized_speedup", result.realized.speedup);

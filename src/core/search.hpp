@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <span>
 #include <string>
@@ -21,6 +22,43 @@
 
 namespace ft::core {
 
+/// Typed key/value extras a search algorithm attaches to its result:
+/// greedy's §3.4 independence bound, bo's surrogate statistics,
+/// staged's seed quality. Replaces the bespoke per-algorithm optional
+/// fields TuningResult used to grow one pair at a time. Keys iterate
+/// in sorted order, so serialized extras are deterministic.
+class ResultExtras {
+ public:
+  void set(const std::string& key, double value) { values_[key] = value; }
+  /// nullopt when the algorithm did not report `key`.
+  [[nodiscard]] std::optional<double> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] double get_or(const std::string& key,
+                              double fallback) const {
+    return get(key).value_or(fallback);
+  }
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] const std::map<std::string, double>& items()
+      const noexcept {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Well-known extras keys (greedy's §3.4 hypothetical bound).
+inline constexpr const char* kExtraIndependentSeconds =
+    "independent_seconds";
+inline constexpr const char* kExtraIndependentSpeedup =
+    "independent_speedup";
+
 /// Result of one search algorithm on one (program, arch, input).
 struct TuningResult {
   std::string algorithm;
@@ -31,10 +69,8 @@ struct TuningResult {
   double speedup = 0.0;              ///< baseline / tuned
   std::vector<double> history;       ///< best-so-far after each evaluation
   std::size_t evaluations = 0;
-  // Algorithm-specific extras (greedy's §3.4 pairwise-independence
-  // hypothetical); unset for searches that don't report them.
-  std::optional<double> independent_seconds;
-  std::optional<double> independent_speedup;
+  /// Algorithm-specific extras; empty for searches that report none.
+  ResultExtras extras;
 };
 
 /// Greedy combination reports two numbers (paper §3.4).

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
+#include "support/json.hpp"
 #include "support/serialization.hpp"
 
 namespace ft::core {
@@ -64,7 +66,14 @@ std::string tuning_result_json(const TuningResult& result,
       << ",\"speedup\":" << json_number(result.speedup)
       << ",\"tuned_seconds\":" << json_number(result.tuned_seconds)
       << ",\"baseline_seconds\":" << json_number(result.baseline_seconds)
-      << ",\"evaluations\":" << result.evaluations << ",\"modules\":{";
+      << ",\"evaluations\":" << result.evaluations << ",\"extras\":{";
+  bool first_extra = true;
+  for (const auto& [key, value] : result.extras.items()) {
+    if (!first_extra) oss << ',';
+    first_extra = false;
+    oss << "\"" << json_escape(key) << "\":" << json_number(value);
+  }
+  oss << "},\"modules\":{";
   bool first = true;
   for (std::size_t j = 0; j < result.best_assignment.loop_cvs.size();
        ++j) {
@@ -79,6 +88,35 @@ std::string tuning_result_json(const TuningResult& result,
       << json_escape(space.render(result.best_assignment.nonloop_cv))
       << "\"}}";
   return oss.str();
+}
+
+ResultExtras read_tuning_result_extras(const std::string& json) {
+  support::require_schema_version(json, "tuning result");
+  support::JsonValue document;
+  std::string error;
+  if (!support::JsonValue::parse(json, &document, &error)) {
+    throw std::runtime_error("tuning result: malformed JSON: " + error);
+  }
+  ResultExtras extras;
+  if (const support::JsonValue* block = document.find("extras");
+      block != nullptr && block->is_object()) {
+    // Schema v3: the typed block.
+    for (const auto& [key, value] : block->members()) {
+      if (value.is_number()) extras.set(key, value.number());
+    }
+    return extras;
+  }
+  // Schema v2 and earlier: the bespoke top-level pair (absent unless a
+  // pre-v3 writer was patched to emit it; read it anyway so archived
+  // greedy artifacts round-trip).
+  double value = 0.0;
+  if (document.get(kExtraIndependentSeconds, &value)) {
+    extras.set(kExtraIndependentSeconds, value);
+  }
+  if (document.get(kExtraIndependentSpeedup, &value)) {
+    extras.set(kExtraIndependentSpeedup, value);
+  }
+  return extras;
 }
 
 std::string campaign_json(const Campaign& campaign) {

@@ -25,10 +25,20 @@ void write_collection_csv(std::ostream& os, const Outline& outline,
 void write_history_csv(std::ostream& os, const TuningResult& result);
 
 /// JSON object describing a tuning result, including the rendered
-/// command line of every module of the winning assignment.
+/// command line of every module of the winning assignment and the
+/// algorithm's typed extras block (schema v3).
 [[nodiscard]] std::string tuning_result_json(
     const TuningResult& result, const flags::FlagSpace& space,
     const ir::Program& program);
+
+/// Reads the extras block back from a tuning-result JSON artifact.
+/// Schema v3 artifacts yield their "extras" object; v2 artifacts
+/// predate the block and read back the old bespoke shape (top-level
+/// "independent_seconds"/"independent_speedup" members, when present)
+/// so archived results stay consumable. Throws std::runtime_error on
+/// malformed JSON or a schema newer than this binary.
+[[nodiscard]] ResultExtras read_tuning_result_extras(
+    const std::string& json);
 
 /// JSON object describing a finished campaign's whole result grid, in
 /// deterministic grid order. This is the artifact the fleet-smoke CI

@@ -16,7 +16,11 @@ namespace ft::support {
 ///   1 - implicit; everything written before the field existed.
 ///   2 - the field itself (tuning json, journal header, telemetry
 ///       meta line, metrics snapshot, service hello/welcome).
-inline constexpr int kSchemaVersion = 2;
+///   3 - tuning json carries an "extras" object (typed key/value
+///       algorithm extras replacing the bespoke independent_* pair).
+///       v2 artifacts (no block) still read back: readers treat a
+///       missing block as empty.
+inline constexpr int kSchemaVersion = 3;
 
 /// The literal member to splice into a JSON object:
 /// `"schema_version":2`.

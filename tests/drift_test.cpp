@@ -219,8 +219,8 @@ TEST(RetuneSearch, RunsThroughSearchContextWithSeed) {
   FuncyTunerOptions retune_options = tuner.options();
   retune_options.samples = 16;
   SearchContext context = tuner.search_context();
-  context.options = &retune_options;
-  context.seed_assignment = &cfr.best_assignment;
+  context.provide_options(&retune_options);
+  context.provide_seed_assignment(&cfr.best_assignment);
   const TuningResult result =
       SearchRegistry::global().create("retune")->run(context);
   EXPECT_EQ(result.evaluations, 16u);

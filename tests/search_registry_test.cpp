@@ -28,13 +28,18 @@ core::FuncyTunerOptions fast_options() {
 TEST(SearchRegistry, RegistersThePaperAlgorithmsInOrder) {
   const std::vector<std::string> names =
       core::SearchRegistry::global().names();
-  ASSERT_EQ(names.size(), 4u);
+  ASSERT_EQ(names.size(), 7u);
   EXPECT_EQ(names[0], "random");
   EXPECT_EQ(names[1], "fr");
   EXPECT_EQ(names[2], "greedy");
   EXPECT_EQ(names[3], "cfr");
+  EXPECT_EQ(names[4], "bo");
+  EXPECT_EQ(names[5], "group");
+  EXPECT_EQ(names[6], "staged");
   EXPECT_TRUE(core::SearchRegistry::global().contains("cfr"));
   EXPECT_FALSE(core::SearchRegistry::global().contains("CFR"));
+  // retune is registered (drift re-tuning resolves it) but unlisted.
+  EXPECT_TRUE(core::SearchRegistry::global().contains("retune"));
 }
 
 TEST(SearchRegistry, CreateResolvesDisplayNames) {
@@ -56,6 +61,9 @@ TEST(SearchRegistry, UnknownNameThrowsWithKnownKeys) {
     const std::string message = error.what();
     EXPECT_NE(message.find("annealing"), std::string::npos);
     EXPECT_NE(message.find("cfr"), std::string::npos);
+    EXPECT_NE(message.find("staged"), std::string::npos);
+    // Unlisted internal algorithms must not leak into the suggestion.
+    EXPECT_EQ(message.find("retune"), std::string::npos);
   }
 }
 
@@ -132,11 +140,13 @@ TEST(SearchRegistry, RoundTripMatchesDirectCallsBitForBit) {
   expect_same(registry.run("fr"), direct_fr);
   const core::TuningResult greedy = registry.run("greedy");
   expect_same(greedy, direct_greedy.realized);
-  ASSERT_TRUE(greedy.independent_speedup.has_value());
-  EXPECT_DOUBLE_EQ(*greedy.independent_seconds,
-                   direct_greedy.independent_seconds);
-  EXPECT_DOUBLE_EQ(*greedy.independent_speedup,
-                   direct_greedy.independent_speedup);
+  ASSERT_TRUE(greedy.extras.contains(core::kExtraIndependentSpeedup));
+  EXPECT_DOUBLE_EQ(
+      greedy.extras.get_or(core::kExtraIndependentSeconds, -1.0),
+      direct_greedy.independent_seconds);
+  EXPECT_DOUBLE_EQ(
+      greedy.extras.get_or(core::kExtraIndependentSpeedup, -1.0),
+      direct_greedy.independent_speedup);
   expect_same(registry.run("cfr"), direct_cfr);
 }
 

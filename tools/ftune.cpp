@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 
 #include "core/campaign.hpp"
 #include "core/checkpoint.hpp"
@@ -67,7 +68,9 @@ support::OptionSet common_options() {
                  return raw.empty() || raw[0] == '-' ? "must be positive"
                                                     : "";
                })
-      .integer("top-x", 10, "CFR pruned-space size per module")
+      .integer("top-x", 10,
+               "CFR pruned-space size per module (deprecated alias for "
+               "--cfr:top-x)")
       .integer("seed", 42, "master seed")
       .real("hot-threshold", defaults.hot_threshold,
             "outline loops >= this runtime share")
@@ -78,7 +81,8 @@ support::OptionSet common_options() {
       .real("attribution-sigma", defaults.attribution_sigma,
             "extra per-region Caliper error")
       .integer("patience", 0,
-               "CFR early stop after N non-improving evals (0 = off)")
+               "CFR early stop after N non-improving evals (0 = off; "
+               "deprecated alias for --cfr:patience)")
       .integer("threads", 0,
                "evaluation pool size (sets FT_THREADS; 0 = auto)")
       .real("fault-rate", 0.0,
@@ -158,16 +162,80 @@ core::FuncyTunerOptions parse_options(
   return options;
 }
 
-/// Strict parse with the uniform --help / usage-error behavior. argv
-/// points past the subcommand token.
-support::OptionSet::Parsed parse_or_exit(const support::OptionSet& set,
-                                         const std::string& command,
-                                         int argc, char** argv) {
+/// Splits namespaced `--algorithm:knob[=value]` tokens out of argv
+/// before the strict OptionSet parse, returning the remaining tokens.
+/// The value lookahead mirrors CliArgs exactly: `=` binds inline,
+/// otherwise the next token is consumed unless it starts with `--`,
+/// otherwise the knob is a bare flag ("true"). Each extracted token is
+/// normalized to a single `--knob=value` entry in the owning
+/// algorithm's bucket.
+std::vector<std::string> extract_algorithm_options(
+    int argc, char** argv,
+    std::map<std::string, std::vector<std::string>>* per_algorithm) {
+  std::vector<std::string> remaining;
+  for (int i = 0; i < argc; ++i) {
+    const std::string token = argv[i];
+    std::size_t colon = std::string::npos;
+    if (token.size() <= 2 || token[0] != '-' || token[1] != '-' ||
+        (colon = token.find(':', 2)) == std::string::npos ||
+        token.find('=', 2) < colon) {
+      remaining.push_back(token);
+      continue;
+    }
+    const std::string algorithm = token.substr(2, colon - 2);
+    std::string knob = token.substr(colon + 1);
+    if (algorithm.empty() || knob.empty() || knob[0] == '=') {
+      std::cerr << "ftune: malformed namespaced option '" << token
+                << "' (expected --<algorithm>:<knob>[=value])\n";
+      std::exit(1);
+    }
+    if (knob.find('=') == std::string::npos) {
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        knob += '=';
+        knob += argv[++i];
+      } else {
+        knob += "=true";
+      }
+    }
+    (*per_algorithm)[algorithm].push_back("--" + knob);
+  }
+  return remaining;
+}
+
+/// Eagerly validates every namespaced bucket against the owning
+/// algorithm's declared schema, so an unknown algorithm or knob fails
+/// at the command line instead of mid-campaign.
+void validate_algorithm_options(
+    const std::map<std::string, std::vector<std::string>>& per_algorithm) {
+  for (const auto& [algorithm, tokens] : per_algorithm) {
+    try {
+      (void)core::SearchRegistry::global()
+          .create(algorithm)
+          ->options()
+          .parse(tokens);
+    } catch (const std::exception& error) {
+      std::cerr << "ftune: --" << algorithm << ":* options: "
+                << error.what() << '\n';
+      std::exit(1);
+    }
+  }
+}
+
+/// Strict parse with the uniform --help / usage-error behavior.
+/// Tokens start past the subcommand token.
+support::OptionSet::Parsed parse_or_exit(
+    const support::OptionSet& set, const std::string& command,
+    const std::vector<std::string>& tokens) {
   const std::string usage = "usage: ftune " + command + " [options]";
   try {
-    support::OptionSet::Parsed parsed = set.parse(argc, argv);
+    support::OptionSet::Parsed parsed = set.parse(tokens);
     if (parsed.flag("help")) {
       std::cout << set.help(usage);
+      if (command == "tune" || command == "campaign") {
+        std::cout << "\nAlgorithm knobs are namespaced: "
+                     "--<algorithm>:<knob>[=value], e.g. --cfr:top-x=8 "
+                     "--bo:acquisition=ei --group:size=4\n";
+      }
       std::exit(0);
     }
     if (parsed.given("threads")) {
@@ -183,6 +251,13 @@ support::OptionSet::Parsed parse_or_exit(const support::OptionSet& set,
               << set.help(usage);
     std::exit(1);
   }
+}
+
+support::OptionSet::Parsed parse_or_exit(const support::OptionSet& set,
+                                         const std::string& command,
+                                         int argc, char** argv) {
+  return parse_or_exit(set, command,
+                       std::vector<std::string>(argv, argv + argc));
 }
 
 /// The --remote endpoint list: comma-separated, empty fields dropped
@@ -400,8 +475,12 @@ int cmd_tune(int argc, char** argv) {
       .text("checkpoint", "",
             "journal completed evaluations to FILE (JSONL)")
       .text("resume", "", "continue a killed run from its journal");
+  std::map<std::string, std::vector<std::string>> algorithm_options;
+  const std::vector<std::string> tokens =
+      extract_algorithm_options(argc, argv, &algorithm_options);
   const support::OptionSet::Parsed args =
-      parse_or_exit(set, "tune", argc, argv);
+      parse_or_exit(set, "tune", tokens);
+  validate_algorithm_options(algorithm_options);
 
   core::SearchRegistry& registry = core::SearchRegistry::global();
   const std::string algorithm = args.text("algorithm");
@@ -430,7 +509,8 @@ int cmd_tune(int argc, char** argv) {
   const bool want_metrics = !args.text("metrics").empty();
   if (want_metrics) telemetry::enable_metrics(true);
 
-  const core::FuncyTunerOptions options = parse_options(args);
+  core::FuncyTunerOptions options = parse_options(args);
+  options.algorithm_options = algorithm_options;
   core::FuncyTuner tuner(programs::by_name(args.text("program")),
                          machine::architecture_by_name(args.text("arch")),
                          options);
@@ -466,10 +546,10 @@ int cmd_tune(int argc, char** argv) {
     }
     for (const std::string& key : keys) {
       results.push_back(tuner.run(key));
-      if (results.back().independent_speedup) {
+      if (const std::optional<double> independent =
+              results.back().extras.get(core::kExtraIndependentSpeedup)) {
         std::cout << "G.Independent (hypothetical): "
-                  << support::Table::num(*results.back().independent_speedup)
-                  << "\n";
+                  << support::Table::num(*independent) << "\n";
       }
     }
   }
@@ -631,8 +711,12 @@ int cmd_campaign(int argc, char** argv) {
             "comma-separated registry keys, or `all`")
       .flag("parallel-cells", false, "run grid cells concurrently")
       .text("json", "", "write the campaign result grid JSON to FILE");
+  std::map<std::string, std::vector<std::string>> algorithm_options;
+  const std::vector<std::string> tokens =
+      extract_algorithm_options(argc, argv, &algorithm_options);
   const support::OptionSet::Parsed args =
-      parse_or_exit(set, "campaign", argc, argv);
+      parse_or_exit(set, "campaign", tokens);
+  validate_algorithm_options(algorithm_options);
 
   std::vector<ir::Program> programs;
   if (args.text("programs").empty()) {
@@ -657,6 +741,7 @@ int cmd_campaign(int argc, char** argv) {
 
   core::CampaignOptions options;
   options.tuner = parse_options(args);
+  options.tuner.algorithm_options = algorithm_options;
   options.parallel_cells = args.flag("parallel-cells");
   if (args.text("algorithms") != "all") {
     for (const std::string& key :
